@@ -1,0 +1,133 @@
+// Ablation benches for design choices DESIGN.md calls out beyond the
+// paper's own figures:
+//   (a) async-copy pipeline depth (batchSize) — Section 4.1's tunable;
+//   (b) thread-block K-tile size (BSk);
+//   (c) m-combinatorial vs pair-wise (greedy) second-order selection —
+//       quality and cost tradeoff of Section 6.1's two strategies.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "gpumodel/autotune.hpp"
+#include "gpumodel/kernel_models.hpp"
+#include "pruning/obs.hpp"
+#include "pruning/quadratic.hpp"
+
+using namespace venom;
+using namespace venom::gpumodel;
+using namespace venom::pruning;
+
+namespace {
+
+void pipeline_depth_ablation(const DeviceSpec& dev) {
+  bench::banner("Ablation (a) — memory pipeline depth (batchSize)",
+                "modeled 1024 x 12288 x 4096, 128:2:100 (overhead-sensitive)");
+  const GemmShape g{1024, 12288, 4096};
+  const VnmConfig fmt{128, 2, 100};
+  bench::header({"batchSize", "time(us)", "speedup"});
+  double t1 = 0.0;
+  for (std::size_t depth : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    auto cfg = spatha::select_config(fmt, g.r, g.k, g.c);
+    cfg.batch_size = depth;
+    const double t = spatha_spmm(dev, g, fmt, cfg).total();
+    if (depth == 1) t1 = t;
+    bench::cell(double(depth), "%.0f");
+    bench::cell(t * 1e6, "%.2f");
+    bench::cell(t1 / t, "%.3f");
+    bench::endrow();
+  }
+}
+
+void block_k_ablation(const DeviceSpec& dev) {
+  bench::banner("Ablation (b) — thread-block K tile (BSk)",
+                "modeled 1024 x 12288 x 4096, 128:2:20");
+  const GemmShape g{1024, 12288, 4096};
+  const VnmConfig fmt{128, 2, 20};
+  bench::header({"BSk", "time(us)"});
+  for (std::size_t bk : {160u, 640u, 2560u, 10240u}) {
+    auto cfg = spatha::select_config(fmt, g.r, g.k, g.c);
+    cfg.block_k = bk;
+    const double t = spatha_spmm(dev, g, fmt, cfg).total();
+    bench::cell(double(bk), "%.0f");
+    bench::cell(t * 1e6, "%.2f");
+    bench::endrow();
+  }
+}
+
+void selection_mode_ablation() {
+  bench::banner("Ablation (c) — m-combinatorial vs pair-wise OBS selection",
+                "quadratic model, 2:M groups; quality = normalized dLoss");
+  bench::header({"M", "comb dLoss", "pair dLoss", "comb ms", "pair ms"});
+  Rng rng(17);
+  for (const std::size_t m : {4u, 8u, 12u, 16u}) {
+    QuadraticModel model = QuadraticModel::synthesize(32, 4 * m, m, rng, 0.8);
+    const GroupFisher fisher = model.fisher();
+    const double norm = model.normalizer();
+
+    const auto run = [&](SelectionMode mode, double* ms) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = obs_prune_nm(model.optimum(), fisher, {2, m}, mode);
+      *ms = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+      return model.loss(r.weights) / norm;
+    };
+    double ms_comb = 0.0, ms_pair = 0.0;
+    const double dl_comb = run(SelectionMode::kCombinatorial, &ms_comb);
+    const double dl_pair = run(SelectionMode::kPairwise, &ms_pair);
+    bench::cell(double(m), "%.0f");
+    bench::cell(dl_comb, "%.4f");
+    bench::cell(dl_pair, "%.4f");
+    bench::cell(ms_comb, "%.1f");
+    bench::cell(ms_pair, "%.1f");
+    bench::endrow();
+  }
+  std::printf(
+      "\nExpected: combinatorial quality >= pair-wise everywhere; its cost\n"
+      "explodes with M — the reason the paper selects dynamically.\n");
+}
+
+void autotune_ablation(const DeviceSpec& dev) {
+  bench::banner("Ablation (d) — heuristic vs model-driven autotuned config",
+                "Spatha kernel configuration selection (the paper's "
+                "template tuning table)");
+  bench::header({"shape", "V:2:M", "heuristic", "autotuned", "gain%"});
+  struct Case {
+    GemmShape g;
+    std::size_t v, m;
+  };
+  const Case cases[] = {
+      {{768, 768, 512}, 64, 8},      {{1024, 4096, 4096}, 128, 10},
+      {{1024, 12200, 4096}, 128, 100}, {{4096, 1024, 8192}, 64, 8},
+      {{3072, 768, 256}, 64, 16},
+  };
+  for (const Case& c : cases) {
+    const VnmConfig fmt{c.v, 2, c.m};
+    const GemmShape g{c.g.r, c.g.k - c.g.k % c.m, c.g.c};
+    const double heur = spatha_spmm(dev, g, fmt).total();
+    const double tuned = autotune(dev, g, fmt).total_s();
+    const std::string shape = std::to_string(g.r) + "x" +
+                              std::to_string(g.k) + "x" +
+                              std::to_string(g.c);
+    bench::cell(shape);
+    bench::cell(std::to_string(c.v) + ":2:" + std::to_string(c.m));
+    bench::cell(heur * 1e6, "%.2f");
+    bench::cell(tuned * 1e6, "%.2f");
+    bench::cell(100.0 * (heur - tuned) / heur, "%.1f");
+    bench::endrow();
+  }
+  std::printf("\n(times in us; gain is how much the exhaustive search\n"
+              "improves on the built-in heuristic)\n");
+}
+
+}  // namespace
+
+int main() {
+  const DeviceSpec& dev = rtx3090();
+  pipeline_depth_ablation(dev);
+  block_k_ablation(dev);
+  autotune_ablation(dev);
+  selection_mode_ablation();
+  return 0;
+}

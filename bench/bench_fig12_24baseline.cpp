@@ -1,0 +1,49 @@
+// Regenerates Fig. 12: baseline performance at 50% sparsity (2:4 format),
+// cuBLAS vs cuSparseLt vs Spatha, on BERT-base (768 x K x 4096) and
+// BERT-large (1024 x K x 4096) layer shapes across K. Reports TFLOPS/s
+// (dense-equivalent FLOPs) and speedup over cuBLAS.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gpumodel/kernel_models.hpp"
+
+using namespace venom;
+using namespace venom::gpumodel;
+
+namespace {
+
+void panel(const DeviceSpec& dev, std::size_t r, const char* name) {
+  std::printf("\n(%s)  M=%zu, N=4096\n", name, r);
+  bench::header({"K", "cuBLAS", "cuSpLt", "Spatha", "sp(cuSpLt)",
+                 "sp(Spatha)"});
+  const VnmConfig fmt24{128, 2, 4};
+  for (std::size_t k = 768; k <= 12288; k += 768) {
+    const GemmShape g{r, k, 4096};
+    const double t_blas = cublas_gemm(dev, g).total();
+    const double t_lt = cusparselt_spmm(dev, g).total();
+    const double t_sp = spatha_spmm(dev, g, fmt24).total();
+    bench::cell(double(k), "%.0f");
+    bench::cell(g.flops() / t_blas / 1e12, "%.1f");
+    bench::cell(g.flops() / t_lt / 1e12, "%.1f");
+    bench::cell(g.flops() / t_sp / 1e12, "%.1f");
+    bench::cell(t_blas / t_lt);
+    bench::cell(t_blas / t_sp);
+    bench::endrow();
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 12 — baseline performance at 50% sparsity (2:4)",
+                "TFLOPS/s (dense-equivalent) and speedup w.r.t. cuBLAS; "
+                "modeled RTX 3090");
+  const DeviceSpec& dev = rtx3090();
+  panel(dev, 768, "a: BERT-base");
+  panel(dev, 1024, "b: BERT-large");
+  std::printf(
+      "\nExpected shape (paper): sparse libraries improve with K; Spatha\n"
+      "beats cuSparseLt on small GEMMs (up to ~1.38x) and matches it on\n"
+      "large ones; both stay below the theoretical 2x over cuBLAS.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Regenerates Fig. 13: speedup over cuBLAS of Spatha, cuSparseLt,
+// Sputnik, and CLASP on BERT-base and BERT-large linear layers
+// (sequence length 512, batch 8 and 16) across sparsity levels
+// 50/70/75/80/90/95/98%. The N:M per level follows the paper:
+// 2:4, 2:7, 2:8, 2:10, 2:20, 2:40, 2:100.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gpumodel/kernel_models.hpp"
+
+using namespace venom;
+using namespace venom::gpumodel;
+
+namespace {
+
+struct Level {
+  int pct;
+  std::size_t n, m;
+};
+const Level kLevels[] = {{50, 2, 4},  {70, 2, 7},  {75, 2, 8}, {80, 2, 10},
+                         {90, 2, 20}, {95, 2, 40}, {98, 2, 100}};
+
+void panel(const DeviceSpec& dev, const char* model, std::size_t hidden,
+           std::size_t batch, std::size_t v, std::size_t vw) {
+  // The pruned weight is the FFN-out projection (hidden x 4*hidden) — the
+  // largest-K layer in BERT, where sparse kernels shine; activations have
+  // seq*batch columns (paper: weight linear layers, seq len 512).
+  const GemmShape g{hidden, 4 * hidden, 512 * batch};
+  std::printf("\n%s, batch=%zu  [%zu:N:M vs vw_%zu]  (GEMM %zux%zux%zu)\n",
+              model, batch, v, vw, g.r, g.k, g.c);
+  bench::header({"sparsity%", "cuBLAS", "Spatha", "cuSpLt", "Sputnik",
+                 "CLASP"});
+  for (const Level& lv : kLevels) {
+    const double density = double(lv.n) / double(lv.m);
+    bench::cell(double(lv.pct), "%.0f");
+    bench::cell(1.0);
+    bench::cell(speedup_vs_cublas(
+        dev, g, spatha_spmm(dev, g, VnmConfig{v, lv.n, lv.m})));
+    if (lv.m == 4) {
+      bench::cell(speedup_vs_cublas(dev, g, cusparselt_spmm(dev, g)));
+    } else {
+      bench::cell("n/a");  // cuSparseLt only supports 2:4
+    }
+    bench::cell(speedup_vs_cublas(dev, g, sputnik_spmm(dev, g, density)));
+    bench::cell(speedup_vs_cublas(dev, g, clasp_spmm(dev, g, density, vw)));
+    bench::endrow();
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 13 — speedups on BERT-base / BERT-large, seq len 512",
+      "speedup w.r.t. cuBLAS (log-scale in the paper); modeled RTX 3090");
+  const DeviceSpec& dev = rtx3090();
+  // Top row: BERT-base; bottom: BERT-large. Columns: (bs, V:N:M, vw_l).
+  panel(dev, "BERT-base", 768, 8, 64, 4);
+  panel(dev, "BERT-base", 768, 16, 64, 4);
+  panel(dev, "BERT-base", 768, 8, 128, 8);
+  panel(dev, "BERT-base", 768, 16, 128, 8);
+  panel(dev, "BERT-large", 1024, 8, 64, 4);
+  panel(dev, "BERT-large", 1024, 16, 64, 4);
+  panel(dev, "BERT-large", 1024, 8, 128, 8);
+  panel(dev, "BERT-large", 1024, 16, 128, 8);
+  std::printf(
+      "\nExpected shape (paper): Sputnik/CLASP beat cuBLAS only at >= 90%%\n"
+      "sparsity and cap around ~3x; Spatha reaches ~2x already at 50%% and\n"
+      "grows to >25x at 98%%, peaking for BERT-large with batch 16.\n");
+  return 0;
+}

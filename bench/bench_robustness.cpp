@@ -1,0 +1,91 @@
+// Robustness bench (beyond the paper's figures): how each kernel family
+// behaves across sparse-matrix *structures*, not just sparsity levels.
+//
+// Section 3 argues DL sparsity differs from scientific sparsity in
+// density, nonzeros-per-row, and load balance, and that N:M's regularity
+// is what keeps SPTC kernels immune to imbalance. This bench makes that
+// argument executable: it generates unstructured / banded / power-law /
+// block workloads at a fixed density, measures their row imbalance, prunes
+// each to V:N:M, and reports the real CPU kernel times of the CSR kernel
+// (imbalance-sensitive) vs Spatha (imbalance-free by construction),
+// plus the V:N:M approximation quality per structure.
+#include <chrono>
+#include <cstdio>
+
+#include <functional>
+
+#include "baselines/gemm.hpp"
+#include "baselines/spmm_csr.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "format/csr.hpp"
+#include "format/vnm.hpp"
+#include "pruning/policies.hpp"
+#include "spatha/spmm.hpp"
+#include "workloads/generators.hpp"
+
+using namespace venom;
+using namespace venom::workloads;
+
+namespace {
+
+double time_of(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Robustness across sparse structures (CPU kernels, real "
+                "wall time)",
+                "512x1024 operand at ~20% density x 1024x64 activations");
+  Rng rng(77);
+  const std::size_t rows = 512, cols = 1024, bcols = 64;
+  const HalfMatrix b = random_half_matrix(cols, bcols, rng, 0.1f);
+
+  struct Workload {
+    const char* name;
+    HalfMatrix a;
+  };
+  const Workload loads[] = {
+      {"uniform", uniform_sparse(rows, cols, 0.2, rng)},
+      {"banded", banded(rows, cols, 200, rng)},
+      {"powerlaw", power_law_rows(rows, cols, 0.2, 1.0, rng)},
+      {"block16", block_structured(rows, cols, 16, 0.2, rng)},
+  };
+
+  bench::header({"structure", "imbalance", "csr(ms)", "spatha(ms)",
+                 "vnm-energy"});
+  const VnmConfig cfg{64, 2, 8};  // 75% V:N:M (M divides 1024)
+  for (const Workload& w : loads) {
+    const CsrMatrix csr = CsrMatrix::from_dense(w.a);
+    const VnmMatrix vnm = VnmMatrix::from_dense_magnitude(w.a, cfg);
+
+    const double t_csr = time_of([&] { spmm_csr(csr, b); });
+    const double t_spatha = time_of([&] { spatha::spmm_vnm(vnm, b); });
+
+    bench::cell(w.name);
+    bench::cell(row_imbalance(w.a), "%.3f");
+    bench::cell(t_csr * 1e3, "%.2f");
+    bench::cell(t_spatha * 1e3, "%.2f");
+    bench::cell(pruning::energy(vnm.to_dense(), w.a), "%.3f");
+    bench::endrow();
+  }
+  std::printf(
+      "\nReading: the CSR kernel's cost follows each structure's nnz and\n"
+      "row distribution, while V:N:M fixes nonzeros per row by\n"
+      "construction, so Spatha's work is uniform regardless of the input\n"
+      "structure (the paper's §3 load-balance argument). vnm-energy shows\n"
+      "which structures the format approximates best (element-granular\n"
+      "ones) and worst (wide bands / dense blocks that exceed the\n"
+      "4-columns-per-block budget).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Regenerates Table 2 (substituted): second-order pruning quality of
+// 1:N:M, 64:N:M, 128:N:M and vw_8 at 75% (2:8) and 87.5% (2:16).
+//
+// Substitution (DESIGN.md #2): instead of SQuAD F1 after fine-tuning BERT
+// we prune a synthetic quadratic model whose block Hessian is known
+// exactly. OBS saliency provably equals the loss increase on quadratic
+// objectives, so the relative ordering of the formats — the claim Table 2
+// makes — transfers. We report:
+//   loss increase (normalized by the all-zero loss), lower is better, and
+//   "score retention" = 1 - normalized loss, the analogue of F1 recovery.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "pruning/finetune.hpp"
+#include "pruning/obs.hpp"
+#include "pruning/quadratic.hpp"
+#include "pruning/scheduler.hpp"
+
+using namespace venom;
+using namespace venom::pruning;
+
+int main() {
+  bench::banner(
+      "Table 2 (substituted) — second-order pruning quality by format",
+      "normalized loss increase on a known-Hessian quadratic model; the\n"
+      "paper reports SQuAD F1 (dense F1 = 88.43) — ordering transfers");
+
+  Rng rng(7);
+  // 128 rows so V=128 divides; M = 8 / 16 as in the paper. The optimum
+  // carries outlier columns (trained-transformer structure, see Fig. 11).
+  for (const std::size_t m : {8u, 16u}) {
+    QuadraticModel model =
+        QuadraticModel::synthesize(128, 4 * m, m, rng, 0.7, 0.15);
+    const GroupFisher fisher = model.fisher();
+    const double norm = model.normalizer();
+    const double sparsity = (1.0 - 2.0 / double(m)) * 100.0;
+
+    std::printf("\n%.1f%% sparsity (2:%zu)\n", sparsity, m);
+    bench::header({"format", "dLoss/norm", "retention"});
+    const auto report = [&](const char* label, const FloatMatrix& w) {
+      const double dl = model.loss(w) / norm;
+      bench::cell(label);
+      bench::cell(dl, "%.4f");
+      bench::cell(1.0 - dl, "%.4f");
+      bench::endrow();
+    };
+
+    report("1:N:M", obs_prune_vnm(model.optimum(), fisher, {1, 2, m},
+                                  SelectionMode::kAuto)
+                        .weights);
+    report("64:N:M", obs_prune_vnm(model.optimum(), fisher, {64, 2, m},
+                                   SelectionMode::kAuto)
+                         .weights);
+    report("128:N:M", obs_prune_vnm(model.optimum(), fisher, {128, 2, m},
+                                    SelectionMode::kAuto)
+                          .weights);
+    report("vw_8", obs_prune_vector_wise(model.optimum(), fisher, 8,
+                                         1.0 - 2.0 / double(m))
+                       .weights);
+  }
+
+  // Companion ablation: one-shot vs the structure-decay scheduler
+  // (Section 6.1.1) at the 2:16 target, on a non-quadratic loss with
+  // masked fine-tuning after every stage. NOTE (also in EXPERIMENTS.md):
+  // on a convex substrate one-shot OBS with exact curvature is optimal
+  // by construction, so the scheduler can only MATCH it here (within a
+  // few percent). The paper's accuracy benefit of gradual decay arises
+  // from non-convex re-training dynamics the substitution cannot model;
+  // this bench verifies the scheduler machinery and its cost, not a win.
+  std::printf("\nStructure-decay scheduler ablation (2:16 target,\n"
+              "non-quadratic loss, fine-tuning after every stage):\n");
+  bench::header({"schedule", "dLoss/norm"});
+  NonQuadraticModel model(
+      QuadraticModel::synthesize(64, 64, 16, rng, 0.8), /*kappa=*/1.0);
+  const GroupFisher fisher = model.fisher();
+  const double norm = model.normalizer();
+  const VnmConfig target{64, 2, 16};
+  {
+    FloatMatrix w = obs_prune_vnm(model.optimum(), fisher, target,
+                                  SelectionMode::kAuto)
+                        .weights;
+    const double l = fine_tune(model, w, 200);
+    bench::cell("one-shot");
+    bench::cell(l / norm, "%.4f");
+    bench::endrow();
+  }
+  for (std::size_t steps : {2u, 3u}) {
+    const DecaySchedule sched = structure_decay_schedule(8, 2, steps);
+    FloatMatrix w = model.optimum();
+    double l = 0.0;
+    for (std::size_t i = 0; i < sched.n_values.size(); ++i) {
+      const std::size_t n = sched.n_values[i];
+      const bool final_step = i + 1 == sched.n_values.size();
+      w = final_step
+              ? obs_prune_vnm(w, fisher, target, SelectionMode::kAuto).weights
+              : obs_prune_nm(w, fisher, NmPattern{n, 16},
+                             SelectionMode::kAuto)
+                    .weights;
+      l = fine_tune(model, w, 200);
+    }
+    std::string label = "decay(";
+    for (std::size_t n : sched.n_values) label += std::to_string(n) + ",";
+    label.back() = ')';
+    bench::cell(label);
+    bench::cell(l / norm, "%.4f");
+    bench::endrow();
+  }
+
+  std::printf(
+      "\nExpected shape (paper): degradation grows with the V constraint\n"
+      "(1:N:M best, then 64:N:M, then 128:N:M) and is larger at 2:16 than\n"
+      "at 2:8 — both reproduced above. Two known substitution gaps (see\n"
+      "EXPERIMENTS.md): vw_8 ranks last here but second in the paper, and\n"
+      "gradual decay only matches one-shot — both effects come from\n"
+      "non-convex fine-tuning dynamics a convex substrate cannot show.\n");
+  return 0;
+}

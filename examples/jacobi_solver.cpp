@@ -1,0 +1,107 @@
+// Example: V:N:M sparse kernels outside deep learning (paper §9a).
+//
+// The paper notes Spatha is a general SpMM tool, not a DL-only one. This
+// example builds a 2-D diffusion operator (5-point stencil), stores its
+// off-diagonal part in the V:N:M format, and runs weighted-Jacobi
+// iterations whose hot loop is the Spatha SpMM over a block of
+// right-hand sides:
+//
+//   X_{k+1} = (1-w) X_k + w D^-1 (B - R X_k),   A = D + R
+//
+// A banded operator conforms naturally to V:N:M with a modest M: within
+// any V x M block the stencil occupies few distinct columns, so the
+// vector-wise stage loses nothing and the kernel runs at N:M=2:M cost.
+#include <cstdio>
+
+#include <cmath>
+
+#include "baselines/gemm.hpp"
+#include "common/rng.hpp"
+#include "format/vnm.hpp"
+#include "spatha/spmm.hpp"
+
+using namespace venom;
+
+namespace {
+
+// Grid is g x g unknowns; matrix is n x n with n = g*g.
+constexpr std::size_t kGrid = 24;
+constexpr std::size_t kN = kGrid * kGrid;  // 576
+constexpr std::size_t kRhs = 16;           // solve 16 systems at once
+
+/// Builds the off-diagonal part R of the 5-point Laplacian (diagonal 4).
+HalfMatrix build_off_diagonal() {
+  HalfMatrix r(kN, kN);
+  const auto at = [](std::size_t i, std::size_t j) { return i * kGrid + j; };
+  for (std::size_t i = 0; i < kGrid; ++i)
+    for (std::size_t j = 0; j < kGrid; ++j) {
+      const std::size_t row = at(i, j);
+      if (i > 0) r(row, at(i - 1, j)) = half_t(-1.0f);
+      if (i + 1 < kGrid) r(row, at(i + 1, j)) = half_t(-1.0f);
+      if (j > 0) r(row, at(i, j - 1)) = half_t(-1.0f);
+      if (j + 1 < kGrid) r(row, at(i, j + 1)) = half_t(-1.0f);
+    }
+  return r;
+}
+
+double residual_norm(const HalfMatrix& r_dense, const FloatMatrix& x,
+                     const FloatMatrix& b) {
+  // ||b - (D + R) x||_F with D = 4 I.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kN; ++i)
+    for (std::size_t s = 0; s < kRhs; ++s) {
+      double ax = 4.0 * x(i, s);
+      for (std::size_t j = 0; j < kN; ++j) {
+        const float v = r_dense(i, j).to_float();
+        if (v != 0.0f) ax += double(v) * x(j, s);
+      }
+      const double d = b(i, s) - ax;
+      acc += d * d;
+    }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+int main() {
+  const HalfMatrix r_dense = build_off_diagonal();
+
+  // Within any 2 x 8 block the stencil occupies at most 4 distinct
+  // columns ({i-1, i, i+1, i+2} for the horizontal neighbours of two
+  // consecutive rows; the vertical neighbours land in other groups), and
+  // each row has at most 2 entries per group — so compression to 2:2:8 is
+  // exactly lossless for this operator.
+  const VnmConfig cfg{2, 2, 8};
+  VENOM_CHECK(VnmMatrix::conforms(r_dense, cfg));
+  const VnmMatrix r_sparse = VnmMatrix::compress(r_dense, cfg);
+  std::printf("diffusion operator %zux%zu: dense %zu bytes -> V:N:M %zu "
+              "bytes (%.1fx), lossless\n",
+              kN, kN, kN * kN * 2, r_sparse.compressed_bytes(),
+              double(kN * kN * 2) / double(r_sparse.compressed_bytes()));
+
+  // Random right-hand sides, zero initial guess.
+  Rng rng(31);
+  FloatMatrix b = random_float_matrix(kN, kRhs, rng, 1.0f);
+  FloatMatrix x(kN, kRhs, 0.0f);
+  const float omega = 0.8f;
+
+  std::printf("\nweighted Jacobi (omega=%.1f), %zu right-hand sides:\n",
+              double(omega), kRhs);
+  for (int iter = 0; iter <= 60; ++iter) {
+    if (iter % 10 == 0)
+      std::printf("  iter %3d   residual %.4e\n", iter,
+                  residual_norm(r_dense, x, b));
+    // Hot loop: R * X through Spatha.
+    HalfMatrix x_half = to_half(x);
+    const FloatMatrix rx = spatha::spmm_vnm(r_sparse, x_half);
+    for (std::size_t i = 0; i < kN; ++i)
+      for (std::size_t s = 0; s < kRhs; ++s)
+        x(i, s) = (1.0f - omega) * x(i, s) +
+                  omega * (b(i, s) - rx(i, s)) / 4.0f;
+  }
+  std::printf(
+      "\nThe residual contracts every iteration with the SpMM running\n"
+      "entirely through the V:N:M compressed operator — the \"other\n"
+      "domains\" application the paper's discussion points to.\n");
+  return 0;
+}

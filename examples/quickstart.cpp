@@ -1,0 +1,53 @@
+// Quickstart: compress a matrix to the V:N:M format, multiply it with
+// Spatha, and check the result against the dense reference.
+//
+//   $ ./quickstart
+//
+// Walks through the library's core loop:
+//   1. synthesize a dense fp16 weight matrix,
+//   2. magnitude-prune it into VENOM's V:N:M format (here 64:2:8 = 75%),
+//   3. run the Spatha SpMM against a dense activation matrix,
+//   4. verify against dense GEMM and print format statistics.
+#include <cstdio>
+
+#include "baselines/gemm.hpp"
+#include "common/rng.hpp"
+#include "format/vnm.hpp"
+#include "spatha/spmm.hpp"
+
+using namespace venom;
+
+int main() {
+  // 1. A 512 x 1024 fp16 weight and a 1024 x 256 activation matrix.
+  Rng rng(42);
+  const HalfMatrix weight = random_half_matrix(512, 1024, rng, 0.05f);
+  const HalfMatrix activations = random_half_matrix(1024, 256, rng, 0.05f);
+
+  // 2. Prune + compress to V:N:M = 64:2:8 (75% sparsity). The format
+  //    keeps, per 64x8 block, the 4 most significant columns, and per row
+  //    the 2 largest weights among them — executable on 2:4 SPTCs.
+  const VnmConfig cfg{64, 2, 8};
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(weight, cfg);
+
+  std::printf("V:N:M          : %zu:%zu:%zu (%.0f%% sparse)\n", cfg.v, cfg.n,
+              cfg.m, cfg.sparsity() * 100.0);
+  std::printf("dense bytes    : %zu\n", weight.size() * sizeof(half_t));
+  std::printf("compressed     : %zu (values + 2-bit m-indices + column-loc)\n",
+              sparse.compressed_bytes());
+  std::printf("nonzeros       : %zu of %zu\n", sparse.nnz(), weight.size());
+
+  // 3. Sparse x dense with Spatha (tile sizes picked by the heuristic).
+  const FloatMatrix c_sparse = spatha::spmm_vnm(sparse, activations);
+
+  // 4. Reference: dense GEMM of the decompressed (pruned) weight.
+  const FloatMatrix c_ref = gemm_dense(sparse.to_dense(), activations);
+  const float err = rel_fro_error(c_sparse, c_ref);
+  std::printf("rel. error     : %.3e  %s\n", double(err),
+              err < 1e-5f ? "(bit-faithful modulo fp32 sum order)" : "(!!)");
+
+  // How much the pruning changed the layer's output (information lost).
+  const FloatMatrix c_dense = gemm_dense(weight, activations);
+  std::printf("pruning impact : %.1f%% relative output deviation\n",
+              double(rel_fro_error(c_ref, c_dense)) * 100.0);
+  return 0;
+}

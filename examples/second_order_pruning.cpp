@@ -1,0 +1,81 @@
+// Example: second-order (OBS) pruning to V:N:M with the structure-decay
+// scheduler (Section 6 end to end).
+//
+// Uses a synthetic quadratic model with a known block Hessian so the loss
+// increase of every decision is exact. Compares:
+//   magnitude one-shot  vs  OBS one-shot  vs  OBS + structure decay,
+// at the 87.5% (2:16) sparsity of Table 2, and shows the empirical-Fisher
+// path (estimating curvature from sampled gradients) used when the true
+// Hessian is unavailable.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "pruning/fisher.hpp"
+#include "pruning/obs.hpp"
+#include "pruning/policies.hpp"
+#include "pruning/quadratic.hpp"
+#include "pruning/scheduler.hpp"
+
+using namespace venom;
+using namespace venom::pruning;
+
+int main() {
+  Rng rng(3);
+  // 64 x 64 weights, Hessian blocks over 1x16 groups, strong correlation
+  // (the regime where second-order selection matters most).
+  QuadraticModel model = QuadraticModel::synthesize(64, 64, 16, rng, 0.85);
+  const GroupFisher exact = model.fisher();
+  const VnmConfig target{64, 2, 16};  // 87.5% sparsity
+  const double norm = model.normalizer();
+
+  std::printf("Quadratic model 64x64, M=16 blocks, target %zu:%zu:%zu "
+              "(%.1f%% sparse)\n\n",
+              target.v, target.n, target.m, target.sparsity() * 100.0);
+  std::printf("%-34s %14s\n", "method", "dLoss/norm");
+
+  // Magnitude baseline: no curvature, no weight update.
+  {
+    HalfMatrix hw(64, 64);
+    for (std::size_t i = 0; i < hw.size(); ++i)
+      hw.flat()[i] = half_t(model.optimum().flat()[i]);
+    const HalfMatrix pruned = prune_vnm(hw, target);
+    FloatMatrix w(64, 64);
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w.flat()[i] = pruned.flat()[i].to_float();
+    std::printf("%-34s %14.4f\n", "magnitude one-shot",
+                model.loss(w) / norm);
+  }
+
+  // OBS one-shot with the exact Hessian.
+  const ObsResult oneshot =
+      obs_prune_vnm(model.optimum(), exact, target, SelectionMode::kAuto);
+  std::printf("%-34s %14.4f\n", "OBS one-shot (exact Fisher)",
+              model.loss(oneshot.weights) / norm);
+
+  // OBS + structure decay: N walks 8 -> 4 -> 2 (Section 6.1.1).
+  const DecaySchedule sched = structure_decay_schedule(8, 2, 3);
+  const ObsResult gradual = obs_prune_vnm_gradual(
+      model.optimum(), exact, target, sched, SelectionMode::kAuto);
+  std::printf("%-34s %14.4f   (N: 8 -> 4 -> 2)\n",
+              "OBS + structure decay", model.loss(gradual.weights) / norm);
+
+  // Empirical Fisher: curvature estimated from 128 sampled gradients —
+  // the path a real model (no closed-form Hessian) uses.
+  std::vector<FloatMatrix> grads;
+  for (int s = 0; s < 128; ++s) {
+    FloatMatrix w = model.optimum();
+    for (auto& v : w.flat()) v += 0.1f * rng.normal();
+    grads.push_back(model.gradient(w));
+  }
+  const GroupFisher estimated = GroupFisher::estimate(grads, 16, 1e-3);
+  const ObsResult emp =
+      obs_prune_vnm(model.optimum(), estimated, target, SelectionMode::kAuto);
+  std::printf("%-34s %14.4f   (128 gradient samples)\n",
+              "OBS one-shot (empirical Fisher)", model.loss(emp.weights) / norm);
+
+  std::printf(
+      "\nReading: OBS beats magnitude because it prices in curvature and\n"
+      "refits survivors; the decay scheduler softens the final step; the\n"
+      "empirical Fisher approaches the exact result as samples grow.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "baselines/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace venom {
+
+FloatMatrix gemm_dense(const HalfMatrix& a, const HalfMatrix& b,
+                       ThreadPool* pool) {
+  VENOM_CHECK_MSG(a.cols() == b.rows(), "GEMM shape mismatch: "
+                                            << a.rows() << 'x' << a.cols()
+                                            << " * " << b.rows() << 'x'
+                                            << b.cols());
+  if (pool == nullptr) pool = &ThreadPool::global();
+  FloatMatrix c(a.rows(), b.cols());
+
+  constexpr std::size_t kRowBlock = 32;
+  constexpr std::size_t kPanelK = 256;
+  const std::size_t row_blocks = (a.rows() + kRowBlock - 1) / kRowBlock;
+
+  pool->parallel_for(row_blocks, [&](std::size_t rb) {
+    const std::size_t r0 = rb * kRowBlock;
+    const std::size_t r1 = std::min(a.rows(), r0 + kRowBlock);
+    for (std::size_t k0 = 0; k0 < a.cols(); k0 += kPanelK) {
+      const std::size_t k1 = std::min(a.cols(), k0 + kPanelK);
+      for (std::size_t r = r0; r < r1; ++r) {
+        float* crow = &c(r, 0);
+        for (std::size_t k = k0; k < k1; ++k) {
+          const float av = a(r, k).to_float();
+          if (av == 0.0f) continue;
+          const half_t* brow = &b(k, 0);
+          for (std::size_t n = 0; n < b.cols(); ++n)
+            crow[n] += av * brow[n].to_float();
+        }
+      }
+    }
+  });
+  return c;
+}
+
+FloatMatrix gemm_reference(const HalfMatrix& a, const HalfMatrix& b) {
+  VENOM_CHECK(a.cols() == b.rows());
+  FloatMatrix c(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t n = 0; n < b.cols(); ++n) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        acc += static_cast<double>(a(r, k).to_float()) *
+               static_cast<double>(b(k, n).to_float());
+      c(r, n) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+}  // namespace venom

@@ -1,0 +1,29 @@
+// Dense half-precision GEMM — the cuBLAS stand-in.
+//
+// C(RxN, fp32) = A(RxK, fp16) * B(KxN, fp16), fp32 accumulation. The CPU
+// implementation blocks over rows and K panels and parallelizes row blocks
+// on the thread pool; it is the correctness oracle for every sparse kernel
+// and the denominator of every speedup in the figures.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom {
+
+/// C = A * B with fp32 accumulators. Throws on shape mismatch.
+/// `pool` nullptr means ThreadPool::global().
+FloatMatrix gemm_dense(const HalfMatrix& a, const HalfMatrix& b,
+                       ThreadPool* pool = nullptr);
+
+/// Naive triple loop in double precision — oracle for the oracle. Used
+/// only in tests (O(RKN) with no blocking).
+FloatMatrix gemm_reference(const HalfMatrix& a, const HalfMatrix& b);
+
+/// Number of useful FLOPs of a dense R x K x N GEMM (2*R*K*N).
+inline double gemm_flops(std::size_t r, std::size_t k, std::size_t n) {
+  return 2.0 * static_cast<double>(r) * static_cast<double>(k) *
+         static_cast<double>(n);
+}
+
+}  // namespace venom

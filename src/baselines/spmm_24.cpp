@@ -1,0 +1,99 @@
+#include "baselines/spmm_24.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sptc/metadata.hpp"
+#include "sptc/mma.hpp"
+
+namespace venom {
+
+FloatMatrix spmm_24(const NmMatrix& a, const HalfMatrix& b,
+                    ThreadPool* pool) {
+  const NmPattern p = a.pattern();
+  VENOM_CHECK_MSG((p.n == 2 && p.m == 4) || (p.n == 1 && p.m == 2),
+                  "cuSparseLt-style SpMM supports only 2:4 / 1:2, got "
+                      << p.n << ':' << p.m);
+  VENOM_CHECK(a.cols() == b.rows());
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  FloatMatrix c(a.rows(), b.cols());
+  const std::size_t groups = a.groups_per_row();
+  constexpr std::size_t kRowBlock = 32;
+  const std::size_t row_blocks = (a.rows() + kRowBlock - 1) / kRowBlock;
+
+  pool->parallel_for(row_blocks, [&](std::size_t rb) {
+    const std::size_t r0 = rb * kRowBlock;
+    const std::size_t r1 = std::min(a.rows(), r0 + kRowBlock);
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* crow = &c(r, 0);
+      for (std::size_t g = 0; g < groups; ++g) {
+        for (std::size_t j = 0; j < p.n; ++j) {
+          const half_t v = a.value(r, g, j);
+          if (v.is_zero()) continue;
+          const float av = v.to_float();
+          const std::size_t col = g * p.m + a.index(r, g, j);
+          const half_t* brow = &b(col, 0);
+          for (std::size_t n = 0; n < b.cols(); ++n)
+            crow[n] += av * brow[n].to_float();
+        }
+      }
+    }
+  });
+  return c;
+}
+
+FloatMatrix spmm_24_mma(const NmMatrix& a, const HalfMatrix& b,
+                        ThreadPool* pool) {
+  const NmPattern p = a.pattern();
+  VENOM_CHECK_MSG(p.n == 2 && p.m == 4, "mma.sp path requires 2:4");
+  VENOM_CHECK(a.cols() == b.rows());
+  VENOM_CHECK_MSG(a.rows() % 16 == 0 && a.cols() % 32 == 0 &&
+                      b.cols() % 8 == 0,
+                  "tile path requires 16 | rows, 32 | cols, 8 | b.cols");
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  FloatMatrix c(a.rows(), b.cols());
+  const std::size_t tiles_r = a.rows() / 16;
+  const std::size_t tiles_n = b.cols() / 8;
+  const std::size_t tiles_k = a.cols() / 32;
+  const std::size_t groups = a.groups_per_row();
+
+  pool->parallel_for(tiles_r * tiles_n, [&](std::size_t t) {
+    const std::size_t tr = t / tiles_n;
+    const std::size_t tn = t % tiles_n;
+    std::vector<half_t> a_tile(16 * 16);
+    std::vector<std::uint8_t> idx_tile(16 * 16);
+    std::vector<half_t> b_tile(32 * 8);
+    std::vector<float> c_tile(16 * 8, 0.0f);
+
+    for (std::size_t tk = 0; tk < tiles_k; ++tk) {
+      // Stage the compressed A tile: rows tr*16.., K-groups tk*8..
+      // (8 groups of 4 dense columns = 32 dense / 16 compressed cols).
+      for (std::size_t i = 0; i < 16; ++i) {
+        const std::size_t r = tr * 16 + i;
+        for (std::size_t gg = 0; gg < 8; ++gg) {
+          const std::size_t g = tk * 8 + gg;
+          (void)groups;
+          for (std::size_t j = 0; j < 2; ++j) {
+            a_tile[i * 16 + gg * 2 + j] = a.value(r, g, j);
+            idx_tile[i * 16 + gg * 2 + j] = a.index(r, g, j);
+          }
+        }
+      }
+      const auto meta = sptc::pack_metadata(idx_tile);
+      // Stage the dense B tile: rows tk*32.., cols tn*8..
+      for (std::size_t i = 0; i < 32; ++i)
+        for (std::size_t n = 0; n < 8; ++n)
+          b_tile[i * 8 + n] = b(tk * 32 + i, tn * 8 + n);
+
+      sptc::mma_sp_fp16(32, a_tile, meta, b_tile, c_tile);
+    }
+    for (std::size_t i = 0; i < 16; ++i)
+      for (std::size_t n = 0; n < 8; ++n)
+        c(tr * 16 + i, tn * 8 + n) = c_tile[i * 8 + n];
+  });
+  return c;
+}
+
+}  // namespace venom

@@ -1,0 +1,27 @@
+// 2:4 SpMM — the cuSparseLt stand-in.
+//
+// Executes C = A_24 * B where A is stored in the native N:M format
+// (NmMatrix with pattern 2:4 or 1:2). Two code paths are provided:
+//   spmm_24        — direct indexed traversal (production path)
+//   spmm_24_mma    — routes every 16x8x32 tile through the SPTC simulator
+//                    (sptc::mma_sp_fp16), proving the format maps onto the
+//                    hardware instruction exactly as Fig. 1 describes.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "format/nm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom {
+
+/// C = A * B for a native N:M (hardware-supported) sparse A.
+/// Requires pattern 2:4 or 1:2 — the shapes cuSparseLt accepts.
+FloatMatrix spmm_24(const NmMatrix& a, const HalfMatrix& b,
+                    ThreadPool* pool = nullptr);
+
+/// Same product computed tile-by-tile through the mma.sp simulator.
+/// Requires pattern 2:4, rows % 16 == 0, cols % 32 == 0, b.cols() % 8 == 0.
+FloatMatrix spmm_24_mma(const NmMatrix& a, const HalfMatrix& b,
+                        ThreadPool* pool = nullptr);
+
+}  // namespace venom

@@ -1,0 +1,35 @@
+#include "baselines/spmm_csr.hpp"
+
+#include <algorithm>
+
+namespace venom {
+
+FloatMatrix spmm_csr(const CsrMatrix& a, const HalfMatrix& b,
+                     ThreadPool* pool) {
+  VENOM_CHECK(a.cols() == b.rows());
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  FloatMatrix c(a.rows(), b.cols());
+  constexpr std::size_t kRowBlock = 32;
+  const std::size_t row_blocks = (a.rows() + kRowBlock - 1) / kRowBlock;
+  const auto& offsets = a.row_offsets();
+  const auto& cols = a.col_indices();
+  const auto& vals = a.values();
+
+  pool->parallel_for(row_blocks, [&](std::size_t rb) {
+    const std::size_t r0 = rb * kRowBlock;
+    const std::size_t r1 = std::min(a.rows(), r0 + kRowBlock);
+    for (std::size_t r = r0; r < r1; ++r) {
+      float* crow = &c(r, 0);
+      for (std::uint32_t i = offsets[r]; i < offsets[r + 1]; ++i) {
+        const float av = vals[i].to_float();
+        const half_t* brow = &b(cols[i], 0);
+        for (std::size_t n = 0; n < b.cols(); ++n)
+          crow[n] += av * brow[n].to_float();
+      }
+    }
+  });
+  return c;
+}
+
+}  // namespace venom

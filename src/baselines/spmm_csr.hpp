@@ -1,0 +1,19 @@
+// CSR SpMM — the Sputnik stand-in.
+//
+// Sputnik [Gale et al., SC'20] schedules unstructured CSR rows as 1-D
+// tiles with each tile streaming its row's nonzeros against B. The CPU
+// port keeps the same decomposition: one task per row block, sequential
+// nonzero traversal inside.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "format/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom {
+
+/// C = A_csr * B.
+FloatMatrix spmm_csr(const CsrMatrix& a, const HalfMatrix& b,
+                     ThreadPool* pool = nullptr);
+
+}  // namespace venom

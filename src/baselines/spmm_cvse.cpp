@@ -1,0 +1,31 @@
+#include "baselines/spmm_cvse.hpp"
+
+namespace venom {
+
+FloatMatrix spmm_cvse(const CvseMatrix& a, const HalfMatrix& b,
+                      ThreadPool* pool) {
+  VENOM_CHECK(a.cols() == b.rows());
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  FloatMatrix c(a.rows(), b.cols());
+  const auto& offsets = a.group_offsets();
+  const auto& cols = a.col_indices();
+  const auto& vals = a.values();
+  const std::size_t vlen = a.vec_len();
+
+  pool->parallel_for(a.row_groups(), [&](std::size_t g) {
+    for (std::uint32_t i = offsets[g]; i < offsets[g + 1]; ++i) {
+      const half_t* brow = &b(cols[i], 0);
+      for (std::size_t dr = 0; dr < vlen; ++dr) {
+        const float av = vals[i * vlen + dr].to_float();
+        if (av == 0.0f) continue;
+        float* crow = &c(g * vlen + dr, 0);
+        for (std::size_t n = 0; n < b.cols(); ++n)
+          crow[n] += av * brow[n].to_float();
+      }
+    }
+  });
+  return c;
+}
+
+}  // namespace venom

@@ -1,0 +1,19 @@
+// Column-vector-sparse SpMM — the CLASP / vectorSparse stand-in.
+//
+// CLASP [Castro et al., PACT'22] multiplies column-vector encoded sparse
+// matrices on tensor cores: each kept vertical vector contributes a
+// rank-1 update of `vec_len` output rows against one row of B. The CPU
+// port parallelizes over row groups.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "format/cvse.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom {
+
+/// C = A_cvse * B.
+FloatMatrix spmm_cvse(const CvseMatrix& a, const HalfMatrix& b,
+                      ThreadPool* pool = nullptr);
+
+}  // namespace venom

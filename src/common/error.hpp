@@ -1,0 +1,50 @@
+// Error handling utilities for the VENOM library.
+//
+// All precondition violations throw venom::Error with a message that
+// includes the failing expression and source location. Library code never
+// calls std::abort or exits; callers decide how to handle failures.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace venom {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "VENOM check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace venom
+
+/// Check a precondition; throws venom::Error with context on failure.
+#define VENOM_CHECK(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::venom::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                       \
+  } while (0)
+
+/// Check a precondition with an explanatory message (streamed).
+#define VENOM_CHECK_MSG(expr, msg)                                           \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream venom_check_os_;                                    \
+      venom_check_os_ << msg;                                                \
+      ::venom::detail::throw_check_failure(#expr, __FILE__, __LINE__,        \
+                                           venom_check_os_.str());           \
+    }                                                                        \
+  } while (0)

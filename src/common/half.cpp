@@ -1,0 +1,78 @@
+#include "common/half.hpp"
+
+#include <bit>
+#include <cstring>
+#include <ostream>
+
+namespace venom {
+
+namespace {
+
+std::uint32_t as_u32(float f) { return std::bit_cast<std::uint32_t>(f); }
+float as_f32(std::uint32_t u) { return std::bit_cast<float>(u); }
+
+}  // namespace
+
+std::uint16_t half_t::float_to_bits(float f) {
+  const std::uint32_t x = as_u32(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {
+    // Inf or NaN. Preserve NaN-ness with a quiet NaN payload bit.
+    if (abs > 0x7f800000u) return static_cast<std::uint16_t>(sign | 0x7e00u);
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs >= 0x477ff000u) {
+    // Rounds to a value >= 65520 -> overflows to infinity.
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal half (or zero): result = round(value / 2^-24).
+    // abs <= 2^-25 (0x33000000) rounds to zero (the tie goes to even 0).
+    if (abs <= 0x33000000u) return static_cast<std::uint16_t>(sign);
+    const int exp = static_cast<int>(abs >> 23);        // in [102, 112]
+    const std::uint32_t mant = (abs & 0x7fffffu) | 0x800000u;
+    const int drop = 126 - exp;                         // in [14, 24]
+    const std::uint32_t kept = drop >= 24 ? 0u : mant >> drop;
+    const std::uint32_t rem = mant & ((1u << drop) - 1u);
+    const std::uint32_t half_ulp = 1u << (drop - 1);
+    std::uint32_t result = kept;
+    if (rem > half_ulp || (rem == half_ulp && (kept & 1u))) ++result;
+    // Rounding may carry into the smallest normal (0x0400) — still correct.
+    return static_cast<std::uint16_t>(sign | result);
+  }
+  // Normal half. Re-bias the exponent and round the mantissa.
+  const std::uint32_t rebased = abs - 0x38000000u;  // bias 127 -> 15
+  const std::uint32_t kept = rebased >> 13;
+  const std::uint32_t rem = rebased & 0x1fffu;
+  std::uint32_t result = kept;
+  if (rem > 0x1000u || (rem == 0x1000u && (kept & 1u))) ++result;
+  return static_cast<std::uint16_t>(sign | result);
+}
+
+float half_t::bits_to_float(std::uint16_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1fu;
+  const std::uint32_t mant = h & 0x3ffu;
+
+  if (exp == 0) {
+    if (mant == 0) return as_f32(sign);  // ±0
+    // Subnormal: value = mant * 2^-24. Normalize into a float.
+    const float scale = as_f32(0x33800000u);  // 2^-24
+    const float v = static_cast<float>(mant) * scale;
+    return as_f32(sign | as_u32(v));
+  }
+  if (exp == 0x1f) {
+    if (mant == 0) return as_f32(sign | 0x7f800000u);        // ±inf
+    return as_f32(sign | 0x7fc00000u | (mant << 13));        // NaN
+  }
+  // Normal: re-bias exponent 15 -> 127.
+  return as_f32(sign | ((exp + 112) << 23) | (mant << 13));
+}
+
+std::ostream& operator<<(std::ostream& os, half_t h) {
+  return os << h.to_float();
+}
+
+}  // namespace venom

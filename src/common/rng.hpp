@@ -1,0 +1,102 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All experiments in this repo are seeded so that every table and figure
+// regenerates identically run-to-run. The generator is xoshiro256**, which
+// is fast, high-quality, and trivially splittable for parallel fills.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace venom {
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna).
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform float in [0, 1).
+  float uniform() {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box–Muller (one value per call; cached pair).
+  float normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    // Avoid log(0) by offsetting u1 away from zero.
+    float u1 = uniform();
+    if (u1 < 1e-12f) u1 = 1e-12f;
+    const float u2 = uniform();
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 6.28318530717958647692f * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free variant (bias < 2^-64 * n,
+    // negligible for the workload sizes used here).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Returns a generator with a decorrelated stream for parallel fills.
+  Rng split(std::uint64_t stream) const {
+    Rng r = *this;
+    r.state_[0] ^= 0x9e3779b97f4a7c15ull * (stream + 1);
+    r.state_[3] ^= 0xd1b54a32d192ed03ull * (stream + 1);
+    (void)r();  // decorrelate
+    (void)r();
+    return r;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  float cached_ = 0.0f;
+  bool has_cached_ = false;
+};
+
+}  // namespace venom

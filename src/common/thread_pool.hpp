@@ -1,0 +1,49 @@
+// Work-sharing thread pool used by the CPU kernels.
+//
+// Spatha's CUDA kernels assign one output tile per thread block; the CPU
+// port assigns one output tile per pool task. The pool is a plain
+// condition-variable queue — tile granularity is coarse enough (thousands
+// of fused multiply-adds per tile) that queue overhead is negligible.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace venom {
+
+/// Fixed-size thread pool with a blocking parallel_for.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n), blocking until all iterations finish.
+  /// Iterations are distributed in contiguous chunks; exceptions from fn
+  /// are captured and the first one is rethrown on the caller thread.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace venom

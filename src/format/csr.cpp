@@ -1,0 +1,63 @@
+#include "format/csr.hpp"
+
+namespace venom {
+
+CsrMatrix CsrMatrix::from_dense(const HalfMatrix& dense) {
+  CsrMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.row_offsets_.reserve(dense.rows() + 1);
+  out.row_offsets_.push_back(0);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      const half_t v = dense(r, c);
+      if (v.is_zero()) continue;
+      out.values_.push_back(v);
+      out.col_indices_.push_back(static_cast<std::uint32_t>(c));
+    }
+    out.row_offsets_.push_back(
+        static_cast<std::uint32_t>(out.values_.size()));
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::from_parts(std::size_t rows, std::size_t cols,
+                                std::vector<std::uint32_t> row_offsets,
+                                std::vector<std::uint32_t> col_indices,
+                                std::vector<half_t> values) {
+  VENOM_CHECK_MSG(row_offsets.size() == rows + 1,
+                  "row_offsets size " << row_offsets.size());
+  VENOM_CHECK_MSG(row_offsets.front() == 0, "row_offsets must start at 0");
+  VENOM_CHECK_MSG(row_offsets.back() == values.size(),
+                  "row_offsets end " << row_offsets.back()
+                                     << " != nnz " << values.size());
+  VENOM_CHECK_MSG(col_indices.size() == values.size(),
+                  "col_indices size " << col_indices.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    VENOM_CHECK_MSG(row_offsets[r] <= row_offsets[r + 1],
+                    "row_offsets not monotone at row " << r);
+    for (std::uint32_t i = row_offsets[r]; i < row_offsets[r + 1]; ++i) {
+      VENOM_CHECK_MSG(col_indices[i] < cols,
+                      "column " << col_indices[i] << " out of " << cols);
+      VENOM_CHECK_MSG(i == row_offsets[r] || col_indices[i - 1] < col_indices[i],
+                      "columns not strictly sorted in row " << r);
+    }
+  }
+  CsrMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_offsets_ = std::move(row_offsets);
+  out.col_indices_ = std::move(col_indices);
+  out.values_ = std::move(values);
+  return out;
+}
+
+HalfMatrix CsrMatrix::to_dense() const {
+  HalfMatrix dense(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::uint32_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i)
+      dense(r, col_indices_[i]) = values_[i];
+  return dense;
+}
+
+}  // namespace venom

@@ -1,0 +1,59 @@
+// Compressed Sparse Row format (Sputnik's layout).
+//
+// Used as the unstructured-sparsity baseline: Sputnik [Gale et al., SC'20]
+// stores fp16 values with row offsets and column indices and schedules
+// 1-D row tiles. The CPU kernel in src/baselines mirrors that tiling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace venom {
+
+/// CSR matrix over half-precision values.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Compresses all nonzeros of a dense matrix.
+  static CsrMatrix from_dense(const HalfMatrix& dense);
+
+  /// Reassembles from raw structures (deserialization path); validates
+  /// monotone row offsets and in-range, per-row-sorted column indices.
+  static CsrMatrix from_parts(std::size_t rows, std::size_t cols,
+                              std::vector<std::uint32_t> row_offsets,
+                              std::vector<std::uint32_t> col_indices,
+                              std::vector<half_t> values);
+
+  HalfMatrix to_dense() const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Row r spans [row_offsets()[r], row_offsets()[r+1]).
+  const std::vector<std::uint32_t>& row_offsets() const {
+    return row_offsets_;
+  }
+  const std::vector<std::uint32_t>& col_indices() const {
+    return col_indices_;
+  }
+  const std::vector<half_t>& values() const { return values_; }
+
+  std::size_t compressed_bytes() const {
+    return values_.size() * sizeof(half_t) +
+           col_indices_.size() * sizeof(std::uint32_t) +
+           row_offsets_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint32_t> row_offsets_;
+  std::vector<std::uint32_t> col_indices_;
+  std::vector<half_t> values_;
+};
+
+}  // namespace venom

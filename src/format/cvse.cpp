@@ -1,0 +1,82 @@
+#include "format/cvse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace venom {
+
+CvseMatrix CvseMatrix::from_dense(const HalfMatrix& dense,
+                                  std::size_t vec_len) {
+  VENOM_CHECK_MSG(vec_len >= 1, "vector length must be positive");
+  VENOM_CHECK_MSG(dense.rows() % vec_len == 0,
+                  "rows " << dense.rows() << " not divisible by vec_len "
+                          << vec_len);
+  CvseMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.vec_len_ = vec_len;
+  out.group_offsets_.push_back(0);
+  for (std::size_t g = 0; g < dense.rows() / vec_len; ++g) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      bool any = false;
+      for (std::size_t dr = 0; dr < vec_len && !any; ++dr)
+        any = !dense(g * vec_len + dr, c).is_zero();
+      if (!any) continue;
+      out.col_indices_.push_back(static_cast<std::uint32_t>(c));
+      for (std::size_t dr = 0; dr < vec_len; ++dr)
+        out.values_.push_back(dense(g * vec_len + dr, c));
+    }
+    out.group_offsets_.push_back(
+        static_cast<std::uint32_t>(out.col_indices_.size()));
+  }
+  return out;
+}
+
+CvseMatrix CvseMatrix::from_dense_magnitude(const HalfMatrix& dense,
+                                            std::size_t vec_len,
+                                            double keep_fraction) {
+  VENOM_CHECK_MSG(keep_fraction > 0.0 && keep_fraction <= 1.0,
+                  "keep_fraction " << keep_fraction << " out of (0,1]");
+  VENOM_CHECK(dense.rows() % vec_len == 0);
+  const std::size_t groups = dense.rows() / vec_len;
+  const std::size_t total = groups * dense.cols();
+  // Rank all vectors by L1 norm and keep the top fraction.
+  std::vector<double> norm(total, 0.0);
+  for (std::size_t g = 0; g < groups; ++g)
+    for (std::size_t c = 0; c < dense.cols(); ++c)
+      for (std::size_t dr = 0; dr < vec_len; ++dr)
+        norm[g * dense.cols() + c] +=
+            std::fabs(double(dense(g * vec_len + dr, c).to_float()));
+
+  std::vector<std::size_t> order(total);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(keep_fraction * double(total))));
+  std::nth_element(order.begin(), order.begin() + (keep - 1), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return norm[a] > norm[b];
+                   });
+
+  HalfMatrix pruned(dense.rows(), dense.cols());
+  for (std::size_t i = 0; i < keep; ++i) {
+    const std::size_t g = order[i] / dense.cols();
+    const std::size_t c = order[i] % dense.cols();
+    for (std::size_t dr = 0; dr < vec_len; ++dr)
+      pruned(g * vec_len + dr, c) = dense(g * vec_len + dr, c);
+  }
+  return from_dense(pruned, vec_len);
+}
+
+HalfMatrix CvseMatrix::to_dense() const {
+  HalfMatrix dense(rows_, cols_);
+  for (std::size_t g = 0; g < row_groups(); ++g)
+    for (std::uint32_t i = group_offsets_[g]; i < group_offsets_[g + 1];
+         ++i)
+      for (std::size_t dr = 0; dr < vec_len_; ++dr)
+        dense(g * vec_len_ + dr, col_indices_[i]) =
+            values_[i * vec_len_ + dr];
+  return dense;
+}
+
+}  // namespace venom

@@ -1,0 +1,67 @@
+// Column-Vector Sparse Encoding (vectorSparse / CLASP's format).
+//
+// Rows are partitioned into vertical vectors of length `vec_len`; a vector
+// at (row group, column) is kept if any of its elements is nonzero. Kept
+// vectors are stored contiguously per row group with one column index per
+// vector — the format CLASP [Castro et al., PACT'22] executes on tensor
+// cores with vector lengths l in {2, 4, 8}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace venom {
+
+/// Column-vector sparse matrix (CLASP / vectorSparse layout).
+class CvseMatrix {
+ public:
+  CvseMatrix() = default;
+
+  /// Compresses every column vector that contains a nonzero.
+  static CvseMatrix from_dense(const HalfMatrix& dense, std::size_t vec_len);
+
+  /// Magnitude-prunes to a target density by keeping the vectors with the
+  /// largest L1 norm (global threshold), then compresses. `keep_fraction`
+  /// is the fraction of vectors retained.
+  static CvseMatrix from_dense_magnitude(const HalfMatrix& dense,
+                                         std::size_t vec_len,
+                                         double keep_fraction);
+
+  HalfMatrix to_dense() const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t vec_len() const { return vec_len_; }
+  std::size_t row_groups() const { return rows_ / vec_len_; }
+  std::size_t vector_count() const { return col_indices_.size(); }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Group g's vectors span [group_offsets()[g], group_offsets()[g+1]).
+  /// Vector i has column col_indices()[i] and values
+  /// values()[i*vec_len .. (i+1)*vec_len).
+  const std::vector<std::uint32_t>& group_offsets() const {
+    return group_offsets_;
+  }
+  const std::vector<std::uint32_t>& col_indices() const {
+    return col_indices_;
+  }
+  const std::vector<half_t>& values() const { return values_; }
+
+  std::size_t compressed_bytes() const {
+    return values_.size() * sizeof(half_t) +
+           col_indices_.size() * sizeof(std::uint32_t) +
+           group_offsets_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t vec_len_ = 1;
+  std::vector<std::uint32_t> group_offsets_;
+  std::vector<std::uint32_t> col_indices_;
+  std::vector<half_t> values_;
+};
+
+}  // namespace venom

@@ -1,0 +1,142 @@
+#include "format/nm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace venom {
+
+namespace {
+
+void check_shape(const HalfMatrix& dense, NmPattern p) {
+  VENOM_CHECK_MSG(p.n >= 1 && p.m >= 2 && p.n <= p.m,
+                  "invalid N:M pattern " << p.n << ':' << p.m);
+  VENOM_CHECK_MSG(dense.cols() % p.m == 0,
+                  "cols " << dense.cols() << " not divisible by M=" << p.m);
+}
+
+}  // namespace
+
+NmMatrix NmMatrix::compress(const HalfMatrix& dense, NmPattern p) {
+  check_shape(dense, p);
+  NmMatrix out;
+  out.pattern_ = p;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  const std::size_t groups = dense.cols() / p.m;
+  out.values_.resize(dense.rows() * groups * p.n, half_t(0.0f));
+  out.indices_.resize(dense.rows() * groups * p.n, 0);
+
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::size_t count = 0;
+      for (std::size_t c = 0; c < p.m; ++c) {
+        const half_t v = dense(r, g * p.m + c);
+        if (v.is_zero()) continue;
+        VENOM_CHECK_MSG(count < p.n, "row " << r << " group " << g
+                                            << " has more than " << p.n
+                                            << " nonzeros");
+        const std::size_t slot = (r * groups + g) * p.n + count;
+        out.values_[slot] = v;
+        out.indices_[slot] = static_cast<std::uint8_t>(c);
+        ++count;
+      }
+      // Pad unused slots with distinct ascending indices so the metadata
+      // stays a valid selector set (matches cuSPARSELt padding behaviour).
+      while (count < p.n) {
+        const std::size_t slot = (r * groups + g) * p.n + count;
+        const std::uint8_t prev =
+            count == 0 ? 0 : static_cast<std::uint8_t>(out.indices_[slot - 1] + 1);
+        out.indices_[slot] =
+            std::min<std::uint8_t>(prev, static_cast<std::uint8_t>(p.m - 1));
+        ++count;
+      }
+    }
+  }
+  return out;
+}
+
+NmMatrix NmMatrix::from_dense_magnitude(const HalfMatrix& dense, NmPattern p) {
+  check_shape(dense, p);
+  HalfMatrix pruned = dense;
+  const std::size_t groups = dense.cols() / p.m;
+  std::vector<std::size_t> order(p.m);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return std::fabs(dense(r, g * p.m + a).to_float()) >
+                                std::fabs(dense(r, g * p.m + b).to_float());
+                       });
+      for (std::size_t k = p.n; k < p.m; ++k)
+        pruned(r, g * p.m + order[k]) = half_t(0.0f);
+    }
+  }
+  return compress(pruned, p);
+}
+
+NmMatrix NmMatrix::from_parts(NmPattern pattern, std::size_t rows,
+                              std::size_t cols, std::vector<half_t> values,
+                              std::vector<std::uint8_t> indices) {
+  VENOM_CHECK_MSG(pattern.n >= 1 && pattern.m >= 2 && pattern.n <= pattern.m,
+                  "invalid N:M pattern " << pattern.n << ':' << pattern.m);
+  VENOM_CHECK_MSG(cols % pattern.m == 0,
+                  "cols " << cols << " not divisible by M=" << pattern.m);
+  const std::size_t expected = rows * (cols / pattern.m) * pattern.n;
+  VENOM_CHECK_MSG(values.size() == expected, "values size " << values.size());
+  VENOM_CHECK_MSG(indices.size() == expected,
+                  "indices size " << indices.size());
+  for (const std::uint8_t idx : indices)
+    VENOM_CHECK_MSG(idx < pattern.m,
+                    "index " << int(idx) << " out of group " << pattern.m);
+  NmMatrix out;
+  out.pattern_ = pattern;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.values_ = std::move(values);
+  out.indices_ = std::move(indices);
+  return out;
+}
+
+HalfMatrix NmMatrix::to_dense() const {
+  HalfMatrix dense(rows_, cols_);
+  const std::size_t groups = groups_per_row();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t j = 0; j < pattern_.n; ++j) {
+        const half_t v = value(r, g, j);
+        if (v.is_zero()) continue;
+        dense(r, g * pattern_.m + index(r, g, j)) = v;
+      }
+    }
+  }
+  return dense;
+}
+
+bool NmMatrix::conforms(const HalfMatrix& dense, NmPattern p) {
+  if (p.n < 1 || p.m < 2 || p.n > p.m) return false;
+  if (dense.cols() % p.m != 0) return false;
+  const std::size_t groups = dense.cols() / p.m;
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::size_t count = 0;
+      for (std::size_t c = 0; c < p.m; ++c)
+        if (!dense(r, g * p.m + c).is_zero()) ++count;
+      if (count > p.n) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t NmMatrix::compressed_bytes() const {
+  // fp16 values + 2-bit indices packed 4-per-byte (hardware metadata is
+  // 2 bits per nonzero for 2:4; wider M needs ceil(log2(m)) bits).
+  const std::size_t bits_per_index =
+      pattern_.m <= 4 ? 2 : static_cast<std::size_t>(
+                                std::ceil(std::log2(double(pattern_.m))));
+  return values_.size() * sizeof(half_t) +
+         (values_.size() * bits_per_index + 7) / 8;
+}
+
+}  // namespace venom

@@ -1,0 +1,87 @@
+// Row-wise N:M compressed sparse format (NVIDIA 2:4 style, Fig. 1).
+//
+// Every group of M consecutive columns in a row holds at most N nonzero
+// values. Compression keeps, per group, the N values plus an index of each
+// value's position within the group. For the native 2:4 format the index
+// is 2 bits; this container stores indices in uint8 and the SPTC module
+// packs them into hardware metadata words.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace venom {
+
+/// N:M pattern parameters (e.g. {2, 4} is the native SPTC format).
+struct NmPattern {
+  std::size_t n = 2;
+  std::size_t m = 4;
+
+  /// Fraction of elements that are zero (e.g. 2:4 -> 0.5, 2:8 -> 0.75).
+  double sparsity() const {
+    return 1.0 - static_cast<double>(n) / static_cast<double>(m);
+  }
+  friend bool operator==(const NmPattern&, const NmPattern&) = default;
+};
+
+/// Compressed row-wise N:M matrix.
+///
+/// values / indices have logical shape rows x (cols/m) x n, flattened
+/// row-major; indices store the column-in-group position (in [0, m)).
+class NmMatrix {
+ public:
+  NmMatrix() = default;
+
+  /// Compresses a dense matrix that already conforms to the pattern
+  /// (each row-group of m has at most n nonzeros). Throws otherwise.
+  static NmMatrix compress(const HalfMatrix& dense, NmPattern pattern);
+
+  /// Magnitude-prunes `dense` to the pattern, then compresses. Ties are
+  /// broken toward the lower column index, so results are deterministic.
+  static NmMatrix from_dense_magnitude(const HalfMatrix& dense,
+                                       NmPattern pattern);
+
+  /// Reassembles from raw compressed structures (deserialization path);
+  /// validates sizes and index ranges.
+  static NmMatrix from_parts(NmPattern pattern, std::size_t rows,
+                             std::size_t cols, std::vector<half_t> values,
+                             std::vector<std::uint8_t> indices);
+
+  /// Expands back to dense (zeros where pruned).
+  HalfMatrix to_dense() const;
+
+  /// True if a dense matrix conforms to `pattern`.
+  static bool conforms(const HalfMatrix& dense, NmPattern pattern);
+
+  NmPattern pattern() const { return pattern_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t groups_per_row() const { return cols_ / pattern_.m; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// Value / index of the j-th nonzero in group g of row r (j < n).
+  half_t value(std::size_t r, std::size_t g, std::size_t j) const {
+    return values_[(r * groups_per_row() + g) * pattern_.n + j];
+  }
+  std::uint8_t index(std::size_t r, std::size_t g, std::size_t j) const {
+    return indices_[(r * groups_per_row() + g) * pattern_.n + j];
+  }
+
+  const std::vector<half_t>& values() const { return values_; }
+  const std::vector<std::uint8_t>& indices() const { return indices_; }
+
+  /// Bytes of the compressed representation (values fp16 + 2-bit indices,
+  /// rounded up per nonzero), used for footprint reporting.
+  std::size_t compressed_bytes() const;
+
+ private:
+  NmPattern pattern_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<half_t> values_;
+  std::vector<std::uint8_t> indices_;
+};
+
+}  // namespace venom

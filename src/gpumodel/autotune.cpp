@@ -1,0 +1,53 @@
+#include "gpumodel/autotune.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace venom::gpumodel {
+
+std::vector<TunedConfig> enumerate_configs(const DeviceSpec& dev,
+                                           GemmShape shape, VnmConfig fmt,
+                                           const TuneSpace& space) {
+  std::vector<TunedConfig> results;
+  std::set<std::size_t> seen_bk;  // clamping can alias K-tile candidates
+  for (const std::size_t groups : space.block_k_groups) {
+    const std::size_t bk = std::min(groups * fmt.m, shape.k - shape.k % fmt.m);
+    if (bk == 0 || !seen_bk.insert(bk).second) continue;
+    for (const std::size_t bc : space.block_c) {
+      if (bc > shape.c) continue;
+      for (const std::size_t depth : space.batch_sizes) {
+        spatha::SpmmConfig cfg;
+        cfg.block_k = bk;
+        cfg.block_c = bc;
+        cfg.warp_r = std::min<std::size_t>(32, fmt.v);
+        cfg.warp_k = std::min<std::size_t>(64, bk);
+        cfg.warp_c = bc;
+        cfg.batch_size = depth;
+        try {
+          spatha::validate(cfg, fmt, shape.r, shape.k, shape.c);
+        } catch (const Error&) {
+          continue;
+        }
+        results.push_back({cfg, spatha_spmm(dev, shape, fmt, cfg)});
+      }
+    }
+  }
+  VENOM_CHECK_MSG(!results.empty(),
+                  "no valid Spatha configuration for the problem");
+  std::sort(results.begin(), results.end(),
+            [](const TunedConfig& a, const TunedConfig& b) {
+              return a.total_s() < b.total_s();
+            });
+  // Deduplicate identical times with identical configs is unnecessary;
+  // callers take the front or inspect the ranking.
+  return results;
+}
+
+TunedConfig autotune(const DeviceSpec& dev, GemmShape shape, VnmConfig fmt,
+                     const TuneSpace& space) {
+  return enumerate_configs(dev, shape, fmt, space).front();
+}
+
+}  // namespace venom::gpumodel

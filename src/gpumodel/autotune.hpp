@@ -1,0 +1,43 @@
+// Model-driven autotuning of the Spatha kernel configuration.
+//
+// Spatha on the GPU is a template library: tile sizes and pipeline depth
+// are compile-time parameters chosen per problem from a tuning table.
+// This module reproduces that selection with an exhaustive search over
+// the configuration space, costed by the analytical device model — the
+// CPU-side analogue of building the paper's autotune table offline.
+#pragma once
+
+#include <vector>
+
+#include "gpumodel/kernel_models.hpp"
+#include "spatha/config.hpp"
+
+namespace venom::gpumodel {
+
+/// One scored candidate from the search.
+struct TunedConfig {
+  spatha::SpmmConfig config;
+  KernelCost cost;
+  double total_s() const { return cost.total(); }
+};
+
+/// Search-space bounds. Defaults cover the tile sizes the paper's
+/// templates instantiate.
+struct TuneSpace {
+  std::vector<std::size_t> block_c = {32, 64, 128};
+  std::vector<std::size_t> block_k_groups = {16, 32, 64, 128, 256};
+  std::vector<std::size_t> batch_sizes = {1, 2, 3, 4};
+};
+
+/// Exhaustively scores every valid configuration for the problem and
+/// returns them sorted by modeled time (best first). Never empty —
+/// throws venom::Error only if no candidate validates.
+std::vector<TunedConfig> enumerate_configs(const DeviceSpec& dev,
+                                           GemmShape shape, VnmConfig fmt,
+                                           const TuneSpace& space = {});
+
+/// The best configuration for the problem.
+TunedConfig autotune(const DeviceSpec& dev, GemmShape shape, VnmConfig fmt,
+                     const TuneSpace& space = {});
+
+}  // namespace venom::gpumodel

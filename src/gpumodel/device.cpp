@@ -1,0 +1,10 @@
+#include "gpumodel/device.hpp"
+
+namespace venom::gpumodel {
+
+const DeviceSpec& rtx3090() {
+  static const DeviceSpec spec{};
+  return spec;
+}
+
+}  // namespace venom::gpumodel

@@ -1,0 +1,69 @@
+// Analytical GPU device model (RTX 3090 / GA102, the paper's testbed).
+//
+// The paper's timing figures were measured on Sparse Tensor Cores we do
+// not have; this model substitutes an analytical latency estimate built
+// from the device's published throughput numbers plus calibrated
+// efficiency curves. See DESIGN.md §2: the goal is to reproduce *shape*
+// (speedup ratios, crossovers, saturation with arithmetic intensity), not
+// absolute milliseconds.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace venom::gpumodel {
+
+/// Static device capabilities.
+struct DeviceSpec {
+  std::string name = "NVIDIA GeForce RTX 3090 (GA102, Ampere)";
+  std::size_t sm_count = 82;
+  double clock_ghz = 1.695;
+
+  // Peak math throughput, FLOP/s.
+  double fp16_tc_dense = 71.0e12;   ///< Tensor-core fp16 (fp32 acc), dense.
+  double fp16_tc_sparse = 142.0e12; ///< Same with 2:4 sparsity (2x).
+  double fp16_cuda_core = 35.6e12;  ///< CUDA-core fp16 FMA (no TCs).
+
+  // Memory system.
+  double dram_bw = 936.0e9;   ///< GDDR6X bytes/s.
+  double l2_bw = 2.0e12;      ///< Aggregate L2 bytes/s (measured-class).
+  double smem_bw = 17.0e12;   ///< Aggregate SMEM bytes/s at 128-bit width.
+  std::size_t l2_bytes = 6 * 1024 * 1024;
+  std::size_t smem_per_sm = 128 * 1024;
+
+  double kernel_launch_s = 4.0e-6;  ///< Fixed launch + tail latency.
+};
+
+/// The default modelled device.
+const DeviceSpec& rtx3090();
+
+/// Dense GEMM problem dimensions: C(r x c) = A(r x k) * B(k x c).
+struct GemmShape {
+  std::size_t r;
+  std::size_t k;
+  std::size_t c;
+  double flops() const { return 2.0 * double(r) * double(k) * double(c); }
+};
+
+/// A cost estimate decomposed the way the paper discusses kernels:
+/// main-loop compute, main-loop memory, output (stage 3), fixed overhead.
+/// Compute and memory overlap (pipelined); the output phase and fixed
+/// overhead do not.
+struct KernelCost {
+  double compute_s = 0;
+  double memory_s = 0;
+  double output_s = 0;
+  double overhead_s = 0;
+
+  /// Total with compute/memory overlap controlled by `pipeline_overlap`
+  /// in [0,1]: 1 = perfect overlap (max), 0 = fully serialized (sum).
+  double total(double pipeline_overlap = 1.0) const {
+    const double overlapped =
+        pipeline_overlap * std::max(compute_s, memory_s) +
+        (1.0 - pipeline_overlap) * (compute_s + memory_s);
+    return overlapped + output_s + overhead_s;
+  }
+};
+
+}  // namespace venom::gpumodel

@@ -1,0 +1,61 @@
+// Per-library analytical kernel models (the timing substitute for the
+// paper's RTX 3090 measurements — see DESIGN.md §2).
+//
+// Each model decomposes a kernel launch into main-loop compute, main-loop
+// memory traffic, output phase, and fixed overhead (KernelCost). The
+// constants are calibrated once, against the published characteristics of
+// each library, so that the *ratios* reproduce the paper's figures:
+//
+//   cuBLAS       dense tensor-core GEMM at ~60% of peak, flat in K.
+//   cuSparseLt   2:4 SPTC SpMM; efficiency ramps slowly with K (weaker on
+//                small problems than Spatha — Fig. 12's crossover).
+//   Spatha       V:N:M SPTC SpMM. Compute runs on the gathered 2:4
+//                problem (K' = 4K/M), so the compute-bound speedup cap is
+//                M/2 (the paper's "theoretical peak" per sparsity).
+//                Adds the column-loc gather, an L2 term that grows as V
+//                shrinks (Fig. 10), and an output phase whose throughput
+//                depends on the 32- vs 128-bit SMEM store layout (Fig. 8).
+//   Sputnik      unstructured CSR on CUDA cores; memory-bound, low
+//                efficiency from index traffic and load imbalance.
+//   CLASP        column-vector sparsity on tensor cores; efficiency grows
+//                with vector length.
+#pragma once
+
+#include "format/vnm.hpp"
+#include "gpumodel/device.hpp"
+#include "spatha/config.hpp"
+
+namespace venom::gpumodel {
+
+/// Dense GEMM through cuBLAS (the denominator of every speedup).
+KernelCost cublas_gemm(const DeviceSpec& dev, GemmShape g);
+
+/// 2:4 SpMM through cuSparseLt.
+KernelCost cusparselt_spmm(const DeviceSpec& dev, GemmShape g);
+
+/// V:N:M SpMM through Spatha with an explicit kernel configuration.
+KernelCost spatha_spmm(const DeviceSpec& dev, GemmShape g, VnmConfig fmt,
+                       const spatha::SpmmConfig& cfg);
+
+/// Spatha with the heuristic configuration.
+KernelCost spatha_spmm(const DeviceSpec& dev, GemmShape g, VnmConfig fmt);
+
+/// Unstructured CSR SpMM through Sputnik at the given density (nnz/total).
+KernelCost sputnik_spmm(const DeviceSpec& dev, GemmShape g, double density);
+
+/// Column-vector SpMM through CLASP at the given density and vector size.
+KernelCost clasp_spmm(const DeviceSpec& dev, GemmShape g, double density,
+                      std::size_t vec_len);
+
+/// Elementwise / reduction op over `bytes` of activations (softmax,
+/// layernorm, GELU, residual...) — bandwidth-bound.
+KernelCost elementwise(const DeviceSpec& dev, double bytes);
+
+/// Achieved TFLOP/s of a cost against the *dense-equivalent* FLOP count.
+double tflops(const KernelCost& cost, double flops);
+
+/// speedup = cublas(g) / cost.
+double speedup_vs_cublas(const DeviceSpec& dev, GemmShape g,
+                         const KernelCost& cost);
+
+}  // namespace venom::gpumodel

@@ -1,0 +1,262 @@
+#include "io/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace venom::io {
+
+namespace {
+
+constexpr std::uint32_t kVersion = 1;
+constexpr char kMagicHalf[4] = {'M', 'A', 'T', 'H'};
+constexpr char kMagicFloat[4] = {'M', 'A', 'T', 'F'};
+constexpr char kMagicVnm[4] = {'V', 'N', 'M', '1'};
+constexpr char kMagicNm[4] = {'N', 'M', 'F', '1'};
+constexpr char kMagicCsr[4] = {'C', 'S', 'R', '1'};
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path) : out_(path, std::ios::binary) {
+    VENOM_CHECK_MSG(out_.good(), "cannot open '" << path << "' for writing");
+  }
+  void magic(const char m[4]) { out_.write(m, 4); }
+  void u32(std::uint32_t v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  void u64(std::uint64_t v) {
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  template <typename T>
+  void raw(const T* data, std::size_t count) {
+    out_.write(reinterpret_cast<const char*>(data),
+               std::streamsize(count * sizeof(T)));
+  }
+  void finish(const std::string& path) {
+    out_.flush();
+    VENOM_CHECK_MSG(out_.good(), "write to '" << path << "' failed");
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary),
+                                             path_(path) {
+    VENOM_CHECK_MSG(in_.good(), "cannot open '" << path << "' for reading");
+  }
+  void expect_magic(const char m[4]) {
+    char got[4] = {};
+    in_.read(got, 4);
+    VENOM_CHECK_MSG(in_.good() && std::memcmp(got, m, 4) == 0,
+                    "'" << path_ << "' has wrong magic (expected "
+                        << std::string(m, 4) << ")");
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    check();
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+    check();
+    return v;
+  }
+  template <typename T>
+  std::vector<T> raw(std::size_t count) {
+    std::vector<T> data(count);
+    in_.read(reinterpret_cast<char*>(data.data()),
+             std::streamsize(count * sizeof(T)));
+    check();
+    return data;
+  }
+
+ private:
+  void check() {
+    VENOM_CHECK_MSG(in_.good(), "'" << path_ << "' is truncated or corrupt");
+  }
+  std::ifstream in_;
+  std::string path_;
+};
+
+}  // namespace
+
+FileKind probe(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return FileKind::kUnknown;
+  char magic[4] = {};
+  in.read(magic, 4);
+  if (!in.good()) return FileKind::kUnknown;
+  if (std::memcmp(magic, kMagicHalf, 4) == 0) return FileKind::kHalfMatrix;
+  if (std::memcmp(magic, kMagicFloat, 4) == 0) return FileKind::kFloatMatrix;
+  if (std::memcmp(magic, kMagicVnm, 4) == 0) return FileKind::kVnmMatrix;
+  if (std::memcmp(magic, kMagicNm, 4) == 0) return FileKind::kNmMatrix;
+  if (std::memcmp(magic, kMagicCsr, 4) == 0) return FileKind::kCsrMatrix;
+  return FileKind::kUnknown;
+}
+
+void save(const HalfMatrix& m, const std::string& path) {
+  Writer w(path);
+  w.magic(kMagicHalf);
+  w.u32(kVersion);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  // half_t is a trivially-copyable 2-byte wrapper; store raw bit patterns.
+  std::vector<std::uint16_t> bits(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) bits[i] = m.flat()[i].bits();
+  w.raw(bits.data(), bits.size());
+  w.finish(path);
+}
+
+void save(const FloatMatrix& m, const std::string& path) {
+  Writer w(path);
+  w.magic(kMagicFloat);
+  w.u32(kVersion);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  w.raw(m.data(), m.size());
+  w.finish(path);
+}
+
+void save(const VnmMatrix& m, const std::string& path) {
+  Writer w(path);
+  w.magic(kMagicVnm);
+  w.u32(kVersion);
+  w.u64(m.config().v);
+  w.u64(m.config().n);
+  w.u64(m.config().m);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  std::vector<std::uint16_t> bits(m.values().size());
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = m.values()[i].bits();
+  w.raw(bits.data(), bits.size());
+  w.raw(m.m_indices().data(), m.m_indices().size());
+  w.raw(m.column_locs().data(), m.column_locs().size());
+  w.finish(path);
+}
+
+void save(const NmMatrix& m, const std::string& path) {
+  Writer w(path);
+  w.magic(kMagicNm);
+  w.u32(kVersion);
+  w.u64(m.pattern().n);
+  w.u64(m.pattern().m);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  std::vector<std::uint16_t> bits(m.values().size());
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = m.values()[i].bits();
+  w.raw(bits.data(), bits.size());
+  w.raw(m.indices().data(), m.indices().size());
+  w.finish(path);
+}
+
+void save(const CsrMatrix& m, const std::string& path) {
+  Writer w(path);
+  w.magic(kMagicCsr);
+  w.u32(kVersion);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  w.u64(m.nnz());
+  w.raw(m.row_offsets().data(), m.row_offsets().size());
+  w.raw(m.col_indices().data(), m.col_indices().size());
+  std::vector<std::uint16_t> bits(m.values().size());
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = m.values()[i].bits();
+  w.raw(bits.data(), bits.size());
+  w.finish(path);
+}
+
+HalfMatrix load_half_matrix(const std::string& path) {
+  Reader r(path);
+  r.expect_magic(kMagicHalf);
+  VENOM_CHECK_MSG(r.u32() == kVersion, "unsupported version in " << path);
+  const std::size_t rows = r.u64();
+  const std::size_t cols = r.u64();
+  const auto bits = r.raw<std::uint16_t>(rows * cols);
+  HalfMatrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.flat()[i] = half_t::from_bits(bits[i]);
+  return m;
+}
+
+FloatMatrix load_float_matrix(const std::string& path) {
+  Reader r(path);
+  r.expect_magic(kMagicFloat);
+  VENOM_CHECK_MSG(r.u32() == kVersion, "unsupported version in " << path);
+  const std::size_t rows = r.u64();
+  const std::size_t cols = r.u64();
+  const auto data = r.raw<float>(rows * cols);
+  FloatMatrix m(rows, cols);
+  std::copy(data.begin(), data.end(), m.flat().begin());
+  return m;
+}
+
+VnmMatrix load_vnm_matrix(const std::string& path) {
+  Reader r(path);
+  r.expect_magic(kMagicVnm);
+  VENOM_CHECK_MSG(r.u32() == kVersion, "unsupported version in " << path);
+  VnmConfig cfg;
+  cfg.v = r.u64();
+  cfg.n = r.u64();
+  cfg.m = r.u64();
+  const std::size_t rows = r.u64();
+  const std::size_t cols = r.u64();
+  VENOM_CHECK_MSG(cfg.m >= 2 && cols % cfg.m == 0 && cfg.v >= 1 &&
+                      rows % cfg.v == 0,
+                  "invalid VNM metadata in " << path);
+  const std::size_t groups = cols / cfg.m;
+  const auto bits = r.raw<std::uint16_t>(rows * groups * cfg.n);
+  std::vector<half_t> values(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    values[i] = half_t::from_bits(bits[i]);
+  auto m_indices = r.raw<std::uint8_t>(values.size());
+  auto column_loc =
+      r.raw<std::uint8_t>((rows / cfg.v) * groups * cfg.selected_cols());
+  return VnmMatrix::from_parts(cfg, rows, cols, std::move(values),
+                               std::move(m_indices), std::move(column_loc));
+}
+
+NmMatrix load_nm_matrix(const std::string& path) {
+  Reader r(path);
+  r.expect_magic(kMagicNm);
+  VENOM_CHECK_MSG(r.u32() == kVersion, "unsupported version in " << path);
+  NmPattern pattern;
+  pattern.n = r.u64();
+  pattern.m = r.u64();
+  const std::size_t rows = r.u64();
+  const std::size_t cols = r.u64();
+  VENOM_CHECK_MSG(pattern.m >= 2 && cols % pattern.m == 0,
+                  "invalid N:M metadata in " << path);
+  const std::size_t count = rows * (cols / pattern.m) * pattern.n;
+  const auto bits = r.raw<std::uint16_t>(count);
+  std::vector<half_t> values(count);
+  for (std::size_t i = 0; i < count; ++i)
+    values[i] = half_t::from_bits(bits[i]);
+  auto indices = r.raw<std::uint8_t>(count);
+  return NmMatrix::from_parts(pattern, rows, cols, std::move(values),
+                              std::move(indices));
+}
+
+CsrMatrix load_csr_matrix(const std::string& path) {
+  Reader r(path);
+  r.expect_magic(kMagicCsr);
+  VENOM_CHECK_MSG(r.u32() == kVersion, "unsupported version in " << path);
+  const std::size_t rows = r.u64();
+  const std::size_t cols = r.u64();
+  const std::size_t nnz = r.u64();
+  auto offsets = r.raw<std::uint32_t>(rows + 1);
+  auto col_indices = r.raw<std::uint32_t>(nnz);
+  const auto bits = r.raw<std::uint16_t>(nnz);
+  std::vector<half_t> values(nnz);
+  for (std::size_t i = 0; i < nnz; ++i)
+    values[i] = half_t::from_bits(bits[i]);
+  return CsrMatrix::from_parts(rows, cols, std::move(offsets),
+                               std::move(col_indices), std::move(values));
+}
+
+}  // namespace venom::io

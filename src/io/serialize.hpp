@@ -1,0 +1,48 @@
+// Binary serialization for dense matrices and compressed formats.
+//
+// A minimal self-describing container: 4-byte magic, u32 version, shape
+// and format metadata as u64 fields, then raw little-endian payloads.
+// Used by the venomtool CLI and by applications that want to ship
+// pre-compressed V:N:M weights to deployment.
+//
+//   MATH — HalfMatrix      MATF — FloatMatrix      VNM1 — VnmMatrix
+//   NMF1 — NmMatrix        CSR1 — CsrMatrix
+#pragma once
+
+#include <string>
+
+#include "format/csr.hpp"
+#include "format/nm.hpp"
+#include "format/vnm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::io {
+
+/// Kind of artefact stored in a file (from its magic).
+enum class FileKind {
+  kHalfMatrix,
+  kFloatMatrix,
+  kVnmMatrix,
+  kNmMatrix,
+  kCsrMatrix,
+  kUnknown
+};
+
+/// Peeks at a file's magic without loading the payload.
+FileKind probe(const std::string& path);
+
+void save(const HalfMatrix& m, const std::string& path);
+void save(const FloatMatrix& m, const std::string& path);
+void save(const VnmMatrix& m, const std::string& path);
+void save(const NmMatrix& m, const std::string& path);
+void save(const CsrMatrix& m, const std::string& path);
+
+/// Loaders throw venom::Error on missing files, bad magic, truncated
+/// payloads, or invalid format metadata.
+HalfMatrix load_half_matrix(const std::string& path);
+FloatMatrix load_float_matrix(const std::string& path);
+VnmMatrix load_vnm_matrix(const std::string& path);
+NmMatrix load_nm_matrix(const std::string& path);
+CsrMatrix load_csr_matrix(const std::string& path);
+
+}  // namespace venom::io

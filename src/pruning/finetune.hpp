@@ -1,0 +1,47 @@
+// Masked fine-tuning: projected gradient descent over surviving weights.
+//
+// After each pruning stage the paper fine-tunes the model to recover
+// accuracy. For quadratic losses the OBS update already gives the exact
+// constrained optimum, but for non-quadratic losses real descent is
+// needed — this is what gives the structure-decay scheduler its edge.
+//
+// Model concept: `double loss(const FloatMatrix&)` and
+// `FloatMatrix gradient(const FloatMatrix&)`.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+
+namespace venom::pruning {
+
+/// Runs `steps` of gradient descent on `w`, projecting pruned entries
+/// (exact zeros in the incoming `w`) back to zero after every step.
+/// Backtracks the step size whenever a step fails to decrease the loss.
+/// Returns the final loss.
+template <typename Model>
+double fine_tune(const Model& model, FloatMatrix& w, std::size_t steps = 100,
+                 double lr = 0.05) {
+  // The sparsity mask is fixed by the incoming weights.
+  std::vector<bool> alive(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) alive[i] = w.flat()[i] != 0.0f;
+
+  double current = model.loss(w);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const FloatMatrix grad = model.gradient(w);
+    FloatMatrix trial = w;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      if (alive[i]) trial.flat()[i] -= float(lr * grad.flat()[i]);
+    const double next = model.loss(trial);
+    if (next < current) {
+      w = std::move(trial);
+      current = next;
+    } else {
+      lr *= 0.5;  // backtrack
+      if (lr < 1e-8) break;
+    }
+  }
+  return current;
+}
+
+}  // namespace venom::pruning

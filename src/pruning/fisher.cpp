@@ -1,0 +1,104 @@
+#include "pruning/fisher.hpp"
+
+#include "common/error.hpp"
+#include "pruning/smallmat.hpp"
+
+namespace venom::pruning {
+
+GroupFisher GroupFisher::from_blocks(std::vector<double> blocks,
+                                     std::size_t rows, std::size_t groups,
+                                     std::size_t m) {
+  VENOM_CHECK(blocks.size() == rows * groups * m * m);
+  GroupFisher f;
+  f.rows_ = rows;
+  f.groups_ = groups;
+  f.m_ = m;
+  for (std::size_t b = 0; b < rows * groups; ++b)
+    invert_inplace(
+        std::span<double>(blocks.data() + b * m * m, m * m), m);
+  f.inv_blocks_ = std::move(blocks);
+  return f;
+}
+
+GroupFisher GroupFisher::estimate(std::span<const FloatMatrix> grad_samples,
+                                  std::size_t m, double damp) {
+  VENOM_CHECK_MSG(!grad_samples.empty(), "need at least one gradient sample");
+  const std::size_t rows = grad_samples[0].rows();
+  const std::size_t cols = grad_samples[0].cols();
+  VENOM_CHECK(cols % m == 0);
+  const std::size_t groups = cols / m;
+
+  std::vector<double> blocks(rows * groups * m * m, 0.0);
+  for (const auto& g : grad_samples) {
+    VENOM_CHECK(g.rows() == rows && g.cols() == cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t grp = 0; grp < groups; ++grp) {
+        double* blk = blocks.data() + (r * groups + grp) * m * m;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double gi = g(r, grp * m + i);
+          for (std::size_t j = 0; j < m; ++j)
+            blk[i * m + j] += gi * g(r, grp * m + j);
+        }
+      }
+  }
+  const double scale = 1.0 / double(grad_samples.size());
+  for (std::size_t b = 0; b < rows * groups; ++b) {
+    double* blk = blocks.data() + b * m * m;
+    for (std::size_t i = 0; i < m * m; ++i) blk[i] *= scale;
+    for (std::size_t i = 0; i < m; ++i) blk[i * m + i] += damp;
+  }
+  return from_blocks(std::move(blocks), rows, groups, m);
+}
+
+GroupFisher GroupFisher::from_activation_covariance(
+    const HalfMatrix& activations, std::size_t rows, std::size_t m,
+    double damp) {
+  const std::size_t features = activations.rows();
+  const std::size_t samples = activations.cols();
+  VENOM_CHECK_MSG(samples >= 1, "need at least one activation sample");
+  VENOM_CHECK_MSG(features % m == 0,
+                  "features " << features << " not divisible by M=" << m);
+  const std::size_t groups = features / m;
+
+  // One M x M covariance block per group, shared across weight rows.
+  std::vector<double> group_blocks(groups * m * m, 0.0);
+  for (std::size_t g = 0; g < groups; ++g) {
+    double* blk = group_blocks.data() + g * m * m;
+    for (std::size_t s = 0; s < samples; ++s)
+      for (std::size_t i = 0; i < m; ++i) {
+        const double xi = double(activations(g * m + i, s).to_float());
+        for (std::size_t j = 0; j <= i; ++j)
+          blk[i * m + j] +=
+              xi * double(activations(g * m + j, s).to_float());
+      }
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < i; ++j) blk[j * m + i] = blk[i * m + j];
+    const double scale = 1.0 / double(samples);
+    for (std::size_t i = 0; i < m * m; ++i) blk[i] *= scale;
+    for (std::size_t i = 0; i < m; ++i) blk[i * m + i] += damp;
+  }
+
+  std::vector<double> blocks(rows * groups * m * m);
+  for (std::size_t r = 0; r < rows; ++r)
+    std::copy(group_blocks.begin(), group_blocks.end(),
+              blocks.begin() + std::ptrdiff_t(r * groups * m * m));
+  return from_blocks(std::move(blocks), rows, groups, m);
+}
+
+GroupFisher GroupFisher::diagonal(const FloatMatrix& grad_sq_mean,
+                                  std::size_t m, double damp) {
+  VENOM_CHECK(grad_sq_mean.cols() % m == 0);
+  const std::size_t rows = grad_sq_mean.rows();
+  const std::size_t groups = grad_sq_mean.cols() / m;
+  std::vector<double> blocks(rows * groups * m * m, 0.0);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t grp = 0; grp < groups; ++grp) {
+      double* blk = blocks.data() + (r * groups + grp) * m * m;
+      for (std::size_t i = 0; i < m; ++i)
+        blk[i * m + i] =
+            double(grad_sq_mean(r, grp * m + i)) + damp;
+    }
+  return from_blocks(std::move(blocks), rows, groups, m);
+}
+
+}  // namespace venom::pruning

@@ -1,0 +1,71 @@
+// Fisher information estimation for second-order pruning (Section 6).
+//
+// Following Optimal BERT Surgeon [Kurtic et al. 2022] — the method the
+// paper builds on — correlations across rows of a V x M block are
+// disregarded, so the Fisher is kept block-diagonal over 1 x M row-groups
+// of the weight matrix. GroupFisher stores the *inverse* M x M block per
+// (row, group), built either from an exact Hessian (the synthetic
+// Table-2 models) or from sampled gradients (the empirical Fisher
+// F = 1/S sum_s g_s g_s^T + lambda I).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace venom::pruning {
+
+/// Block-diagonal inverse Fisher over 1 x M row-groups of an R x K
+/// weight matrix.
+class GroupFisher {
+ public:
+  GroupFisher() = default;
+
+  /// Builds from exact blocks: `blocks` holds rows*groups M x M row-major
+  /// matrices (the Fisher/Hessian itself, NOT its inverse).
+  static GroupFisher from_blocks(std::vector<double> blocks,
+                                 std::size_t rows, std::size_t groups,
+                                 std::size_t m);
+
+  /// Empirical Fisher from gradient samples: F_block = 1/S sum g g^T
+  /// + damp * I, per (row, group). Each sample has the weight shape.
+  static GroupFisher estimate(std::span<const FloatMatrix> grad_samples,
+                              std::size_t m, double damp = 1e-4);
+
+  /// Diagonal-only Fisher (ignores in-group correlation) from per-weight
+  /// squared-gradient averages. Used as the cheap baseline.
+  static GroupFisher diagonal(const FloatMatrix& grad_sq_mean, std::size_t m,
+                              double damp = 1e-4);
+
+  /// OBC / SparseGPT-style curvature for a linear layer y = W x under a
+  /// squared loss: the Hessian of every output row is H = X X^T / S over
+  /// activation samples. `activations` holds the layer inputs column-wise
+  /// (in_features x samples, the library's activation layout); the same
+  /// per-group block is shared by all `rows` weight rows. This is how
+  /// second-order pruning scales to real layers: one covariance pass over
+  /// calibration data instead of per-weight gradient statistics.
+  static GroupFisher from_activation_covariance(const HalfMatrix& activations,
+                                                std::size_t rows,
+                                                std::size_t m,
+                                                double damp = 1e-4);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t groups() const { return groups_; }
+  std::size_t m() const { return m_; }
+
+  /// Inverse Fisher block (M x M row-major) for (row, group).
+  std::span<const double> inv_block(std::size_t row, std::size_t group) const {
+    return std::span<const double>(
+        inv_blocks_.data() + (row * groups_ + group) * m_ * m_, m_ * m_);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t groups_ = 0;
+  std::size_t m_ = 0;
+  std::vector<double> inv_blocks_;
+};
+
+}  // namespace venom::pruning

@@ -1,0 +1,336 @@
+#include "pruning/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "pruning/smallmat.hpp"
+
+namespace venom::pruning {
+
+namespace {
+
+/// C(n, k) with saturation (avoids overflow for the kAuto threshold).
+std::size_t choose_sat(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::size_t r = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (r > (std::numeric_limits<std::size_t>::max() / (n - i))) return
+        std::numeric_limits<std::size_t>::max();
+    r = r * (n - i) / (i + 1);
+  }
+  return r;
+}
+
+/// Advances `comb` (ascending indices into [0, n)) to the next
+/// combination; returns false when exhausted.
+bool next_combination(std::vector<std::size_t>& comb, std::size_t n) {
+  const std::size_t k = comb.size();
+  if (k == 0 || k > n) return false;
+  for (std::size_t i = k; i-- > 0;) {
+    if (comb[i] != i + n - k) {
+      ++comb[i];
+      for (std::size_t j = i + 1; j < k; ++j) comb[j] = comb[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Exhaustive search over kept subsets of `allowed` of size `keep`.
+std::vector<std::size_t> select_combinatorial(
+    std::span<const double> w, std::span<const double> finv, std::size_t keep,
+    std::span<const std::size_t> allowed, double* saliency_out) {
+  const std::size_t m = w.size();
+  std::vector<std::size_t> best_q;
+  double best = std::numeric_limits<double>::infinity();
+
+  std::vector<std::size_t> comb(keep);
+  std::iota(comb.begin(), comb.end(), std::size_t{0});
+  do {
+    // Kept positions for this candidate.
+    std::vector<bool> kept(m, false);
+    for (std::size_t i : comb) kept[allowed[i]] = true;
+    std::vector<std::size_t> q;
+    q.reserve(m - keep);
+    for (std::size_t i = 0; i < m; ++i)
+      if (!kept[i]) q.push_back(i);
+    const double s = obs_saliency(w, finv, q);
+    if (s < best) {
+      best = s;
+      best_q = std::move(q);
+    }
+  } while (next_combination(comb, allowed.size()));
+
+  if (saliency_out != nullptr) *saliency_out = best;
+  return best_q;
+}
+
+/// Iterative greedy OBS: remove the cheapest weight, downdate the inverse
+/// Fisher (Sherman-Morrison), repeat. Weights outside `allowed` are
+/// removed first (cheapest-first among them).
+std::vector<std::size_t> select_pairwise(std::span<const double> w,
+                                         std::span<const double> finv,
+                                         std::size_t keep,
+                                         std::span<const std::size_t> allowed,
+                                         double* saliency_out) {
+  const std::size_t m = w.size();
+  std::vector<double> wc(w.begin(), w.end());
+  std::vector<double> fc(finv.begin(), finv.end());
+  std::vector<bool> removed(m, false);
+  std::vector<bool> is_allowed(m, allowed.empty());
+  for (std::size_t i : allowed) is_allowed[i] = true;
+
+  std::vector<std::size_t> q;
+  std::size_t survivors = m;
+  while (survivors > keep) {
+    // Forced removals (outside `allowed`) take priority.
+    bool forcing = false;
+    for (std::size_t i = 0; i < m; ++i)
+      if (!removed[i] && !is_allowed[i]) forcing = true;
+
+    std::size_t pick = m;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (removed[i]) continue;
+      if (forcing && is_allowed[i]) continue;
+      const double d = fc[i * m + i];
+      if (d <= 1e-18) continue;
+      const double s = wc[i] * wc[i] / (2.0 * d);
+      if (s < best) {
+        best = s;
+        pick = i;
+      }
+    }
+    VENOM_CHECK_MSG(pick < m, "greedy OBS could not find a removable weight");
+
+    // Optimal single-weight update + rank-1 downdate of F^-1.
+    const double d = fc[pick * m + pick];
+    const double wp = wc[pick];
+    for (std::size_t i = 0; i < m; ++i)
+      if (!removed[i]) wc[i] -= wp / d * fc[i * m + pick];
+    std::vector<double> col(m);
+    for (std::size_t i = 0; i < m; ++i) col[i] = fc[i * m + pick];
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < m; ++j)
+        fc[i * m + j] -= col[i] * col[j] / d;
+    wc[pick] = 0.0;
+    removed[pick] = true;
+    q.push_back(pick);
+    --survivors;
+  }
+  std::sort(q.begin(), q.end());
+  if (saliency_out != nullptr) *saliency_out = obs_saliency(w, finv, q);
+  return q;
+}
+
+constexpr std::size_t kCombinatorialBudget = 512;  // max kept-set candidates
+
+}  // namespace
+
+double obs_saliency(std::span<const double> w, std::span<const double> finv,
+                    std::span<const std::size_t> q) {
+  if (q.empty()) return 0.0;
+  const std::size_t m = w.size();
+  VENOM_CHECK(finv.size() == m * m);
+  std::vector<double> wq(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) wq[i] = w[q[i]];
+  auto fqq = submatrix(finv, m, q);
+  invert_inplace(fqq, q.size());
+  return 0.5 * quad_form(fqq, wq, q.size());
+}
+
+void obs_update(std::span<double> w, std::span<const double> finv,
+                std::span<const std::size_t> q) {
+  if (q.empty()) return;
+  const std::size_t m = w.size();
+  VENOM_CHECK(finv.size() == m * m);
+  std::vector<double> wq(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) wq[i] = w[q[i]];
+  auto fqq = submatrix(finv, m, q);
+  invert_inplace(fqq, q.size());
+  std::vector<double> t(q.size());
+  matvec(fqq, wq, t, q.size());
+  // w -= F^-1[:, Q] * t
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < q.size(); ++j)
+      acc += finv[i * m + q[j]] * t[j];
+    w[i] -= acc;
+  }
+  for (std::size_t i : q) w[i] = 0.0;
+}
+
+std::vector<std::size_t> select_removal(std::span<const double> w,
+                                        std::span<const double> finv,
+                                        std::size_t keep, SelectionMode mode,
+                                        std::span<const std::size_t> allowed,
+                                        double* saliency_out) {
+  const std::size_t m = w.size();
+  VENOM_CHECK_MSG(keep <= m, "cannot keep " << keep << " of " << m);
+  std::vector<std::size_t> all;
+  if (allowed.empty()) {
+    all.resize(m);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    allowed = all;
+  }
+  VENOM_CHECK_MSG(keep <= allowed.size(),
+                  "keep " << keep << " exceeds allowed positions "
+                          << allowed.size());
+
+  SelectionMode resolved = mode;
+  if (mode == SelectionMode::kAuto) {
+    resolved = choose_sat(allowed.size(), keep) <= kCombinatorialBudget
+                   ? SelectionMode::kCombinatorial
+                   : SelectionMode::kPairwise;
+  }
+  if (resolved == SelectionMode::kCombinatorial)
+    return select_combinatorial(w, finv, keep, allowed, saliency_out);
+  return select_pairwise(w, finv, keep, allowed, saliency_out);
+}
+
+namespace {
+
+/// Shared traversal: for each (row, group) builds the double-precision
+/// group vector, applies `choose` to get the removal set, updates, and
+/// accumulates the saliency. Rows are independent (the Fisher is block
+/// diagonal over row-groups), so they run on the thread pool.
+template <typename ChooseFn>
+ObsResult prune_groups(const FloatMatrix& w, const GroupFisher& fisher,
+                       std::size_t m, ChooseFn&& choose) {
+  VENOM_CHECK(w.cols() % m == 0);
+  VENOM_CHECK(fisher.m() == m && fisher.rows() == w.rows() &&
+              fisher.groups() == w.cols() / m);
+  ObsResult result;
+  result.weights = w;
+  const std::size_t groups = w.cols() / m;
+  std::vector<double> row_loss(w.rows(), 0.0);
+
+  ThreadPool::global().parallel_for(w.rows(), [&](std::size_t r) {
+    std::vector<double> wg(m);
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t i = 0; i < m; ++i)
+        wg[i] = double(result.weights(r, g * m + i));
+      const auto finv = fisher.inv_block(r, g);
+      double saliency = 0.0;
+      const std::vector<std::size_t> q = choose(r, g, wg, finv, &saliency);
+      obs_update(wg, finv, q);
+      row_loss[r] += saliency;
+      for (std::size_t i = 0; i < m; ++i)
+        result.weights(r, g * m + i) = float(wg[i]);
+    }
+  });
+  for (double l : row_loss) result.loss_increase += l;
+  return result;
+}
+
+}  // namespace
+
+ObsResult obs_prune_nm(const FloatMatrix& w, const GroupFisher& fisher,
+                       NmPattern pattern, SelectionMode mode) {
+  return prune_groups(
+      w, fisher, pattern.m,
+      [&](std::size_t, std::size_t, std::span<const double> wg,
+          std::span<const double> finv, double* s) {
+        return select_removal(wg, finv, pattern.n, mode, {}, s);
+      });
+}
+
+ObsResult obs_prune_vnm(const FloatMatrix& w, const GroupFisher& fisher,
+                        VnmConfig cfg, SelectionMode mode) {
+  VENOM_CHECK(w.rows() % cfg.v == 0);
+  VENOM_CHECK(w.cols() % cfg.m == 0);
+  const std::size_t groups = w.cols() / cfg.m;
+  const std::size_t sel = cfg.selected_cols();
+
+  // Stage 1 (vector-wise): per V x M block, rank columns by the summed
+  // single-weight saliency w_i^2 / (2 (F^-1)_ii) and keep the best `sel`.
+  const std::size_t block_rows = w.rows() / cfg.v;
+  std::vector<std::vector<std::size_t>> selected(block_rows * groups);
+  for (std::size_t br = 0; br < block_rows; ++br) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::vector<double> score(cfg.m, 0.0);
+      for (std::size_t dr = 0; dr < cfg.v; ++dr) {
+        const std::size_t r = br * cfg.v + dr;
+        const auto finv = fisher.inv_block(r, g);
+        for (std::size_t c = 0; c < cfg.m; ++c) {
+          const double wi = double(w(r, g * cfg.m + c));
+          const double d = finv[c * cfg.m + c];
+          if (d > 1e-18) score[c] += wi * wi / (2.0 * d);
+        }
+      }
+      std::vector<std::size_t> order(cfg.m);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return score[a] > score[b];
+                       });
+      order.resize(sel);
+      std::sort(order.begin(), order.end());
+      selected[br * groups + g] = std::move(order);
+    }
+  }
+
+  // Stage 2 (N:M within the selection) with the full-group OBS update.
+  return prune_groups(
+      w, fisher, cfg.m,
+      [&](std::size_t r, std::size_t g, std::span<const double> wg,
+          std::span<const double> finv, double* s) {
+        const auto& allowed = selected[(r / cfg.v) * groups + g];
+        return select_removal(wg, finv, cfg.n, mode, allowed, s);
+      });
+}
+
+ObsResult obs_prune_vector_wise(const FloatMatrix& w,
+                                const GroupFisher& fisher,
+                                std::size_t vec_len, double sparsity) {
+  VENOM_CHECK(w.rows() % vec_len == 0);
+  VENOM_CHECK_MSG(sparsity >= 0.0 && sparsity < 1.0,
+                  "sparsity " << sparsity << " out of [0,1)");
+  const std::size_t m = fisher.m();
+  VENOM_CHECK(w.cols() % m == 0);
+  const std::size_t vgroups = w.rows() / vec_len;
+
+  // Rank vertical vectors by aggregate single-weight saliency.
+  std::vector<double> score(vgroups * w.cols(), 0.0);
+  for (std::size_t vg = 0; vg < vgroups; ++vg)
+    for (std::size_t c = 0; c < w.cols(); ++c)
+      for (std::size_t dr = 0; dr < vec_len; ++dr) {
+        const std::size_t r = vg * vec_len + dr;
+        const auto finv = fisher.inv_block(r, c / m);
+        const double d = finv[(c % m) * m + (c % m)];
+        const double wi = double(w(r, c));
+        if (d > 1e-18) score[vg * w.cols() + c] += wi * wi / (2.0 * d);
+      }
+  std::vector<std::size_t> order(score.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto keep = static_cast<std::size_t>(
+      std::llround((1.0 - sparsity) * double(score.size())));
+  std::vector<bool> kept(score.size(), false);
+  if (keep > 0) {
+    std::nth_element(order.begin(), order.begin() + (keep - 1), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return score[a] > score[b];
+                     });
+    for (std::size_t i = 0; i < keep; ++i) kept[order[i]] = true;
+  }
+
+  // Per (row, group) removal = positions whose vector was dropped.
+  return prune_groups(
+      w, fisher, m,
+      [&](std::size_t r, std::size_t g, std::span<const double> wg,
+          std::span<const double> finv, double* s) {
+        const std::size_t vg = r / vec_len;
+        std::vector<std::size_t> q;
+        for (std::size_t i = 0; i < m; ++i)
+          if (!kept[vg * w.cols() + g * m + i]) q.push_back(i);
+        *s = obs_saliency(wg, finv, q);
+        return q;
+      });
+}
+
+}  // namespace venom::pruning

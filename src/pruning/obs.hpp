@@ -1,0 +1,79 @@
+// Second-order (OBS-style) pruning tailored to V:N:M (Section 6.1).
+//
+// For a removal set Q within a 1 x M group with inverse Fisher block
+// F^-1, the loss increase after the optimal update of the surviving
+// weights is the saliency
+//
+//   rho_Q = 1/2 * w_Q^T ( (F^-1)_QQ )^-1 w_Q                 [paper eq.]
+//
+// and the optimal update is  w <- w - F^-1[:,Q] ((F^-1)_QQ)^-1 w_Q.
+//
+// Two selection strategies are provided, mirroring the paper:
+//   kCombinatorial — enumerate all C(M, N) kept sets and score each
+//                    removal exactly (intractable for large M);
+//   kPairwise      — iterative greedy OBS: repeatedly remove the single
+//                    weight with the smallest marginal saliency, applying
+//                    the rank-1 Fisher downdate after each removal. This
+//                    captures pair correlations step by step (the paper's
+//                    E_Q = [[1,0],[0,1],[1,1]] relaxation).
+//   kAuto          — combinatorial when C(M, N) is small, else pairwise
+//                    (the paper's dynamic selection).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "format/nm.hpp"
+#include "format/vnm.hpp"
+#include "pruning/fisher.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::pruning {
+
+enum class SelectionMode { kCombinatorial, kPairwise, kAuto };
+
+/// rho_Q for a group: w and finv are the M-vector and M x M inverse
+/// Fisher; q lists the removed positions.
+double obs_saliency(std::span<const double> w, std::span<const double> finv,
+                    std::span<const std::size_t> q);
+
+/// Applies the optimal OBS update for removal set q: surviving weights
+/// are adjusted, removed ones zeroed.
+void obs_update(std::span<double> w, std::span<const double> finv,
+                std::span<const std::size_t> q);
+
+/// Chooses the removal set leaving exactly `keep` survivors in the group,
+/// optionally restricted so survivors lie within `allowed` positions
+/// (empty = no restriction). Returns the removal set; `saliency_out`
+/// (if non-null) receives the achieved rho_Q.
+std::vector<std::size_t> select_removal(std::span<const double> w,
+                                        std::span<const double> finv,
+                                        std::size_t keep, SelectionMode mode,
+                                        std::span<const std::size_t> allowed,
+                                        double* saliency_out);
+
+/// Result of a second-order pruning pass.
+struct ObsResult {
+  FloatMatrix weights;        ///< pruned + OBS-updated weights
+  double loss_increase = 0.0; ///< sum of group saliencies (predicted dLoss)
+};
+
+/// Prunes to row-wise N:M with OBS selection and update.
+ObsResult obs_prune_nm(const FloatMatrix& w, const GroupFisher& fisher,
+                       NmPattern pattern, SelectionMode mode);
+
+/// Prunes to V:N:M: per V x M block, selects the 4 columns with the
+/// largest retained saliency (sum over rows of w_i^2 / (2 (F^-1)_ii));
+/// then per row keeps the best N among them, with the full-group OBS
+/// update (Section 6.1's row-decorrelated scheme).
+ObsResult obs_prune_vnm(const FloatMatrix& w, const GroupFisher& fisher,
+                        VnmConfig cfg, SelectionMode mode);
+
+/// Prunes vertical length-l vectors by aggregate second-order saliency,
+/// keeping the top (1 - sparsity) fraction; survivors get OBS updates.
+ObsResult obs_prune_vector_wise(const FloatMatrix& w,
+                                const GroupFisher& fisher,
+                                std::size_t vec_len, double sparsity);
+
+}  // namespace venom::pruning

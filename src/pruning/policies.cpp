@@ -1,0 +1,124 @@
+#include "pruning/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace venom::pruning {
+
+namespace {
+
+/// Keeps the `keep` highest-scoring items; returns a keep-flag vector.
+std::vector<bool> top_k_flags(const std::vector<double>& score,
+                              std::size_t keep) {
+  std::vector<std::size_t> order(score.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  keep = std::min(keep, order.size());
+  if (keep > 0) {
+    std::nth_element(order.begin(), order.begin() + (keep - 1), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return score[a] > score[b];
+                     });
+  }
+  std::vector<bool> flags(score.size(), false);
+  for (std::size_t i = 0; i < keep; ++i) flags[order[i]] = true;
+  return flags;
+}
+
+}  // namespace
+
+HalfMatrix prune_unstructured(const HalfMatrix& w, double sparsity) {
+  VENOM_CHECK_MSG(sparsity >= 0.0 && sparsity < 1.0,
+                  "sparsity " << sparsity << " out of [0,1)");
+  std::vector<double> score(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i)
+    score[i] = std::fabs(double(w.flat()[i].to_float()));
+  const auto keep = static_cast<std::size_t>(
+      std::llround((1.0 - sparsity) * double(w.size())));
+  const auto flags = top_k_flags(score, keep);
+  HalfMatrix out = w;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    if (!flags[i]) out.flat()[i] = half_t(0.0f);
+  return out;
+}
+
+HalfMatrix prune_nm(const HalfMatrix& w, NmPattern pattern) {
+  return NmMatrix::from_dense_magnitude(w, pattern).to_dense();
+}
+
+HalfMatrix prune_vnm(const HalfMatrix& w, VnmConfig cfg) {
+  return VnmMatrix::from_dense_magnitude(w, cfg).to_dense();
+}
+
+HalfMatrix prune_vector_wise(const HalfMatrix& w, std::size_t vec_len,
+                             double sparsity) {
+  VENOM_CHECK(w.rows() % vec_len == 0);
+  VENOM_CHECK_MSG(sparsity >= 0.0 && sparsity < 1.0,
+                  "sparsity " << sparsity << " out of [0,1)");
+  const std::size_t groups = w.rows() / vec_len;
+  std::vector<double> score(groups * w.cols(), 0.0);
+  for (std::size_t g = 0; g < groups; ++g)
+    for (std::size_t c = 0; c < w.cols(); ++c)
+      for (std::size_t dr = 0; dr < vec_len; ++dr)
+        score[g * w.cols() + c] +=
+            std::fabs(double(w(g * vec_len + dr, c).to_float()));
+  const auto keep = static_cast<std::size_t>(
+      std::llround((1.0 - sparsity) * double(score.size())));
+  const auto flags = top_k_flags(score, keep);
+  HalfMatrix out = w;
+  for (std::size_t g = 0; g < groups; ++g)
+    for (std::size_t c = 0; c < w.cols(); ++c)
+      if (!flags[g * w.cols() + c])
+        for (std::size_t dr = 0; dr < vec_len; ++dr)
+          out(g * vec_len + dr, c) = half_t(0.0f);
+  return out;
+}
+
+HalfMatrix prune_block_wise(const HalfMatrix& w, std::size_t block,
+                            double sparsity) {
+  VENOM_CHECK(w.rows() % block == 0 && w.cols() % block == 0);
+  VENOM_CHECK_MSG(sparsity >= 0.0 && sparsity < 1.0,
+                  "sparsity " << sparsity << " out of [0,1)");
+  const std::size_t br = w.rows() / block;
+  const std::size_t bc = w.cols() / block;
+  std::vector<double> score(br * bc, 0.0);
+  for (std::size_t i = 0; i < br; ++i)
+    for (std::size_t j = 0; j < bc; ++j)
+      for (std::size_t dr = 0; dr < block; ++dr)
+        for (std::size_t dc = 0; dc < block; ++dc)
+          score[i * bc + j] += std::fabs(
+              double(w(i * block + dr, j * block + dc).to_float()));
+  const auto keep = static_cast<std::size_t>(
+      std::llround((1.0 - sparsity) * double(score.size())));
+  const auto flags = top_k_flags(score, keep);
+  HalfMatrix out = w;
+  for (std::size_t i = 0; i < br; ++i)
+    for (std::size_t j = 0; j < bc; ++j)
+      if (!flags[i * bc + j])
+        for (std::size_t dr = 0; dr < block; ++dr)
+          for (std::size_t dc = 0; dc < block; ++dc)
+            out(i * block + dr, j * block + dc) = half_t(0.0f);
+  return out;
+}
+
+double energy(const HalfMatrix& pruned, const HalfMatrix& dense) {
+  const double denom = l1_energy(dense);
+  if (denom == 0.0) return 0.0;
+  return l1_energy(pruned) / denom;
+}
+
+HalfMatrix synthetic_bert_weight(std::size_t rows, std::size_t cols,
+                                 Rng& rng, double outlier_fraction,
+                                 float outlier_scale, float sigma) {
+  std::vector<float> col_scale(cols, 1.0f);
+  for (auto& s : col_scale)
+    if (rng.uniform() < float(outlier_fraction)) s = outlier_scale;
+  HalfMatrix w(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      w(r, c) = half_t(sigma * col_scale[c] * rng.normal());
+  return w;
+}
+
+}  // namespace venom::pruning

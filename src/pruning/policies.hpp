@@ -1,0 +1,53 @@
+// Magnitude-based pruning policies and the energy metric (Section 5).
+//
+// Each policy takes a dense weight matrix and returns the pruned dense
+// matrix (zeros where removed), so policies compose with any compression
+// format. The Fig. 11 study compares the energy these policies retain:
+//
+//   energy(w) = sum_i |w_i| / sum_i |w*_i|   in [0, 1], higher is better.
+#pragma once
+
+#include <cstddef>
+
+#include "format/nm.hpp"
+#include "format/vnm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::pruning {
+
+/// Unstructured magnitude pruning — the "ideal" selection policy: keeps
+/// the top (1 - sparsity) fraction of weights by |w| with no structural
+/// constraint.
+HalfMatrix prune_unstructured(const HalfMatrix& w, double sparsity);
+
+/// Row-wise N:M magnitude pruning (the native hardware pattern).
+HalfMatrix prune_nm(const HalfMatrix& w, NmPattern pattern);
+
+/// V:N:M magnitude pruning (column selection + per-row N:M, Fig. 2).
+HalfMatrix prune_vnm(const HalfMatrix& w, VnmConfig cfg);
+
+/// Vector-wise pruning (vw_l): keeps the top (1 - sparsity) fraction of
+/// vertical length-l vectors by L1 norm.
+HalfMatrix prune_vector_wise(const HalfMatrix& w, std::size_t vec_len,
+                             double sparsity);
+
+/// Block-wise pruning: keeps the top (1 - sparsity) fraction of v x v
+/// square blocks by L1 norm.
+HalfMatrix prune_block_wise(const HalfMatrix& w, std::size_t block,
+                            double sparsity);
+
+/// energy = l1(pruned) / l1(dense); 0 for an all-zero dense input.
+double energy(const HalfMatrix& pruned, const HalfMatrix& dense);
+
+/// Synthesizes a transformer-like weight matrix for the Fig. 11 study:
+/// i.i.d. Gaussian entries modulated by per-column outlier scales
+/// (a fraction of "outlier dimensions" carries systematically larger
+/// weights — the documented structure of trained BERT encoders the paper
+/// cites [Kovaleva et al., "BERT Busters"]). This column structure is
+/// what the V:N:M column-selection stage exploits.
+HalfMatrix synthetic_bert_weight(std::size_t rows, std::size_t cols,
+                                 Rng& rng, double outlier_fraction = 0.15,
+                                 float outlier_scale = 4.0f,
+                                 float sigma = 0.05f);
+
+}  // namespace venom::pruning

@@ -1,0 +1,139 @@
+#include "pruning/quadratic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "pruning/smallmat.hpp"
+
+namespace venom::pruning {
+
+QuadraticModel QuadraticModel::synthesize(std::size_t rows, std::size_t cols,
+                                          std::size_t m, Rng& rng,
+                                          double correlation,
+                                          double outlier_fraction) {
+  VENOM_CHECK(cols % m == 0);
+  VENOM_CHECK_MSG(correlation >= 0.0 && correlation <= 1.0,
+                  "correlation " << correlation << " out of [0,1]");
+  QuadraticModel model;
+  model.m_ = m;
+  model.optimum_ = random_float_matrix(rows, cols, rng, 1.0f);
+  if (outlier_fraction > 0.0) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.uniform() >= float(outlier_fraction)) continue;
+      for (std::size_t r = 0; r < rows; ++r) model.optimum_(r, c) *= 4.0f;
+    }
+  }
+
+  const std::size_t groups = cols / m;
+  model.h_blocks_.resize(rows * groups * m * m, 0.0);
+  const std::size_t p = m + 4;  // samples per Gram block -> well-conditioned
+  std::vector<double> g(m * p);
+  for (std::size_t b = 0; b < rows * groups; ++b) {
+    double* blk = model.h_blocks_.data() + b * m * m;
+    for (auto& x : g) x = double(rng.normal());
+    // Gram matrix (correlated SPD), blended toward its own diagonal.
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < m; ++j) {
+        double acc = 0.0;
+        for (std::size_t s = 0; s < p; ++s) acc += g[i * p + s] * g[j * p + s];
+        blk[i * m + j] = acc / double(p);
+      }
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < m; ++j)
+        if (i != j) blk[i * m + j] *= correlation;
+    // Damping keeps every block comfortably invertible.
+    for (std::size_t i = 0; i < m; ++i) blk[i * m + i] += 0.05;
+  }
+  return model;
+}
+
+double QuadraticModel::loss(const FloatMatrix& w) const {
+  VENOM_CHECK(w.rows() == rows() && w.cols() == cols());
+  const std::size_t groups = cols() / m_;
+  double total = 0.0;
+  std::vector<double> d(m_);
+  for (std::size_t r = 0; r < rows(); ++r)
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t i = 0; i < m_; ++i)
+        d[i] = double(w(r, g * m_ + i)) - double(optimum_(r, g * m_ + i));
+      total += 0.5 * quad_form(
+                         std::span<const double>(
+                             h_blocks_.data() + (r * groups + g) * m_ * m_,
+                             m_ * m_),
+                         d, m_);
+    }
+  return total;
+}
+
+FloatMatrix QuadraticModel::gradient(const FloatMatrix& w) const {
+  VENOM_CHECK(w.rows() == rows() && w.cols() == cols());
+  const std::size_t groups = cols() / m_;
+  FloatMatrix grad(rows(), cols());
+  std::vector<double> d(m_), y(m_);
+  for (std::size_t r = 0; r < rows(); ++r)
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t i = 0; i < m_; ++i)
+        d[i] = double(w(r, g * m_ + i)) - double(optimum_(r, g * m_ + i));
+      matvec(std::span<const double>(
+                 h_blocks_.data() + (r * groups + g) * m_ * m_, m_ * m_),
+             d, y, m_);
+      for (std::size_t i = 0; i < m_; ++i)
+        grad(r, g * m_ + i) = float(y[i]);
+    }
+  return grad;
+}
+
+GroupFisher QuadraticModel::fisher() const {
+  return GroupFisher::from_blocks(h_blocks_, rows(), cols() / m_, m_);
+}
+
+double QuadraticModel::normalizer() const {
+  FloatMatrix zero(rows(), cols());
+  return loss(zero);
+}
+
+double QuadraticModel::group_quadratic(const FloatMatrix& w, std::size_t r,
+                                       std::size_t g) const {
+  const std::size_t groups = cols() / m_;
+  std::vector<double> d(m_);
+  for (std::size_t i = 0; i < m_; ++i)
+    d[i] = double(w(r, g * m_ + i)) - double(optimum_(r, g * m_ + i));
+  return 0.5 * quad_form(
+                   std::span<const double>(
+                       h_blocks_.data() + (r * groups + g) * m_ * m_, m_ * m_),
+                   d, m_);
+}
+
+double NonQuadraticModel::loss(const FloatMatrix& w) const {
+  const std::size_t m = base_.m();
+  const std::size_t groups = base_.cols() / m;
+  double total = 0.0;
+  for (std::size_t r = 0; r < base_.rows(); ++r)
+    for (std::size_t g = 0; g < groups; ++g) {
+      const double q = base_.group_quadratic(w, r, g);
+      total += q + 0.5 * kappa_ * q * q;
+    }
+  return total;
+}
+
+FloatMatrix NonQuadraticModel::gradient(const FloatMatrix& w) const {
+  // d/dw [q + kappa/2 q^2] = (1 + kappa q) * H d, per group.
+  FloatMatrix grad = base_.gradient(w);
+  const std::size_t m = base_.m();
+  const std::size_t groups = base_.cols() / m;
+  for (std::size_t r = 0; r < base_.rows(); ++r)
+    for (std::size_t g = 0; g < groups; ++g) {
+      const double q = base_.group_quadratic(w, r, g);
+      const double scale = 1.0 + kappa_ * q;
+      for (std::size_t i = 0; i < m; ++i)
+        grad(r, g * m + i) *= float(scale);
+    }
+  return grad;
+}
+
+double NonQuadraticModel::normalizer() const {
+  FloatMatrix zero(base_.rows(), base_.cols());
+  return loss(zero);
+}
+
+}  // namespace venom::pruning

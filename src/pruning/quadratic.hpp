@@ -1,0 +1,97 @@
+// Synthetic quadratic-loss models — the Table-2 substitution substrate.
+//
+// The paper measures SQuAD F1 after second-order pruning of BERT. We
+// cannot fine-tune BERT here, but OBS saliency provably minimizes the
+// loss increase of a *quadratic* objective; a quadratic model with a
+// known block Hessian therefore exposes exactly the quantity the paper's
+// pruning method optimizes, so the relative ordering of formats (1:N:M vs
+// 64:N:M vs 128:N:M vs vw_8) transfers. See DESIGN.md §2.
+//
+//   loss(W) = 1/2 sum_groups (w_g - w*_g)^T H_g (w_g - w*_g)
+//
+// with per-(row, M-group) SPD Hessian blocks H_g of controllable
+// correlation strength.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "pruning/fisher.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::pruning {
+
+/// Quadratic model with a block-diagonal Hessian over 1 x M row-groups.
+class QuadraticModel {
+ public:
+  /// Synthesizes an R x K model. `correlation` in [0, 1] blends a random
+  /// SPD block (correlated) against its diagonal (uncorrelated): higher
+  /// values make second-order selection matter more vs magnitude.
+  /// `outlier_fraction` > 0 gives that fraction of weight *columns* a 4x
+  /// magnitude scale — the outlier-dimension structure of trained
+  /// transformers that column-granular policies exploit.
+  static QuadraticModel synthesize(std::size_t rows, std::size_t cols,
+                                   std::size_t m, Rng& rng,
+                                   double correlation = 0.6,
+                                   double outlier_fraction = 0.0);
+
+  /// Loss at W (0 at the optimum).
+  double loss(const FloatMatrix& w) const;
+
+  /// Gradient at W: per group, H (w - w*).
+  FloatMatrix gradient(const FloatMatrix& w) const;
+
+  /// The dense optimum w*.
+  const FloatMatrix& optimum() const { return optimum_; }
+
+  /// Exact curvature as a GroupFisher (what OBS should be given).
+  GroupFisher fisher() const;
+
+  /// Loss of the all-zero model: normalizer so scores are comparable
+  /// across models (loss_increase / normalizer() in [0, ~1]).
+  double normalizer() const;
+
+  std::size_t rows() const { return optimum_.rows(); }
+  std::size_t cols() const { return optimum_.cols(); }
+  std::size_t m() const { return m_; }
+
+  /// Quadratic form q = 1/2 d^T H d of one (row, group) — the building
+  /// block the non-quadratic extension scales.
+  double group_quadratic(const FloatMatrix& w, std::size_t r,
+                         std::size_t g) const;
+
+ private:
+  std::size_t m_ = 0;
+  FloatMatrix optimum_;
+  std::vector<double> h_blocks_;  // rows*groups blocks of m x m
+};
+
+/// Non-quadratic extension used to study the structure-decay scheduler:
+/// per group with quadratic form q = 1/2 d^T H d, the loss is
+///
+///   q + (kappa / 2) * q^2
+///
+/// Its Hessian at the optimum is still H (so OBS's curvature input is
+/// correct *locally*), but the loss grows faster than the quadratic
+/// Taylor model predicts for large moves — exactly the regime where the
+/// paper says one-shot pruning "results in worse Taylor approximations"
+/// and gradual N-decay plus fine-tuning wins.
+class NonQuadraticModel {
+ public:
+  NonQuadraticModel(QuadraticModel base, double kappa)
+      : base_(std::move(base)), kappa_(kappa) {}
+
+  double loss(const FloatMatrix& w) const;
+  FloatMatrix gradient(const FloatMatrix& w) const;
+
+  const QuadraticModel& base() const { return base_; }
+  const FloatMatrix& optimum() const { return base_.optimum(); }
+  GroupFisher fisher() const { return base_.fisher(); }
+  double normalizer() const;
+
+ private:
+  QuadraticModel base_;
+  double kappa_;
+};
+
+}  // namespace venom::pruning

@@ -1,0 +1,48 @@
+#include "pruning/scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace venom::pruning {
+
+DecaySchedule structure_decay_schedule(std::size_t n0, std::size_t n_target,
+                                       std::size_t steps) {
+  VENOM_CHECK_MSG(n_target >= 1 && n0 >= n_target,
+                  "need N0 >= N_target >= 1, got " << n0 << " -> "
+                                                   << n_target);
+  VENOM_CHECK_MSG(steps >= 1, "need at least one step");
+  DecaySchedule s;
+  std::size_t n = n0;
+  for (std::size_t i = 0; i + 1 < steps && n > n_target; ++i) {
+    if (s.n_values.empty() || s.n_values.back() != n) s.n_values.push_back(n);
+    n = std::max(n_target, n / 2);
+  }
+  if (s.n_values.empty() || s.n_values.back() != n_target)
+    s.n_values.push_back(n_target);
+  return s;
+}
+
+ObsResult obs_prune_vnm_gradual(const FloatMatrix& w,
+                                const GroupFisher& fisher, VnmConfig cfg,
+                                const DecaySchedule& schedule,
+                                SelectionMode mode) {
+  VENOM_CHECK_MSG(!schedule.n_values.empty(), "empty schedule");
+  VENOM_CHECK_MSG(schedule.n_values.back() == cfg.n,
+                  "schedule must end at the target N=" << cfg.n);
+
+  ObsResult acc;
+  acc.weights = w;
+  for (std::size_t step = 0; step < schedule.n_values.size(); ++step) {
+    const std::size_t n = schedule.n_values[step];
+    const bool final_step = step + 1 == schedule.n_values.size();
+    ObsResult r =
+        final_step
+            ? obs_prune_vnm(acc.weights, fisher, cfg, mode)
+            : obs_prune_nm(acc.weights, fisher,
+                           NmPattern{.n = n, .m = cfg.m}, mode);
+    acc.weights = std::move(r.weights);
+    acc.loss_increase += r.loss_increase;
+  }
+  return acc;
+}
+
+}  // namespace venom::pruning

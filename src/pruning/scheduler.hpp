@@ -1,0 +1,38 @@
+// Structure-decay scheduler for gradual V:N:M pruning (Section 6.1.1).
+//
+// One-shot pruning to a high-sparsity pattern damages accuracy beyond
+// what fine-tuning recovers; the paper instead decays N over beta steps,
+// N_0 >> N_beta, re-running second-order pruning at each step so every
+// stage works from OBS-updated (implicitly fine-tuned, for quadratic
+// losses exactly fine-tuned) weights.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pruning/obs.hpp"
+
+namespace venom::pruning {
+
+/// A decreasing sequence of N values ending at the target.
+struct DecaySchedule {
+  std::vector<std::size_t> n_values;
+};
+
+/// Builds a geometric decay from n0 down to n_target over `steps` stages
+/// (n0 >= n_target >= 1, steps >= 1). The last entry is always n_target;
+/// intermediate values halve toward the target, deduplicated.
+DecaySchedule structure_decay_schedule(std::size_t n0, std::size_t n_target,
+                                       std::size_t steps);
+
+/// Gradual V:N:M pruning: intermediate stages prune row-wise N_i:M with
+/// OBS (no column constraint yet — they exist only to walk the loss
+/// surface gently); the final stage prunes to the full V:N:M pattern.
+/// Returns the final weights and the *measured-by-saliency* cumulative
+/// loss increase across stages.
+ObsResult obs_prune_vnm_gradual(const FloatMatrix& w,
+                                const GroupFisher& fisher, VnmConfig cfg,
+                                const DecaySchedule& schedule,
+                                SelectionMode mode);
+
+}  // namespace venom::pruning

@@ -1,0 +1,85 @@
+#include "pruning/smallmat.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace venom::pruning {
+
+void invert_inplace(std::span<double> a, std::size_t n) {
+  VENOM_CHECK(a.size() == n * n);
+  // Gauss-Jordan on [A | I], I kept implicitly by writing the inverse over A.
+  std::vector<double> inv(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) inv[i * n + i] = 1.0;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    VENOM_CHECK_MSG(best > 1e-14, "singular matrix in OBS block inverse");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[pivot * n + c], a[col * n + c]);
+        std::swap(inv[pivot * n + c], inv[col * n + c]);
+      }
+    }
+    const double d = a[col * n + col];
+    for (std::size_t c = 0; c < n; ++c) {
+      a[col * n + c] /= d;
+      inv[col * n + c] /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r * n + col];
+      if (f == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a[r * n + c] -= f * a[col * n + c];
+        inv[r * n + c] -= f * inv[col * n + c];
+      }
+    }
+  }
+  std::copy(inv.begin(), inv.end(), a.begin());
+}
+
+std::vector<double> inverted(std::span<const double> a, std::size_t n) {
+  std::vector<double> copy(a.begin(), a.end());
+  invert_inplace(copy, n);
+  return copy;
+}
+
+void matvec(std::span<const double> a, std::span<const double> x,
+            std::span<double> y, std::size_t n) {
+  VENOM_CHECK(a.size() == n * n && x.size() == n && y.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += a[i * n + j] * x[j];
+    y[i] = acc;
+  }
+}
+
+double quad_form(std::span<const double> a, std::span<const double> x,
+                 std::size_t n) {
+  VENOM_CHECK(a.size() == n * n && x.size() == n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) acc += x[i] * a[i * n + j] * x[j];
+  return acc;
+}
+
+std::vector<double> submatrix(std::span<const double> a, std::size_t n,
+                              std::span<const std::size_t> idx) {
+  std::vector<double> sub(idx.size() * idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    for (std::size_t j = 0; j < idx.size(); ++j)
+      sub[i * idx.size() + j] = a[idx[i] * n + idx[j]];
+  return sub;
+}
+
+}  // namespace venom::pruning

@@ -1,0 +1,34 @@
+// Small dense linear algebra for OBS blocks.
+//
+// Second-order pruning inverts M x M Fisher blocks (M <= ~100) and
+// |Q| x |Q| sub-blocks per candidate removal set. These routines are
+// plain Gauss-Jordan with partial pivoting — sizes are tiny, so clarity
+// beats blocking.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace venom::pruning {
+
+/// In-place inverse of a row-major n x n matrix. Throws venom::Error if
+/// (numerically) singular.
+void invert_inplace(std::span<double> a, std::size_t n);
+
+/// Returns the inverse of a row-major n x n matrix.
+std::vector<double> inverted(std::span<const double> a, std::size_t n);
+
+/// y = A x for row-major n x n A.
+void matvec(std::span<const double> a, std::span<const double> x,
+            std::span<double> y, std::size_t n);
+
+/// x^T A x for row-major n x n A.
+double quad_form(std::span<const double> a, std::span<const double> x,
+                 std::size_t n);
+
+/// Extracts the sub-matrix A[idx, idx] (row-major) from n x n A.
+std::vector<double> submatrix(std::span<const double> a, std::size_t n,
+                              std::span<const std::size_t> idx);
+
+}  // namespace venom::pruning

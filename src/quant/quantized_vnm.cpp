@@ -1,0 +1,110 @@
+#include "quant/quantized_vnm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace venom::quant {
+
+QuantizedVnmMatrix QuantizedVnmMatrix::quantize(const VnmMatrix& fp16) {
+  QuantizedVnmMatrix q;
+  q.cfg_ = fp16.config();
+  q.rows_ = fp16.rows();
+  q.cols_ = fp16.cols();
+  q.m_indices_ = fp16.m_indices();
+  q.column_loc_ = fp16.column_locs();
+  q.values_.resize(fp16.values().size());
+  q.scales_.assign(fp16.rows(), 0.0f);
+
+  const std::size_t per_row = fp16.groups_per_row() * q.cfg_.n;
+  for (std::size_t r = 0; r < q.rows_; ++r) {
+    float max_abs = 0.0f;
+    for (std::size_t i = 0; i < per_row; ++i)
+      max_abs = std::max(max_abs,
+                         std::fabs(fp16.values()[r * per_row + i].to_float()));
+    const float scale = max_abs / 127.0f;
+    q.scales_[r] = scale;
+    for (std::size_t i = 0; i < per_row; ++i) {
+      const float v = fp16.values()[r * per_row + i].to_float();
+      q.values_[r * per_row + i] =
+          scale == 0.0f
+              ? std::int8_t{0}
+              : static_cast<std::int8_t>(std::lround(v / scale));
+    }
+  }
+  return q;
+}
+
+VnmMatrix QuantizedVnmMatrix::dequantize() const {
+  const std::size_t per_row = groups_per_row() * cfg_.n;
+  std::vector<half_t> values(values_.size());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t i = 0; i < per_row; ++i)
+      values[r * per_row + i] =
+          half_t(float(values_[r * per_row + i]) * scales_[r]);
+  return VnmMatrix::from_parts(cfg_, rows_, cols_, std::move(values),
+                               m_indices_, column_loc_);
+}
+
+std::size_t QuantizedVnmMatrix::compressed_bytes() const {
+  const std::size_t cloc_bits = static_cast<std::size_t>(
+      std::ceil(std::log2(double(cfg_.m))));
+  return values_.size() +                          // int8 values
+         (m_indices_.size() * 2 + 7) / 8 +         // 2-bit metadata
+         (column_loc_.size() * cloc_bits + 7) / 8 +
+         scales_.size() * sizeof(float);
+}
+
+FloatMatrix spmm_vnm_i8(const QuantizedVnmMatrix& a, const HalfMatrix& b,
+                        ThreadPool* pool) {
+  VENOM_CHECK_MSG(a.cols() == b.rows(), "quantized SpMM shape mismatch");
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  // Per-column symmetric quantization of the dense operand.
+  const std::size_t width = b.cols();
+  std::vector<float> col_scale(width, 0.0f);
+  for (std::size_t c = 0; c < width; ++c) {
+    float max_abs = 0.0f;
+    for (std::size_t r = 0; r < b.rows(); ++r)
+      max_abs = std::max(max_abs, std::fabs(b(r, c).to_float()));
+    col_scale[c] = max_abs / 127.0f;
+  }
+  Matrix<std::int8_t> b_q(b.rows(), width);
+  for (std::size_t r = 0; r < b.rows(); ++r)
+    for (std::size_t c = 0; c < width; ++c)
+      b_q(r, c) = col_scale[c] == 0.0f
+                      ? std::int8_t{0}
+                      : static_cast<std::int8_t>(
+                            std::lround(b(r, c).to_float() / col_scale[c]));
+
+  FloatMatrix out(a.rows(), width);
+  const VnmConfig fmt = a.config();
+  const std::size_t groups = a.groups_per_row();
+  const std::size_t block_rows = a.rows() / fmt.v;
+
+  pool->parallel_for(block_rows, [&](std::size_t br) {
+    std::vector<std::int32_t> acc(width);
+    for (std::size_t dr = 0; dr < fmt.v; ++dr) {
+      const std::size_t r = br * fmt.v + dr;
+      std::fill(acc.begin(), acc.end(), 0);
+      for (std::size_t g = 0; g < groups; ++g) {
+        for (std::size_t j = 0; j < fmt.n; ++j) {
+          const std::int32_t av = a.value(r, g, j);
+          if (av == 0) continue;
+          const std::size_t col =
+              g * fmt.m + a.column_loc(br, g, a.m_index(r, g, j));
+          const std::int8_t* brow = &b_q(col, 0);
+          for (std::size_t n = 0; n < width; ++n)
+            acc[n] += av * std::int32_t(brow[n]);
+        }
+      }
+      const float rs = a.row_scale(r);
+      for (std::size_t n = 0; n < width; ++n)
+        out(r, n) = float(acc[n]) * rs * col_scale[n];
+    }
+  });
+  return out;
+}
+
+}  // namespace venom::quant

@@ -1,0 +1,74 @@
+// Quantized int8 V:N:M matrices and SpMM (the Table-1 integer rows).
+//
+// SPTCs execute the same 2:4 selection at uint8/int8 precision with
+// int32 accumulate. Following Magicube [Li et al., SC'22] — quantized
+// sparse kernels on tensor cores — this module adds a symmetric
+// per-row-quantized view of a V:N:M matrix:
+//
+//   values_i8[i] = round(values_fp16[i] / scale_row)  in [-127, 127]
+//
+// with the m-indices / column-loc structures shared unchanged. The SpMM
+// quantizes the dense operand per column on the fly, accumulates in
+// int32, and dequantizes the output with scale_row * scale_col.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "format/vnm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::quant {
+
+/// int8 symmetric-quantized V:N:M matrix.
+class QuantizedVnmMatrix {
+ public:
+  QuantizedVnmMatrix() = default;
+
+  /// Quantizes an existing fp16 V:N:M matrix with per-row scales
+  /// (scale = max|row| / 127; all-zero rows get scale 0).
+  static QuantizedVnmMatrix quantize(const VnmMatrix& fp16);
+
+  /// Dequantizes back to the fp16 V:N:M form (lossy by <= scale/2 per
+  /// element).
+  VnmMatrix dequantize() const;
+
+  VnmConfig config() const { return cfg_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t groups_per_row() const { return cols_ / cfg_.m; }
+  std::size_t nnz() const { return values_.size(); }
+
+  std::int8_t value(std::size_t r, std::size_t g, std::size_t j) const {
+    return values_[(r * groups_per_row() + g) * cfg_.n + j];
+  }
+  std::uint8_t m_index(std::size_t r, std::size_t g, std::size_t j) const {
+    return m_indices_[(r * groups_per_row() + g) * cfg_.n + j];
+  }
+  std::uint8_t column_loc(std::size_t br, std::size_t g,
+                          std::size_t s) const {
+    return column_loc_[(br * groups_per_row() + g) * cfg_.selected_cols() + s];
+  }
+  float row_scale(std::size_t r) const { return scales_[r]; }
+
+  /// int8 values + 2-bit metadata + column-loc + fp32 row scales.
+  std::size_t compressed_bytes() const;
+
+ private:
+  VnmConfig cfg_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int8_t> values_;
+  std::vector<std::uint8_t> m_indices_;
+  std::vector<std::uint8_t> column_loc_;
+  std::vector<float> scales_;
+};
+
+/// C(fp32) = dequant(A_i8 * quant(B)): the dense operand is quantized
+/// per column with symmetric int8; products accumulate in int32 and the
+/// output element (r, c) is scaled by row_scale(r) * col_scale(c).
+FloatMatrix spmm_vnm_i8(const QuantizedVnmMatrix& a, const HalfMatrix& b,
+                        ThreadPool* pool = nullptr);
+
+}  // namespace venom::quant

@@ -1,0 +1,64 @@
+#include "spatha/config.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace venom::spatha {
+
+std::string SpmmConfig::describe() const {
+  std::ostringstream os;
+  os << "BS(k=" << block_k << ",c=" << block_c << ") WS(r=" << warp_r
+     << ",k=" << warp_k << ",c=" << warp_c << ") mma m" << mma_r << "n"
+     << mma_c << "k" << mma_k << " pipe=" << batch_size << " store="
+     << (store_width == StoreWidth::k128bit ? "128b" : "32b") << " cloc="
+     << (column_loc == ColumnLocMode::kEnabled ? "on" : "fixed");
+  return os.str();
+}
+
+void validate(const SpmmConfig& cfg, const VnmConfig& fmt, std::size_t rows,
+              std::size_t cols, std::size_t b_cols) {
+  VENOM_CHECK_MSG(cfg.mma_r == 16 && cfg.mma_c == 8 &&
+                      (cfg.mma_k == 32 || cfg.mma_k == 16),
+                  "unsupported mma shape m" << cfg.mma_r << "n" << cfg.mma_c
+                                            << "k" << cfg.mma_k);
+  VENOM_CHECK_MSG(rows % fmt.v == 0, "rows must be a multiple of V");
+  VENOM_CHECK_MSG(cols % fmt.m == 0, "cols must be a multiple of M");
+  VENOM_CHECK_MSG(cfg.block_k % fmt.m == 0,
+                  "BSk=" << cfg.block_k << " must be a multiple of M="
+                         << fmt.m);
+  VENOM_CHECK_MSG(cfg.block_c >= 1 && cfg.block_c <= b_cols,
+                  "BSc=" << cfg.block_c << " out of range for C=" << b_cols);
+  VENOM_CHECK_MSG(cfg.batch_size >= 1 && cfg.batch_size <= 8,
+                  "pipeline depth " << cfg.batch_size << " out of [1,8]");
+  VENOM_CHECK_MSG(cfg.warp_r >= 1 && cfg.warp_k >= 1 && cfg.warp_c >= 1,
+                  "warp tile must be non-degenerate");
+}
+
+SpmmConfig select_config(const VnmConfig& fmt, std::size_t rows,
+                         std::size_t cols, std::size_t b_cols) {
+  (void)rows;
+  SpmmConfig cfg;
+  // K panel: cover many M-groups per staging step, but cap the gathered-B
+  // footprint near an SMEM-sized budget (the gathered panel holds
+  // (BSk/M)*4 x BSc halves).
+  const std::size_t groups_budget = 128;  // 128 groups * 4 rows * 64 cols * 2B = 64 KiB
+  std::size_t bk = std::min<std::size_t>(cols, groups_budget * fmt.m);
+  bk = std::max<std::size_t>(fmt.m, bk - bk % fmt.m);
+  cfg.block_k = bk;
+
+  // C tile: 64 unless the activation is narrower.
+  cfg.block_c = std::min<std::size_t>(64, b_cols);
+
+  // Warp tile: rows per warp bounded by V.
+  cfg.warp_r = std::min<std::size_t>(32, fmt.v);
+  cfg.warp_k = std::min<std::size_t>(64, cfg.block_k);
+  cfg.warp_c = cfg.block_c;
+
+  // Deeper pipeline pays off once the K loop is long enough to fill it.
+  cfg.batch_size = cols / cfg.block_k >= 4 ? 3 : 2;
+  return cfg;
+}
+
+}  // namespace venom::spatha

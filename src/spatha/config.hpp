@@ -1,0 +1,64 @@
+// Spatha kernel configuration (Section 4.1).
+//
+// Spatha is template-based on the GPU: thread-block tile (BSr x BSk x BSc),
+// warp tile (WSr x WSk x WSc), mma shape, and memory pipeline depth
+// (batchSize) are compile-time parameters chosen per problem. The CPU port
+// keeps them as a runtime config validated with the same divisibility
+// rules; the gpumodel module uses the same struct to cost a kernel launch.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "format/vnm.hpp"
+
+namespace venom::spatha {
+
+/// Width of the SMEM stores used when writing output tiles (Fig. 8): the
+/// padded conflict-free layout enables 128-bit stores; the fallback issues
+/// 32-bit stores. Affects only modelled GPU time, not results.
+enum class StoreWidth : std::uint8_t { k32bit, k128bit };
+
+/// Whether the kernel fetches the column-loc structure (real V:N:M) or
+/// uses fixed selectors (the "w/o column-loc" ideal of the Fig. 9
+/// ablation, which skips the gather's metadata reads).
+enum class ColumnLocMode : std::uint8_t { kEnabled, kFixed };
+
+/// Tunable kernel parameters for an R x K x C SpMM.
+struct SpmmConfig {
+  // Thread-block tile. BSr is implicitly V (the paper sets BSr = V so one
+  // block reuses one column-loc row); BSk/BSc are dense K/C tile extents.
+  std::size_t block_k = 512;
+  std::size_t block_c = 64;
+
+  // Warp tile within the block tile.
+  std::size_t warp_r = 32;
+  std::size_t warp_k = 64;
+  std::size_t warp_c = 64;
+
+  // mma.sp instruction shape (fixed m16n8k32 for fp16).
+  std::size_t mma_r = 16;
+  std::size_t mma_k = 32;
+  std::size_t mma_c = 8;
+
+  // Depth of the GMEM->SMEM async-copy pipeline (stage 1.2/1.3 overlap).
+  std::size_t batch_size = 2;
+
+  StoreWidth store_width = StoreWidth::k128bit;
+  ColumnLocMode column_loc = ColumnLocMode::kEnabled;
+
+  std::string describe() const;
+};
+
+/// Validates `cfg` against a concrete problem; throws venom::Error with a
+/// precise message if any divisibility rule is violated.
+void validate(const SpmmConfig& cfg, const VnmConfig& fmt, std::size_t rows,
+              std::size_t cols, std::size_t b_cols);
+
+/// Heuristic configuration choice from problem shape (the CPU analogue of
+/// Spatha's template autotuning table): picks tile sizes that divide the
+/// problem and balance panel footprint against parallelism.
+SpmmConfig select_config(const VnmConfig& fmt, std::size_t rows,
+                         std::size_t cols, std::size_t b_cols);
+
+}  // namespace venom::spatha

@@ -1,0 +1,157 @@
+#include "spatha/epilogue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace venom::spatha {
+
+namespace {
+
+float apply_activation(Activation act, float v) {
+  switch (act) {
+    case Activation::kNone:
+      return v;
+    case Activation::kRelu:
+      return v > 0.0f ? v : 0.0f;
+    case Activation::kGelu: {
+      constexpr float kSqrt2OverPi = 0.7978845608028654f;
+      const float t = std::tanh(kSqrt2OverPi * (v + 0.044715f * v * v * v));
+      return 0.5f * v * (1.0f + t);
+    }
+  }
+  return v;
+}
+
+/// Shared stage-1/2 body: accumulates the V x [c0,c1) tile of block row
+/// `br` into `acc` (row-major, width = c1-c0).
+void accumulate_block(const VnmMatrix& a, const HalfMatrix& b,
+                      const SpmmConfig& cfg, std::size_t br, std::size_t c0,
+                      std::size_t c1, std::vector<half_t>& panel,
+                      std::span<float> acc) {
+  const VnmConfig fmt = a.config();
+  const std::size_t sel = fmt.selected_cols();
+  const std::size_t groups = a.groups_per_row();
+  const std::size_t groups_per_panel = cfg.block_k / fmt.m;
+  const std::size_t width = c1 - c0;
+  const bool fixed = cfg.column_loc == ColumnLocMode::kFixed;
+
+  for (std::size_t g0 = 0; g0 < groups; g0 += groups_per_panel) {
+    const std::size_t g1 = std::min(groups, g0 + groups_per_panel);
+    panel.resize((g1 - g0) * sel * width);
+    for (std::size_t g = g0; g < g1; ++g) {
+      for (std::size_t s = 0; s < sel; ++s) {
+        const std::size_t offset =
+            fixed ? s : static_cast<std::size_t>(a.column_loc(br, g, s));
+        const half_t* src = &b(g * fmt.m + offset, c0);
+        std::copy(src, src + width,
+                  &panel[((g - g0) * sel + s) * width]);
+      }
+    }
+    for (std::size_t dr = 0; dr < fmt.v; ++dr) {
+      const std::size_t r = br * fmt.v + dr;
+      float* arow = &acc[dr * width];
+      for (std::size_t g = g0; g < g1; ++g) {
+        for (std::size_t j = 0; j < fmt.n; ++j) {
+          const half_t v = a.value(r, g, j);
+          if (v.is_zero()) continue;
+          const float av = v.to_float();
+          const half_t* brow =
+              &panel[((g - g0) * sel + a.m_index(r, g, j)) * width];
+          for (std::size_t n = 0; n < width; ++n)
+            arow[n] += av * brow[n].to_float();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+HalfMatrix spmm_vnm_fused(const VnmMatrix& a, const HalfMatrix& b,
+                          const Epilogue& epilogue, const SpmmConfig& cfg,
+                          ThreadPool* pool) {
+  const VnmConfig fmt = a.config();
+  VENOM_CHECK_MSG(a.cols() == b.rows(), "SpMM shape mismatch");
+  VENOM_CHECK_MSG(epilogue.bias.empty() || epilogue.bias.size() == a.rows(),
+                  "bias size " << epilogue.bias.size() << " != rows "
+                               << a.rows());
+  validate(cfg, fmt, a.rows(), a.cols(), b.cols());
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  HalfMatrix c(a.rows(), b.cols());
+  const std::size_t c_tiles = (b.cols() + cfg.block_c - 1) / cfg.block_c;
+
+  pool->parallel_for(a.block_rows() * c_tiles, [&](std::size_t t) {
+    const std::size_t br = t / c_tiles;
+    const std::size_t ct = t % c_tiles;
+    const std::size_t c0 = ct * cfg.block_c;
+    const std::size_t c1 = std::min(b.cols(), c0 + cfg.block_c);
+    const std::size_t width = c1 - c0;
+
+    std::vector<half_t> panel;
+    std::vector<float> acc(fmt.v * width, 0.0f);
+    accumulate_block(a, b, cfg, br, c0, c1, panel, acc);
+
+    // Fused stage 3: bias + activation + fp16 conversion in one pass.
+    for (std::size_t dr = 0; dr < fmt.v; ++dr) {
+      const std::size_t r = br * fmt.v + dr;
+      const float bias = epilogue.bias.empty() ? 0.0f : epilogue.bias[r];
+      for (std::size_t n = 0; n < width; ++n)
+        c(r, c0 + n) = half_t(
+            apply_activation(epilogue.activation, acc[dr * width + n] + bias));
+    }
+  });
+  return c;
+}
+
+HalfMatrix spmm_vnm_fused(const VnmMatrix& a, const HalfMatrix& b,
+                          const Epilogue& epilogue, ThreadPool* pool) {
+  return spmm_vnm_fused(a, b, epilogue,
+                        select_config(a.config(), a.rows(), a.cols(),
+                                      b.cols()),
+                        pool);
+}
+
+std::vector<FloatMatrix> spmm_vnm_batched(const VnmMatrix& a,
+                                          std::span<const HalfMatrix> bs,
+                                          ThreadPool* pool) {
+  VENOM_CHECK_MSG(!bs.empty(), "empty batch");
+  const std::size_t b_rows = bs[0].rows();
+  const std::size_t b_cols = bs[0].cols();
+  for (const auto& b : bs)
+    VENOM_CHECK_MSG(b.rows() == b_rows && b.cols() == b_cols,
+                    "batch operands must share a shape");
+  VENOM_CHECK(a.cols() == b_rows);
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  const VnmConfig fmt = a.config();
+  const SpmmConfig cfg = select_config(fmt, a.rows(), a.cols(), b_cols);
+  std::vector<FloatMatrix> cs(bs.size());
+  for (auto& c : cs) c = FloatMatrix(a.rows(), b_cols);
+
+  const std::size_t c_tiles = (b_cols + cfg.block_c - 1) / cfg.block_c;
+  pool->parallel_for(a.block_rows() * c_tiles, [&](std::size_t t) {
+    const std::size_t br = t / c_tiles;
+    const std::size_t ct = t % c_tiles;
+    const std::size_t c0 = ct * cfg.block_c;
+    const std::size_t c1 = std::min(b_cols, c0 + cfg.block_c);
+    const std::size_t width = c1 - c0;
+
+    std::vector<half_t> panel;
+    std::vector<float> acc(fmt.v * width);
+    // The sparse operand's traversal order and column-loc reads repeat
+    // identically for every batch element — the weight-stationary reuse
+    // batched inference exploits.
+    for (std::size_t batch = 0; batch < bs.size(); ++batch) {
+      std::fill(acc.begin(), acc.end(), 0.0f);
+      accumulate_block(a, bs[batch], cfg, br, c0, c1, panel, acc);
+      for (std::size_t dr = 0; dr < fmt.v; ++dr)
+        std::copy(&acc[dr * width], &acc[dr * width] + width,
+                  &cs[batch](br * fmt.v + dr, c0));
+    }
+  });
+  return cs;
+}
+
+}  // namespace venom::spatha

@@ -1,0 +1,50 @@
+// Fused epilogues for the Spatha SpMM (stage 3 extensions).
+//
+// Production GEMM libraries fuse the per-output-element tail work — bias
+// add, activation — into the kernel's write-back stage instead of
+// launching separate element-wise kernels. spmm_vnm_fused applies the
+// epilogue inside the same tile pass that stage 3 would use, saving one
+// full read+write of C per fused op; the transformer Linear layer routes
+// through it.
+#pragma once
+
+#include <span>
+
+#include "common/thread_pool.hpp"
+#include "format/vnm.hpp"
+#include "spatha/config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::spatha {
+
+/// Activation applied in the epilogue.
+enum class Activation : std::uint8_t { kNone, kRelu, kGelu };
+
+/// Epilogue description: optional per-row bias, then activation, then
+/// output conversion to fp16 (the usual inference datapath).
+struct Epilogue {
+  std::span<const float> bias = {};  ///< empty = no bias; else size = rows
+  Activation activation = Activation::kNone;
+};
+
+/// C_half = act(A_vnm * B + bias), computed tile-by-tile with the
+/// epilogue fused into the write-back stage.
+HalfMatrix spmm_vnm_fused(const VnmMatrix& a, const HalfMatrix& b,
+                          const Epilogue& epilogue, const SpmmConfig& cfg,
+                          ThreadPool* pool = nullptr);
+
+/// Convenience overload with the heuristic kernel configuration.
+HalfMatrix spmm_vnm_fused(const VnmMatrix& a, const HalfMatrix& b,
+                          const Epilogue& epilogue,
+                          ThreadPool* pool = nullptr);
+
+/// Batched SpMM: one sparse operand against `batch` dense operands
+/// (weight reuse across a batch of activations, the inference hot path).
+/// All B matrices must share b_rows x b_cols; outputs align by index.
+/// The sparse operand's panels are gathered once per (block row, C tile)
+/// and reused across the whole batch.
+std::vector<FloatMatrix> spmm_vnm_batched(
+    const VnmMatrix& a, std::span<const HalfMatrix> bs,
+    ThreadPool* pool = nullptr);
+
+}  // namespace venom::spatha

@@ -1,0 +1,90 @@
+#include "spatha/plan.hpp"
+
+#include "common/error.hpp"
+#include "spatha/spmm.hpp"
+
+namespace venom::spatha {
+
+SpmmPlan SpmmPlan::build(const SpmmProblem& problem,
+                         const HalfMatrix& dense_weight) {
+  VENOM_CHECK_MSG(dense_weight.rows() == problem.rows &&
+                      dense_weight.cols() == problem.cols,
+                  "weight shape " << dense_weight.rows() << 'x'
+                                  << dense_weight.cols()
+                                  << " does not match the problem");
+  return from_compressed(
+      problem, VnmMatrix::from_dense_magnitude(dense_weight, problem.format));
+}
+
+SpmmPlan SpmmPlan::from_compressed(const SpmmProblem& problem,
+                                   VnmMatrix compressed) {
+  VENOM_CHECK_MSG(compressed.rows() == problem.rows &&
+                      compressed.cols() == problem.cols &&
+                      compressed.config() == problem.format,
+                  "compressed operand does not match the problem");
+  SpmmPlan plan;
+  plan.problem_ = problem;
+  plan.config_ = select_config(problem.format, problem.rows, problem.cols,
+                               problem.b_cols);
+  plan.weight_ = std::move(compressed);
+  return plan;
+}
+
+FloatMatrix SpmmPlan::execute(const HalfMatrix& b, ThreadPool* pool) const {
+  VENOM_CHECK_MSG(b.rows() == problem_.cols && b.cols() == problem_.b_cols,
+                  "operand B is " << b.rows() << 'x' << b.cols()
+                                  << ", plan expects " << problem_.cols << 'x'
+                                  << problem_.b_cols);
+  return spmm_vnm(weight_, b, config_, pool);
+}
+
+HalfMatrix SpmmPlan::execute_fused(const HalfMatrix& b,
+                                   const Epilogue& epilogue,
+                                   ThreadPool* pool) const {
+  VENOM_CHECK_MSG(b.rows() == problem_.cols && b.cols() == problem_.b_cols,
+                  "operand B is " << b.rows() << 'x' << b.cols()
+                                  << ", plan expects " << problem_.cols << 'x'
+                                  << problem_.b_cols);
+  return spmm_vnm_fused(weight_, b, epilogue, config_, pool);
+}
+
+std::uint64_t weight_fingerprint(const HalfMatrix& m) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(m.rows());
+  mix(m.cols());
+  for (const half_t v : m.flat()) mix(v.bits());
+  return h;
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
+  VENOM_CHECK_MSG(capacity_ >= 1, "cache capacity must be positive");
+}
+
+std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
+    const SpmmProblem& problem, const HalfMatrix& weight) {
+  const Key key{problem, weight_fingerprint(weight)};
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.erase(it->second.second);
+    lru_.push_front(key);
+    it->second.second = lru_.begin();
+    return it->second.first;
+  }
+  ++misses_;
+  auto plan = std::make_shared<const SpmmPlan>(SpmmPlan::build(problem,
+                                                               weight));
+  lru_.push_front(key);
+  entries_.emplace(key, std::make_pair(plan, lru_.begin()));
+  if (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return plan;
+}
+
+}  // namespace venom::spatha

@@ -1,0 +1,96 @@
+// Plan-based execution API, mirroring the cuSparseLt workflow Spatha is
+// positioned as an open-source alternative to:
+//
+//   cusparseLtMatmulDescriptorInit  ->  SpmmProblem
+//   cusparseLtMatmulPlanInit        ->  SpmmPlan (compress + pick config)
+//   cusparseLtMatmul                ->  SpmmPlan::execute(B)
+//
+// A plan owns the compressed operand and the kernel configuration chosen
+// for the problem shape, so repeated executions (inference serving) pay
+// the pruning/compression/tuning cost once. The PlanCache keys plans by
+// problem descriptor for frameworks that create layers dynamically.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+
+#include "common/thread_pool.hpp"
+#include "format/vnm.hpp"
+#include "spatha/config.hpp"
+#include "spatha/epilogue.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::spatha {
+
+/// Problem descriptor: what cusparseLt calls the matmul descriptor.
+struct SpmmProblem {
+  std::size_t rows = 0;    ///< sparse operand rows (R)
+  std::size_t cols = 0;    ///< sparse operand cols (K)
+  std::size_t b_cols = 0;  ///< dense operand cols (C)
+  VnmConfig format;
+
+  friend auto operator<=>(const SpmmProblem&, const SpmmProblem&) = default;
+};
+
+/// An executable sparse-matmul plan.
+class SpmmPlan {
+ public:
+  /// Builds a plan by magnitude-pruning `dense_weight` into the problem's
+  /// V:N:M format and selecting a kernel configuration for the shape.
+  static SpmmPlan build(const SpmmProblem& problem,
+                        const HalfMatrix& dense_weight);
+
+  /// Builds from an already-compressed operand.
+  static SpmmPlan from_compressed(const SpmmProblem& problem,
+                                  VnmMatrix compressed);
+
+  /// C = A * B. B must be cols x b_cols as declared in the problem.
+  FloatMatrix execute(const HalfMatrix& b, ThreadPool* pool = nullptr) const;
+
+  /// Fused-epilogue execution (bias / activation folded into stage 3).
+  HalfMatrix execute_fused(const HalfMatrix& b, const Epilogue& epilogue,
+                           ThreadPool* pool = nullptr) const;
+
+  const SpmmProblem& problem() const { return problem_; }
+  const VnmMatrix& compressed() const { return weight_; }
+  const SpmmConfig& config() const { return config_; }
+
+ private:
+  SpmmProblem problem_;
+  VnmMatrix weight_;
+  SpmmConfig config_;
+};
+
+/// LRU cache of plans keyed by problem descriptor + a weight fingerprint.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 16);
+
+  /// Returns the cached plan for (problem, weight) or builds and caches
+  /// one. The weight fingerprint is a cheap content hash, so re-pruning
+  /// is skipped only when the weights are byte-identical.
+  std::shared_ptr<const SpmmPlan> get_or_build(const SpmmProblem& problem,
+                                               const HalfMatrix& weight);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  using Key = std::pair<SpmmProblem, std::uint64_t>;
+  std::size_t capacity_;
+  std::list<Key> lru_;  // front = most recent
+  std::map<Key, std::pair<std::shared_ptr<const SpmmPlan>,
+                          std::list<Key>::iterator>>
+      entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+/// FNV-1a content hash of a half matrix (the cache fingerprint).
+std::uint64_t weight_fingerprint(const HalfMatrix& m);
+
+}  // namespace venom::spatha

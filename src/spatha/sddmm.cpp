@@ -1,0 +1,47 @@
+#include "spatha/sddmm.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace venom::spatha {
+
+VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
+                    const HalfMatrix& b, ThreadPool* pool) {
+  VENOM_CHECK_MSG(a.rows() == structure.rows(),
+                  "A has " << a.rows() << " rows, structure has "
+                           << structure.rows());
+  VENOM_CHECK_MSG(b.cols() == structure.cols(),
+                  "B has " << b.cols() << " cols, structure has "
+                           << structure.cols());
+  VENOM_CHECK_MSG(a.cols() == b.rows(), "inner dimensions disagree: "
+                                            << a.cols() << " vs "
+                                            << b.rows());
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  const VnmConfig fmt = structure.config();
+  const std::size_t groups = structure.groups_per_row();
+  const std::size_t depth = a.cols();
+  std::vector<half_t> values(structure.values().size(), half_t(0.0f));
+
+  pool->parallel_for(structure.rows(), [&](std::size_t r) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t j = 0; j < fmt.n; ++j) {
+        // Padding slots (zero value in the structure) carry no position
+        // information worth sampling; keep them zero.
+        if (structure.value(r, g, j).is_zero()) continue;
+        const std::size_t col = structure.dense_column(r, g, j);
+        float acc = 0.0f;
+        for (std::size_t d = 0; d < depth; ++d)
+          acc += a(r, d).to_float() * b(d, col).to_float();
+        values[(r * groups + g) * fmt.n + j] = half_t(acc);
+      }
+    }
+  });
+
+  return VnmMatrix::from_parts(fmt, structure.rows(), structure.cols(),
+                               std::move(values), structure.m_indices(),
+                               structure.column_locs());
+}
+
+}  // namespace venom::spatha

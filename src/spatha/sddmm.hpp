@@ -1,0 +1,28 @@
+// SDDMM over the V:N:M pattern: the companion primitive to SpMM.
+//
+// Sampled Dense-Dense Matrix Multiplication computes a dense product
+// only at the positions of an existing sparsity pattern:
+//
+//   out[i, k] = sum_d A[i, d] * B[d, k]      for (i, k) in pattern(S)
+//
+// It is the other half of sparse attention (computing masked score
+// updates) and of sparse-weight training (the gradient restricted to the
+// surviving pattern) — the routine Magicube [Li et al., SC'22] pairs
+// with SpMM. The output reuses the structure (m-indices, column-loc) of
+// `structure` with freshly computed values, so it feeds straight back
+// into spmm_vnm.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "format/vnm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::spatha {
+
+/// out = (A * B) sampled at structure's nonzero positions.
+/// A is rows x depth, B is depth x cols (matching structure's shape).
+/// Zero-valued slots of `structure` (padding) stay zero.
+VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
+                    const HalfMatrix& b, ThreadPool* pool = nullptr);
+
+}  // namespace venom::spatha

@@ -1,0 +1,60 @@
+// Spatha SpMM kernels over the V:N:M format (Section 4.1, Figs. 4-8).
+//
+// Three implementations of C(RxC, fp32) = A_vnm(RxK) * B(KxC, fp16):
+//
+//   spmm_vnm            production path. Mirrors the paper's three stages:
+//                       (1.1) column-loc prefetch per block row,
+//                       (1.2) gather of the selected B rows into a
+//                             contiguous panel (the SMEM image),
+//                       (1.3/2) per-row multiply-accumulate through the
+//                             2-bit m-indices against the gathered panel,
+//                       (3)  contiguous write-back of the output tile.
+//                       One pool task per (block row, C tile) — the CPU
+//                       analogue of one thread block per output tile.
+//
+//   spmm_vnm_mma        same staging, but stage 2 executes genuine
+//                       m16n8k32 mma.sp instructions via the SPTC
+//                       simulator — the fidelity path proving the V:N:M
+//                       mapping of Fig. 4 is exact.
+//
+//   spmm_vnm_reference  naive traversal used as the oracle in tests.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "format/vnm.hpp"
+#include "spatha/config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::spatha {
+
+/// Production tiled kernel. `cfg` defaults to select_config(...).
+FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
+                     const SpmmConfig& cfg, ThreadPool* pool = nullptr);
+
+/// Convenience overload with the heuristic configuration.
+FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
+                     ThreadPool* pool = nullptr);
+
+/// Fidelity path: stage 2 runs through sptc::mma_sp_fp16 tile by tile.
+/// Requires V % 16 == 0, (cols/M)*4 % 32 == 0, and C % 8 == 0.
+FloatMatrix spmm_vnm_mma(const VnmMatrix& a, const HalfMatrix& b,
+                         ThreadPool* pool = nullptr);
+
+/// Naive oracle (no tiling, no pool).
+FloatMatrix spmm_vnm_reference(const VnmMatrix& a, const HalfMatrix& b);
+
+/// Transposed SpMM: C(K x C, fp32) = A^T * B with A(R x K) in V:N:M and
+/// B(R x C) dense. This is the backward-pass kernel: for y = W x with a
+/// sparse W, dL/dx = W^T dL/dy. The kernel keeps the forward traversal
+/// order (coalesced reads of A) and scatters each nonzero's contribution
+/// into the K-indexed output; tasks partition over block rows with
+/// per-task private output accumulated at the end (no atomics).
+FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
+                                ThreadPool* pool = nullptr);
+
+/// Useful FLOPs of the sparse product: 2 * nnz * C.
+inline double spmm_flops(const VnmMatrix& a, std::size_t b_cols) {
+  return 2.0 * static_cast<double>(a.nnz()) * static_cast<double>(b_cols);
+}
+
+}  // namespace venom::spatha

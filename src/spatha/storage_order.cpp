@@ -1,0 +1,80 @@
+#include "spatha/storage_order.hpp"
+
+#include "common/error.hpp"
+
+namespace venom::spatha {
+
+namespace {
+
+void check_shape(WarpTileShape shape) {
+  VENOM_CHECK_MSG(shape.rows % 16 == 0 && shape.rows > 0,
+                  "warp tile rows " << shape.rows << " not a multiple of 16");
+  VENOM_CHECK_MSG(shape.comp_cols % 16 == 0 && shape.comp_cols > 0,
+                  "warp tile compressed cols " << shape.comp_cols
+                                               << " not a multiple of 16");
+}
+
+/// Offset of (row, col) inside one 16 x 16 instruction tile: thread-major
+/// order with each thread's 8 registers contiguous (the 128-bit unit).
+std::size_t in_tile_offset(std::size_t row, std::size_t col) {
+  // Invert the A-fragment layout: find (thread, reg) owning (row, col).
+  // From fragment.cpp: row = group + (reg%4>=2 ? 8:0),
+  //                    col = lane*2 + reg%2 + (reg>=4 ? 8:0).
+  const std::size_t group = row % 8;
+  const std::size_t lane = (col % 8) / 2;
+  const std::size_t thread = group * 4 + lane;
+  const std::size_t reg =
+      (col % 2) + (row >= 8 ? 2 : 0) + (col >= 8 ? 4 : 0);
+  return thread * 8 + reg;
+}
+
+}  // namespace
+
+std::size_t linear_offset(WarpTileShape shape, std::size_t row,
+                          std::size_t col) {
+  check_shape(shape);
+  VENOM_CHECK_MSG(row < shape.rows && col < shape.comp_cols,
+                  "coord (" << row << ',' << col << ") outside warp tile");
+  const std::size_t tile_r = row / 16;
+  const std::size_t tile_c = col / 16;
+  const std::size_t tile_index = tile_r * shape.tiles_c() + tile_c;
+  return tile_index * 256 + in_tile_offset(row % 16, col % 16);
+}
+
+sptc::TileCoord tile_coord(WarpTileShape shape, std::size_t offset) {
+  check_shape(shape);
+  VENOM_CHECK_MSG(offset < shape.elements(),
+                  "offset " << offset << " outside warp tile");
+  const std::size_t tile_index = offset / 256;
+  const std::size_t tile_r = tile_index / shape.tiles_c();
+  const std::size_t tile_c = tile_index % shape.tiles_c();
+  const std::size_t thread = (offset % 256) / 8;
+  const std::size_t reg = offset % 8;
+  const sptc::TileCoord in = sptc::a_fragment_m16n8k16(thread, reg);
+  return {tile_r * 16 + in.row, tile_c * 16 + in.col};
+}
+
+std::vector<half_t> pack_warp_tile(WarpTileShape shape,
+                                   std::span<const half_t> row_major) {
+  check_shape(shape);
+  VENOM_CHECK(row_major.size() == shape.elements());
+  std::vector<half_t> packed(shape.elements());
+  for (std::size_t r = 0; r < shape.rows; ++r)
+    for (std::size_t c = 0; c < shape.comp_cols; ++c)
+      packed[linear_offset(shape, r, c)] = row_major[r * shape.comp_cols + c];
+  return packed;
+}
+
+std::vector<half_t> unpack_warp_tile(WarpTileShape shape,
+                                     std::span<const half_t> packed) {
+  check_shape(shape);
+  VENOM_CHECK(packed.size() == shape.elements());
+  std::vector<half_t> row_major(shape.elements());
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    const sptc::TileCoord coord = tile_coord(shape, i);
+    row_major[coord.row * shape.comp_cols + coord.col] = packed[i];
+  }
+  return row_major;
+}
+
+}  // namespace venom::spatha

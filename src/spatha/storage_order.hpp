@@ -1,0 +1,59 @@
+// The Spatha storage order for non-zero values and m-indices (Fig. 7).
+//
+// Spatha linearizes the compressed operand so that, during stage 1.3,
+// each thread's loads are 128-bit and coalesced, and so the layout can
+// dispense with ldmatrix (whose shuffle is a known source of SMEM bank
+// conflicts). Within one warp tile of the compressed matrix
+// (WSm rows x WSk/2 compressed columns), values are stored in the order
+// the mma.sp register fragments consume them:
+//
+//   - the tile is split into mma instruction tiles of 16 x 16
+//     (MMAm x MMAk/2 compressed);
+//   - inside an instruction tile, each thread's four 2-element register
+//     pairs ({a0,a1}, {a2,a3}, {a4,a5}, {a6,a7}) are stored contiguously
+//     (8 fp16 = 128 bits per thread), threads in warp order;
+//   - instruction tiles follow row-major order within the warp tile.
+//
+// linear_offset() gives the position of a compressed-tile coordinate in
+// that stream; the inverse mapping plus the bijection and contiguity
+// properties are exercised by the tests, and pack_warp_tile() /
+// unpack_warp_tile() apply the order to real data.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/half.hpp"
+#include "sptc/fragment.hpp"
+
+namespace venom::spatha {
+
+/// Geometry of a warp tile of the compressed operand.
+struct WarpTileShape {
+  std::size_t rows = 32;      ///< WSm, multiple of 16
+  std::size_t comp_cols = 32; ///< WSk/2 compressed columns, multiple of 16
+
+  std::size_t elements() const { return rows * comp_cols; }
+  std::size_t tiles_r() const { return rows / 16; }
+  std::size_t tiles_c() const { return comp_cols / 16; }
+};
+
+/// Position of compressed element (row, col) of the warp tile in the
+/// Fig. 7 storage stream. row < shape.rows, col < shape.comp_cols.
+std::size_t linear_offset(WarpTileShape shape, std::size_t row,
+                          std::size_t col);
+
+/// Inverse of linear_offset.
+sptc::TileCoord tile_coord(WarpTileShape shape, std::size_t offset);
+
+/// Reorders a row-major warp tile (rows x comp_cols) into the storage
+/// stream.
+std::vector<half_t> pack_warp_tile(WarpTileShape shape,
+                                   std::span<const half_t> row_major);
+
+/// Restores row-major order from a storage stream.
+std::vector<half_t> unpack_warp_tile(WarpTileShape shape,
+                                     std::span<const half_t> packed);
+
+}  // namespace venom::spatha

@@ -1,0 +1,69 @@
+#include "sptc/fragment.hpp"
+
+#include "common/error.hpp"
+
+namespace venom::sptc {
+
+namespace {
+
+void check(std::size_t thread, std::size_t reg, std::size_t regs) {
+  VENOM_CHECK_MSG(thread < 32, "thread " << thread << " out of warp");
+  VENOM_CHECK_MSG(reg < regs, "register " << reg << " out of " << regs);
+}
+
+}  // namespace
+
+TileCoord a_fragment_m16n8k16(std::size_t thread, std::size_t reg) {
+  check(thread, reg, 8);
+  const std::size_t group = thread / 4;   // 0..7
+  const std::size_t lane = thread % 4;    // 0..3
+  // Registers pair into 32-bit halves-of-halves: {a0,a1},{a2,a3},... Each
+  // pair is two adjacent columns; pairs alternate between row `group` and
+  // row `group+8`, and the upper half of K (cols 8..15) for regs 4..7.
+  const std::size_t row = group + (reg % 4 >= 2 ? 8 : 0);
+  const std::size_t col = lane * 2 + (reg % 2) + (reg >= 4 ? 8 : 0);
+  return {row, col};
+}
+
+TileCoord b_fragment_m16n8k16(std::size_t thread, std::size_t reg) {
+  check(thread, reg, 4);
+  const std::size_t group = thread / 4;
+  const std::size_t lane = thread % 4;
+  const std::size_t row = lane * 2 + (reg % 2) + (reg >= 2 ? 8 : 0);
+  return {row, group};
+}
+
+TileCoord c_fragment_m16n8(std::size_t thread, std::size_t reg) {
+  check(thread, reg, 4);
+  const std::size_t group = thread / 4;
+  const std::size_t lane = thread % 4;
+  const std::size_t row = group + (reg >= 2 ? 8 : 0);
+  const std::size_t col = lane * 2 + (reg % 2);
+  return {row, col};
+}
+
+TileCoord a_fragment_m16n8k32_sp(std::size_t thread, std::size_t reg) {
+  // The compressed sparse A tile is 16 x 16 (K/2 columns kept), with the
+  // same per-thread distribution as the dense 16x16 tile.
+  return a_fragment_m16n8k16(thread, reg);
+}
+
+TileCoord b_fragment_m16n8k32_sp(std::size_t thread, std::size_t reg) {
+  check(thread, reg, 8);
+  const std::size_t group = thread / 4;
+  const std::size_t lane = thread % 4;
+  // 32 rows of B: four 8-row segments; each thread holds two adjacent rows
+  // per segment at column `group`.
+  const std::size_t segment = reg / 2;  // 0..3
+  const std::size_t row = segment * 8 + lane * 2 + (reg % 2);
+  return {row, group};
+}
+
+std::size_t metadata_owner_m16n8k32_sp(std::size_t row) {
+  VENOM_CHECK_MSG(row < 16, "sparse A row " << row << " out of tile");
+  // Threads 0,4,8,...,28 carry metadata; thread 4*(row/2) covers rows
+  // 2*(row/2) and 2*(row/2)+1 in one 32-bit word (16 2-bit selectors).
+  return 4 * (row / 2);
+}
+
+}  // namespace venom::sptc

@@ -1,0 +1,48 @@
+// Register-fragment layouts for Tensor Core MMA (paper Fig. 6).
+//
+// A warp of 32 threads collectively holds each MMA operand tile in
+// registers. These functions give the (row, col) tile coordinate owned by
+// a given (thread, register slot) pair for the m16n8k16 dense and
+// m16n8k32 sparse fp16 shapes. The SpMM kernel uses them to stage data in
+// the Fig. 7 storage order, and the tests verify the layouts partition the
+// tile exactly (every element owned by exactly one slot, 128-bit
+// contiguity of per-thread pairs, and coalesced quarter-warp rows).
+#pragma once
+
+#include <cstddef>
+
+namespace venom::sptc {
+
+/// A coordinate within an operand tile.
+struct TileCoord {
+  std::size_t row;
+  std::size_t col;
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+// ---- m16n8k16 dense fp16 (HMMA) -----------------------------------------
+
+/// A operand (16x16), 8 fp16 registers per thread (a0..a7).
+TileCoord a_fragment_m16n8k16(std::size_t thread, std::size_t reg);
+
+/// B operand (16x8), 4 fp16 registers per thread (b0..b3).
+TileCoord b_fragment_m16n8k16(std::size_t thread, std::size_t reg);
+
+/// C/D accumulator (16x8), 4 fp32 registers per thread (c0..c3).
+TileCoord c_fragment_m16n8(std::size_t thread, std::size_t reg);
+
+// ---- m16n8k32 sparse fp16 (mma.sp) ---------------------------------------
+
+/// Compressed A operand (16 x 16 = 16 x 32/2), 8 fp16 registers per thread.
+/// Same distribution as the dense 16x16 A tile (Fig. 6, step 2.2).
+TileCoord a_fragment_m16n8k32_sp(std::size_t thread, std::size_t reg);
+
+/// B operand (32x8), 8 fp16 registers per thread (Fig. 6, step 2.3).
+TileCoord b_fragment_m16n8k32_sp(std::size_t thread, std::size_t reg);
+
+/// Which thread carries the packed metadata word covering compressed row
+/// `row` of the sparse A tile (threads 0,4,...,28 each carry two rows'
+/// 2-bit indices in one 32-bit register).
+std::size_t metadata_owner_m16n8k32_sp(std::size_t row);
+
+}  // namespace venom::sptc

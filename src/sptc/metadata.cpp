@@ -1,0 +1,26 @@
+#include "sptc/metadata.hpp"
+
+namespace venom::sptc {
+
+std::vector<std::uint32_t> pack_metadata(
+    std::span<const std::uint8_t> indices) {
+  std::vector<std::uint32_t> words((indices.size() + kIndicesPerWord - 1) /
+                                   kIndicesPerWord);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    VENOM_CHECK_MSG(indices[i] < 4,
+                    "metadata index " << int(indices[i]) << " exceeds 2 bits");
+    words[i / kIndicesPerWord] |= static_cast<std::uint32_t>(indices[i])
+                                  << (2 * (i % kIndicesPerWord));
+  }
+  return words;
+}
+
+std::vector<std::uint8_t> unpack_metadata(
+    std::span<const std::uint32_t> words, std::size_t count) {
+  VENOM_CHECK(count <= words.size() * kIndicesPerWord);
+  std::vector<std::uint8_t> indices(count);
+  for (std::size_t i = 0; i < count; ++i) indices[i] = metadata_at(words, i);
+  return indices;
+}
+
+}  // namespace venom::sptc

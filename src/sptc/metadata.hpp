@@ -1,0 +1,35 @@
+// Hardware metadata codec for Sparse Tensor Cores.
+//
+// mma.sp consumes the 2:4 selection pattern as packed 2-bit indices, 16
+// indices per 32-bit word (Fig. 1's "metadata indices"). This module packs
+// and unpacks those words from/to the uint8 index arrays used by NmMatrix
+// and VnmMatrix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace venom::sptc {
+
+/// Number of 2-bit indices carried per 32-bit metadata word.
+inline constexpr std::size_t kIndicesPerWord = 16;
+
+/// Packs 2-bit indices (each in [0,4)) into 32-bit words, 16 per word,
+/// little-end first. The tail word is zero-padded.
+std::vector<std::uint32_t> pack_metadata(std::span<const std::uint8_t> indices);
+
+/// Unpacks `count` 2-bit indices from packed words.
+std::vector<std::uint8_t> unpack_metadata(
+    std::span<const std::uint32_t> words, std::size_t count);
+
+/// Extracts the i-th 2-bit index from a packed stream.
+inline std::uint8_t metadata_at(std::span<const std::uint32_t> words,
+                                std::size_t i) {
+  return static_cast<std::uint8_t>(
+      (words[i / kIndicesPerWord] >> (2 * (i % kIndicesPerWord))) & 0x3u);
+}
+
+}  // namespace venom::sptc

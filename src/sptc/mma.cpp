@@ -1,0 +1,95 @@
+#include "sptc/mma.hpp"
+
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "sptc/metadata.hpp"
+
+namespace venom::sptc {
+
+namespace {
+
+constexpr std::size_t kM = 16;
+constexpr std::size_t kN = 8;
+
+void check_dims(std::size_t k, std::size_t a_size, std::size_t b_size,
+                std::size_t c_size, std::size_t compress_ratio) {
+  VENOM_CHECK_MSG(a_size == kM * k / compress_ratio,
+                  "A tile size " << a_size << " != " << kM * k / compress_ratio);
+  VENOM_CHECK_MSG(b_size == k * kN, "B tile size " << b_size);
+  VENOM_CHECK_MSG(c_size == kM * kN, "C tile size " << c_size);
+}
+
+/// Generic sparse MMA: `group` logical columns per group, `keep` kept.
+template <typename In, typename Acc>
+void mma_sp_generic(std::size_t k, std::span<const In> a_comp,
+                    std::span<const std::uint32_t> metadata,
+                    std::span<const In> b, std::span<Acc> c,
+                    std::size_t group, std::size_t keep) {
+  const std::size_t kc = k * keep / group;  // compressed row length
+  VENOM_CHECK(metadata.size() * kIndicesPerWord >= kM * kc);
+  for (std::size_t i = 0; i < kM; ++i) {
+    for (std::size_t j = 0; j < kc; ++j) {
+      const In a = a_comp[i * kc + j];
+      const std::uint8_t sel = metadata_at(metadata, i * kc + j);
+      VENOM_CHECK_MSG(sel < group, "metadata selector " << int(sel)
+                                                        << " out of group "
+                                                        << group);
+      const std::size_t col = (j / keep) * group + sel;
+      for (std::size_t n = 0; n < kN; ++n) {
+        if constexpr (std::is_same_v<In, half_t>) {
+          fma_fp16_fp32(c[i * kN + n], a, b[col * kN + n]);
+        } else {
+          c[i * kN + n] += static_cast<Acc>(a) *
+                           static_cast<Acc>(b[col * kN + n]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void mma_dense_fp16(std::size_t k, std::span<const half_t> a,
+                    std::span<const half_t> b, std::span<float> c) {
+  VENOM_CHECK_MSG(k == 8 || k == 16, "dense HMMA k must be 8 or 16, got " << k);
+  check_dims(k, a.size(), b.size(), c.size(), 1);
+  for (std::size_t i = 0; i < kM; ++i)
+    for (std::size_t j = 0; j < k; ++j) {
+      const half_t av = a[i * k + j];
+      for (std::size_t n = 0; n < kN; ++n)
+        fma_fp16_fp32(c[i * kN + n], av, b[j * kN + n]);
+    }
+}
+
+void mma_sp_fp16(std::size_t k, std::span<const half_t> a_comp,
+                 std::span<const std::uint32_t> metadata,
+                 std::span<const half_t> b, std::span<float> c) {
+  VENOM_CHECK_MSG(is_supported(Precision::kFp16, k),
+                  "mma.sp fp16 does not support k=" << k);
+  check_dims(k, a_comp.size(), b.size(), c.size(), 2);
+  mma_sp_generic<half_t, float>(k, a_comp, metadata, b, c, /*group=*/4,
+                                /*keep=*/2);
+}
+
+void mma_sp_fp32(std::size_t k, std::span<const float> a_comp,
+                 std::span<const std::uint32_t> metadata,
+                 std::span<const float> b, std::span<float> c) {
+  VENOM_CHECK_MSG(is_supported(Precision::kFp32, k),
+                  "mma.sp fp32 does not support k=" << k);
+  check_dims(k, a_comp.size(), b.size(), c.size(), 2);
+  mma_sp_generic<float, float>(k, a_comp, metadata, b, c, /*group=*/2,
+                               /*keep=*/1);
+}
+
+void mma_sp_u8(std::size_t k, std::span<const std::uint8_t> a_comp,
+               std::span<const std::uint32_t> metadata,
+               std::span<const std::uint8_t> b, std::span<std::int32_t> c) {
+  VENOM_CHECK_MSG(is_supported(Precision::kUint8, k),
+                  "mma.sp u8 does not support k=" << k);
+  check_dims(k, a_comp.size(), b.size(), c.size(), 2);
+  mma_sp_generic<std::uint8_t, std::int32_t>(k, a_comp, metadata, b, c,
+                                             /*group=*/4, /*keep=*/2);
+}
+
+}  // namespace venom::sptc

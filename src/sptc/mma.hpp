@@ -1,0 +1,53 @@
+// Functional simulator of Tensor Core MMA instructions.
+//
+// Two operations are modelled at tile level:
+//   mma        — dense  D = A(16xK) * B(Kx8) + C           (HMMA)
+//   mma_sp     — sparse D = select(A_comp, meta) * B + C   (Fig. 1 right)
+//
+// mma_sp takes the compressed LHS (16 x K/2 fp16 for the 2:4 pattern) and
+// packed 2-bit metadata; the simulator performs exactly the hardware's
+// metadata-driven mux of B rows. Numerics follow the hardware: fp16
+// products accumulated in fp32.
+//
+// The simulator is deliberately layout-agnostic at this level (row-major
+// tiles); the per-thread register distribution of Fig. 6 is modelled in
+// fragment.hpp and exercised by its own tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/half.hpp"
+#include "sptc/shapes.hpp"
+
+namespace venom::sptc {
+
+/// Dense HMMA: C(16x8, fp32) += A(16xk, fp16) * B(kx8, fp16).
+/// k must be 8 or 16 (the dense m16n8k8 / m16n8k16 shapes).
+/// All tiles row-major: A[i*k+j], B[j*8+c], C[i*8+c].
+void mma_dense_fp16(std::size_t k, std::span<const half_t> a,
+                    std::span<const half_t> b, std::span<float> c);
+
+/// Sparse HMMA (mma.sp) with the 2:4 pattern:
+///   C(16x8, fp32) += select(A_comp, metadata) (16xk) * B(kx8).
+/// k in {16, 32} per Table 1. A_comp is 16 x k/2 row-major; metadata holds
+/// one packed 2-bit selector per compressed element, row-major (16*k/2
+/// indices; index j of row i selects the column (j/2)*4 + meta within the
+/// logical 16xk tile). B is k x 8 row-major, C 16 x 8.
+void mma_sp_fp16(std::size_t k, std::span<const half_t> a_comp,
+                 std::span<const std::uint32_t> metadata,
+                 std::span<const half_t> b, std::span<float> c);
+
+/// fp32 variant of mma.sp with the 1:2 pattern (Table 1, first row):
+/// A_comp is 16 x k/2 fp32; each compressed element selects one of 2
+/// columns per group (metadata still 2-bit, value in {0,1}).
+void mma_sp_fp32(std::size_t k, std::span<const float> a_comp,
+                 std::span<const std::uint32_t> metadata,
+                 std::span<const float> b, std::span<float> c);
+
+/// Integer variant (uint8, 2:4, k in {32, 64}); accumulates in int32.
+void mma_sp_u8(std::size_t k, std::span<const std::uint8_t> a_comp,
+               std::span<const std::uint32_t> metadata,
+               std::span<const std::uint8_t> b, std::span<std::int32_t> c);
+
+}  // namespace venom::sptc

@@ -1,0 +1,54 @@
+#include "sptc/shapes.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace venom::sptc {
+
+std::string to_string(Precision p) {
+  switch (p) {
+    case Precision::kFp32:
+      return "fp32";
+    case Precision::kFp16:
+      return "half";
+    case Precision::kUint8:
+      return "uint8";
+    case Precision::kUint4:
+      return "uint4";
+  }
+  return "?";
+}
+
+std::string MmaShape::name(std::size_t k) const {
+  return "m" + std::to_string(m) + "n" + std::to_string(n) + "k" +
+         std::to_string(k);
+}
+
+std::span<const MmaShape> mma_shape_table() {
+  // Table 1 of the paper (Ampere mma.sp).
+  static const std::vector<MmaShape> table = {
+      {Precision::kFp32, 1, 2, 16, 8, {8, 16}},
+      {Precision::kFp16, 2, 4, 16, 8, {16, 32}},
+      {Precision::kUint8, 2, 4, 16, 8, {32, 64}},
+      {Precision::kUint4, 2, 4, 16, 8, {64, 128}},
+  };
+  return table;
+}
+
+const MmaShape& shape_for(Precision p) {
+  for (const auto& s : mma_shape_table())
+    if (s.precision == p) return s;
+  throw Error("no mma.sp shape for precision " + to_string(p));
+}
+
+bool is_supported(Precision p, std::size_t k) {
+  for (const auto& s : mma_shape_table()) {
+    if (s.precision != p) continue;
+    return std::find(s.supported_k.begin(), s.supported_k.end(), k) !=
+           s.supported_k.end();
+  }
+  return false;
+}
+
+}  // namespace venom::sptc

@@ -1,0 +1,42 @@
+// Table 1: instruction shapes supported by mma.sp on Sparse Tensor Cores.
+//
+// M and N are fixed at 16 and 8; K varies with precision. The registry is
+// used by the kernel dispatcher to validate tile configurations and by the
+// bench_table1_shapes binary to regenerate the table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace venom::sptc {
+
+/// Operand precision of an mma.sp variant.
+enum class Precision : std::uint8_t { kFp32, kFp16, kUint8, kUint4 };
+
+std::string to_string(Precision p);
+
+/// One row of Table 1: a supported mma.sp instruction shape family.
+struct MmaShape {
+  Precision precision;
+  std::size_t pattern_n;  ///< N of the hardware N:M pattern (1 or 2).
+  std::size_t pattern_m;  ///< M of the hardware N:M pattern (2 or 4).
+  std::size_t m = 16;     ///< Fixed output rows.
+  std::size_t n = 8;      ///< Fixed output cols.
+  std::vector<std::size_t> supported_k;  ///< Sparsified K dimensions.
+
+  /// PTX-style name, e.g. "m16n8k32".
+  std::string name(std::size_t k) const;
+};
+
+/// The full Table-1 registry.
+std::span<const MmaShape> mma_shape_table();
+
+/// Looks up the entry for a precision; throws if absent.
+const MmaShape& shape_for(Precision p);
+
+/// True if (precision, k) is a legal mma.sp configuration.
+bool is_supported(Precision p, std::size_t k);
+
+}  // namespace venom::sptc

@@ -1,0 +1,52 @@
+#include "sptc/u4.hpp"
+
+#include "common/error.hpp"
+#include "sptc/metadata.hpp"
+#include "sptc/shapes.hpp"
+
+namespace venom::sptc {
+
+std::vector<std::uint8_t> pack_u4(std::span<const std::uint8_t> values) {
+  std::vector<std::uint8_t> packed((values.size() + 1) / 2, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    VENOM_CHECK_MSG(values[i] < 16,
+                    "u4 value " << int(values[i]) << " exceeds 4 bits");
+    packed[i / 2] |= static_cast<std::uint8_t>(
+        (i % 2 == 0) ? values[i] : (values[i] << 4));
+  }
+  return packed;
+}
+
+std::vector<std::uint8_t> unpack_u4(std::span<const std::uint8_t> packed,
+                                    std::size_t count) {
+  VENOM_CHECK(count <= packed.size() * 2);
+  std::vector<std::uint8_t> values(count);
+  for (std::size_t i = 0; i < count; ++i) values[i] = u4_at(packed, i);
+  return values;
+}
+
+void mma_sp_u4(std::size_t k, std::span<const std::uint8_t> a_comp,
+               std::span<const std::uint32_t> metadata,
+               std::span<const std::uint8_t> b, std::span<std::int32_t> c) {
+  VENOM_CHECK_MSG(is_supported(Precision::kUint4, k),
+                  "mma.sp u4 does not support k=" << k);
+  const std::size_t kc = k / 2;  // compressed row length
+  VENOM_CHECK_MSG(a_comp.size() == (16 * kc + 1) / 2,
+                  "A tile packed size " << a_comp.size());
+  VENOM_CHECK_MSG(b.size() == (k * 8 + 1) / 2, "B tile packed size "
+                                                   << b.size());
+  VENOM_CHECK_MSG(c.size() == 16 * 8, "C tile size " << c.size());
+  VENOM_CHECK(metadata.size() * kIndicesPerWord >= 16 * kc);
+
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < kc; ++j) {
+      const std::int32_t a = u4_at(a_comp, i * kc + j);
+      const std::uint8_t sel = metadata_at(metadata, i * kc + j);
+      const std::size_t col = (j / 2) * 4 + sel;
+      for (std::size_t n = 0; n < 8; ++n)
+        c[i * 8 + n] += a * std::int32_t(u4_at(b, col * 8 + n));
+    }
+  }
+}
+
+}  // namespace venom::sptc

@@ -1,0 +1,37 @@
+// Packed 4-bit unsigned integer support for the uint4 mma.sp variant
+// (Table 1, last row: 2:4 pattern, k64 / k128).
+//
+// Values are packed two per byte, low nibble first — the layout CUDA's
+// u4 fragments use. The codec plus mma_sp_u4 complete the Table-1
+// precision coverage of the simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace venom::sptc {
+
+/// Packs 4-bit values (each < 16) two per byte, low nibble first.
+std::vector<std::uint8_t> pack_u4(std::span<const std::uint8_t> values);
+
+/// Unpacks `count` 4-bit values.
+std::vector<std::uint8_t> unpack_u4(std::span<const std::uint8_t> packed,
+                                    std::size_t count);
+
+/// Reads the i-th 4-bit value from a packed stream.
+inline std::uint8_t u4_at(std::span<const std::uint8_t> packed,
+                          std::size_t i) {
+  const std::uint8_t byte = packed[i / 2];
+  return (i % 2 == 0) ? (byte & 0x0fu) : (byte >> 4);
+}
+
+/// Sparse integer MMA on packed uint4 operands (2:4 pattern):
+///   C(16x8, int32) += select(A_comp, metadata) (16xk) * B(kx8).
+/// k in {64, 128}. a_comp holds 16 * k/2 packed u4 values; b holds k * 8.
+/// Metadata is the same packed 2-bit stream as the fp16 variant.
+void mma_sp_u4(std::size_t k, std::span<const std::uint8_t> a_comp,
+               std::span<const std::uint32_t> metadata,
+               std::span<const std::uint8_t> b, std::span<std::int32_t> c);
+
+}  // namespace venom::sptc

@@ -1,0 +1,69 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace venom {
+
+HalfMatrix random_half_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                              float sigma) {
+  HalfMatrix m(rows, cols);
+  for (auto& v : m.flat()) v = half_t(sigma * rng.normal());
+  return m;
+}
+
+FloatMatrix random_float_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                                float sigma) {
+  FloatMatrix m(rows, cols);
+  for (auto& v : m.flat()) v = sigma * rng.normal();
+  return m;
+}
+
+FloatMatrix to_float(const HalfMatrix& m) {
+  FloatMatrix f(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i)
+    f.flat()[i] = m.flat()[i].to_float();
+  return f;
+}
+
+HalfMatrix to_half(const FloatMatrix& m) {
+  HalfMatrix h(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i)
+    h.flat()[i] = half_t(m.flat()[i]);
+  return h;
+}
+
+float max_abs_diff(const FloatMatrix& a, const FloatMatrix& b) {
+  VENOM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::fabs(a.flat()[i] - b.flat()[i]));
+  return worst;
+}
+
+float rel_fro_error(const FloatMatrix& a, const FloatMatrix& b) {
+  VENOM_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.flat()[i]) - b.flat()[i];
+    num += d * d;
+    den += static_cast<double>(b.flat()[i]) * b.flat()[i];
+  }
+  return static_cast<float>(std::sqrt(num) / std::max(std::sqrt(den), 1e-30));
+}
+
+double density(const HalfMatrix& m) {
+  if (m.empty()) return 0.0;
+  std::size_t nnz = 0;
+  for (auto v : m.flat())
+    if (!v.is_zero()) ++nnz;
+  return static_cast<double>(nnz) / static_cast<double>(m.size());
+}
+
+double l1_energy(const HalfMatrix& m) {
+  double e = 0.0;
+  for (auto v : m.flat()) e += std::fabs(static_cast<double>(v.to_float()));
+  return e;
+}
+
+}  // namespace venom

@@ -1,0 +1,110 @@
+// Dense row-major matrix container and utilities.
+//
+// All kernels in this repo operate on Matrix<half_t> for operands and
+// Matrix<float> for accumulator/output comparisons. The container is a
+// flat owning buffer with (rows, cols) shape; views are provided via
+// std::span over rows.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+#include "common/rng.hpp"
+
+namespace venom {
+
+/// Owning dense row-major matrix.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access (throws venom::Error).
+  T& at(std::size_t r, std::size_t c) {
+    VENOM_CHECK_MSG(r < rows_ && c < cols_,
+                    "index (" << r << ',' << c << ") out of " << rows_ << 'x'
+                              << cols_);
+    return (*this)(r, c);
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    VENOM_CHECK_MSG(r < rows_ && c < cols_,
+                    "index (" << r << ',' << c << ") out of " << rows_ << 'x'
+                              << cols_);
+    return (*this)(r, c);
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::span<T> row(std::size_t r) {
+    return std::span<T>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const T> row(std::size_t r) const {
+    return std::span<const T>(data_.data() + r * cols_, cols_);
+  }
+
+  std::span<T> flat() { return std::span<T>(data_); }
+  std::span<const T> flat() const { return std::span<const T>(data_); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using HalfMatrix = Matrix<half_t>;
+using FloatMatrix = Matrix<float>;
+
+/// Fills with i.i.d. N(0, sigma^2) values (rounded to half for HalfMatrix).
+HalfMatrix random_half_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                              float sigma = 1.0f);
+FloatMatrix random_float_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                                float sigma = 1.0f);
+
+/// Converts element-wise.
+FloatMatrix to_float(const HalfMatrix& m);
+HalfMatrix to_half(const FloatMatrix& m);
+
+/// Transpose.
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& m) {
+  Matrix<T> t(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) t(c, r) = m(r, c);
+  return t;
+}
+
+/// Max absolute element-wise difference between two float matrices.
+float max_abs_diff(const FloatMatrix& a, const FloatMatrix& b);
+
+/// Relative Frobenius-norm error ||a-b||_F / max(||b||_F, eps).
+float rel_fro_error(const FloatMatrix& a, const FloatMatrix& b);
+
+/// Fraction of nonzero elements.
+double density(const HalfMatrix& m);
+
+/// Sum of |w_i| over all elements (used by the Fig. 11 energy metric).
+double l1_energy(const HalfMatrix& m);
+
+}  // namespace venom

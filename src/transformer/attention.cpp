@@ -1,0 +1,159 @@
+#include "transformer/attention.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "baselines/spmm_24.hpp"
+#include "common/error.hpp"
+#include "transformer/ops.hpp"
+
+namespace venom::transformer {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Copies head h (rows [h*dh, (h+1)*dh)) out of a (hidden x T) matrix.
+HalfMatrix slice_head(const HalfMatrix& x, std::size_t h, std::size_t dh) {
+  HalfMatrix out(dh, x.cols());
+  for (std::size_t d = 0; d < dh; ++d)
+    for (std::size_t t = 0; t < x.cols(); ++t) out(d, t) = x(h * dh + d, t);
+  return out;
+}
+
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(std::size_t hidden, std::size_t heads,
+                                       Rng& rng, bool causal)
+    : hidden_(hidden), heads_(heads), causal_(causal),
+      wq_(Linear::random(hidden, hidden, rng)),
+      wk_(Linear::random(hidden, hidden, rng)),
+      wv_(Linear::random(hidden, hidden, rng)),
+      wo_(Linear::random(hidden, hidden, rng)) {
+  VENOM_CHECK_MSG(hidden % heads == 0, "hidden " << hidden
+                                                 << " not divisible by heads "
+                                                 << heads);
+}
+
+void MultiHeadAttention::sparsify(VnmConfig cfg) {
+  wq_.sparsify(cfg);
+  wk_.sparsify(cfg);
+  wv_.sparsify(cfg);
+  wo_.sparsify(cfg);
+}
+
+void MultiHeadAttention::set_dynamic_score_sparsity(
+    std::optional<NmPattern> pattern) {
+  if (pattern.has_value()) {
+    VENOM_CHECK_MSG((pattern->n == 2 && pattern->m == 4) ||
+                        (pattern->n == 1 && pattern->m == 2),
+                    "dynamic attention supports the hardware patterns 2:4 "
+                    "and 1:2, got "
+                        << pattern->n << ':' << pattern->m);
+  }
+  score_pattern_ = pattern;
+}
+
+namespace {
+
+/// DFSS-style dynamic pruning: keeps the N largest probabilities per
+/// group of M and renormalizes each row to unit mass. Returns the pruned
+/// probabilities as an N:M compressed matrix.
+NmMatrix prune_probabilities(const FloatMatrix& p, NmPattern pattern) {
+  VENOM_CHECK_MSG(p.cols() % pattern.m == 0,
+                  "sequence length " << p.cols() << " not divisible by M="
+                                     << pattern.m);
+  HalfMatrix pruned(p.rows(), p.cols());
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    // Select per group; probabilities are non-negative so magnitude
+    // selection is just "largest".
+    for (std::size_t g = 0; g < p.cols() / pattern.m; ++g) {
+      // Insertion-select the top n of the group (n is 1 or 2).
+      std::size_t best = g * pattern.m;
+      for (std::size_t c = 1; c < pattern.m; ++c)
+        if (p(i, g * pattern.m + c) > p(i, best)) best = g * pattern.m + c;
+      pruned(i, best) = half_t(p(i, best));
+      if (pattern.n == 2) {
+        std::size_t second = best == g * pattern.m ? g * pattern.m + 1
+                                                   : g * pattern.m;
+        for (std::size_t c = 0; c < pattern.m; ++c) {
+          const std::size_t col = g * pattern.m + c;
+          if (col != best && p(i, col) > p(i, second)) second = col;
+        }
+        pruned(i, second) = half_t(p(i, second));
+      }
+    }
+    // Renormalize the surviving mass.
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < p.cols(); ++c)
+      sum += pruned(i, c).to_float();
+    if (sum > 0.0f) {
+      const float inv = 1.0f / sum;
+      for (std::size_t c = 0; c < p.cols(); ++c)
+        if (!pruned(i, c).is_zero())
+          pruned(i, c) = half_t(pruned(i, c).to_float() * inv);
+    }
+  }
+  return NmMatrix::compress(pruned, pattern);
+}
+
+}  // namespace
+
+HalfMatrix MultiHeadAttention::forward(const HalfMatrix& x,
+                                       TimingBreakdown* timing) const {
+  VENOM_CHECK(x.rows() == hidden_);
+  const std::size_t dh = hidden_ / heads_;
+  const float scale = 1.0f / std::sqrt(float(dh));
+
+  const HalfMatrix q = wq_.forward(x, timing);
+  const HalfMatrix k = wk_.forward(x, timing);
+  const HalfMatrix v = wv_.forward(x, timing);
+
+  HalfMatrix context(hidden_, x.cols());
+  for (std::size_t h = 0; h < heads_; ++h) {
+    const HalfMatrix qh = slice_head(q, h, dh);
+    const HalfMatrix kh = slice_head(k, h, dh);
+    const HalfMatrix vh = slice_head(v, h, dh);
+
+    auto t0 = std::chrono::steady_clock::now();
+    FloatMatrix scores = attention_scores(qh, kh, scale);
+    if (timing != nullptr) timing->attn_matmul_s += seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    if (causal_) {
+      // Decoder mask: query i must not see keys j > i.
+      for (std::size_t i = 0; i < scores.rows(); ++i)
+        for (std::size_t j = i + 1; j < scores.cols(); ++j)
+          scores(i, j) = -1e30f;
+    }
+    softmax_rows(scores);
+    if (timing != nullptr) timing->softmax_s += seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    HalfMatrix ctx;
+    if (score_pattern_.has_value()) {
+      // Dynamic N:M attention: context^T = P_nm * V^T via the sparse
+      // hardware kernel.
+      const NmMatrix p_nm = prune_probabilities(scores, *score_pattern_);
+      const HalfMatrix vt = transpose(vh);
+      const FloatMatrix ctx_t = spmm_24(p_nm, vt);
+      ctx = HalfMatrix(vh.rows(), scores.rows());
+      for (std::size_t d = 0; d < vh.rows(); ++d)
+        for (std::size_t i = 0; i < scores.rows(); ++i)
+          ctx(d, i) = half_t(ctx_t(i, d));
+    } else {
+      ctx = attention_context(scores, vh);
+    }
+    if (timing != nullptr) timing->attn_matmul_s += seconds_since(t0);
+
+    for (std::size_t d = 0; d < dh; ++d)
+      for (std::size_t t = 0; t < x.cols(); ++t)
+        context(h * dh + d, t) = ctx(d, t);
+  }
+  return wo_.forward(context, timing);
+}
+
+}  // namespace venom::transformer

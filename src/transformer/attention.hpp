@@ -1,0 +1,61 @@
+// Multi-head self-attention (the pruned MHA of Fig. 14).
+//
+// The four weight projections (WQ, WK, WV, WO) are Linear layers whose
+// weights can be sparsified to V:N:M — the SpMM conversions of Fig. 14.
+// The scores/softmax/context path stays dense by default, as in the
+// paper; set_dynamic_score_sparsity() additionally enables DFSS-style
+// dynamic N:M attention [Chen et al., PPoPP'23 — the paper's ref. 6]:
+// after softmax, each probability row is pruned to the hardware 2:4 (or
+// 1:2) pattern and the context matmul runs through the sparse kernel.
+#pragma once
+
+#include <optional>
+
+#include "format/nm.hpp"
+#include "transformer/config.hpp"
+#include "transformer/linear.hpp"
+
+namespace venom::transformer {
+
+/// Multi-head self-attention over (hidden x tokens) activations.
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention() = default;
+  /// `causal` enables the decoder-style mask: position i attends only to
+  /// positions <= i (GPT models).
+  MultiHeadAttention(std::size_t hidden, std::size_t heads, Rng& rng,
+                     bool causal = false);
+
+  /// Sparsifies all four projection weights to V:N:M.
+  void sparsify(VnmConfig cfg);
+
+  /// Enables (or, with nullopt, disables) dynamic N:M pruning of the
+  /// attention probabilities. Only the hardware patterns 2:4 and 1:2 are
+  /// accepted (they are what mma.sp executes); the sequence length must
+  /// divide M at forward time. Probability rows are renormalized after
+  /// pruning so each query still distributes unit mass.
+  void set_dynamic_score_sparsity(std::optional<NmPattern> pattern);
+  std::optional<NmPattern> dynamic_score_sparsity() const {
+    return score_pattern_;
+  }
+
+  HalfMatrix forward(const HalfMatrix& x,
+                     TimingBreakdown* timing = nullptr) const;
+
+  std::size_t hidden() const { return hidden_; }
+  std::size_t heads() const { return heads_; }
+  bool causal() const { return causal_; }
+  Linear& wq() { return wq_; }
+  Linear& wk() { return wk_; }
+  Linear& wv() { return wv_; }
+  Linear& wo() { return wo_; }
+
+ private:
+  std::size_t hidden_ = 0;
+  std::size_t heads_ = 0;
+  bool causal_ = false;
+  std::optional<NmPattern> score_pattern_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+}  // namespace venom::transformer

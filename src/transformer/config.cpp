@@ -1,0 +1,43 @@
+#include "transformer/config.hpp"
+
+namespace venom::transformer {
+
+ModelConfig bert_base() {
+  return {.name = "BERT-base",
+          .layers = 12,
+          .hidden = 768,
+          .heads = 12,
+          .ffn_hidden = 3072,
+          .seq_len = 512};
+}
+
+ModelConfig bert_large() {
+  return {.name = "BERT-large",
+          .layers = 24,
+          .hidden = 1024,
+          .heads = 16,
+          .ffn_hidden = 4096,
+          .seq_len = 512};
+}
+
+ModelConfig gpt2_large() {
+  return {.name = "GPT2-large",
+          .layers = 36,
+          .hidden = 1280,
+          .heads = 20,
+          .ffn_hidden = 5120,
+          .seq_len = 1024,
+          .causal = true};
+}
+
+ModelConfig gpt3_175b() {
+  return {.name = "GPT-3",
+          .layers = 96,
+          .hidden = 12288,
+          .heads = 96,
+          .ffn_hidden = 49152,
+          .seq_len = 2048,
+          .causal = true};
+}
+
+}  // namespace venom::transformer

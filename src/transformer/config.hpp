@@ -1,0 +1,37 @@
+// Transformer model configurations (Section 7.2's evaluation models).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace venom::transformer {
+
+/// Architecture hyper-parameters of an encoder-style transformer.
+struct ModelConfig {
+  std::string name;
+  std::size_t layers;
+  std::size_t hidden;
+  std::size_t heads;
+  std::size_t ffn_hidden;
+  std::size_t seq_len;
+  bool causal = false;  ///< decoder-style (GPT) masked self-attention
+
+  std::size_t head_dim() const { return hidden / heads; }
+  /// Encoder parameter count (4 attention + 2 FFN weight matrices per
+  /// layer, biases ignored).
+  std::size_t encoder_params() const {
+    return layers * (4 * hidden * hidden + 2 * hidden * ffn_hidden);
+  }
+};
+
+/// BERT-base: 12 layers, 768 hidden, 12 heads (110M parameters).
+ModelConfig bert_base();
+/// BERT-large: 24 layers, 1024 hidden, 16 heads (336M parameters).
+ModelConfig bert_large();
+/// GPT2-large: 36 layers, 1280 hidden, 20 heads (774M parameters).
+ModelConfig gpt2_large();
+/// GPT-3 175B: 96 layers, 12288 hidden, 96 heads (the paper measures a
+/// single randomly-initialized encoder of this configuration).
+ModelConfig gpt3_175b();
+
+}  // namespace venom::transformer

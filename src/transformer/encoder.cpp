@@ -1,0 +1,75 @@
+#include "transformer/encoder.hpp"
+
+#include <chrono>
+
+#include "transformer/ops.hpp"
+
+namespace venom::transformer {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::vector<float> ones(std::size_t n) { return std::vector<float>(n, 1.0f); }
+std::vector<float> zeros(std::size_t n) { return std::vector<float>(n, 0.0f); }
+
+}  // namespace
+
+EncoderLayer::EncoderLayer(const ModelConfig& cfg, Rng& rng)
+    : hidden_(cfg.hidden),
+      mha_(cfg.hidden, cfg.heads, rng, cfg.causal),
+      ffn_in_(Linear::random(cfg.ffn_hidden, cfg.hidden, rng)),
+      ffn_out_(Linear::random(cfg.hidden, cfg.ffn_hidden, rng)),
+      ln1_gamma_(ones(cfg.hidden)), ln1_beta_(zeros(cfg.hidden)),
+      ln2_gamma_(ones(cfg.hidden)), ln2_beta_(zeros(cfg.hidden)) {}
+
+void EncoderLayer::sparsify(VnmConfig cfg) {
+  mha_.sparsify(cfg);
+  ffn_in_.sparsify(cfg);
+  ffn_out_.sparsify(cfg);
+}
+
+HalfMatrix EncoderLayer::forward(const HalfMatrix& x,
+                                 TimingBreakdown* timing) const {
+  const HalfMatrix attn = mha_.forward(x, timing);
+
+  auto t0 = std::chrono::steady_clock::now();
+  HalfMatrix h = layer_norm(add(x, attn), ln1_gamma_, ln1_beta_);
+  if (timing != nullptr) timing->other_s += seconds_since(t0);
+
+  const HalfMatrix ff1 = ffn_in_.forward(h, timing);
+
+  t0 = std::chrono::steady_clock::now();
+  const HalfMatrix act = gelu(ff1);
+  if (timing != nullptr) timing->other_s += seconds_since(t0);
+
+  const HalfMatrix ff2 = ffn_out_.forward(act, timing);
+
+  t0 = std::chrono::steady_clock::now();
+  HalfMatrix out = layer_norm(add(h, ff2), ln2_gamma_, ln2_beta_);
+  if (timing != nullptr) timing->other_s += seconds_since(t0);
+  return out;
+}
+
+Encoder::Encoder(const ModelConfig& cfg, Rng& rng, std::size_t layer_count)
+    : cfg_(cfg) {
+  const std::size_t n = layer_count == 0 ? cfg.layers : layer_count;
+  layers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) layers_.emplace_back(cfg, rng);
+}
+
+void Encoder::sparsify(VnmConfig cfg) {
+  for (auto& layer : layers_) layer.sparsify(cfg);
+}
+
+HalfMatrix Encoder::forward(const HalfMatrix& x,
+                            TimingBreakdown* timing) const {
+  HalfMatrix h = x;
+  for (const auto& layer : layers_) h = layer.forward(h, timing);
+  return h;
+}
+
+}  // namespace venom::transformer

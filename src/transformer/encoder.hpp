@@ -1,0 +1,68 @@
+// Transformer encoder layer and stack.
+//
+// Standard post-LN encoder: x -> MHA -> +residual -> LN -> FFN ->
+// +residual -> LN. All six weight matrices per layer can be sparsified to
+// V:N:M, which reroutes their GEMMs through Spatha (Fig. 14).
+#pragma once
+
+#include <vector>
+
+#include "transformer/attention.hpp"
+#include "transformer/config.hpp"
+
+namespace venom::transformer {
+
+/// One encoder layer (MHA + FFN + two LayerNorms).
+class EncoderLayer {
+ public:
+  EncoderLayer() = default;
+  EncoderLayer(const ModelConfig& cfg, Rng& rng);
+
+  /// Sparsifies all linear weights (4 attention + 2 FFN) to V:N:M.
+  void sparsify(VnmConfig cfg);
+
+  /// Enables DFSS-style dynamic N:M pruning of attention probabilities.
+  void set_dynamic_score_sparsity(std::optional<NmPattern> pattern) {
+    mha_.set_dynamic_score_sparsity(pattern);
+  }
+
+  HalfMatrix forward(const HalfMatrix& x,
+                     TimingBreakdown* timing = nullptr) const;
+
+  MultiHeadAttention& attention() { return mha_; }
+  Linear& ffn_in() { return ffn_in_; }
+  Linear& ffn_out() { return ffn_out_; }
+
+ private:
+  std::size_t hidden_ = 0;
+  MultiHeadAttention mha_;
+  Linear ffn_in_, ffn_out_;
+  std::vector<float> ln1_gamma_, ln1_beta_, ln2_gamma_, ln2_beta_;
+};
+
+/// A stack of encoder layers.
+class Encoder {
+ public:
+  /// Builds `layer_count` layers (defaults to cfg.layers when 0).
+  Encoder(const ModelConfig& cfg, Rng& rng, std::size_t layer_count = 0);
+
+  void sparsify(VnmConfig cfg);
+
+  /// Applies dynamic N:M attention to every layer.
+  void set_dynamic_score_sparsity(std::optional<NmPattern> pattern) {
+    for (auto& layer : layers_) layer.set_dynamic_score_sparsity(pattern);
+  }
+
+  HalfMatrix forward(const HalfMatrix& x,
+                     TimingBreakdown* timing = nullptr) const;
+
+  std::size_t layer_count() const { return layers_.size(); }
+  EncoderLayer& layer(std::size_t i) { return layers_[i]; }
+  const ModelConfig& config() const { return cfg_; }
+
+ private:
+  ModelConfig cfg_;
+  std::vector<EncoderLayer> layers_;
+};
+
+}  // namespace venom::transformer

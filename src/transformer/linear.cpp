@@ -1,0 +1,95 @@
+#include "transformer/linear.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "baselines/gemm.hpp"
+#include "spatha/epilogue.hpp"
+#include "spatha/spmm.hpp"
+#include "transformer/ops.hpp"
+
+namespace venom::transformer {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Linear::Linear(HalfMatrix weight, std::vector<float> bias)
+    : out_(weight.rows()), in_(weight.cols()), weight_(std::move(weight)),
+      bias_(std::move(bias)) {
+  VENOM_CHECK(bias_.size() == out_);
+}
+
+Linear Linear::random(std::size_t out, std::size_t in, Rng& rng) {
+  const float sigma = 1.0f / std::sqrt(float(in));
+  HalfMatrix w = random_half_matrix(out, in, rng, sigma);
+  std::vector<float> b(out);
+  for (auto& v : b) v = sigma * rng.normal();
+  return Linear(std::move(w), std::move(b));
+}
+
+void Linear::sparsify(VnmConfig cfg) {
+  sparse_ = VnmMatrix::from_dense_magnitude(weight_, cfg);
+}
+
+HalfMatrix Linear::forward(const HalfMatrix& x,
+                           TimingBreakdown* timing) const {
+  VENOM_CHECK_MSG(x.rows() == in_, "Linear expects " << in_ << " features, got "
+                                                     << x.rows());
+  const auto t0 = std::chrono::steady_clock::now();
+  if (sparse_.has_value()) {
+    // Sparse path: Spatha with the bias fused into the write-back stage.
+    spatha::Epilogue epilogue;
+    epilogue.bias = bias_;
+    HalfMatrix y = spatha::spmm_vnm_fused(*sparse_, x, epilogue);
+    if (timing != nullptr) timing->gemm_s += seconds_since(t0);
+    return y;
+  }
+  FloatMatrix acc = gemm_dense(weight_, x);
+  add_bias(acc, bias_);
+  if (timing != nullptr) timing->gemm_s += seconds_since(t0);
+  return to_half(acc);
+}
+
+Linear::Grads Linear::backward(const HalfMatrix& x,
+                               const FloatMatrix& grad_y) const {
+  VENOM_CHECK_MSG(x.rows() == in_ && grad_y.rows() == out_ &&
+                      x.cols() == grad_y.cols(),
+                  "backward shapes: x " << x.rows() << 'x' << x.cols()
+                                        << ", grad_y " << grad_y.rows() << 'x'
+                                        << grad_y.cols());
+  Grads g;
+  const HalfMatrix grad_y_half = to_half(grad_y);
+
+  // dL/dx = W^T dL/dy — through the transposed sparse kernel when pruned.
+  g.input = sparse_.has_value()
+                ? spatha::spmm_vnm_transposed(*sparse_, grad_y_half)
+                : gemm_dense(transpose(weight_), grad_y_half);
+
+  // dL/dW = dL/dy x^T (dense: gradients flow to every coordinate; STen
+  // keeps dense weight grads so the sparsifier can re-select later).
+  g.weight = gemm_dense(grad_y_half, transpose(x));
+
+  // dL/db = row sums of dL/dy.
+  g.bias.assign(out_, 0.0f);
+  for (std::size_t o = 0; o < out_; ++o)
+    for (std::size_t t = 0; t < grad_y.cols(); ++t)
+      g.bias[o] += grad_y(o, t);
+  return g;
+}
+
+void Linear::mask_gradient_to_pattern(FloatMatrix& grad_weight) const {
+  VENOM_CHECK(grad_weight.rows() == out_ && grad_weight.cols() == in_);
+  if (!sparse_.has_value()) return;
+  const HalfMatrix pattern = sparse_->to_dense();
+  for (std::size_t r = 0; r < out_; ++r)
+    for (std::size_t c = 0; c < in_; ++c)
+      if (pattern(r, c).is_zero()) grad_weight(r, c) = 0.0f;
+}
+
+}  // namespace venom::transformer

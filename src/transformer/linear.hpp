@@ -1,0 +1,84 @@
+// Linear layer with a dense or V:N:M-sparse weight backend.
+//
+// This is the CPU analogue of the paper's STen integration (Listing 1):
+// a dense nn.Linear is replaced by an Spmm module holding the VNMTensor
+// (values / columns / metadata) and dispatching to Spatha. Calling
+// sparsify() converts the dense weight into a VnmMatrix; forward() then
+// routes through spatha::spmm_vnm instead of the dense GEMM.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "format/vnm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::transformer {
+
+/// Per-op-class timing sink (seconds). Filled by forward passes so the
+/// Fig. 15 breakdown (GEMMs / softmax / matmul / others) can be measured.
+struct TimingBreakdown {
+  double gemm_s = 0;
+  double softmax_s = 0;
+  double attn_matmul_s = 0;
+  double other_s = 0;
+  double total() const { return gemm_s + softmax_s + attn_matmul_s + other_s; }
+  TimingBreakdown& operator+=(const TimingBreakdown& o) {
+    gemm_s += o.gemm_s;
+    softmax_s += o.softmax_s;
+    attn_matmul_s += o.attn_matmul_s;
+    other_s += o.other_s;
+    return *this;
+  }
+};
+
+/// y(out x tokens) = W(out x in) * x(in x tokens) + bias.
+class Linear {
+ public:
+  Linear() = default;
+  /// Takes ownership of a dense weight (out x in) and bias (size out).
+  Linear(HalfMatrix weight, std::vector<float> bias);
+
+  /// Random-initialized layer, sigma = 1/sqrt(in).
+  static Linear random(std::size_t out, std::size_t in, Rng& rng);
+
+  /// Converts the weight to the V:N:M format (magnitude pruning). After
+  /// this call forward() uses Spatha. Throws if shapes do not divide.
+  void sparsify(VnmConfig cfg);
+
+  bool is_sparse() const { return sparse_.has_value(); }
+  std::size_t out_features() const { return out_; }
+  std::size_t in_features() const { return in_; }
+  const HalfMatrix& dense_weight() const { return weight_; }
+  const VnmMatrix& sparse_weight() const { return *sparse_; }
+  std::span<const float> bias() const { return bias_; }
+
+  /// Forward pass; if `timing` is non-null, the GEMM time is added.
+  HalfMatrix forward(const HalfMatrix& x, TimingBreakdown* timing = nullptr) const;
+
+  /// Gradients of a linear layer (the sparse-training path of §9a: the
+  /// sparse weight's backward for the input runs through the transposed
+  /// V:N:M SpMM; the weight gradient is dense, as in STen's default).
+  struct Grads {
+    FloatMatrix input;        ///< dL/dx (in x tokens)
+    FloatMatrix weight;       ///< dL/dW (out x in, dense)
+    std::vector<float> bias;  ///< dL/db (out)
+  };
+
+  /// Backward pass for y = W x + b given dL/dy and the forward input.
+  Grads backward(const HalfMatrix& x, const FloatMatrix& grad_y) const;
+
+  /// Zeroes the entries of a weight gradient that the sparse pattern
+  /// pruned, so updates cannot resurrect dead weights (masked training).
+  /// No-op while the layer is dense.
+  void mask_gradient_to_pattern(FloatMatrix& grad_weight) const;
+
+ private:
+  std::size_t out_ = 0;
+  std::size_t in_ = 0;
+  HalfMatrix weight_;
+  std::vector<float> bias_;
+  std::optional<VnmMatrix> sparse_;
+};
+
+}  // namespace venom::transformer

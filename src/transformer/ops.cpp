@@ -1,0 +1,98 @@
+#include "transformer/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace venom::transformer {
+
+void softmax_rows(FloatMatrix& scores) {
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    auto row = scores.row(r);
+    const float mx = *std::max_element(row.begin(), row.end());
+    float sum = 0.0f;
+    for (auto& v : row) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    const float inv = 1.0f / sum;
+    for (auto& v : row) v *= inv;
+  }
+}
+
+HalfMatrix layer_norm(const HalfMatrix& x, std::span<const float> gamma,
+                      std::span<const float> beta, float eps) {
+  VENOM_CHECK(gamma.size() == x.rows() && beta.size() == x.rows());
+  HalfMatrix out(x.rows(), x.cols());
+  for (std::size_t t = 0; t < x.cols(); ++t) {
+    float mean = 0.0f;
+    for (std::size_t f = 0; f < x.rows(); ++f) mean += x(f, t).to_float();
+    mean /= float(x.rows());
+    float var = 0.0f;
+    for (std::size_t f = 0; f < x.rows(); ++f) {
+      const float d = x(f, t).to_float() - mean;
+      var += d * d;
+    }
+    var /= float(x.rows());
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (std::size_t f = 0; f < x.rows(); ++f)
+      out(f, t) = half_t((x(f, t).to_float() - mean) * inv * gamma[f] +
+                         beta[f]);
+  }
+  return out;
+}
+
+HalfMatrix gelu(const HalfMatrix& x) {
+  HalfMatrix out(x.rows(), x.cols());
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x.flat()[i].to_float();
+    const float t = std::tanh(kSqrt2OverPi * (v + 0.044715f * v * v * v));
+    out.flat()[i] = half_t(0.5f * v * (1.0f + t));
+  }
+  return out;
+}
+
+HalfMatrix add(const HalfMatrix& x, const HalfMatrix& y) {
+  VENOM_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
+  HalfMatrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out.flat()[i] = x.flat()[i] + y.flat()[i];
+  return out;
+}
+
+void add_bias(FloatMatrix& x, std::span<const float> bias) {
+  VENOM_CHECK(bias.size() == x.rows());
+  for (std::size_t f = 0; f < x.rows(); ++f)
+    for (std::size_t t = 0; t < x.cols(); ++t) x(f, t) += bias[f];
+}
+
+FloatMatrix attention_scores(const HalfMatrix& qh, const HalfMatrix& kh,
+                             float scale) {
+  VENOM_CHECK(qh.rows() == kh.rows());
+  FloatMatrix scores(qh.cols(), kh.cols());
+  for (std::size_t i = 0; i < qh.cols(); ++i)
+    for (std::size_t j = 0; j < kh.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t d = 0; d < qh.rows(); ++d)
+        acc += qh(d, i).to_float() * kh(d, j).to_float();
+      scores(i, j) = acc * scale;
+    }
+  return scores;
+}
+
+HalfMatrix attention_context(const FloatMatrix& p, const HalfMatrix& vh) {
+  VENOM_CHECK(p.cols() == vh.cols());
+  HalfMatrix ctx(vh.rows(), p.rows());
+  for (std::size_t d = 0; d < vh.rows(); ++d)
+    for (std::size_t i = 0; i < p.rows(); ++i) {
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < p.cols(); ++j)
+        acc += p(i, j) * vh(d, j).to_float();
+      ctx(d, i) = half_t(acc);
+    }
+  return ctx;
+}
+
+}  // namespace venom::transformer

@@ -1,0 +1,36 @@
+// Elementwise / normalization / attention-matmul operators.
+//
+// Activations flow as HalfMatrix with shape (features x tokens): the
+// token dimension lies along columns, so a linear layer is exactly the
+// paper's SpMM (sparse weight R x K times dense activation K x C).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace venom::transformer {
+
+/// Row-wise softmax in place (each row is one attention query's scores).
+void softmax_rows(FloatMatrix& scores);
+
+/// LayerNorm over the feature dimension of (features x tokens), per
+/// token (column), with scale gamma and shift beta (size = features).
+HalfMatrix layer_norm(const HalfMatrix& x, std::span<const float> gamma,
+                      std::span<const float> beta, float eps = 1e-5f);
+
+/// GELU (tanh approximation) applied element-wise.
+HalfMatrix gelu(const HalfMatrix& x);
+
+/// x + y element-wise (residual connection).
+HalfMatrix add(const HalfMatrix& x, const HalfMatrix& y);
+
+/// Adds a per-feature bias to (features x tokens).
+void add_bias(FloatMatrix& x, std::span<const float> bias);
+
+/// scores(Tq x Tk) = Qh^T Kh * scale, with Qh, Kh of shape (dh x T).
+FloatMatrix attention_scores(const HalfMatrix& qh, const HalfMatrix& kh,
+                             float scale);
+
+/// context(dh x Tq) = Vh * P^T, with P(Tq x Tk) probabilities, Vh(dh x Tk).
+HalfMatrix attention_context(const FloatMatrix& p, const HalfMatrix& vh);
+
+}  // namespace venom::transformer

@@ -1,0 +1,101 @@
+#include "transformer/sten.hpp"
+
+#include "baselines/gemm.hpp"
+#include "common/error.hpp"
+#include "spatha/spmm.hpp"
+#include "transformer/ops.hpp"
+
+namespace venom::sten {
+
+SparseTensorWrapper SparseTensorWrapper::dense(HalfMatrix tensor) {
+  SparseTensorWrapper w;
+  w.dense_ = std::move(tensor);
+  return w;
+}
+
+SparseTensorWrapper SparseTensorWrapper::wrapped_from_dense(
+    VnmMatrix sparse, HalfMatrix original) {
+  VENOM_CHECK_MSG(sparse.rows() == original.rows() &&
+                      sparse.cols() == original.cols(),
+                  "wrapped tensor shape mismatch");
+  SparseTensorWrapper w;
+  w.dense_ = std::move(original);
+  w.sparse_ = std::move(sparse);
+  return w;
+}
+
+const VnmMatrix& SparseTensorWrapper::wrapped_tensor() const {
+  VENOM_CHECK_MSG(sparse_.has_value(), "tensor has not been sparsified");
+  return *sparse_;
+}
+
+SparsifierRegistry& SparsifierRegistry::instance() {
+  static SparsifierRegistry registry;
+  return registry;
+}
+
+SparsifierRegistry::SparsifierRegistry() {
+  impls_.emplace("vnm_magnitude", torch_tensor_to_vnm);
+}
+
+bool SparsifierRegistry::register_impl(const std::string& name,
+                                       SparsifierImpl impl) {
+  return impls_.emplace(name, std::move(impl)).second;
+}
+
+bool SparsifierRegistry::contains(const std::string& name) const {
+  return impls_.count(name) != 0;
+}
+
+std::vector<std::string> SparsifierRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(impls_.size());
+  for (const auto& [name, impl] : impls_) out.push_back(name);
+  return out;
+}
+
+SparseTensorWrapper SparsifierRegistry::sparsify(
+    const std::string& name, const VnmSparsifier& sparsifier,
+    const HalfMatrix& dense) const {
+  const auto it = impls_.find(name);
+  VENOM_CHECK_MSG(it != impls_.end(),
+                  "no sparsifier implementation named '" << name << "'");
+  return it->second(sparsifier, dense);
+}
+
+SparseTensorWrapper torch_tensor_to_vnm(const VnmSparsifier& sparsifier,
+                                        const HalfMatrix& tensor) {
+  return SparseTensorWrapper::wrapped_from_dense(
+      VnmMatrix::from_dense_magnitude(tensor, sparsifier.config()), tensor);
+}
+
+SpmmModule::SpmmModule(SparseTensorWrapper weight, std::vector<float> bias)
+    : weight_(std::move(weight)), bias_(std::move(bias)) {
+  VENOM_CHECK_MSG(bias_.empty() || bias_.size() == weight_.rows(),
+                  "bias size " << bias_.size() << " != out features "
+                               << weight_.rows());
+}
+
+HalfMatrix SpmmModule::forward(const HalfMatrix& input) const {
+  VENOM_CHECK_MSG(input.rows() == weight_.cols(),
+                  "SpmmModule expects " << weight_.cols()
+                                        << " input features, got "
+                                        << input.rows());
+  FloatMatrix acc = weight_.is_sparse()
+                        ? spatha::spmm_vnm(weight_.wrapped_tensor(), input)
+                        : gemm_dense(weight_.dense_tensor(), input);
+  if (!bias_.empty()) transformer::add_bias(acc, bias_);
+  return to_half(acc);
+}
+
+const std::vector<half_t>& SpmmModule::values() const {
+  return weight_.wrapped_tensor().values();
+}
+const std::vector<std::uint8_t>& SpmmModule::columns() const {
+  return weight_.wrapped_tensor().column_locs();
+}
+const std::vector<std::uint8_t>& SpmmModule::metadata() const {
+  return weight_.wrapped_tensor().m_indices();
+}
+
+}  // namespace venom::sten

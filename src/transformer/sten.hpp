@@ -1,0 +1,117 @@
+// STen-style sparsity integration layer (paper §7.2.2, Listing 1).
+//
+// The paper plugs Spatha into PyTorch via the STen interface: a
+// sparsifier class describes the target format, a registered
+// implementation converts dense tensors into wrapped sparse tensors, and
+// the runtime dispatches matmuls on wrapped tensors to Spatha. This
+// module is the C++ analogue:
+//
+//   VnmSparsifier        the (n, m, v) format description
+//   SparseTensorWrapper  a tensor that is dense, or VNM-compressed with
+//                        its dense origin retained (STen keeps both to
+//                        support dense gradients)
+//   SparsifierRegistry   name -> conversion function, mirroring
+//                        @sten.register_sparsifier_implementation
+//   SpmmModule           the Listing-1 `Spmm` torch.nn.Module: holds the
+//                        wrapped weight's values/columns/metadata and
+//                        forwards through spatha::spmm
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "format/vnm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::sten {
+
+/// Format description handed to the registry (Listing 1's
+/// spatha.VNMSparsifier with fields n, m, v).
+struct VnmSparsifier {
+  std::size_t n = 2;
+  std::size_t m = 8;
+  std::size_t v = 64;
+
+  VnmConfig config() const { return VnmConfig{v, n, m}; }
+};
+
+/// A tensor wrapper that is either still dense or carries a VNM payload
+/// plus the dense tensor it was created from.
+class SparseTensorWrapper {
+ public:
+  /// Wraps a dense tensor (no sparsity yet).
+  static SparseTensorWrapper dense(HalfMatrix tensor);
+
+  /// Listing 1's sten.SparseTensorWrapper.wrapped_from_dense.
+  static SparseTensorWrapper wrapped_from_dense(VnmMatrix sparse,
+                                                HalfMatrix original);
+
+  bool is_sparse() const { return sparse_.has_value(); }
+  const HalfMatrix& dense_tensor() const { return dense_; }
+  const VnmMatrix& wrapped_tensor() const;
+
+  std::size_t rows() const { return dense_.rows(); }
+  std::size_t cols() const { return dense_.cols(); }
+
+ private:
+  HalfMatrix dense_;
+  std::optional<VnmMatrix> sparse_;
+};
+
+/// Conversion function type: (sparsifier, dense input) -> wrapper.
+using SparsifierImpl = std::function<SparseTensorWrapper(
+    const VnmSparsifier&, const HalfMatrix&)>;
+
+/// Global name -> implementation registry
+/// (@sten.register_sparsifier_implementation).
+class SparsifierRegistry {
+ public:
+  static SparsifierRegistry& instance();
+
+  /// Registers an implementation; returns false if the name was taken.
+  bool register_impl(const std::string& name, SparsifierImpl impl);
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Applies the named implementation; throws venom::Error if unknown.
+  SparseTensorWrapper sparsify(const std::string& name,
+                               const VnmSparsifier& sparsifier,
+                               const HalfMatrix& dense) const;
+
+ private:
+  SparsifierRegistry();
+  std::map<std::string, SparsifierImpl> impls_;
+};
+
+/// The default magnitude-pruning implementation, registered under
+/// "vnm_magnitude" at startup (Listing 1's torch_tensor_to_vnm).
+SparseTensorWrapper torch_tensor_to_vnm(const VnmSparsifier& sparsifier,
+                                        const HalfMatrix& tensor);
+
+/// Listing 1's `class Spmm(torch.nn.Module)`: captures the wrapped
+/// weight's compressed structures and forwards activations through
+/// Spatha (or dense GEMM while the weight is still dense).
+class SpmmModule {
+ public:
+  SpmmModule(SparseTensorWrapper weight, std::vector<float> bias);
+
+  /// forward(input): weight @ input + bias.
+  HalfMatrix forward(const HalfMatrix& input) const;
+
+  const SparseTensorWrapper& weight() const { return weight_; }
+
+  // Accessors mirroring Listing 1's self.values / columns / metadata.
+  const std::vector<half_t>& values() const;
+  const std::vector<std::uint8_t>& columns() const;
+  const std::vector<std::uint8_t>& metadata() const;
+
+ private:
+  SparseTensorWrapper weight_;
+  std::vector<float> bias_;
+};
+
+}  // namespace venom::sten

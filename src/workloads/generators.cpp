@@ -1,0 +1,95 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace venom::workloads {
+
+HalfMatrix uniform_sparse(std::size_t rows, std::size_t cols, double density,
+                          Rng& rng, float sigma) {
+  VENOM_CHECK_MSG(density >= 0.0 && density <= 1.0,
+                  "density " << density << " out of [0,1]");
+  HalfMatrix m(rows, cols);
+  for (auto& v : m.flat())
+    if (rng.uniform() < float(density)) v = half_t(sigma * rng.normal());
+  return m;
+}
+
+HalfMatrix banded(std::size_t rows, std::size_t cols,
+                  std::size_t half_bandwidth, Rng& rng, float sigma) {
+  HalfMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double center = double(r) * double(cols) / double(rows);
+    const std::size_t lo = static_cast<std::size_t>(
+        std::max(0.0, center - double(half_bandwidth)));
+    const std::size_t hi = std::min<std::size_t>(
+        cols, static_cast<std::size_t>(center + double(half_bandwidth)) + 1);
+    for (std::size_t c = lo; c < hi; ++c)
+      m(r, c) = half_t(sigma * rng.normal());
+  }
+  return m;
+}
+
+HalfMatrix power_law_rows(std::size_t rows, std::size_t cols, double density,
+                          double alpha, Rng& rng, float sigma) {
+  VENOM_CHECK_MSG(density > 0.0 && density <= 1.0,
+                  "density " << density << " out of (0,1]");
+  VENOM_CHECK_MSG(alpha >= 0.0, "alpha must be non-negative");
+  // Unnormalized row weights 1/(r+1)^alpha, scaled to the global budget.
+  std::vector<double> weight(rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    weight[r] = 1.0 / std::pow(double(r + 1), alpha);
+  const double wsum = std::accumulate(weight.begin(), weight.end(), 0.0);
+  const double budget = density * double(rows) * double(cols);
+
+  HalfMatrix m(rows, cols);
+  std::vector<std::size_t> perm(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto nnz = std::min<std::size_t>(
+        cols, static_cast<std::size_t>(std::llround(budget * weight[r] / wsum)));
+    // Partial Fisher-Yates picks nnz distinct columns.
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    for (std::size_t i = 0; i < nnz; ++i) {
+      const std::size_t j = i + rng.uniform_index(cols - i);
+      std::swap(perm[i], perm[j]);
+      m(r, perm[i]) = half_t(sigma * rng.normal());
+    }
+  }
+  return m;
+}
+
+HalfMatrix block_structured(std::size_t rows, std::size_t cols,
+                            std::size_t block, double density, Rng& rng,
+                            float sigma) {
+  VENOM_CHECK(rows % block == 0 && cols % block == 0);
+  HalfMatrix m(rows, cols);
+  for (std::size_t bi = 0; bi < rows / block; ++bi)
+    for (std::size_t bj = 0; bj < cols / block; ++bj) {
+      if (rng.uniform() >= float(density)) continue;
+      for (std::size_t di = 0; di < block; ++di)
+        for (std::size_t dj = 0; dj < block; ++dj)
+          m(bi * block + di, bj * block + dj) = half_t(sigma * rng.normal());
+    }
+  return m;
+}
+
+double row_imbalance(const HalfMatrix& m) {
+  if (m.rows() == 0) return 0.0;
+  std::vector<double> nnz(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      if (!m(r, c).is_zero()) nnz[r] += 1.0;
+  const double mean =
+      std::accumulate(nnz.begin(), nnz.end(), 0.0) / double(m.rows());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (double v : nnz) var += (v - mean) * (v - mean);
+  var /= double(m.rows());
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace venom::workloads

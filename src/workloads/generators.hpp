@@ -1,0 +1,48 @@
+// Synthetic sparse-workload generators.
+//
+// The libraries the paper compares against were designed around the Deep
+// Learning Matrix Collection (DLMC) [Gale et al.], whose matrices differ
+// from scientific-computing sparsity in density, nonzeros-per-row, and
+// balance. These generators synthesize the relevant structures so the
+// robustness bench and property tests can probe kernels across the space:
+//
+//   dense_transformer  outlier-column dense weights (prune before use)
+//   uniform_sparse     i.i.d. Bernoulli nonzeros (DLMC-like unstructured)
+//   banded             diagonal band (scientific stencil structure)
+//   power_law_rows     skewed nonzeros-per-row (the load-imbalance case
+//                      the paper says hurts CUDA-core kernels)
+//   block_structured   dense v x v blocks on a sparse grid
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::workloads {
+
+/// i.i.d. Bernoulli(density) mask over N(0, sigma^2) values.
+HalfMatrix uniform_sparse(std::size_t rows, std::size_t cols, double density,
+                          Rng& rng, float sigma = 0.1f);
+
+/// Nonzeros confined to |col - row * cols/rows| <= half_bandwidth.
+HalfMatrix banded(std::size_t rows, std::size_t cols,
+                  std::size_t half_bandwidth, Rng& rng, float sigma = 0.1f);
+
+/// Row r receives nnz proportional to 1 / (r+1)^alpha, scaled so the
+/// whole matrix hits `density`; positions uniform per row. alpha = 0 is
+/// balanced, alpha ~ 1 strongly imbalanced.
+HalfMatrix power_law_rows(std::size_t rows, std::size_t cols, double density,
+                          double alpha, Rng& rng, float sigma = 0.1f);
+
+/// Dense `block` x `block` tiles kept with probability `density`.
+HalfMatrix block_structured(std::size_t rows, std::size_t cols,
+                            std::size_t block, double density, Rng& rng,
+                            float sigma = 0.1f);
+
+/// Coefficient of variation of nonzeros-per-row (0 = perfectly balanced).
+/// The paper's §3 lists load imbalance as a defining property of DL
+/// sparsity; this is the measurement the robustness bench reports.
+double row_imbalance(const HalfMatrix& m);
+
+}  // namespace venom::workloads

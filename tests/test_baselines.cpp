@@ -1,0 +1,154 @@
+// Tests for the baseline kernels: dense GEMM, 2:4 SpMM, CSR SpMM, CVSE
+// SpMM. Every sparse kernel is validated against the dense GEMM of its
+// decompressed operand.
+#include <gtest/gtest.h>
+
+#include "baselines/gemm.hpp"
+#include "baselines/spmm_24.hpp"
+#include "baselines/spmm_csr.hpp"
+#include "baselines/spmm_cvse.hpp"
+#include "common/rng.hpp"
+#include "pruning/policies.hpp"
+
+namespace venom {
+namespace {
+
+constexpr float kTol = 2e-2f;  // fp16 inputs, fp32 accumulation
+
+TEST(DenseGemm, MatchesReference) {
+  Rng rng(1);
+  const HalfMatrix a = random_half_matrix(33, 47, rng);
+  const HalfMatrix b = random_half_matrix(47, 29, rng);
+  const FloatMatrix c = gemm_dense(a, b);
+  const FloatMatrix ref = gemm_reference(a, b);
+  EXPECT_LT(rel_fro_error(c, ref), 1e-5f);
+}
+
+TEST(DenseGemm, IdentityPreserves) {
+  Rng rng(2);
+  const HalfMatrix b = random_half_matrix(8, 5, rng);
+  HalfMatrix eye(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) eye(i, i) = half_t(1.0f);
+  const FloatMatrix c = gemm_dense(eye, b);
+  EXPECT_LT(max_abs_diff(c, to_float(b)), 1e-6f);
+}
+
+TEST(DenseGemm, ShapeMismatchThrows) {
+  EXPECT_THROW(gemm_dense(HalfMatrix(4, 5), HalfMatrix(6, 3)), Error);
+}
+
+TEST(DenseGemm, LargeBlockedPathCrossesPanels) {
+  // Exercise K > panel size (256) and rows > block size (32).
+  Rng rng(3);
+  const HalfMatrix a = random_half_matrix(70, 600, rng, 0.1f);
+  const HalfMatrix b = random_half_matrix(600, 16, rng, 0.1f);
+  EXPECT_LT(rel_fro_error(gemm_dense(a, b), gemm_reference(a, b)), 1e-5f);
+}
+
+TEST(DenseGemm, FlopsHelper) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
+}
+
+TEST(Spmm24, MatchesDenseGemmOfDecompressed) {
+  Rng rng(4);
+  const HalfMatrix dense = random_half_matrix(32, 64, rng);
+  const NmMatrix a = NmMatrix::from_dense_magnitude(dense, {2, 4});
+  const HalfMatrix b = random_half_matrix(64, 24, rng);
+  const FloatMatrix c = spmm_24(a, b);
+  const FloatMatrix ref = gemm_dense(a.to_dense(), b);
+  EXPECT_LT(rel_fro_error(c, ref), 1e-5f);
+}
+
+TEST(Spmm24, Supports12Pattern) {
+  Rng rng(5);
+  const HalfMatrix dense = random_half_matrix(16, 32, rng);
+  const NmMatrix a = NmMatrix::from_dense_magnitude(dense, {1, 2});
+  const HalfMatrix b = random_half_matrix(32, 8, rng);
+  EXPECT_LT(rel_fro_error(spmm_24(a, b), gemm_dense(a.to_dense(), b)), 1e-5f);
+}
+
+TEST(Spmm24, RejectsArbitraryPatterns) {
+  Rng rng(6);
+  const NmMatrix a =
+      NmMatrix::from_dense_magnitude(random_half_matrix(8, 16, rng), {2, 8});
+  EXPECT_THROW(spmm_24(a, HalfMatrix(16, 4)), Error);
+}
+
+TEST(Spmm24, MmaPathMatchesDirectPath) {
+  // The tile path through the mma.sp simulator must agree bit-for-bit in
+  // structure (fp32 sums in a different order -> tiny tolerance).
+  Rng rng(7);
+  const HalfMatrix dense = random_half_matrix(32, 64, rng);
+  const NmMatrix a = NmMatrix::from_dense_magnitude(dense, {2, 4});
+  const HalfMatrix b = random_half_matrix(64, 16, rng);
+  EXPECT_LT(rel_fro_error(spmm_24_mma(a, b), spmm_24(a, b)), kTol);
+}
+
+TEST(Spmm24, MmaPathRejectsUntiledShapes) {
+  Rng rng(8);
+  const NmMatrix a =
+      NmMatrix::from_dense_magnitude(random_half_matrix(8, 32, rng), {2, 4});
+  EXPECT_THROW(spmm_24_mma(a, HalfMatrix(32, 8)), Error);  // rows % 16
+}
+
+TEST(SpmmCsr, MatchesDense) {
+  Rng rng(9);
+  const HalfMatrix dense =
+      pruning::prune_unstructured(random_half_matrix(24, 40, rng), 0.8);
+  const CsrMatrix a = CsrMatrix::from_dense(dense);
+  const HalfMatrix b = random_half_matrix(40, 12, rng);
+  EXPECT_LT(rel_fro_error(spmm_csr(a, b), gemm_dense(dense, b)), 1e-5f);
+}
+
+TEST(SpmmCsr, EmptyRowsProduceZeros) {
+  HalfMatrix dense(4, 8);
+  dense(1, 3) = half_t(2.0f);
+  Rng rng(10);
+  const HalfMatrix b = random_half_matrix(8, 4, rng);
+  const FloatMatrix c = spmm_csr(CsrMatrix::from_dense(dense), b);
+  for (std::size_t n = 0; n < 4; ++n) {
+    EXPECT_FLOAT_EQ(c(0, n), 0.0f);
+    EXPECT_NEAR(c(1, n), 2.0f * b(3, n).to_float(), 1e-3f);
+  }
+}
+
+TEST(SpmmCvse, MatchesDense) {
+  Rng rng(11);
+  const HalfMatrix dense =
+      pruning::prune_vector_wise(random_half_matrix(32, 40, rng), 8, 0.75);
+  const CvseMatrix a = CvseMatrix::from_dense(dense, 8);
+  const HalfMatrix b = random_half_matrix(40, 12, rng);
+  EXPECT_LT(rel_fro_error(spmm_cvse(a, b), gemm_dense(dense, b)), 1e-5f);
+}
+
+TEST(SpmmCvse, VectorLengthsSweep) {
+  Rng rng(12);
+  for (std::size_t l : {2u, 4u, 8u}) {
+    const HalfMatrix dense =
+        pruning::prune_vector_wise(random_half_matrix(16, 24, rng), l, 0.5);
+    const CvseMatrix a = CvseMatrix::from_dense(dense, l);
+    const HalfMatrix b = random_half_matrix(24, 8, rng);
+    EXPECT_LT(rel_fro_error(spmm_cvse(a, b), gemm_dense(dense, b)), 1e-5f)
+        << "l=" << l;
+  }
+}
+
+TEST(AllSpmm, AgreeOnSharedPattern) {
+  // A 2:4 matrix is valid input to every kernel; all must agree.
+  Rng rng(13);
+  const HalfMatrix dense = random_half_matrix(32, 64, rng);
+  const HalfMatrix pruned =
+      NmMatrix::from_dense_magnitude(dense, {2, 4}).to_dense();
+  const HalfMatrix b = random_half_matrix(64, 16, rng);
+
+  const FloatMatrix ref = gemm_dense(pruned, b);
+  EXPECT_LT(rel_fro_error(spmm_24(NmMatrix::compress(pruned, {2, 4}), b), ref),
+            1e-5f);
+  EXPECT_LT(rel_fro_error(spmm_csr(CsrMatrix::from_dense(pruned), b), ref),
+            1e-5f);
+  EXPECT_LT(rel_fro_error(spmm_cvse(CvseMatrix::from_dense(pruned, 1), b), ref),
+            1e-5f);
+}
+
+}  // namespace
+}  // namespace venom

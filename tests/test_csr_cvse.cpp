@@ -1,0 +1,108 @@
+// Tests for the baseline formats: CSR (Sputnik) and CVSE (CLASP).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "format/csr.hpp"
+#include "format/cvse.hpp"
+#include "pruning/policies.hpp"
+
+namespace venom {
+namespace {
+
+TEST(Csr, RoundTrip) {
+  Rng rng(1);
+  HalfMatrix dense = random_half_matrix(8, 12, rng);
+  // Zero out a band.
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 4; c < 8; ++c) dense(r, c) = half_t(0.0f);
+  const CsrMatrix csr = CsrMatrix::from_dense(dense);
+  EXPECT_TRUE(csr.to_dense() == dense);
+  EXPECT_EQ(csr.nnz(), 8u * 8u);
+}
+
+TEST(Csr, EmptyMatrix) {
+  const CsrMatrix csr = CsrMatrix::from_dense(HalfMatrix(4, 4));
+  EXPECT_EQ(csr.nnz(), 0u);
+  EXPECT_EQ(csr.row_offsets().size(), 5u);
+  EXPECT_TRUE(csr.to_dense() == HalfMatrix(4, 4));
+}
+
+TEST(Csr, RowOffsetsAreMonotonic) {
+  Rng rng(2);
+  const HalfMatrix dense =
+      pruning::prune_unstructured(random_half_matrix(16, 16, rng), 0.7);
+  const CsrMatrix csr = CsrMatrix::from_dense(dense);
+  for (std::size_t r = 0; r < 16; ++r)
+    EXPECT_LE(csr.row_offsets()[r], csr.row_offsets()[r + 1]);
+  EXPECT_EQ(csr.row_offsets().back(), csr.nnz());
+}
+
+TEST(Csr, ColumnIndicesSortedPerRow) {
+  Rng rng(3);
+  const CsrMatrix csr = CsrMatrix::from_dense(random_half_matrix(4, 32, rng));
+  for (std::size_t r = 0; r < 4; ++r)
+    for (auto i = csr.row_offsets()[r] + 1; i < csr.row_offsets()[r + 1]; ++i)
+      EXPECT_LT(csr.col_indices()[i - 1], csr.col_indices()[i]);
+}
+
+TEST(Cvse, RoundTrip) {
+  Rng rng(4);
+  HalfMatrix dense = random_half_matrix(8, 6, rng);
+  // Zero whole vectors (rows 0-3 of column 2).
+  for (std::size_t r = 0; r < 4; ++r) dense(r, 2) = half_t(0.0f);
+  const CvseMatrix cv = CvseMatrix::from_dense(dense, 4);
+  EXPECT_TRUE(cv.to_dense() == dense);
+  EXPECT_EQ(cv.vector_count(), 2u * 6u - 1u);
+}
+
+TEST(Cvse, VectorGranularityPreserved) {
+  // A vector with a single nonzero is stored whole (zeros included).
+  HalfMatrix dense(4, 2);
+  dense(1, 0) = half_t(5.0f);
+  const CvseMatrix cv = CvseMatrix::from_dense(dense, 4);
+  EXPECT_EQ(cv.vector_count(), 1u);
+  EXPECT_EQ(cv.nnz(), 4u);  // stores the whole length-4 vector
+  EXPECT_TRUE(cv.to_dense() == dense);
+}
+
+TEST(Cvse, MagnitudeKeepFraction) {
+  Rng rng(5);
+  const HalfMatrix dense = random_half_matrix(32, 32, rng);
+  const CvseMatrix cv = CvseMatrix::from_dense_magnitude(dense, 8, 0.25);
+  // 32/8 = 4 groups x 32 cols = 128 vectors; keep 32.
+  EXPECT_EQ(cv.vector_count(), 32u);
+  EXPECT_NEAR(density(cv.to_dense()), 0.25, 0.05);
+}
+
+TEST(Cvse, MagnitudeKeepsHighestNormVectors) {
+  HalfMatrix dense(4, 3);
+  for (std::size_t r = 0; r < 4; ++r) {
+    dense(r, 0) = half_t(0.1f);
+    dense(r, 1) = half_t(10.0f);
+    dense(r, 2) = half_t(1.0f);
+  }
+  const CvseMatrix cv = CvseMatrix::from_dense_magnitude(dense, 4, 0.34);
+  const HalfMatrix kept = cv.to_dense();
+  EXPECT_TRUE(kept(0, 0).is_zero());
+  EXPECT_FLOAT_EQ(kept(0, 1).to_float(), 10.0f);
+  EXPECT_TRUE(kept(0, 2).is_zero());
+}
+
+TEST(Cvse, RejectsBadShapes) {
+  EXPECT_THROW(CvseMatrix::from_dense(HalfMatrix(6, 4), 4), Error);
+  EXPECT_THROW(CvseMatrix::from_dense_magnitude(HalfMatrix(8, 4), 4, 0.0),
+               Error);
+  EXPECT_THROW(CvseMatrix::from_dense_magnitude(HalfMatrix(8, 4), 4, 1.5),
+               Error);
+}
+
+TEST(Cvse, CompressedBytesScaleWithVectors) {
+  Rng rng(6);
+  const HalfMatrix dense = random_half_matrix(32, 32, rng);
+  const auto a = CvseMatrix::from_dense_magnitude(dense, 8, 0.5);
+  const auto b = CvseMatrix::from_dense_magnitude(dense, 8, 0.25);
+  EXPECT_GT(a.compressed_bytes(), b.compressed_bytes());
+}
+
+}  // namespace
+}  // namespace venom

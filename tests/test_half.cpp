@@ -1,0 +1,118 @@
+// Unit tests for the software binary16 type.
+#include "common/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace venom {
+namespace {
+
+TEST(Half, ZeroRoundTrip) {
+  EXPECT_EQ(half_t(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(half_t(-0.0f).bits(), 0x8000u);
+  EXPECT_TRUE(half_t(0.0f).is_zero());
+  EXPECT_TRUE(half_t(-0.0f).is_zero());
+  EXPECT_EQ(half_t(-0.0f).to_float(), 0.0f);
+}
+
+TEST(Half, OneAndSimpleValues) {
+  EXPECT_EQ(half_t(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(half_t(-2.0f).bits(), 0xc000u);
+  EXPECT_EQ(half_t(0.5f).bits(), 0x3800u);
+  EXPECT_FLOAT_EQ(half_t(1.5f).to_float(), 1.5f);
+  EXPECT_FLOAT_EQ(half_t(-0.25f).to_float(), -0.25f);
+}
+
+TEST(Half, AllBitPatternsRoundTripThroughFloat) {
+  // Every finite half must convert to float and back bit-exactly.
+  for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+    const auto h = half_t::from_bits(static_cast<std::uint16_t>(bits));
+    if (h.is_nan()) continue;  // NaN payloads may be canonicalized
+    const half_t round(h.to_float());
+    EXPECT_EQ(round.bits(), h.bits()) << "bits=" << bits;
+  }
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1.0 + 2^-11 is exactly halfway between 1.0 and the next half; RNE
+  // picks the even mantissa (1.0).
+  EXPECT_EQ(half_t(1.0f + 0x1.0p-11f).bits(), half_t(1.0f).bits());
+  // 1.0 + 3*2^-11 is halfway between 1+2^-10 (odd) and 1+2^-9 (even).
+  EXPECT_EQ(half_t(1.0f + 3 * 0x1.0p-11f).bits(),
+            half_t(1.0f + 0x1.0p-9f).bits());
+  // Just above halfway rounds up.
+  EXPECT_EQ(half_t(1.0f + 0x1.2p-11f).bits(), 0x3c01u);
+}
+
+TEST(Half, Subnormals) {
+  const float min_sub = 0x1.0p-24f;  // smallest positive half subnormal
+  EXPECT_EQ(half_t(min_sub).bits(), 0x0001u);
+  EXPECT_FLOAT_EQ(half_t::from_bits(0x0001).to_float(), min_sub);
+  // Largest subnormal.
+  const float max_sub = 1023.0f * 0x1.0p-24f;
+  EXPECT_EQ(half_t(max_sub).bits(), 0x03ffu);
+  // Below half of the smallest subnormal flushes to zero.
+  EXPECT_TRUE(half_t(0x1.0p-26f).is_zero());
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(half_t(65520.0f).is_inf());
+  EXPECT_TRUE(half_t(1e10f).is_inf());
+  EXPECT_TRUE(half_t(-1e10f).is_inf());
+  EXPECT_EQ(half_t(-1e10f).bits(), 0xfc00u);
+  // 65504 is the largest finite half.
+  EXPECT_EQ(half_t(65504.0f).bits(), 0x7bffu);
+  EXPECT_FALSE(half_t(65504.0f).is_inf());
+}
+
+TEST(Half, NanPropagation) {
+  const half_t nan(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_TRUE(std::isnan(nan.to_float()));
+  EXPECT_FALSE(nan == nan);  // IEEE semantics
+  EXPECT_TRUE((nan + half_t(1.0f)).is_nan());
+}
+
+TEST(Half, Arithmetic) {
+  EXPECT_EQ((half_t(1.5f) + half_t(2.5f)).to_float(), 4.0f);
+  EXPECT_EQ((half_t(3.0f) - half_t(5.0f)).to_float(), -2.0f);
+  EXPECT_EQ((half_t(1.5f) * half_t(2.0f)).to_float(), 3.0f);
+  EXPECT_EQ((half_t(3.0f) / half_t(2.0f)).to_float(), 1.5f);
+  EXPECT_EQ((-half_t(2.0f)).to_float(), -2.0f);
+}
+
+TEST(Half, ArithmeticRoundsResult) {
+  // 2048 + 1 is not representable in half (ulp at 2048 is 2) -> RNE keeps 2048.
+  EXPECT_EQ((half_t(2048.0f) + half_t(1.0f)).to_float(), 2048.0f);
+  // 2048 + 3 = 2051 is exactly halfway between 2050 (odd mantissa) and
+  // 2052 (even mantissa); RNE picks 2052.
+  EXPECT_EQ((half_t(2048.0f) + half_t(3.0f)).to_float(), 2052.0f);
+}
+
+TEST(Half, Comparisons) {
+  EXPECT_LT(half_t(1.0f), half_t(2.0f));
+  EXPECT_GT(half_t(-1.0f), half_t(-2.0f));
+  EXPECT_LE(half_t(1.0f), half_t(1.0f));
+  EXPECT_EQ(half_t(0.0f), half_t(-0.0f));  // +0 == -0
+}
+
+TEST(Half, FmaAccumulatesInFp32) {
+  // fp16 cannot hold 2048 + 1 but the fp32 accumulator can; the tensor
+  // core numerics the simulator mirrors rely on this.
+  float acc = 2048.0f;
+  fma_fp16_fp32(acc, half_t(1.0f), half_t(1.0f));
+  EXPECT_FLOAT_EQ(acc, 2049.0f);
+}
+
+TEST(Half, PrecisionIsTenBits) {
+  // Conversion error of arbitrary floats is bounded by 2^-11 relative.
+  for (float v : {0.1f, 0.3333f, 3.14159f, 123.456f, 0.0007f}) {
+    const float r = half_t(v).to_float();
+    EXPECT_NEAR(r, v, std::fabs(v) * 0x1.0p-10f) << v;
+  }
+}
+
+}  // namespace
+}  // namespace venom

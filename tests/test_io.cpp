@@ -1,0 +1,200 @@
+// Tests for binary serialization: round-trips, probing, and corruption
+// handling (failure injection).
+#include "io/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+
+namespace venom::io {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    return (dir_ / name).string();
+  }
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("venom_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, HalfMatrixRoundTrip) {
+  Rng rng(1);
+  const HalfMatrix m = random_half_matrix(17, 23, rng);
+  save(m, path("m.mat"));
+  EXPECT_EQ(probe(path("m.mat")), FileKind::kHalfMatrix);
+  const HalfMatrix back = load_half_matrix(path("m.mat"));
+  EXPECT_TRUE(back == m);  // bit-exact, including any NaN-free payload
+}
+
+TEST_F(IoTest, HalfMatrixPreservesSpecialValues) {
+  HalfMatrix m(1, 4);
+  m(0, 0) = half_t::from_bits(0x7c00);  // +inf
+  m(0, 1) = half_t::from_bits(0xfc00);  // -inf
+  m(0, 2) = half_t::from_bits(0x8000);  // -0
+  m(0, 3) = half_t::from_bits(0x0001);  // min subnormal
+  save(m, path("special.mat"));
+  const HalfMatrix back = load_half_matrix(path("special.mat"));
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(back.flat()[i].bits(), m.flat()[i].bits());
+}
+
+TEST_F(IoTest, FloatMatrixRoundTrip) {
+  Rng rng(2);
+  const FloatMatrix m = random_float_matrix(9, 11, rng);
+  save(m, path("m.matf"));
+  EXPECT_EQ(probe(path("m.matf")), FileKind::kFloatMatrix);
+  EXPECT_TRUE(load_float_matrix(path("m.matf")) == m);
+}
+
+TEST_F(IoTest, VnmRoundTrip) {
+  Rng rng(3);
+  const VnmConfig cfg{16, 2, 10};
+  const VnmMatrix m = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(32, 40, rng), cfg);
+  save(m, path("m.vnm"));
+  EXPECT_EQ(probe(path("m.vnm")), FileKind::kVnmMatrix);
+  const VnmMatrix back = load_vnm_matrix(path("m.vnm"));
+  EXPECT_EQ(back.config(), cfg);
+  EXPECT_EQ(back.rows(), m.rows());
+  EXPECT_EQ(back.cols(), m.cols());
+  EXPECT_TRUE(back.to_dense() == m.to_dense());
+}
+
+TEST_F(IoTest, NmRoundTrip) {
+  Rng rng(21);
+  const NmMatrix m = NmMatrix::from_dense_magnitude(
+      random_half_matrix(16, 32, rng), {2, 4});
+  save(m, path("m.nm"));
+  EXPECT_EQ(probe(path("m.nm")), FileKind::kNmMatrix);
+  const NmMatrix back = load_nm_matrix(path("m.nm"));
+  EXPECT_EQ(back.pattern(), m.pattern());
+  EXPECT_TRUE(back.to_dense() == m.to_dense());
+}
+
+TEST_F(IoTest, NmGeneralPatternRoundTrip) {
+  Rng rng(22);
+  const NmMatrix m = NmMatrix::from_dense_magnitude(
+      random_half_matrix(8, 48, rng), {2, 16});
+  save(m, path("m.nm"));
+  EXPECT_TRUE(load_nm_matrix(path("m.nm")).to_dense() == m.to_dense());
+}
+
+TEST_F(IoTest, CsrRoundTrip) {
+  Rng rng(23);
+  HalfMatrix dense = random_half_matrix(12, 20, rng);
+  for (std::size_t i = 0; i < dense.size(); i += 3)
+    dense.flat()[i] = half_t(0.0f);
+  const CsrMatrix m = CsrMatrix::from_dense(dense);
+  save(m, path("m.csr"));
+  EXPECT_EQ(probe(path("m.csr")), FileKind::kCsrMatrix);
+  const CsrMatrix back = load_csr_matrix(path("m.csr"));
+  EXPECT_EQ(back.nnz(), m.nnz());
+  EXPECT_TRUE(back.to_dense() == dense);
+}
+
+TEST_F(IoTest, CsrFromPartsValidates) {
+  std::vector<std::uint32_t> offsets = {0, 2, 2};
+  std::vector<std::uint32_t> cols = {1, 0};  // not sorted in row 0
+  std::vector<half_t> vals = {half_t(1.0f), half_t(2.0f)};
+  EXPECT_THROW(CsrMatrix::from_parts(2, 4, offsets, cols, vals), Error);
+  cols = {0, 5};  // out of range
+  EXPECT_THROW(CsrMatrix::from_parts(2, 4, offsets, cols, vals), Error);
+  cols = {0, 1};
+  EXPECT_NO_THROW(CsrMatrix::from_parts(2, 4, offsets, cols, vals));
+  offsets = {0, 3, 2};  // non-monotone / inconsistent nnz
+  EXPECT_THROW(CsrMatrix::from_parts(2, 4, offsets, cols, vals), Error);
+}
+
+TEST_F(IoTest, NmFromPartsValidates) {
+  std::vector<half_t> vals(4, half_t(1.0f));
+  std::vector<std::uint8_t> idx = {0, 1, 0, 1};
+  EXPECT_NO_THROW(NmMatrix::from_parts({2, 4}, 2, 4, vals, idx));
+  idx[2] = 4;  // out of the group
+  EXPECT_THROW(NmMatrix::from_parts({2, 4}, 2, 4, vals, idx), Error);
+  EXPECT_THROW(NmMatrix::from_parts({2, 4}, 2, 6, vals, idx), Error);
+}
+
+TEST_F(IoTest, ProbeUnknown) {
+  std::ofstream(path("junk")) << "not a venom file";
+  EXPECT_EQ(probe(path("junk")), FileKind::kUnknown);
+  EXPECT_EQ(probe(path("missing")), FileKind::kUnknown);
+}
+
+TEST_F(IoTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_half_matrix(path("missing")), Error);
+  EXPECT_THROW(load_vnm_matrix(path("missing")), Error);
+}
+
+TEST_F(IoTest, WrongMagicThrows) {
+  Rng rng(4);
+  save(random_half_matrix(4, 4, rng), path("m.mat"));
+  EXPECT_THROW(load_float_matrix(path("m.mat")), Error);
+  EXPECT_THROW(load_vnm_matrix(path("m.mat")), Error);
+}
+
+TEST_F(IoTest, TruncatedPayloadThrows) {
+  Rng rng(5);
+  save(random_half_matrix(16, 16, rng), path("m.mat"));
+  // Chop the file in half.
+  const auto full = std::filesystem::file_size(path("m.mat"));
+  std::filesystem::resize_file(path("m.mat"), full / 2);
+  EXPECT_THROW(load_half_matrix(path("m.mat")), Error);
+}
+
+TEST_F(IoTest, CorruptVnmMetadataThrows) {
+  Rng rng(6);
+  const VnmMatrix m = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(16, 16, rng), {8, 2, 8});
+  save(m, path("m.vnm"));
+  // Flip the M field (offset: 4 magic + 4 version + 8 v + 8 n = 24) to a
+  // value that does not divide cols.
+  std::fstream f(path("m.vnm"),
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(24);
+  const std::uint64_t bad_m = 7;
+  f.write(reinterpret_cast<const char*>(&bad_m), sizeof(bad_m));
+  f.close();
+  EXPECT_THROW(load_vnm_matrix(path("m.vnm")), Error);
+}
+
+TEST_F(IoTest, FromPartsValidatesIndexRanges) {
+  const VnmConfig cfg{2, 2, 8};
+  std::vector<half_t> values(2 * 1 * 2, half_t(1.0f));
+  std::vector<std::uint8_t> m_indices(values.size(), 0);
+  std::vector<std::uint8_t> column_loc(1 * 1 * 4, 0);
+  EXPECT_NO_THROW(VnmMatrix::from_parts(cfg, 2, 8, values, m_indices,
+                                        column_loc));
+  auto bad_idx = m_indices;
+  bad_idx[0] = 4;  // selector out of the 4 selected columns
+  EXPECT_THROW(
+      VnmMatrix::from_parts(cfg, 2, 8, values, bad_idx, column_loc), Error);
+  auto bad_loc = column_loc;
+  bad_loc[0] = 8;  // column offset out of M
+  EXPECT_THROW(
+      VnmMatrix::from_parts(cfg, 2, 8, values, m_indices, bad_loc), Error);
+  EXPECT_THROW(VnmMatrix::from_parts(cfg, 2, 8, {}, m_indices, column_loc),
+               Error);
+}
+
+TEST_F(IoTest, OverwriteIsClean) {
+  Rng rng(7);
+  save(random_half_matrix(8, 8, rng), path("m.mat"));
+  const HalfMatrix second = random_half_matrix(2, 2, rng);
+  save(second, path("m.mat"));
+  EXPECT_TRUE(load_half_matrix(path("m.mat")) == second);
+}
+
+}  // namespace
+}  // namespace venom::io

@@ -1,0 +1,99 @@
+// Tests for the dense matrix container and utilities.
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace venom {
+namespace {
+
+TEST(Matrix, ShapeAndIndexing) {
+  FloatMatrix m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_FALSE(m.empty());
+  m(2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(m(2, 3), 7.0f);
+  EXPECT_FLOAT_EQ(m(0, 0), 1.5f);
+}
+
+TEST(Matrix, AtThrowsOutOfBounds) {
+  FloatMatrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowSpanViewsUnderlyingData) {
+  FloatMatrix m(2, 3);
+  auto r1 = m.row(1);
+  r1[2] = 9.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 9.0f);
+  EXPECT_EQ(m.row(0).size(), 3u);
+}
+
+TEST(Matrix, Equality) {
+  FloatMatrix a(2, 2, 1.0f), b(2, 2, 1.0f), c(2, 2, 2.0f);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(1);
+  const FloatMatrix m = random_float_matrix(5, 7, rng);
+  const FloatMatrix t = transpose(m);
+  EXPECT_EQ(t.rows(), 7u);
+  EXPECT_EQ(t.cols(), 5u);
+  EXPECT_FLOAT_EQ(t(6, 4), m(4, 6));
+  EXPECT_TRUE(transpose(t) == m);
+}
+
+TEST(Matrix, HalfFloatConversionRoundTrip) {
+  Rng rng(2);
+  const HalfMatrix h = random_half_matrix(4, 4, rng);
+  const HalfMatrix back = to_half(to_float(h));
+  EXPECT_TRUE(back == h);  // halves are exact in float
+}
+
+TEST(Matrix, RandomFillIsDeterministic) {
+  Rng a(3), b(3);
+  EXPECT_TRUE(random_half_matrix(8, 8, a) == random_half_matrix(8, 8, b));
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  FloatMatrix a(2, 2, 1.0f), b(2, 2, 1.0f);
+  b(1, 0) = 3.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 2.5f);
+  EXPECT_THROW(max_abs_diff(a, FloatMatrix(2, 3)), Error);
+}
+
+TEST(Matrix, RelFroError) {
+  FloatMatrix a(1, 2), b(1, 2);
+  b(0, 0) = 3.0f;
+  b(0, 1) = 4.0f;  // ||b|| = 5
+  a = b;
+  EXPECT_FLOAT_EQ(rel_fro_error(a, b), 0.0f);
+  a(0, 0) = 0.0f;  // diff = 3
+  EXPECT_NEAR(rel_fro_error(a, b), 0.6f, 1e-6f);
+}
+
+TEST(Matrix, Density) {
+  HalfMatrix m(2, 4);  // all zero
+  EXPECT_DOUBLE_EQ(density(m), 0.0);
+  m(0, 0) = half_t(1.0f);
+  m(1, 3) = half_t(-2.0f);
+  EXPECT_DOUBLE_EQ(density(m), 2.0 / 8.0);
+}
+
+TEST(Matrix, L1Energy) {
+  HalfMatrix m(1, 3);
+  m(0, 0) = half_t(1.0f);
+  m(0, 1) = half_t(-2.0f);
+  m(0, 2) = half_t(0.5f);
+  EXPECT_DOUBLE_EQ(l1_energy(m), 3.5);
+}
+
+}  // namespace
+}  // namespace venom

@@ -1,0 +1,139 @@
+// Tests for the native N:M compressed format.
+#include "format/nm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace venom {
+namespace {
+
+HalfMatrix make_24_pattern() {
+  // 2 rows x 8 cols, two nonzeros per group of 4.
+  HalfMatrix m(2, 8);
+  m(0, 0) = half_t(1.0f);
+  m(0, 3) = half_t(2.0f);
+  m(0, 5) = half_t(3.0f);
+  m(0, 6) = half_t(4.0f);
+  m(1, 1) = half_t(-1.0f);
+  m(1, 2) = half_t(-2.0f);
+  m(1, 4) = half_t(-3.0f);
+  m(1, 7) = half_t(-4.0f);
+  return m;
+}
+
+TEST(NmPattern, Sparsity) {
+  EXPECT_DOUBLE_EQ((NmPattern{2, 4}).sparsity(), 0.5);
+  EXPECT_DOUBLE_EQ((NmPattern{2, 8}).sparsity(), 0.75);
+  EXPECT_DOUBLE_EQ((NmPattern{2, 20}).sparsity(), 0.9);
+  EXPECT_DOUBLE_EQ((NmPattern{1, 2}).sparsity(), 0.5);
+}
+
+TEST(NmMatrix, CompressRoundTrip24) {
+  const HalfMatrix dense = make_24_pattern();
+  const NmMatrix c = NmMatrix::compress(dense, {2, 4});
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 8u);
+  EXPECT_EQ(c.groups_per_row(), 2u);
+  EXPECT_TRUE(c.to_dense() == dense);
+}
+
+TEST(NmMatrix, ValuesAndIndicesLayout) {
+  const NmMatrix c = NmMatrix::compress(make_24_pattern(), {2, 4});
+  EXPECT_FLOAT_EQ(c.value(0, 0, 0).to_float(), 1.0f);
+  EXPECT_EQ(c.index(0, 0, 0), 0);
+  EXPECT_FLOAT_EQ(c.value(0, 0, 1).to_float(), 2.0f);
+  EXPECT_EQ(c.index(0, 0, 1), 3);
+  EXPECT_FLOAT_EQ(c.value(1, 1, 0).to_float(), -3.0f);
+  EXPECT_EQ(c.index(1, 1, 0), 0);
+}
+
+TEST(NmMatrix, CompressRejectsNonConforming) {
+  HalfMatrix bad(1, 4);
+  bad(0, 0) = half_t(1.0f);
+  bad(0, 1) = half_t(1.0f);
+  bad(0, 2) = half_t(1.0f);  // 3 nonzeros in a 2:4 group
+  EXPECT_THROW(NmMatrix::compress(bad, {2, 4}), Error);
+  EXPECT_FALSE(NmMatrix::conforms(bad, {2, 4}));
+  EXPECT_TRUE(NmMatrix::conforms(bad, {3, 4}));
+}
+
+TEST(NmMatrix, CompressRejectsBadShapes) {
+  HalfMatrix m(2, 6);
+  EXPECT_THROW(NmMatrix::compress(m, {2, 4}), Error);   // 6 % 4 != 0
+  EXPECT_THROW(NmMatrix::compress(m, {4, 3}), Error);   // n > m
+  EXPECT_THROW(NmMatrix::compress(m, {0, 3}), Error);   // n = 0
+}
+
+TEST(NmMatrix, MagnitudePruningKeepsLargest) {
+  HalfMatrix dense(1, 4);
+  dense(0, 0) = half_t(0.1f);
+  dense(0, 1) = half_t(-5.0f);
+  dense(0, 2) = half_t(0.2f);
+  dense(0, 3) = half_t(3.0f);
+  const NmMatrix c = NmMatrix::from_dense_magnitude(dense, {2, 4});
+  const HalfMatrix pruned = c.to_dense();
+  EXPECT_TRUE(pruned(0, 0).is_zero());
+  EXPECT_FLOAT_EQ(pruned(0, 1).to_float(), -5.0f);
+  EXPECT_TRUE(pruned(0, 2).is_zero());
+  EXPECT_FLOAT_EQ(pruned(0, 3).to_float(), 3.0f);
+}
+
+TEST(NmMatrix, MagnitudeTieBreaksDeterministically) {
+  HalfMatrix dense(1, 4, half_t(1.0f));  // all equal magnitude
+  const NmMatrix c = NmMatrix::from_dense_magnitude(dense, {2, 4});
+  const HalfMatrix pruned = c.to_dense();
+  // Stable sort keeps the lowest column indices.
+  EXPECT_FALSE(pruned(0, 0).is_zero());
+  EXPECT_FALSE(pruned(0, 1).is_zero());
+  EXPECT_TRUE(pruned(0, 2).is_zero());
+  EXPECT_TRUE(pruned(0, 3).is_zero());
+}
+
+TEST(NmMatrix, ConformsAfterMagnitudePruning) {
+  Rng rng(9);
+  const HalfMatrix dense = random_half_matrix(16, 32, rng);
+  for (const NmPattern p : {NmPattern{2, 4}, NmPattern{1, 2}, NmPattern{2, 8},
+                            NmPattern{4, 16}}) {
+    const HalfMatrix pruned = NmMatrix::from_dense_magnitude(dense, p).to_dense();
+    EXPECT_TRUE(NmMatrix::conforms(pruned, p))
+        << p.n << ':' << p.m;
+    EXPECT_NEAR(density(pruned), double(p.n) / double(p.m), 1e-9);
+  }
+}
+
+TEST(NmMatrix, PaddingIndicesAreValidSelectors) {
+  HalfMatrix sparse(1, 4);  // entire group zero -> metadata fully padded
+  const NmMatrix c = NmMatrix::compress(sparse, {2, 4});
+  EXPECT_LT(c.index(0, 0, 0), 4);
+  EXPECT_LT(c.index(0, 0, 1), 4);
+  EXPECT_TRUE(c.value(0, 0, 0).is_zero());
+}
+
+TEST(NmMatrix, CompressedBytes24) {
+  Rng rng(4);
+  const HalfMatrix dense = random_half_matrix(16, 64, rng);
+  const NmMatrix c = NmMatrix::from_dense_magnitude(dense, {2, 4});
+  // 16*64/2 = 512 nonzeros: 1024 value bytes + 128 metadata bytes.
+  EXPECT_EQ(c.nnz(), 512u);
+  EXPECT_EQ(c.compressed_bytes(), 512u * 2 + 512u * 2 / 8);
+  // Under half the dense footprint.
+  EXPECT_LT(c.compressed_bytes(), 16u * 64 * 2 * 2 / 3);
+}
+
+TEST(NmMatrix, RoundTripRandomPatterns) {
+  Rng rng(5);
+  for (const NmPattern p :
+       {NmPattern{2, 4}, NmPattern{2, 8}, NmPattern{2, 16}, NmPattern{3, 6}}) {
+    const HalfMatrix pruned =
+        NmMatrix::from_dense_magnitude(random_half_matrix(8, 48, rng), p)
+            .to_dense();
+    const NmMatrix c = NmMatrix::compress(pruned, p);
+    EXPECT_TRUE(c.to_dense() == pruned) << p.n << ':' << p.m;
+  }
+}
+
+}  // namespace
+}  // namespace venom

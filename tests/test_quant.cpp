@@ -1,0 +1,113 @@
+// Tests for the int8-quantized V:N:M path.
+#include "quant/quantized_vnm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gemm.hpp"
+#include "common/rng.hpp"
+#include "spatha/spmm.hpp"
+
+namespace venom::quant {
+namespace {
+
+VnmMatrix random_vnm(std::size_t rows, std::size_t cols, VnmConfig cfg,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  return VnmMatrix::from_dense_magnitude(random_half_matrix(rows, cols, rng),
+                                         cfg);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByScale) {
+  const VnmMatrix fp16 = random_vnm(16, 32, {4, 2, 8}, 1);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+  const VnmMatrix back = q.dequantize();
+  ASSERT_EQ(back.rows(), fp16.rows());
+  for (std::size_t r = 0; r < 16; ++r) {
+    const float bound = q.row_scale(r) * 0.5f + 1e-6f;
+    for (std::size_t g = 0; g < fp16.groups_per_row(); ++g)
+      for (std::size_t j = 0; j < 2; ++j)
+        EXPECT_NEAR(back.value(r, g, j).to_float(),
+                    fp16.value(r, g, j).to_float(), bound + 2e-3f);
+  }
+}
+
+TEST(Quantize, StructureIsShared) {
+  const VnmMatrix fp16 = random_vnm(8, 16, {4, 2, 8}, 2);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+  EXPECT_EQ(q.config(), fp16.config());
+  EXPECT_EQ(q.nnz(), fp16.nnz());
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t g = 0; g < fp16.groups_per_row(); ++g)
+      for (std::size_t j = 0; j < 2; ++j)
+        EXPECT_EQ(q.m_index(r, g, j), fp16.m_index(r, g, j));
+}
+
+TEST(Quantize, ValuesUseFullInt8Range) {
+  const VnmMatrix fp16 = random_vnm(4, 16, {4, 2, 8}, 3);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+  // The max-magnitude value of each row maps to +-127.
+  for (std::size_t r = 0; r < 4; ++r) {
+    int max_abs = 0;
+    for (std::size_t g = 0; g < fp16.groups_per_row(); ++g)
+      for (std::size_t j = 0; j < 2; ++j)
+        max_abs = std::max(max_abs, std::abs(int(q.value(r, g, j))));
+    EXPECT_EQ(max_abs, 127);
+  }
+}
+
+TEST(Quantize, AllZeroRowGetsZeroScale) {
+  HalfMatrix dense(4, 8);
+  dense(1, 0) = half_t(1.0f);  // rows 0, 2, 3 entirely zero
+  const VnmMatrix fp16 = VnmMatrix::compress(dense, {2, 2, 8});
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+  EXPECT_EQ(q.row_scale(0), 0.0f);
+  EXPECT_GT(q.row_scale(1), 0.0f);
+  // Dequantize round-trips the zero rows exactly.
+  EXPECT_TRUE(q.dequantize().to_dense() == dense);
+}
+
+TEST(SpmmI8, CloseToFp16Kernel) {
+  Rng rng(4);
+  const VnmMatrix fp16 = random_vnm(32, 64, {8, 2, 8}, 5);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+  const HalfMatrix b = random_half_matrix(64, 16, rng);
+  const FloatMatrix c_q = spmm_vnm_i8(q, b);
+  const FloatMatrix c_fp = spatha::spmm_vnm(fp16, b);
+  // int8 x int8 with per-row/col scales: a few percent relative error.
+  EXPECT_LT(rel_fro_error(c_q, c_fp), 0.05f);
+}
+
+TEST(SpmmI8, ExactOnPowerOfTwoValues) {
+  // Values representable exactly after scaling incur zero error.
+  HalfMatrix dense(2, 8);
+  dense(0, 0) = half_t(1.0f);
+  dense(0, 4) = half_t(-0.5f);
+  dense(1, 1) = half_t(2.0f);
+  dense(1, 5) = half_t(1.0f);
+  const VnmMatrix fp16 = VnmMatrix::compress(dense, {2, 1, 4});
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+  HalfMatrix b(8, 2);
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = half_t(1.0f);
+  const FloatMatrix c_q = spmm_vnm_i8(q, b);
+  const FloatMatrix ref = gemm_dense(dense, b);
+  EXPECT_LT(max_abs_diff(c_q, ref), 1e-2f);
+}
+
+TEST(SpmmI8, ShapeMismatchThrows) {
+  const QuantizedVnmMatrix q =
+      QuantizedVnmMatrix::quantize(random_vnm(8, 16, {4, 2, 8}, 6));
+  EXPECT_THROW(spmm_vnm_i8(q, HalfMatrix(8, 4)), Error);
+}
+
+TEST(Footprint, Int8HalvesValueBytes) {
+  const VnmMatrix fp16 = random_vnm(64, 128, {16, 2, 8}, 7);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+  // values shrink 2x; scales add 4 bytes/row.
+  EXPECT_LT(q.compressed_bytes(), fp16.compressed_bytes());
+}
+
+}  // namespace
+}  // namespace venom::quant

@@ -1,0 +1,96 @@
+// Tests for SDDMM over the V:N:M pattern.
+#include "spatha/sddmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gemm.hpp"
+#include "common/rng.hpp"
+#include "spatha/spmm.hpp"
+
+namespace venom::spatha {
+namespace {
+
+VnmMatrix random_structure(std::size_t rows, std::size_t cols,
+                           VnmConfig cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  return VnmMatrix::from_dense_magnitude(random_half_matrix(rows, cols, rng),
+                                         cfg);
+}
+
+TEST(Sddmm, EqualsMaskedDenseProduct) {
+  Rng rng(1);
+  const VnmConfig cfg{4, 2, 8};
+  const VnmMatrix s = random_structure(16, 32, cfg, 2);
+  const HalfMatrix a = random_half_matrix(16, 12, rng);
+  const HalfMatrix b = random_half_matrix(12, 32, rng);
+
+  const VnmMatrix out = sddmm_vnm(s, a, b);
+  const FloatMatrix full = gemm_dense(a, b);
+  const HalfMatrix mask = s.to_dense();
+  const HalfMatrix sampled = out.to_dense();
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 32; ++c) {
+      if (mask(r, c).is_zero()) {
+        EXPECT_TRUE(sampled(r, c).is_zero()) << r << ',' << c;
+      } else {
+        EXPECT_NEAR(sampled(r, c).to_float(), full(r, c),
+                    0.01f + 0.02f * std::fabs(full(r, c)));
+      }
+    }
+}
+
+TEST(Sddmm, PreservesStructure) {
+  const VnmMatrix s = random_structure(8, 16, {4, 2, 8}, 3);
+  Rng rng(4);
+  const HalfMatrix a = random_half_matrix(8, 4, rng);
+  const HalfMatrix b = random_half_matrix(4, 16, rng);
+  const VnmMatrix out = sddmm_vnm(s, a, b);
+  EXPECT_EQ(out.config(), s.config());
+  EXPECT_EQ(out.m_indices(), s.m_indices());
+  EXPECT_EQ(out.column_locs(), s.column_locs());
+}
+
+TEST(Sddmm, OutputFeedsSpmm) {
+  // The whole point: the sampled output is a valid SpMM operand.
+  Rng rng(5);
+  const VnmMatrix s = random_structure(16, 32, {8, 2, 8}, 6);
+  const HalfMatrix a = random_half_matrix(16, 8, rng);
+  const HalfMatrix b = random_half_matrix(8, 32, rng);
+  const VnmMatrix sampled = sddmm_vnm(s, a, b);
+  const HalfMatrix x = random_half_matrix(32, 4, rng);
+  EXPECT_LT(rel_fro_error(spmm_vnm(sampled, x),
+                          gemm_dense(sampled.to_dense(), x)),
+            1e-5f);
+}
+
+TEST(Sddmm, ShapeChecks) {
+  const VnmMatrix s = random_structure(8, 16, {4, 2, 8}, 7);
+  EXPECT_THROW(sddmm_vnm(s, HalfMatrix(4, 4), HalfMatrix(4, 16)), Error);
+  EXPECT_THROW(sddmm_vnm(s, HalfMatrix(8, 4), HalfMatrix(4, 8)), Error);
+  EXPECT_THROW(sddmm_vnm(s, HalfMatrix(8, 4), HalfMatrix(5, 16)), Error);
+}
+
+TEST(Sddmm, AttentionGradientUseCase) {
+  // Sparse-attention backward: dL/dscores = (dL/dctx)^T V sampled at the
+  // kept probability positions. Verify the sampled gradient matches the
+  // dense gradient at those positions.
+  Rng rng(8);
+  const std::size_t tq = 8, tk = 16, dh = 4;
+  const VnmMatrix p_structure = random_structure(tq, tk, {2, 2, 8}, 9);
+  const HalfMatrix grad_ctx_t = random_half_matrix(tq, dh, rng);  // (dL/dctx)^T
+  const HalfMatrix v = random_half_matrix(dh, tk, rng);           // V (dh x Tk)
+  const VnmMatrix grad_p = sddmm_vnm(p_structure, grad_ctx_t, v);
+  const FloatMatrix dense_grad = gemm_dense(grad_ctx_t, v);
+  const HalfMatrix gp = grad_p.to_dense();
+  const HalfMatrix mask = p_structure.to_dense();
+  for (std::size_t i = 0; i < tq; ++i)
+    for (std::size_t k = 0; k < tk; ++k)
+      if (!mask(i, k).is_zero())
+        EXPECT_NEAR(gp(i, k).to_float(), dense_grad(i, k),
+                    0.01f + 0.02f * std::fabs(dense_grad(i, k)));
+}
+
+}  // namespace
+}  // namespace venom::spatha

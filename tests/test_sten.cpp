@@ -1,0 +1,134 @@
+// Tests for the STen-style integration layer (Listing 1).
+#include "transformer/sten.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/gemm.hpp"
+#include "common/rng.hpp"
+#include "spatha/spmm.hpp"
+
+namespace venom::sten {
+namespace {
+
+TEST(SparseTensorWrapper, DenseWrapper) {
+  Rng rng(1);
+  const HalfMatrix t = random_half_matrix(8, 16, rng);
+  const auto w = SparseTensorWrapper::dense(t);
+  EXPECT_FALSE(w.is_sparse());
+  EXPECT_TRUE(w.dense_tensor() == t);
+  EXPECT_THROW(w.wrapped_tensor(), Error);
+}
+
+TEST(SparseTensorWrapper, WrappedFromDense) {
+  Rng rng(2);
+  const HalfMatrix t = random_half_matrix(8, 16, rng);
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(t, {4, 2, 8});
+  const auto w = SparseTensorWrapper::wrapped_from_dense(sparse, t);
+  EXPECT_TRUE(w.is_sparse());
+  EXPECT_TRUE(w.dense_tensor() == t);  // dense origin retained (STen)
+  EXPECT_TRUE(w.wrapped_tensor().to_dense() ==
+              VnmMatrix::from_dense_magnitude(t, {4, 2, 8}).to_dense());
+}
+
+TEST(SparseTensorWrapper, ShapeMismatchThrows) {
+  Rng rng(3);
+  const HalfMatrix t = random_half_matrix(8, 16, rng);
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(t, {4, 2, 8});
+  EXPECT_THROW(
+      SparseTensorWrapper::wrapped_from_dense(sparse, HalfMatrix(4, 16)),
+      Error);
+}
+
+TEST(SparsifierRegistry, DefaultImplementationRegistered) {
+  auto& reg = SparsifierRegistry::instance();
+  EXPECT_TRUE(reg.contains("vnm_magnitude"));
+  const auto names = reg.names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "vnm_magnitude"),
+            names.end());
+}
+
+TEST(SparsifierRegistry, SparsifyThroughRegistry) {
+  Rng rng(4);
+  const HalfMatrix t = random_half_matrix(16, 16, rng);
+  const VnmSparsifier sp{2, 8, 4};
+  const auto w = SparsifierRegistry::instance().sparsify("vnm_magnitude", sp,
+                                                         t);
+  EXPECT_TRUE(w.is_sparse());
+  EXPECT_EQ(w.wrapped_tensor().config(), sp.config());
+}
+
+TEST(SparsifierRegistry, UnknownNameThrows) {
+  EXPECT_THROW(SparsifierRegistry::instance().sparsify(
+                   "nonexistent", VnmSparsifier{}, HalfMatrix(8, 8)),
+               Error);
+}
+
+TEST(SparsifierRegistry, CustomRegistration) {
+  auto& reg = SparsifierRegistry::instance();
+  // A custom implementation that keeps only the first selected columns
+  // (structurally valid but intentionally trivial).
+  const bool fresh = reg.register_impl(
+      "vnm_test_custom",
+      [](const VnmSparsifier& sp, const HalfMatrix& t) {
+        return torch_tensor_to_vnm(sp, t);
+      });
+  EXPECT_TRUE(fresh);
+  EXPECT_FALSE(reg.register_impl("vnm_test_custom",
+                                 [](const VnmSparsifier& sp,
+                                    const HalfMatrix& t) {
+                                   return torch_tensor_to_vnm(sp, t);
+                                 }));  // duplicate name rejected
+  EXPECT_TRUE(reg.contains("vnm_test_custom"));
+}
+
+TEST(SpmmModule, ForwardMatchesSpatha) {
+  Rng rng(5);
+  const HalfMatrix weight = random_half_matrix(16, 32, rng);
+  const VnmSparsifier sp{2, 8, 8};
+  auto wrapper = torch_tensor_to_vnm(sp, weight);
+  const SpmmModule module(wrapper, std::vector<float>(16, 0.0f));
+
+  const HalfMatrix x = random_half_matrix(32, 8, rng);
+  const HalfMatrix y = module.forward(x);
+  const FloatMatrix ref = spatha::spmm_vnm(wrapper.wrapped_tensor(), x);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y.flat()[i].to_float(), ref.flat()[i],
+                0.02f + 0.02f * std::abs(ref.flat()[i]));
+}
+
+TEST(SpmmModule, DenseFallback) {
+  Rng rng(6);
+  const HalfMatrix weight = random_half_matrix(8, 16, rng);
+  const SpmmModule module(SparseTensorWrapper::dense(weight),
+                          std::vector<float>(8, 1.0f));
+  const HalfMatrix x = random_half_matrix(16, 4, rng);
+  const HalfMatrix y = module.forward(x);
+  FloatMatrix ref = gemm_dense(weight, x);
+  for (std::size_t o = 0; o < 8; ++o)
+    for (std::size_t t = 0; t < 4; ++t)
+      EXPECT_NEAR(y(o, t).to_float(), ref(o, t) + 1.0f,
+                  0.02f + 0.02f * std::abs(ref(o, t) + 1.0f));
+}
+
+TEST(SpmmModule, ExposesCompressedStructures) {
+  Rng rng(7);
+  const HalfMatrix weight = random_half_matrix(8, 16, rng);
+  auto wrapper = torch_tensor_to_vnm(VnmSparsifier{2, 8, 4}, weight);
+  const SpmmModule module(wrapper, {});
+  EXPECT_EQ(module.values().size(), 8u * 2 * 2);   // rows * groups * n
+  EXPECT_EQ(module.metadata().size(), module.values().size());
+  EXPECT_EQ(module.columns().size(), 2u * 2 * 4);  // blocks * groups * 4
+}
+
+TEST(SpmmModule, BadBiasAndInputShapesThrow) {
+  Rng rng(8);
+  const HalfMatrix weight = random_half_matrix(8, 16, rng);
+  EXPECT_THROW(SpmmModule(SparseTensorWrapper::dense(weight),
+                          std::vector<float>(5, 0.0f)),
+               Error);
+  const SpmmModule module(SparseTensorWrapper::dense(weight), {});
+  EXPECT_THROW(module.forward(HalfMatrix(8, 4)), Error);  // 8 != 16 inputs
+}
+
+}  // namespace
+}  // namespace venom::sten

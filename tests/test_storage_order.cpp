@@ -1,0 +1,111 @@
+// Tests for the Fig. 7 storage order: bijectivity, 128-bit per-thread
+// contiguity, register-fragment consistency, and pack/unpack round-trips.
+#include "spatha/storage_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sptc/fragment.hpp"
+
+namespace venom::spatha {
+namespace {
+
+TEST(StorageOrder, OffsetIsBijective) {
+  const WarpTileShape shape{32, 32};
+  std::set<std::size_t> seen;
+  for (std::size_t r = 0; r < shape.rows; ++r)
+    for (std::size_t c = 0; c < shape.comp_cols; ++c) {
+      const std::size_t off = linear_offset(shape, r, c);
+      EXPECT_LT(off, shape.elements());
+      EXPECT_TRUE(seen.insert(off).second) << "(" << r << ',' << c << ')';
+    }
+  EXPECT_EQ(seen.size(), shape.elements());
+}
+
+TEST(StorageOrder, TileCoordInvertsLinearOffset) {
+  const WarpTileShape shape{48, 16};
+  for (std::size_t r = 0; r < shape.rows; ++r)
+    for (std::size_t c = 0; c < shape.comp_cols; ++c) {
+      const auto coord = tile_coord(shape, linear_offset(shape, r, c));
+      EXPECT_EQ(coord.row, r);
+      EXPECT_EQ(coord.col, c);
+    }
+}
+
+TEST(StorageOrder, PerThread128BitUnitsAreContiguous) {
+  // Each thread's 8 fp16 registers (128 bits) occupy 8 consecutive
+  // stream positions — the property that enables 128-bit transactions
+  // without ldmatrix.
+  const WarpTileShape shape{16, 16};
+  for (std::size_t t = 0; t < 32; ++t) {
+    for (std::size_t reg = 0; reg < 8; ++reg) {
+      const auto coord = sptc::a_fragment_m16n8k16(t, reg);
+      EXPECT_EQ(linear_offset(shape, coord.row, coord.col), t * 8 + reg);
+    }
+  }
+}
+
+TEST(StorageOrder, RegisterPairsAdjacentInStream) {
+  // {a0,a1}, {a2,a3}... pairs are adjacent both in the tile (columns) and
+  // in the stream (offsets) — 32-bit sub-units of the 128-bit load.
+  const WarpTileShape shape{16, 16};
+  for (std::size_t t = 0; t < 32; ++t)
+    for (std::size_t reg = 0; reg < 8; reg += 2) {
+      const auto c0 = sptc::a_fragment_m16n8k16(t, reg);
+      const auto c1 = sptc::a_fragment_m16n8k16(t, reg + 1);
+      EXPECT_EQ(linear_offset(shape, c1.row, c1.col),
+                linear_offset(shape, c0.row, c0.col) + 1);
+    }
+}
+
+TEST(StorageOrder, InstructionTilesAreRowMajorBlocks) {
+  // Offsets [k*256, (k+1)*256) cover exactly one 16x16 instruction tile.
+  const WarpTileShape shape{32, 32};
+  for (std::size_t tile = 0; tile < 4; ++tile) {
+    std::set<std::pair<std::size_t, std::size_t>> tiles_touched;
+    for (std::size_t off = tile * 256; off < (tile + 1) * 256; ++off) {
+      const auto c = tile_coord(shape, off);
+      tiles_touched.insert({c.row / 16, c.col / 16});
+    }
+    EXPECT_EQ(tiles_touched.size(), 1u) << "tile " << tile;
+  }
+}
+
+TEST(StorageOrder, PackUnpackRoundTrip) {
+  Rng rng(1);
+  const WarpTileShape shape{32, 48};
+  std::vector<half_t> data(shape.elements());
+  for (auto& v : data) v = half_t(rng.normal());
+  const auto packed = pack_warp_tile(shape, data);
+  const auto restored = unpack_warp_tile(shape, packed);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_EQ(restored[i].bits(), data[i].bits()) << i;
+}
+
+TEST(StorageOrder, PackIsAPermutation) {
+  // Pack of distinct values yields the same multiset.
+  const WarpTileShape shape{16, 32};
+  std::vector<half_t> data(shape.elements());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = half_t(float(i));
+  auto packed = pack_warp_tile(shape, data);
+  std::multiset<std::uint16_t> a, b;
+  for (auto v : data) a.insert(v.bits());
+  for (auto v : packed) b.insert(v.bits());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StorageOrder, RejectsBadShapes) {
+  EXPECT_THROW(linear_offset({15, 16}, 0, 0), Error);
+  EXPECT_THROW(linear_offset({16, 20}, 0, 0), Error);
+  EXPECT_THROW(linear_offset({16, 16}, 16, 0), Error);
+  EXPECT_THROW(tile_coord({16, 16}, 256), Error);
+  std::vector<half_t> wrong(10);
+  EXPECT_THROW(pack_warp_tile({16, 16}, wrong), Error);
+}
+
+}  // namespace
+}  // namespace venom::spatha

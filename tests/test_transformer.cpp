@@ -1,0 +1,391 @@
+// Tests for the transformer substrate: ops, linear layers (dense and
+// Spatha-sparse), attention, and the encoder stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gemm.hpp"
+#include "common/rng.hpp"
+#include "transformer/config.hpp"
+#include "transformer/encoder.hpp"
+#include "transformer/ops.hpp"
+
+namespace venom::transformer {
+namespace {
+
+TEST(Config, Presets) {
+  EXPECT_EQ(bert_base().hidden, 768u);
+  EXPECT_EQ(bert_base().heads, 12u);
+  EXPECT_EQ(bert_base().head_dim(), 64u);
+  EXPECT_EQ(bert_large().hidden, 1024u);
+  EXPECT_EQ(gpt2_large().hidden, 1280u);
+  EXPECT_EQ(gpt3_175b().hidden, 12288u);
+  // Parameter counts in the ballpark the paper quotes.
+  EXPECT_NEAR(double(bert_base().encoder_params()), 85e6, 5e6);
+  EXPECT_GT(gpt3_175b().encoder_params(), 150e9);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(1);
+  FloatMatrix scores = random_float_matrix(6, 9, rng, 3.0f);
+  softmax_rows(scores);
+  for (std::size_t r = 0; r < 6; ++r) {
+    float sum = 0.0f;
+    for (float v : scores.row(r)) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Ops, SoftmaxStableUnderLargeInputs) {
+  FloatMatrix scores(1, 3);
+  scores(0, 0) = 1000.0f;
+  scores(0, 1) = 1001.0f;
+  scores(0, 2) = 999.0f;
+  softmax_rows(scores);
+  EXPECT_FALSE(std::isnan(scores(0, 0)));
+  EXPECT_GT(scores(0, 1), scores(0, 0));
+  EXPECT_GT(scores(0, 0), scores(0, 2));
+}
+
+TEST(Ops, LayerNormNormalizesPerToken) {
+  Rng rng(2);
+  const HalfMatrix x = random_half_matrix(64, 3, rng, 4.0f);
+  std::vector<float> gamma(64, 1.0f), beta(64, 0.0f);
+  const HalfMatrix y = layer_norm(x, gamma, beta);
+  for (std::size_t t = 0; t < 3; ++t) {
+    float mean = 0.0f, var = 0.0f;
+    for (std::size_t f = 0; f < 64; ++f) mean += y(f, t).to_float();
+    mean /= 64.0f;
+    for (std::size_t f = 0; f < 64; ++f) {
+      const float d = y(f, t).to_float() - mean;
+      var += d * d;
+    }
+    var /= 64.0f;
+    EXPECT_NEAR(mean, 0.0f, 2e-2f);
+    EXPECT_NEAR(var, 1.0f, 5e-2f);
+  }
+}
+
+TEST(Ops, LayerNormAppliesGammaBeta) {
+  HalfMatrix x(2, 1);
+  x(0, 0) = half_t(1.0f);
+  x(1, 0) = half_t(-1.0f);
+  std::vector<float> gamma = {2.0f, 2.0f}, beta = {1.0f, 1.0f};
+  const HalfMatrix y = layer_norm(x, gamma, beta);
+  EXPECT_NEAR(y(0, 0).to_float(), 3.0f, 2e-2f);   // 1*2+1
+  EXPECT_NEAR(y(1, 0).to_float(), -1.0f, 2e-2f);  // -1*2+1
+}
+
+TEST(Ops, GeluKnownValues) {
+  HalfMatrix x(1, 3);
+  x(0, 0) = half_t(0.0f);
+  x(0, 1) = half_t(10.0f);
+  x(0, 2) = half_t(-10.0f);
+  const HalfMatrix y = gelu(x);
+  EXPECT_FLOAT_EQ(y(0, 0).to_float(), 0.0f);
+  EXPECT_NEAR(y(0, 1).to_float(), 10.0f, 1e-2f);
+  EXPECT_NEAR(y(0, 2).to_float(), 0.0f, 1e-2f);
+}
+
+TEST(Ops, AddAndBias) {
+  HalfMatrix a(2, 2, half_t(1.0f)), b(2, 2, half_t(2.5f));
+  const HalfMatrix c = add(a, b);
+  EXPECT_FLOAT_EQ(c(1, 1).to_float(), 3.5f);
+  FloatMatrix f(2, 2, 1.0f);
+  std::vector<float> bias = {10.0f, 20.0f};
+  add_bias(f, bias);
+  EXPECT_FLOAT_EQ(f(0, 1), 11.0f);
+  EXPECT_FLOAT_EQ(f(1, 0), 21.0f);
+}
+
+TEST(Ops, AttentionScoresAndContext) {
+  // 1-dim head: scores reduce to outer product of scalars.
+  HalfMatrix q(1, 2), k(1, 2), v(1, 2);
+  q(0, 0) = half_t(1.0f);
+  q(0, 1) = half_t(2.0f);
+  k(0, 0) = half_t(3.0f);
+  k(0, 1) = half_t(4.0f);
+  v(0, 0) = half_t(1.0f);
+  v(0, 1) = half_t(-1.0f);
+  const FloatMatrix s = attention_scores(q, k, 0.5f);
+  EXPECT_FLOAT_EQ(s(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(s(1, 1), 4.0f);
+  FloatMatrix p(2, 2, 0.5f);  // uniform attention
+  const HalfMatrix ctx = attention_context(p, v);
+  EXPECT_NEAR(ctx(0, 0).to_float(), 0.0f, 1e-3f);
+}
+
+TEST(Linear, DenseMatchesManualGemm) {
+  Rng rng(3);
+  Linear lin = Linear::random(8, 16, rng);
+  const HalfMatrix x = random_half_matrix(16, 5, rng);
+  const HalfMatrix y = lin.forward(x);
+  FloatMatrix ref = gemm_dense(lin.dense_weight(), x);
+  add_bias(ref, lin.bias());
+  for (std::size_t o = 0; o < 8; ++o)
+    for (std::size_t t = 0; t < 5; ++t)
+      EXPECT_NEAR(y(o, t).to_float(), ref(o, t), 0.05f + 0.02f * std::fabs(ref(o, t)));
+}
+
+TEST(Linear, SparsifyRoutesThroughSpathaAndApproximatesDense) {
+  Rng rng(4);
+  Linear lin = Linear::random(32, 64, rng);
+  const HalfMatrix x = random_half_matrix(64, 8, rng);
+  const HalfMatrix dense_out = lin.forward(x);
+  lin.sparsify({8, 2, 4});  // 2:4 — mild pruning, output stays close
+  EXPECT_TRUE(lin.is_sparse());
+  const HalfMatrix sparse_out = lin.forward(x);
+  // 50% magnitude pruning keeps the dominant terms; correlation stays high.
+  double dot = 0.0, n1 = 0.0, n2 = 0.0;
+  for (std::size_t i = 0; i < dense_out.size(); ++i) {
+    const double a = dense_out.flat()[i].to_float();
+    const double b = sparse_out.flat()[i].to_float();
+    dot += a * b;
+    n1 += a * a;
+    n2 += b * b;
+  }
+  EXPECT_GT(dot / std::sqrt(n1 * n2), 0.7);
+}
+
+TEST(Linear, SparseForwardEqualsSpmmOfPrunedWeight) {
+  Rng rng(5);
+  Linear lin = Linear::random(16, 32, rng);
+  const HalfMatrix x = random_half_matrix(32, 4, rng);
+  const HalfMatrix w_dense = lin.dense_weight();
+  lin.sparsify({4, 2, 8});
+  const HalfMatrix y = lin.forward(x);
+  // The sparse weight decompresses to the magnitude-pruned dense weight.
+  const HalfMatrix pruned = lin.sparse_weight().to_dense();
+  EXPECT_TRUE(VnmMatrix::conforms(pruned, {4, 2, 8}));
+  FloatMatrix ref = gemm_dense(pruned, x);
+  add_bias(ref, lin.bias());
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(y(0, i).to_float(), ref(0, i), 0.05f + 0.02f * std::fabs(ref(0, i)));
+  (void)w_dense;
+}
+
+TEST(Linear, TimingAccumulates) {
+  Rng rng(6);
+  Linear lin = Linear::random(16, 16, rng);
+  const HalfMatrix x = random_half_matrix(16, 4, rng);
+  TimingBreakdown t;
+  lin.forward(x, &t);
+  EXPECT_GT(t.gemm_s, 0.0);
+  EXPECT_DOUBLE_EQ(t.softmax_s, 0.0);
+}
+
+TEST(Attention, ShapePreservedAndFinite) {
+  Rng rng(7);
+  MultiHeadAttention mha(32, 4, rng);
+  const HalfMatrix x = random_half_matrix(32, 6, rng);
+  const HalfMatrix y = mha.forward(x);
+  EXPECT_EQ(y.rows(), 32u);
+  EXPECT_EQ(y.cols(), 6u);
+  for (auto v : y.flat()) EXPECT_FALSE(v.is_nan());
+}
+
+TEST(Attention, RejectsIndivisibleHeads) {
+  Rng rng(8);
+  EXPECT_THROW(MultiHeadAttention(30, 4, rng), Error);
+}
+
+TEST(Attention, CausalMaskBlocksFutureTokens) {
+  // With the causal mask, output at position 0 must not change when
+  // later tokens change.
+  Rng rng(21);
+  MultiHeadAttention mha(32, 4, rng, /*causal=*/true);
+  Rng data_rng(22);
+  HalfMatrix x = random_half_matrix(32, 6, data_rng);
+  const HalfMatrix y1 = mha.forward(x);
+  for (std::size_t f = 0; f < 32; ++f) x(f, 5) = half_t(9.0f);  // last token
+  const HalfMatrix y2 = mha.forward(x);
+  for (std::size_t f = 0; f < 32; ++f) {
+    EXPECT_EQ(y1(f, 0).bits(), y2(f, 0).bits()) << f;  // first unaffected
+  }
+  // The last position must see the change.
+  bool any_diff = false;
+  for (std::size_t f = 0; f < 32 && !any_diff; ++f)
+    any_diff = y1(f, 5).bits() != y2(f, 5).bits();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Attention, BidirectionalSeesFutureTokens) {
+  Rng rng(23);
+  MultiHeadAttention mha(32, 4, rng, /*causal=*/false);
+  Rng data_rng(24);
+  HalfMatrix x = random_half_matrix(32, 6, data_rng);
+  const HalfMatrix y1 = mha.forward(x);
+  for (std::size_t f = 0; f < 32; ++f) x(f, 5) = half_t(9.0f);
+  const HalfMatrix y2 = mha.forward(x);
+  bool any_diff = false;
+  for (std::size_t f = 0; f < 32 && !any_diff; ++f)
+    any_diff = y1(f, 0).bits() != y2(f, 0).bits();
+  EXPECT_TRUE(any_diff);  // position 0 attends to the changed last token
+}
+
+TEST(Attention, DynamicNmApproximatesDenseAttention) {
+  // Attention probabilities after softmax are concentrated; keeping the
+  // top 2 of every 4 retains most of the mass, so the sparse context
+  // stays close to the dense one.
+  Rng rng(31);
+  MultiHeadAttention dense_mha(32, 4, rng);
+  Rng rng2(31);
+  MultiHeadAttention sparse_mha(32, 4, rng2);  // identical weights
+  sparse_mha.set_dynamic_score_sparsity(NmPattern{2, 4});
+  ASSERT_TRUE(sparse_mha.dynamic_score_sparsity().has_value());
+
+  Rng data_rng(32);
+  const HalfMatrix x = random_half_matrix(32, 8, data_rng, 0.5f);
+  const HalfMatrix yd = dense_mha.forward(x);
+  const HalfMatrix ys = sparse_mha.forward(x);
+  double dot = 0.0, n1 = 0.0, n2 = 0.0;
+  for (std::size_t i = 0; i < yd.size(); ++i) {
+    const double a = yd.flat()[i].to_float();
+    const double b = ys.flat()[i].to_float();
+    dot += a * b;
+    n1 += a * a;
+    n2 += b * b;
+  }
+  // Random (non-peaked) activations are the worst case for score
+  // pruning; trained attention is far more concentrated.
+  EXPECT_GT(dot / std::sqrt(n1 * n2), 0.85);
+}
+
+TEST(Attention, DynamicNmExactWhenPeaked) {
+  // If every probability row has a single dominant entry per group, 1:2
+  // pruning plus renormalization reproduces dense attention closely.
+  Rng rng(33);
+  MultiHeadAttention mha(16, 2, rng);
+  mha.set_dynamic_score_sparsity(NmPattern{1, 2});
+  Rng data_rng(34);
+  // Strongly scaled inputs -> near-one-hot softmax rows.
+  const HalfMatrix x = random_half_matrix(16, 4, data_rng, 3.0f);
+  const HalfMatrix y = mha.forward(x);
+  for (auto v : y.flat()) EXPECT_FALSE(v.is_nan());
+}
+
+TEST(Attention, DynamicNmRejectsNonHardwarePatterns) {
+  Rng rng(35);
+  MultiHeadAttention mha(16, 2, rng);
+  EXPECT_THROW(mha.set_dynamic_score_sparsity(NmPattern{2, 8}), Error);
+  EXPECT_NO_THROW(mha.set_dynamic_score_sparsity(NmPattern{1, 2}));
+  EXPECT_NO_THROW(mha.set_dynamic_score_sparsity(std::nullopt));
+  EXPECT_FALSE(mha.dynamic_score_sparsity().has_value());
+}
+
+TEST(Attention, DynamicNmRequiresDivisibleSequence) {
+  Rng rng(36);
+  MultiHeadAttention mha(16, 2, rng);
+  mha.set_dynamic_score_sparsity(NmPattern{2, 4});
+  Rng data_rng(37);
+  const HalfMatrix x = random_half_matrix(16, 6, data_rng);  // 6 % 4 != 0
+  EXPECT_THROW(mha.forward(x), Error);
+}
+
+TEST(Attention, DynamicNmComposesWithCausalMask) {
+  Rng rng(38);
+  MultiHeadAttention mha(16, 2, rng, /*causal=*/true);
+  mha.set_dynamic_score_sparsity(NmPattern{2, 4});
+  Rng data_rng(39);
+  HalfMatrix x = random_half_matrix(16, 8, data_rng);
+  const HalfMatrix y1 = mha.forward(x);
+  for (std::size_t f = 0; f < 16; ++f) x(f, 7) = half_t(5.0f);
+  const HalfMatrix y2 = mha.forward(x);
+  for (std::size_t f = 0; f < 16; ++f)
+    EXPECT_EQ(y1(f, 0).bits(), y2(f, 0).bits());  // causality preserved
+}
+
+TEST(Config, GptModelsAreCausal) {
+  EXPECT_FALSE(bert_base().causal);
+  EXPECT_FALSE(bert_large().causal);
+  EXPECT_TRUE(gpt2_large().causal);
+  EXPECT_TRUE(gpt3_175b().causal);
+}
+
+TEST(Attention, TimingBreakdownPopulated) {
+  Rng rng(9);
+  MultiHeadAttention mha(32, 4, rng);
+  const HalfMatrix x = random_half_matrix(32, 8, rng);
+  TimingBreakdown t;
+  mha.forward(x, &t);
+  EXPECT_GT(t.gemm_s, 0.0);
+  EXPECT_GT(t.softmax_s, 0.0);
+  EXPECT_GT(t.attn_matmul_s, 0.0);
+}
+
+TEST(Encoder, ForwardShapeAndFiniteness) {
+  Rng rng(10);
+  ModelConfig cfg{.name = "tiny", .layers = 2, .hidden = 32, .heads = 4,
+                  .ffn_hidden = 64, .seq_len = 8};
+  Encoder enc(cfg, rng);
+  EXPECT_EQ(enc.layer_count(), 2u);
+  const HalfMatrix x = random_half_matrix(32, 8, rng);
+  const HalfMatrix y = enc.forward(x);
+  EXPECT_EQ(y.rows(), 32u);
+  EXPECT_EQ(y.cols(), 8u);
+  for (auto v : y.flat()) EXPECT_FALSE(v.is_nan());
+}
+
+TEST(Encoder, SparsifiedStillReasonable) {
+  Rng rng(11);
+  ModelConfig cfg{.name = "tiny", .layers = 1, .hidden = 32, .heads = 4,
+                  .ffn_hidden = 64, .seq_len = 8};
+  Encoder dense_enc(cfg, rng);
+  Rng rng2(11);
+  Encoder sparse_enc(cfg, rng2);  // identical weights (same seed stream)
+  sparse_enc.sparsify({8, 2, 4});
+
+  Rng rng3(99);
+  const HalfMatrix x = random_half_matrix(32, 8, rng3);
+  const HalfMatrix yd = dense_enc.forward(x);
+  const HalfMatrix ys = sparse_enc.forward(x);
+  double dot = 0.0, n1 = 0.0, n2 = 0.0;
+  for (std::size_t i = 0; i < yd.size(); ++i) {
+    const double a = yd.flat()[i].to_float();
+    const double b = ys.flat()[i].to_float();
+    dot += a * b;
+    n1 += a * a;
+    n2 += b * b;
+  }
+  EXPECT_GT(dot / std::sqrt(n1 * n2), 0.5);
+  for (auto v : ys.flat()) EXPECT_FALSE(v.is_nan());
+}
+
+TEST(Encoder, FullySparseStackRuns) {
+  // Weights to V:N:M AND dynamic N:M attention, end to end: the maximal
+  // sparsity configuration the library supports.
+  Rng rng(40);
+  ModelConfig cfg{.name = "tiny", .layers = 2, .hidden = 32, .heads = 4,
+                  .ffn_hidden = 64, .seq_len = 8};
+  Encoder enc(cfg, rng);
+  enc.sparsify({8, 2, 4});
+  enc.set_dynamic_score_sparsity(NmPattern{2, 4});
+  Rng data_rng(41);
+  const HalfMatrix x = random_half_matrix(32, 8, data_rng);
+  const HalfMatrix y = enc.forward(x);
+  EXPECT_EQ(y.rows(), 32u);
+  for (auto v : y.flat()) EXPECT_FALSE(v.is_nan());
+  // Disabling restores the dense attention path.
+  enc.set_dynamic_score_sparsity(std::nullopt);
+  EXPECT_NO_THROW(enc.forward(x));
+}
+
+TEST(Encoder, TimingBreakdownSumsToTotal) {
+  Rng rng(12);
+  ModelConfig cfg{.name = "tiny", .layers = 1, .hidden = 32, .heads = 4,
+                  .ffn_hidden = 64, .seq_len = 4};
+  Encoder enc(cfg, rng);
+  const HalfMatrix x = random_half_matrix(32, 4, rng);
+  TimingBreakdown t;
+  enc.forward(x, &t);
+  EXPECT_GT(t.gemm_s, 0.0);
+  EXPECT_GT(t.other_s, 0.0);
+  EXPECT_NEAR(t.total(), t.gemm_s + t.softmax_s + t.attn_matmul_s + t.other_s,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace venom::transformer

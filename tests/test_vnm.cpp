@@ -1,0 +1,231 @@
+// Tests for the V:N:M (VENOM) format — the paper's core contribution.
+#include "format/vnm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "format/nm.hpp"
+
+namespace venom {
+namespace {
+
+TEST(VnmConfig, SparsityAndSelection) {
+  EXPECT_DOUBLE_EQ((VnmConfig{64, 2, 8}).sparsity(), 0.75);
+  EXPECT_DOUBLE_EQ((VnmConfig{128, 2, 10}).sparsity(), 0.8);
+  EXPECT_DOUBLE_EQ((VnmConfig{128, 2, 100}).sparsity(), 0.98);
+  EXPECT_EQ((VnmConfig{64, 2, 8}).selected_cols(), 4u);
+  // Degenerate m=4 keeps all columns -> plain 2:4.
+  EXPECT_EQ((VnmConfig{64, 2, 4}).selected_cols(), 4u);
+}
+
+TEST(VnmMatrix, MagnitudePruneConformsAndRoundTrips) {
+  Rng rng(1);
+  const HalfMatrix dense = random_half_matrix(8, 16, rng);
+  const VnmConfig cfg{4, 2, 8};
+  const VnmMatrix v = VnmMatrix::from_dense_magnitude(dense, cfg);
+  const HalfMatrix pruned = v.to_dense();
+  EXPECT_TRUE(VnmMatrix::conforms(pruned, cfg));
+  // Re-compressing the pruned matrix reproduces it exactly.
+  EXPECT_TRUE(VnmMatrix::compress(pruned, cfg).to_dense() == pruned);
+  EXPECT_NEAR(density(pruned), 0.25, 1e-9);
+}
+
+TEST(VnmMatrix, KeptValuesComeFromDense) {
+  Rng rng(2);
+  const HalfMatrix dense = random_half_matrix(8, 16, rng);
+  const VnmMatrix v = VnmMatrix::from_dense_magnitude(dense, {4, 2, 8});
+  const HalfMatrix pruned = v.to_dense();
+  for (std::size_t r = 0; r < dense.rows(); ++r)
+    for (std::size_t c = 0; c < dense.cols(); ++c)
+      if (!pruned(r, c).is_zero())
+        EXPECT_EQ(pruned(r, c).bits(), dense(r, c).bits());
+}
+
+TEST(VnmMatrix, ColumnLocSortedUniqueWithinGroup) {
+  Rng rng(3);
+  const VnmConfig cfg{8, 2, 10};
+  const VnmMatrix v =
+      VnmMatrix::from_dense_magnitude(random_half_matrix(16, 40, rng), cfg);
+  for (std::size_t br = 0; br < v.block_rows(); ++br)
+    for (std::size_t g = 0; g < v.groups_per_row(); ++g) {
+      std::set<std::uint8_t> seen;
+      std::uint8_t prev = 0;
+      for (std::size_t s = 0; s < cfg.selected_cols(); ++s) {
+        const std::uint8_t c = v.column_loc(br, g, s);
+        EXPECT_LT(c, cfg.m);
+        if (s > 0) EXPECT_GT(c, prev);
+        prev = c;
+        seen.insert(c);
+      }
+      EXPECT_EQ(seen.size(), cfg.selected_cols());
+    }
+}
+
+TEST(VnmMatrix, NonzerosConfinedToSelectedColumns) {
+  Rng rng(4);
+  const VnmConfig cfg{4, 2, 8};
+  const VnmMatrix v =
+      VnmMatrix::from_dense_magnitude(random_half_matrix(8, 32, rng), cfg);
+  const HalfMatrix pruned = v.to_dense();
+  for (std::size_t br = 0; br < v.block_rows(); ++br)
+    for (std::size_t g = 0; g < v.groups_per_row(); ++g) {
+      std::set<std::size_t> selected;
+      for (std::size_t s = 0; s < 4; ++s)
+        selected.insert(g * cfg.m + v.column_loc(br, g, s));
+      for (std::size_t dr = 0; dr < cfg.v; ++dr)
+        for (std::size_t dc = 0; dc < cfg.m; ++dc) {
+          const std::size_t r = br * cfg.v + dr;
+          const std::size_t c = g * cfg.m + dc;
+          if (!pruned(r, c).is_zero())
+            EXPECT_TRUE(selected.count(c)) << "(" << r << ',' << c << ")";
+        }
+    }
+}
+
+TEST(VnmMatrix, Gathered24ViewIsNative24) {
+  // The reduction at the heart of the paper: after the column-loc gather,
+  // the remaining pattern is exactly the hardware 2:4.
+  Rng rng(5);
+  const VnmConfig cfg{8, 2, 16};
+  const VnmMatrix v =
+      VnmMatrix::from_dense_magnitude(random_half_matrix(16, 64, rng), cfg);
+  const HalfMatrix gathered = v.gathered_24_view();
+  EXPECT_EQ(gathered.cols(), v.groups_per_row() * 4);
+  EXPECT_TRUE(NmMatrix::conforms(gathered, {2, 4}));
+  // Lossless: total energy is preserved by the gather.
+  EXPECT_DOUBLE_EQ(l1_energy(gathered), l1_energy(v.to_dense()));
+}
+
+TEST(VnmMatrix, DenseColumnMapsThroughColumnLoc) {
+  Rng rng(6);
+  const VnmConfig cfg{4, 2, 8};
+  const VnmMatrix v =
+      VnmMatrix::from_dense_magnitude(random_half_matrix(8, 24, rng), cfg);
+  const HalfMatrix pruned = v.to_dense();
+  for (std::size_t r = 0; r < v.rows(); ++r)
+    for (std::size_t g = 0; g < v.groups_per_row(); ++g)
+      for (std::size_t j = 0; j < cfg.n; ++j) {
+        if (v.value(r, g, j).is_zero()) continue;
+        const std::size_t c = v.dense_column(r, g, j);
+        EXPECT_EQ(pruned(r, c).bits(), v.value(r, g, j).bits());
+      }
+}
+
+TEST(VnmMatrix, CompressRejectsTooManyColumns) {
+  // 5 occupied columns in one 2x8 block exceeds the 4-column budget.
+  HalfMatrix bad(2, 8);
+  for (std::size_t c = 0; c < 5; ++c) bad(0, c) = half_t(1.0f);
+  EXPECT_THROW(VnmMatrix::compress(bad, {2, 2, 8}), Error);
+  EXPECT_FALSE(VnmMatrix::conforms(bad, {2, 2, 8}));
+}
+
+TEST(VnmMatrix, CompressRejectsTooManyRowNonzeros) {
+  HalfMatrix bad(2, 8);
+  bad(0, 0) = half_t(1.0f);
+  bad(0, 1) = half_t(1.0f);
+  bad(0, 2) = half_t(1.0f);  // 3 nonzeros in one row with N=2
+  EXPECT_THROW(VnmMatrix::compress(bad, {2, 2, 8}), Error);
+}
+
+TEST(VnmMatrix, RejectsBadShapes) {
+  HalfMatrix m(6, 16);
+  EXPECT_THROW(VnmMatrix::from_dense_magnitude(m, {4, 2, 8}), Error);  // 6%4
+  HalfMatrix m2(8, 12);
+  EXPECT_THROW(VnmMatrix::from_dense_magnitude(m2, {4, 2, 8}), Error);  // 12%8
+  EXPECT_THROW(VnmMatrix::from_dense_magnitude(HalfMatrix(8, 16), {4, 0, 8}),
+               Error);
+}
+
+TEST(VnmMatrix, V1DegeneratesToRowwiseSelection) {
+  // With V=1 the vector-wise stage selects per-row columns: strictly more
+  // freedom, so retained energy must be >= any larger V.
+  Rng rng(7);
+  const HalfMatrix dense = random_half_matrix(16, 32, rng);
+  const double e1 = l1_energy(
+      VnmMatrix::from_dense_magnitude(dense, {1, 2, 8}).to_dense());
+  const double e16 = l1_energy(
+      VnmMatrix::from_dense_magnitude(dense, {16, 2, 8}).to_dense());
+  EXPECT_GE(e1, e16);
+}
+
+TEST(VnmMatrix, CompressedBytesShrinkWithM) {
+  Rng rng(8);
+  const HalfMatrix dense = random_half_matrix(64, 320, rng);
+  const auto v8 = VnmMatrix::from_dense_magnitude(dense, {32, 2, 8});
+  const auto v16 = VnmMatrix::from_dense_magnitude(dense, {32, 2, 16});
+  EXPECT_LT(v16.compressed_bytes(), v8.compressed_bytes());
+  EXPECT_LT(v8.compressed_bytes(), dense.size() * 2);
+}
+
+TEST(VnmMatrix, N1KeepsSingleValuePerGroup) {
+  Rng rng(20);
+  const VnmConfig cfg{4, 1, 8};
+  const VnmMatrix v =
+      VnmMatrix::from_dense_magnitude(random_half_matrix(8, 32, rng), cfg);
+  const HalfMatrix pruned = v.to_dense();
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t g = 0; g < 4; ++g) {
+      std::size_t count = 0;
+      for (std::size_t c = 0; c < 8; ++c)
+        if (!pruned(r, g * 8 + c).is_zero()) ++count;
+      EXPECT_EQ(count, 1u);
+    }
+}
+
+TEST(VnmMatrix, EntirelyZeroInputCompresses) {
+  const HalfMatrix zero(8, 16);
+  const VnmConfig cfg{4, 2, 8};
+  EXPECT_TRUE(VnmMatrix::conforms(zero, cfg));
+  const VnmMatrix v = VnmMatrix::compress(zero, cfg);
+  EXPECT_TRUE(v.to_dense() == zero);
+  // Metadata stays valid even with nothing stored.
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t g = 0; g < 2; ++g)
+      for (std::size_t j = 0; j < 2; ++j)
+        EXPECT_LT(v.m_index(r, g, j), 4);
+}
+
+TEST(VnmMatrix, SingleBlockMatrix) {
+  Rng rng(21);
+  const VnmConfig cfg{8, 2, 8};
+  const HalfMatrix dense = random_half_matrix(8, 8, rng);  // exactly one block
+  const VnmMatrix v = VnmMatrix::from_dense_magnitude(dense, cfg);
+  EXPECT_EQ(v.block_rows(), 1u);
+  EXPECT_EQ(v.groups_per_row(), 1u);
+  EXPECT_TRUE(VnmMatrix::compress(v.to_dense(), cfg).to_dense() ==
+              v.to_dense());
+}
+
+// Property sweep: round-trip + conformance + density across the paper's
+// configuration space.
+class VnmConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(VnmConfigSweep, PruneCompressRoundTrip) {
+  const auto [v, n, m] = GetParam();
+  const VnmConfig cfg{std::size_t(v), std::size_t(n), std::size_t(m)};
+  Rng rng(100 + std::size_t(v) * 7 + std::size_t(m));
+  const HalfMatrix dense =
+      random_half_matrix(std::size_t(v) * 2, std::size_t(m) * 4, rng);
+  const VnmMatrix vm = VnmMatrix::from_dense_magnitude(dense, cfg);
+  const HalfMatrix pruned = vm.to_dense();
+  EXPECT_TRUE(VnmMatrix::conforms(pruned, cfg));
+  EXPECT_TRUE(VnmMatrix::compress(pruned, cfg).to_dense() == pruned);
+  EXPECT_NEAR(density(pruned), cfg.n / double(cfg.m), 0.05);
+  EXPECT_EQ(vm.nnz(), pruned.rows() * (pruned.cols() / cfg.m) * cfg.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, VnmConfigSweep,
+    ::testing::Values(std::make_tuple(1, 2, 8), std::make_tuple(16, 2, 8),
+                      std::make_tuple(32, 2, 8), std::make_tuple(64, 2, 8),
+                      std::make_tuple(8, 2, 10), std::make_tuple(8, 2, 16),
+                      std::make_tuple(8, 2, 20), std::make_tuple(4, 2, 40),
+                      std::make_tuple(8, 1, 8), std::make_tuple(8, 2, 4),
+                      std::make_tuple(16, 2, 32), std::make_tuple(4, 2, 100)));
+
+}  // namespace
+}  // namespace venom

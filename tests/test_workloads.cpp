@@ -1,0 +1,117 @@
+// Tests for the synthetic workload generators.
+#include "workloads/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/gemm.hpp"
+#include "baselines/spmm_csr.hpp"
+#include "common/rng.hpp"
+#include "format/csr.hpp"
+
+namespace venom::workloads {
+namespace {
+
+TEST(Uniform, HitsDensity) {
+  Rng rng(1);
+  const HalfMatrix m = uniform_sparse(128, 128, 0.25, rng);
+  EXPECT_NEAR(density(m), 0.25, 0.03);
+  EXPECT_THROW(uniform_sparse(8, 8, 1.5, rng), Error);
+}
+
+TEST(Uniform, ExtremesWork) {
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(density(uniform_sparse(32, 32, 0.0, rng)), 0.0);
+  // density 1.0: only exact float zeros from the normal draw would be
+  // missing — essentially everything present.
+  EXPECT_GT(density(uniform_sparse(32, 32, 1.0, rng)), 0.99);
+}
+
+TEST(Banded, NonzerosStayInBand) {
+  Rng rng(3);
+  const std::size_t hb = 3;
+  const HalfMatrix m = banded(64, 64, hb, rng);
+  for (std::size_t r = 0; r < 64; ++r)
+    for (std::size_t c = 0; c < 64; ++c)
+      if (!m(r, c).is_zero())
+        EXPECT_LE(std::abs(int(c) - int(r)), int(hb) + 1);
+  EXPECT_GT(density(m), 0.0);
+}
+
+TEST(Banded, RectangularBandFollowsDiagonalSlope) {
+  Rng rng(4);
+  const HalfMatrix m = banded(32, 64, 2, rng);  // slope 2
+  for (std::size_t r = 0; r < 32; ++r)
+    for (std::size_t c = 0; c < 64; ++c)
+      if (!m(r, c).is_zero())
+        EXPECT_LE(std::abs(int(c) - 2 * int(r)), 4);
+}
+
+TEST(PowerLaw, AlphaZeroIsBalanced) {
+  Rng rng(5);
+  const HalfMatrix m = power_law_rows(128, 256, 0.2, 0.0, rng);
+  EXPECT_NEAR(density(m), 0.2, 0.03);
+  EXPECT_LT(row_imbalance(m), 0.1);
+}
+
+TEST(PowerLaw, LargerAlphaMoreImbalanced) {
+  Rng rng(6);
+  const double i0 = row_imbalance(power_law_rows(128, 256, 0.2, 0.0, rng));
+  const double i5 = row_imbalance(power_law_rows(128, 256, 0.2, 0.5, rng));
+  const double i10 = row_imbalance(power_law_rows(128, 256, 0.2, 1.0, rng));
+  EXPECT_LT(i0, i5);
+  EXPECT_LT(i5, i10);
+  EXPECT_GT(i10, 0.5);
+}
+
+TEST(PowerLaw, RejectsBadParameters) {
+  Rng rng(7);
+  EXPECT_THROW(power_law_rows(8, 8, 0.0, 1.0, rng), Error);
+  EXPECT_THROW(power_law_rows(8, 8, 0.5, -1.0, rng), Error);
+}
+
+TEST(BlockStructured, WholeBlocksOnly) {
+  Rng rng(8);
+  const HalfMatrix m = block_structured(64, 64, 8, 0.3, rng);
+  for (std::size_t bi = 0; bi < 8; ++bi)
+    for (std::size_t bj = 0; bj < 8; ++bj) {
+      std::size_t nnz = 0;
+      for (std::size_t di = 0; di < 8; ++di)
+        for (std::size_t dj = 0; dj < 8; ++dj)
+          if (!m(bi * 8 + di, bj * 8 + dj).is_zero()) ++nnz;
+      // Kept blocks are dense (modulo exact-zero normal draws),
+      // dropped blocks are empty.
+      EXPECT_TRUE(nnz == 0 || nnz >= 62) << bi << ',' << bj;
+    }
+}
+
+TEST(RowImbalance, KnownValues) {
+  HalfMatrix balanced(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) balanced(r, 0) = half_t(1.0f);
+  EXPECT_DOUBLE_EQ(row_imbalance(balanced), 0.0);
+
+  HalfMatrix skewed(2, 4);
+  for (std::size_t c = 0; c < 4; ++c) skewed(0, c) = half_t(1.0f);
+  // rows have 4 and 0 nonzeros: mean 2, std 2 -> CV 1.
+  EXPECT_DOUBLE_EQ(row_imbalance(skewed), 1.0);
+  EXPECT_DOUBLE_EQ(row_imbalance(HalfMatrix(4, 4)), 0.0);
+}
+
+TEST(Generators, AllFeedTheCsrKernelCorrectly) {
+  // Integration: every generated structure multiplies correctly.
+  Rng rng(9);
+  const HalfMatrix b = random_half_matrix(64, 16, rng);
+  const HalfMatrix cases[] = {
+      uniform_sparse(32, 64, 0.2, rng),
+      banded(32, 64, 4, rng),
+      power_law_rows(32, 64, 0.3, 0.8, rng),
+      block_structured(32, 64, 8, 0.4, rng),
+  };
+  for (const auto& a : cases) {
+    EXPECT_LT(rel_fro_error(spmm_csr(CsrMatrix::from_dense(a), b),
+                            gemm_dense(a, b)),
+              1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace venom::workloads

@@ -1,0 +1,203 @@
+// venomtool — command-line utility over the VENOM library.
+//
+//   venomtool gen <rows> <cols> <out.mat> [seed] [sigma]
+//       synthesize a dense fp16 matrix (transformer-like, with outlier
+//       columns) and write it in the MATH container
+//   venomtool compress <in.mat> <out.vnm> <V> <N> <M>
+//       magnitude-prune + compress to V:N:M
+//   venomtool decompress <in.vnm> <out.mat>
+//       expand a compressed matrix back to dense
+//   venomtool info <file>
+//       describe any container (shape, format, density, footprint)
+//   venomtool spmm <a.vnm> <b.mat> <out.matf>
+//       C = A_vnm * B through Spatha (fp32 output container)
+//   venomtool energy <pruned.mat> <dense.mat>
+//       Fig. 11 energy metric of a pruned matrix vs its dense origin
+//   venomtool autotune <R> <K> <C> <V> <N> <M>
+//       rank Spatha kernel configurations for a GEMM shape (RTX 3090
+//       model) and print the top candidates
+//   venomtool model <R> <K> <C> <V> <N> <M>
+//       modeled kernel times and speedup vs cuBLAS for one problem
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "format/vnm.hpp"
+#include "gpumodel/autotune.hpp"
+#include "io/serialize.hpp"
+#include "pruning/policies.hpp"
+#include "spatha/spmm.hpp"
+
+namespace {
+
+using namespace venom;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  venomtool gen <rows> <cols> <out.mat> [seed] [sigma]\n"
+               "  venomtool compress <in.mat> <out.vnm> <V> <N> <M>\n"
+               "  venomtool decompress <in.vnm> <out.mat>\n"
+               "  venomtool info <file>\n"
+               "  venomtool spmm <a.vnm> <b.mat> <out.matf>\n"
+               "  venomtool energy <pruned.mat> <dense.mat>\n"
+               "  venomtool autotune <R> <K> <C> <V> <N> <M>\n"
+               "  venomtool model <R> <K> <C> <V> <N> <M>\n");
+  return 2;
+}
+
+std::size_t to_size(const std::string& s) {
+  return static_cast<std::size_t>(std::stoull(s));
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.size() < 3 || args.size() > 5) return usage();
+  const std::size_t rows = to_size(args[0]);
+  const std::size_t cols = to_size(args[1]);
+  const std::uint64_t seed = args.size() > 3 ? std::stoull(args[3]) : 42;
+  const float sigma = args.size() > 4 ? std::stof(args[4]) : 0.05f;
+  Rng rng(seed);
+  const HalfMatrix m =
+      pruning::synthetic_bert_weight(rows, cols, rng, 0.15, 4.0f, sigma);
+  io::save(m, args[2]);
+  std::printf("wrote %zux%zu fp16 matrix to %s (seed %llu)\n", rows, cols,
+              args[2].c_str(), static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+int cmd_compress(const std::vector<std::string>& args) {
+  if (args.size() != 5) return usage();
+  const HalfMatrix dense = io::load_half_matrix(args[0]);
+  const VnmConfig cfg{to_size(args[2]), to_size(args[3]), to_size(args[4])};
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(dense, cfg);
+  io::save(sparse, args[1]);
+  std::printf("compressed %zux%zu to %zu:%zu:%zu (%.0f%% sparse): %zu -> %zu "
+              "bytes (%.1fx)\n",
+              dense.rows(), dense.cols(), cfg.v, cfg.n, cfg.m,
+              cfg.sparsity() * 100.0, dense.size() * 2,
+              sparse.compressed_bytes(),
+              double(dense.size() * 2) / double(sparse.compressed_bytes()));
+  return 0;
+}
+
+int cmd_decompress(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const VnmMatrix sparse = io::load_vnm_matrix(args[0]);
+  io::save(sparse.to_dense(), args[1]);
+  std::printf("expanded %zux%zu V:N:M matrix to %s\n", sparse.rows(),
+              sparse.cols(), args[1].c_str());
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  switch (io::probe(args[0])) {
+    case io::FileKind::kHalfMatrix: {
+      const HalfMatrix m = io::load_half_matrix(args[0]);
+      std::printf("fp16 dense matrix  %zux%zu  density %.3f  l1 %.3f\n",
+                  m.rows(), m.cols(), density(m), l1_energy(m));
+      return 0;
+    }
+    case io::FileKind::kFloatMatrix: {
+      const FloatMatrix m = io::load_float_matrix(args[0]);
+      std::printf("fp32 dense matrix  %zux%zu\n", m.rows(), m.cols());
+      return 0;
+    }
+    case io::FileKind::kVnmMatrix: {
+      const VnmMatrix m = io::load_vnm_matrix(args[0]);
+      std::printf("V:N:M matrix  %zux%zu  format %zu:%zu:%zu  (%.0f%% "
+                  "sparse)  nnz %zu  %zu bytes\n",
+                  m.rows(), m.cols(), m.config().v, m.config().n,
+                  m.config().m, m.config().sparsity() * 100.0, m.nnz(),
+                  m.compressed_bytes());
+      return 0;
+    }
+    case io::FileKind::kUnknown:
+      std::fprintf(stderr, "unrecognized file: %s\n", args[0].c_str());
+      return 1;
+  }
+  return 1;
+}
+
+int cmd_spmm(const std::vector<std::string>& args) {
+  if (args.size() != 3) return usage();
+  const VnmMatrix a = io::load_vnm_matrix(args[0]);
+  const HalfMatrix b = io::load_half_matrix(args[1]);
+  const FloatMatrix c = spatha::spmm_vnm(a, b);
+  io::save(c, args[2]);
+  std::printf("spmm %zux%zu (%zu:%zu:%zu) * %zux%zu -> %s\n", a.rows(),
+              a.cols(), a.config().v, a.config().n, a.config().m, b.rows(),
+              b.cols(), args[2].c_str());
+  return 0;
+}
+
+int cmd_energy(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const HalfMatrix pruned = io::load_half_matrix(args[0]);
+  const HalfMatrix dense = io::load_half_matrix(args[1]);
+  std::printf("energy = %.4f\n", pruning::energy(pruned, dense));
+  return 0;
+}
+
+int cmd_autotune(const std::vector<std::string>& args) {
+  if (args.size() != 6) return usage();
+  const gpumodel::GemmShape g{to_size(args[0]), to_size(args[1]),
+                              to_size(args[2])};
+  const VnmConfig fmt{to_size(args[3]), to_size(args[4]), to_size(args[5])};
+  const auto ranked =
+      gpumodel::enumerate_configs(gpumodel::rtx3090(), g, fmt);
+  std::printf("%zu valid configurations for %zux%zux%zu at %zu:%zu:%zu; "
+              "top 5:\n",
+              ranked.size(), g.r, g.k, g.c, fmt.v, fmt.n, fmt.m);
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, ranked.size()); ++i)
+    std::printf("  %8.2f us   %s\n", ranked[i].total_s() * 1e6,
+                ranked[i].config.describe().c_str());
+  return 0;
+}
+
+int cmd_model(const std::vector<std::string>& args) {
+  if (args.size() != 6) return usage();
+  const auto& dev = gpumodel::rtx3090();
+  const gpumodel::GemmShape g{to_size(args[0]), to_size(args[1]),
+                              to_size(args[2])};
+  const VnmConfig fmt{to_size(args[3]), to_size(args[4]), to_size(args[5])};
+  const auto dense = gpumodel::cublas_gemm(dev, g);
+  const auto sparse = gpumodel::spatha_spmm(dev, g, fmt);
+  std::printf("modeled on %s:\n", dev.name.c_str());
+  std::printf("  cuBLAS dense : %9.2f us  (%.1f TFLOPS)\n",
+              dense.total() * 1e6, gpumodel::tflops(dense, g.flops()));
+  std::printf("  Spatha %zu:%zu:%zu : %9.2f us  -> %.2fx speedup "
+              "(theoretical cap %.1fx)\n",
+              fmt.v, fmt.n, fmt.m, sparse.total() * 1e6,
+              dense.total() / sparse.total(),
+              double(fmt.m) / (2.0 * double(fmt.n)) * 2.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "compress") return cmd_compress(args);
+    if (cmd == "decompress") return cmd_decompress(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "spmm") return cmd_spmm(args);
+    if (cmd == "energy") return cmd_energy(args);
+    if (cmd == "autotune") return cmd_autotune(args);
+    if (cmd == "model") return cmd_model(args);
+  } catch (const venom::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
