@@ -8,10 +8,14 @@
 // repository, not just for the analytical model.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "baselines/gemm.hpp"
 #include "baselines/spmm_24.hpp"
 #include "baselines/spmm_csr.hpp"
 #include "baselines/spmm_cvse.hpp"
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "pruning/policies.hpp"
 #include "spatha/spmm.hpp"
@@ -55,6 +59,20 @@ void BM_SpathaVnm(benchmark::State& state) {
 BENCHMARK(BM_SpathaVnm)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
+void BM_SpathaVnmScalar(benchmark::State& state) {
+  // The seed's element-at-a-time path, kept as the perf baseline for the
+  // packed float-panel pipeline.
+  const std::size_t m = std::size_t(state.range(0));
+  const VnmConfig cfg{64, 2, m};
+  const VnmMatrix a = VnmMatrix::from_dense_magnitude(weight(), cfg);
+  const HalfMatrix b = activations();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(spatha::spmm_vnm_scalar(a, b));
+  state.SetLabel("64:2:" + std::to_string(m) + " seed scalar path");
+}
+BENCHMARK(BM_SpathaVnmScalar)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Spmm24(benchmark::State& state) {
   const NmMatrix a = NmMatrix::from_dense_magnitude(weight(), {2, 4});
   const HalfMatrix b = activations();
@@ -94,6 +112,61 @@ void BM_VnmCompression(benchmark::State& state) {
 }
 BENCHMARK(BM_VnmCompression)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
+/// Times fn() with one warmup call, then enough iterations for ~0.2 s.
+template <typename Fn>
+double seconds_per_call(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s >= 0.2 || iters >= 1u << 14) return s / double(iters);
+    iters *= 4;
+  }
+}
+
+/// Measures the packed float-panel pipeline against the seed scalar path
+/// on the Table-1 bench shape and writes BENCH_kernels.json so the perf
+/// trajectory is tracked across PRs.
+void write_speedup_json() {
+  const HalfMatrix b = activations();
+  std::vector<venom::bench::JsonRecord> records;
+  std::printf("SpMM fast-vs-seed (R%zux K%zu x C%zu):\n", kR, kK, kC);
+  for (const VnmConfig cfg : {VnmConfig{64, 2, 8}, VnmConfig{128, 2, 16}}) {
+    const VnmMatrix a = VnmMatrix::from_dense_magnitude(weight(), cfg);
+    const double flops = spatha::spmm_flops(a, kC);
+    const double fast_s =
+        seconds_per_call([&] { benchmark::DoNotOptimize(spatha::spmm_vnm(a, b)); });
+    const double seed_s = seconds_per_call(
+        [&] { benchmark::DoNotOptimize(spatha::spmm_vnm_scalar(a, b)); });
+    const std::string shape = "R" + std::to_string(kR) + "xK" +
+                              std::to_string(kK) + "xC" + std::to_string(kC) +
+                              " " + std::to_string(cfg.v) + ":" +
+                              std::to_string(cfg.n) + ":" +
+                              std::to_string(cfg.m);
+    records.push_back({"spmm_vnm", shape, flops / fast_s * 1e-9,
+                       seed_s / fast_s});
+    records.push_back({"spmm_vnm_scalar", shape, flops / seed_s * 1e-9, 1.0});
+    std::printf("  %-24s %7.2f GFLOP/s  (seed %5.2f GFLOP/s, speedup %.2fx)\n",
+                shape.c_str(), flops / fast_s * 1e-9, flops / seed_s * 1e-9,
+                seed_s / fast_s);
+  }
+  venom::bench::write_bench_json("BENCH_kernels.json", records);
+  std::printf("wrote BENCH_kernels.json\n\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The fast-vs-seed measurement (and its JSON overwrite) runs only on a
+  // bare invocation; flagged runs (--benchmark_filter, --benchmark_list_tests,
+  // --help, ...) go straight to google-benchmark.
+  if (argc == 1) write_speedup_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,4 +1,6 @@
-// Shared table-printing helpers for the figure benches.
+// Shared table-printing helpers for the figure benches, plus the
+// machine-readable perf record emitted by bench_kernels_cpu so the kernel
+// throughput trajectory is tracked across PRs.
 #pragma once
 
 #include <cstdio>
@@ -6,6 +8,37 @@
 #include <vector>
 
 namespace venom::bench {
+
+/// One measured kernel configuration. `speedup_vs_seed` is wall-clock of
+/// the seed scalar path divided by this kernel's wall-clock on the same
+/// problem (1.0 when the kernel IS the seed path or has no baseline).
+struct JsonRecord {
+  std::string name;
+  std::string shape;
+  double gflops = 0.0;
+  double speedup_vs_seed = 1.0;
+};
+
+/// Writes records as a JSON array to `path` (e.g. BENCH_kernels.json).
+inline void write_bench_json(const std::string& path,
+                             const std::vector<JsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"shape\": \"%s\", "
+                 "\"gflops\": %.3f, \"speedup_vs_seed\": %.3f}%s\n",
+                 r.name.c_str(), r.shape.c_str(), r.gflops,
+                 r.speedup_vs_seed, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
 
 /// Prints a banner naming the paper artefact being regenerated.
 inline void banner(const std::string& artefact, const std::string& detail) {

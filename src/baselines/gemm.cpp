@@ -14,6 +14,11 @@ FloatMatrix gemm_dense(const HalfMatrix& a, const HalfMatrix& b,
   if (pool == nullptr) pool = &ThreadPool::global();
   FloatMatrix c(a.rows(), b.cols());
 
+  // Bulk-convert both operands once; the panel loops then run pure-float
+  // axpy rows that the compiler vectorizes.
+  const FloatMatrix af = to_float(a);
+  const FloatMatrix bf = to_float(b);
+
   constexpr std::size_t kRowBlock = 32;
   constexpr std::size_t kPanelK = 256;
   const std::size_t row_blocks = (a.rows() + kRowBlock - 1) / kRowBlock;
@@ -25,12 +30,13 @@ FloatMatrix gemm_dense(const HalfMatrix& a, const HalfMatrix& b,
       const std::size_t k1 = std::min(a.cols(), k0 + kPanelK);
       for (std::size_t r = r0; r < r1; ++r) {
         float* crow = &c(r, 0);
+        const float* arow = &af(r, 0);
         for (std::size_t k = k0; k < k1; ++k) {
-          const float av = a(r, k).to_float();
+          const float av = arow[k];
           if (av == 0.0f) continue;
-          const half_t* brow = &b(k, 0);
+          const float* brow = &bf(k, 0);
           for (std::size_t n = 0; n < b.cols(); ++n)
-            crow[n] += av * brow[n].to_float();
+            crow[n] += av * brow[n];
         }
       }
     }

@@ -1,6 +1,7 @@
 #include "baselines/spmm_24.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "sptc/metadata.hpp"
@@ -19,23 +20,37 @@ FloatMatrix spmm_24(const NmMatrix& a, const HalfMatrix& b,
 
   FloatMatrix c(a.rows(), b.cols());
   const std::size_t groups = a.groups_per_row();
+  const std::size_t width = b.cols();
   constexpr std::size_t kRowBlock = 32;
   const std::size_t row_blocks = (a.rows() + kRowBlock - 1) / kRowBlock;
 
-  pool->parallel_for(row_blocks, [&](std::size_t rb) {
-    const std::size_t r0 = rb * kRowBlock;
-    const std::size_t r1 = std::min(a.rows(), r0 + kRowBlock);
-    for (std::size_t r = r0; r < r1; ++r) {
-      float* crow = &c(r, 0);
-      for (std::size_t g = 0; g < groups; ++g) {
-        for (std::size_t j = 0; j < p.n; ++j) {
-          const half_t v = a.value(r, g, j);
-          if (v.is_zero()) continue;
-          const float av = v.to_float();
-          const std::size_t col = g * p.m + a.index(r, g, j);
-          const half_t* brow = &b(col, 0);
-          for (std::size_t n = 0; n < b.cols(); ++n)
-            crow[n] += av * brow[n].to_float();
+  // B converts to packed float once; each row's nonzero descriptors are
+  // hoisted into flat scratch ahead of the vectorizable axpy loops.
+  const FloatMatrix bf = to_float(b);
+
+  pool->parallel_for_chunks(row_blocks, [&](std::size_t rb0, std::size_t rb1) {
+    std::vector<float> vals(groups * p.n);
+    std::vector<std::uint32_t> rows(groups * p.n);
+    for (std::size_t rb = rb0; rb < rb1; ++rb) {
+      const std::size_t r0 = rb * kRowBlock;
+      const std::size_t r1 = std::min(a.rows(), r0 + kRowBlock);
+      for (std::size_t r = r0; r < r1; ++r) {
+        std::size_t cnt = 0;
+        for (std::size_t g = 0; g < groups; ++g) {
+          for (std::size_t j = 0; j < p.n; ++j) {
+            const half_t v = a.value(r, g, j);
+            if (v.is_zero()) continue;
+            vals[cnt] = v.to_float();
+            rows[cnt] =
+                static_cast<std::uint32_t>(g * p.m + a.index(r, g, j));
+            ++cnt;
+          }
+        }
+        float* crow = &c(r, 0);
+        for (std::size_t t = 0; t < cnt; ++t) {
+          const float av = vals[t];
+          const float* brow = &bf(rows[t], 0);
+          for (std::size_t n = 0; n < width; ++n) crow[n] += av * brow[n];
         }
       }
     }
@@ -59,40 +74,45 @@ FloatMatrix spmm_24_mma(const NmMatrix& a, const HalfMatrix& b,
   const std::size_t tiles_k = a.cols() / 32;
   const std::size_t groups = a.groups_per_row();
 
-  pool->parallel_for(tiles_r * tiles_n, [&](std::size_t t) {
-    const std::size_t tr = t / tiles_n;
-    const std::size_t tn = t % tiles_n;
-    std::vector<half_t> a_tile(16 * 16);
-    std::vector<std::uint8_t> idx_tile(16 * 16);
-    std::vector<half_t> b_tile(32 * 8);
-    std::vector<float> c_tile(16 * 8, 0.0f);
+  pool->parallel_for_chunks(
+      tiles_r * tiles_n, [&](std::size_t t0, std::size_t t1) {
+        // Tile staging buffers are reused across the tiles of a chunk.
+        std::vector<half_t> a_tile(16 * 16);
+        std::vector<std::uint8_t> idx_tile(16 * 16);
+        std::vector<half_t> b_tile(32 * 8);
+        std::vector<float> c_tile(16 * 8);
 
-    for (std::size_t tk = 0; tk < tiles_k; ++tk) {
-      // Stage the compressed A tile: rows tr*16.., K-groups tk*8..
-      // (8 groups of 4 dense columns = 32 dense / 16 compressed cols).
-      for (std::size_t i = 0; i < 16; ++i) {
-        const std::size_t r = tr * 16 + i;
-        for (std::size_t gg = 0; gg < 8; ++gg) {
-          const std::size_t g = tk * 8 + gg;
-          (void)groups;
-          for (std::size_t j = 0; j < 2; ++j) {
-            a_tile[i * 16 + gg * 2 + j] = a.value(r, g, j);
-            idx_tile[i * 16 + gg * 2 + j] = a.index(r, g, j);
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t tr = t / tiles_n;
+          const std::size_t tn = t % tiles_n;
+          std::fill(c_tile.begin(), c_tile.end(), 0.0f);
+
+          for (std::size_t tk = 0; tk < tiles_k; ++tk) {
+            // Stage the compressed A tile: rows tr*16.., K-groups tk*8..
+            // (8 groups of 4 dense columns = 32 dense / 16 compressed
+            // cols). The compressed row is contiguous in the format
+            // arrays, so staging is two flat 16-element copies per row.
+            for (std::size_t i = 0; i < 16; ++i) {
+              const std::size_t r = tr * 16 + i;
+              const std::size_t base = (r * groups + tk * 8) * 2;
+              std::copy(a.values().data() + base,
+                        a.values().data() + base + 16, &a_tile[i * 16]);
+              std::copy(a.indices().data() + base,
+                        a.indices().data() + base + 16, &idx_tile[i * 16]);
+            }
+            const auto meta = sptc::pack_metadata(idx_tile);
+            // Stage the dense B tile: rows tk*32.., cols tn*8..
+            for (std::size_t i = 0; i < 32; ++i) {
+              const half_t* src = &b(tk * 32 + i, tn * 8);
+              std::copy(src, src + 8, &b_tile[i * 8]);
+            }
+            sptc::mma_sp_fp16(32, a_tile, meta, b_tile, c_tile);
           }
+          for (std::size_t i = 0; i < 16; ++i)
+            for (std::size_t n = 0; n < 8; ++n)
+              c(tr * 16 + i, tn * 8 + n) = c_tile[i * 8 + n];
         }
-      }
-      const auto meta = sptc::pack_metadata(idx_tile);
-      // Stage the dense B tile: rows tk*32.., cols tn*8..
-      for (std::size_t i = 0; i < 32; ++i)
-        for (std::size_t n = 0; n < 8; ++n)
-          b_tile[i * 8 + n] = b(tk * 32 + i, tn * 8 + n);
-
-      sptc::mma_sp_fp16(32, a_tile, meta, b_tile, c_tile);
-    }
-    for (std::size_t i = 0; i < 16; ++i)
-      for (std::size_t n = 0; n < 8; ++n)
-        c(tr * 16 + i, tn * 8 + n) = c_tile[i * 8 + n];
-  });
+      });
   return c;
 }
 

@@ -16,6 +16,10 @@ FloatMatrix spmm_csr(const CsrMatrix& a, const HalfMatrix& b,
   const auto& cols = a.col_indices();
   const auto& vals = a.values();
 
+  // B converts to packed float once, so the row axpys are pure float.
+  const FloatMatrix bf = to_float(b);
+  const std::size_t width = b.cols();
+
   pool->parallel_for(row_blocks, [&](std::size_t rb) {
     const std::size_t r0 = rb * kRowBlock;
     const std::size_t r1 = std::min(a.rows(), r0 + kRowBlock);
@@ -23,9 +27,9 @@ FloatMatrix spmm_csr(const CsrMatrix& a, const HalfMatrix& b,
       float* crow = &c(r, 0);
       for (std::uint32_t i = offsets[r]; i < offsets[r + 1]; ++i) {
         const float av = vals[i].to_float();
-        const half_t* brow = &b(cols[i], 0);
-        for (std::size_t n = 0; n < b.cols(); ++n)
-          crow[n] += av * brow[n].to_float();
+        const float* brow = &bf(cols[i], 0);
+        for (std::size_t n = 0; n < width; ++n)
+          crow[n] += av * brow[n];
       }
     }
   });

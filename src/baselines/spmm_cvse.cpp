@@ -1,5 +1,7 @@
 #include "baselines/spmm_cvse.hpp"
 
+#include <vector>
+
 namespace venom {
 
 FloatMatrix spmm_cvse(const CvseMatrix& a, const HalfMatrix& b,
@@ -12,16 +14,24 @@ FloatMatrix spmm_cvse(const CvseMatrix& a, const HalfMatrix& b,
   const auto& cols = a.col_indices();
   const auto& vals = a.values();
   const std::size_t vlen = a.vec_len();
+  const std::size_t width = b.cols();
 
-  pool->parallel_for(a.row_groups(), [&](std::size_t g) {
-    for (std::uint32_t i = offsets[g]; i < offsets[g + 1]; ++i) {
-      const half_t* brow = &b(cols[i], 0);
-      for (std::size_t dr = 0; dr < vlen; ++dr) {
-        const float av = vals[i * vlen + dr].to_float();
-        if (av == 0.0f) continue;
-        float* crow = &c(g * vlen + dr, 0);
-        for (std::size_t n = 0; n < b.cols(); ++n)
-          crow[n] += av * brow[n].to_float();
+  // B converts to packed float once; the vector values convert in bulk
+  // per gathered vector instead of per FMA.
+  const FloatMatrix bf = to_float(b);
+
+  pool->parallel_for_chunks(a.row_groups(), [&](std::size_t g0, std::size_t g1) {
+    std::vector<float> vvals(vlen);
+    for (std::size_t g = g0; g < g1; ++g) {
+      for (std::uint32_t i = offsets[g]; i < offsets[g + 1]; ++i) {
+        const float* brow = &bf(cols[i], 0);
+        half_to_float_n(&vals[i * vlen], vvals.data(), vlen);
+        for (std::size_t dr = 0; dr < vlen; ++dr) {
+          const float av = vvals[dr];
+          if (av == 0.0f) continue;
+          float* crow = &c(g * vlen + dr, 0);
+          for (std::size_t n = 0; n < width; ++n) crow[n] += av * brow[n];
+        }
       }
     }
   });

@@ -4,6 +4,13 @@
 #include <cstring>
 #include <ostream>
 
+// The bulk converters use F16C (VCVTPH2PS / VCVTPS2PH) when the compiler
+// targets it; define VENOM_NO_F16C to force the portable path even then.
+#if defined(__F16C__) && !defined(VENOM_NO_F16C)
+#define VENOM_USE_F16C 1
+#include <immintrin.h>
+#endif
+
 namespace venom {
 
 namespace {
@@ -69,6 +76,51 @@ float half_t::bits_to_float(std::uint16_t h) {
   }
   // Normal: re-bias exponent 15 -> 127.
   return as_f32(sign | ((exp + 112) << 23) | (mant << 13));
+}
+
+void half_to_float_n(const half_t* src, float* dst, std::size_t n) {
+  std::size_t i = 0;
+#ifdef VENOM_USE_F16C
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+#endif
+  // Scalar tail (and full portable path): select-based so the loop can
+  // if-convert. Normals rescale exactly via 2^112 with no denormal float
+  // intermediate; zeros/subnormals go through an exact integer * 2^-24
+  // product (immune to DAZ/FTZ, unlike an em<<13 denormal intermediate).
+  for (; i < n; ++i) {
+    const std::uint32_t h = src[i].bits();
+    const std::uint32_t sign = (h & 0x8000u) << 16;
+    const std::uint32_t em = h & 0x7fffu;
+    std::uint32_t bits;
+    if (em >= 0x7c00u)
+      bits = (em & 0x3ffu) == 0
+                 ? 0x7f800000u
+                 : 0x7fc00000u | ((em & 0x3ffu) << 13);
+    else if (em < 0x0400u)
+      bits = as_u32(static_cast<float>(em) * 0x1p-24f);
+    else
+      bits = as_u32(as_f32(em << 13) * 0x1p112f);
+    dst[i] = as_f32(sign | bits);
+  }
+}
+
+void float_to_half_n(const float* src, half_t* dst, std::size_t n) {
+  std::size_t i = 0;
+#ifdef VENOM_USE_F16C
+  // VCVTPS2PH with round-to-nearest-even matches float_to_bits on every
+  // finite and infinite input (including halfway cases and subnormal
+  // outputs); NaN payloads are hardware-defined but stay quiet NaNs.
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm256_cvtps_ph(
+        _mm256_loadu_ps(src + i), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+#endif
+  for (; i < n; ++i) dst[i] = half_t(src[i]);
 }
 
 std::ostream& operator<<(std::ostream& os, half_t h) {

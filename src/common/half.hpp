@@ -95,6 +95,22 @@ static_assert(sizeof(half_t) == 2, "half_t must be 2 bytes");
 
 std::ostream& operator<<(std::ostream& os, half_t h);
 
+/// Bulk binary16 -> float conversion: dst[i] = src[i].to_float().
+///
+/// The SpMM pipeline converts gathered B panels to packed float exactly
+/// once per gather and feeds the float panel to the micro-kernel, instead
+/// of paying an out-of-line conversion per fused multiply-add. Uses the
+/// F16C VCVTPH2PS path when compiled with -mf16c / -march=native (exact:
+/// every half is representable as float); otherwise an auto-vectorizable
+/// branch-free integer loop. `src` and `dst` must not overlap.
+void half_to_float_n(const half_t* src, float* dst, std::size_t n);
+
+/// Bulk float -> binary16 conversion with round-to-nearest-even:
+/// dst[i] = half_t(src[i]). Bit-identical to the scalar conversion for
+/// all finite and infinite inputs; NaNs map to a quiet NaN (payloads may
+/// differ between the F16C and scalar paths). `src`/`dst` must not overlap.
+void float_to_half_n(const float* src, half_t* dst, std::size_t n);
+
 /// Fused helper mirroring SPTC accumulation: acc (fp32) += a*b in fp32,
 /// with a and b fp16 inputs. Used by the mma simulator and CPU kernels so
 /// results match tensor-core numerics (per-product fp16, fp32 accumulate).

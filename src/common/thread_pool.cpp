@@ -1,9 +1,30 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace venom {
+
+/// Shared state of one parallel loop: an atomic cursor over the chunk
+/// grid plus completion tracking. Runner tasks and the calling thread all
+/// drain chunks from `next`; the last finished chunk wakes the caller.
+struct ThreadPool::Job {
+  std::function<void(std::size_t, std::size_t)> body;  // [begin, end)
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::size_t total_chunks = 0;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+};
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -39,49 +60,81 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_job(Job& job) {
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.total_chunks) return;
+    const std::size_t begin = c * job.chunk;
+    const std::size_t end = std::min(job.n, begin + job.chunk);
+    try {
+      job.body(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.first_error) job.first_error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.total_chunks) {
+      std::lock_guard<std::mutex> lock(job.done_mutex);
+      job.done_cv.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (n == 0) return;
   const std::size_t workers = workers_.size();
-  if (n == 1 || workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+  if (grain == 0) {
+    // A few chunks per worker balances load without shredding locality.
+    grain = std::max<std::size_t>(1, n / (std::max<std::size_t>(1, workers) * 4));
+  }
+  if (workers <= 1 || n <= grain) {
+    fn(0, n);  // serial: exceptions propagate directly
     return;
   }
 
-  // Contiguous chunking: chunk c covers [c*chunk, min(n, (c+1)*chunk)).
-  const std::size_t chunks = std::min(n, workers * 4);
-  const std::size_t chunk = (n + chunks - 1) / chunks;
+  auto job = std::make_shared<Job>();
+  job->body = fn;
+  job->n = n;
+  job->chunk = grain;
+  job->total_chunks = (n + grain - 1) / grain;
 
-  std::atomic<std::size_t> remaining{chunks};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-
+  // One runner per worker at most; each runner loops claiming chunks off
+  // the atomic cursor, so queue traffic is O(workers), not O(chunks).
+  const std::size_t runners = std::min(workers, job->total_chunks);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t c = 0; c < chunks; ++c) {
-      tasks_.emplace([&, c] {
-        const std::size_t begin = c * chunk;
-        const std::size_t end = std::min(n, begin + chunk);
-        try {
-          for (std::size_t i = begin; i < end; ++i) fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> elock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> dlock(done_mutex);
-          done_cv.notify_one();
-        }
-      });
-    }
+    for (std::size_t i = 0; i < runners; ++i)
+      tasks_.emplace([job] { run_job(*job); });
   }
   cv_.notify_all();
 
-  std::unique_lock<std::mutex> dlock(done_mutex);
-  done_cv.wait(dlock, [&] { return remaining.load() == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  // The caller drains chunks too (it would otherwise idle), then waits
+  // for stragglers claimed by workers.
+  run_job(*job);
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->total_chunks;
+    });
+  }
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  parallel_for_chunks(
+      n,
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      0);
 }
 
 ThreadPool& ThreadPool::global() {

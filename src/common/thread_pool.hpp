@@ -1,9 +1,13 @@
 // Work-sharing thread pool used by the CPU kernels.
 //
 // Spatha's CUDA kernels assign one output tile per thread block; the CPU
-// port assigns one output tile per pool task. The pool is a plain
-// condition-variable queue — tile granularity is coarse enough (thousands
-// of fused multiply-adds per tile) that queue overhead is negligible.
+// port assigns one output tile per pool iteration. Dispatch is chunked:
+// a parallel_for publishes one job with an atomic work counter, a handful
+// of runner tasks (at most one per worker) claim contiguous index chunks
+// from that counter, and the calling thread participates in the draining.
+// Kernels that need scratch (gather panels, accumulator tiles) use
+// parallel_for_chunks and allocate the scratch once per claimed chunk
+// instead of once per iteration.
 #pragma once
 
 #include <condition_variable>
@@ -16,7 +20,7 @@
 
 namespace venom {
 
-/// Fixed-size thread pool with a blocking parallel_for.
+/// Fixed-size thread pool with blocking parallel loops.
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
@@ -29,15 +33,29 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, n), blocking until all iterations finish.
-  /// Iterations are distributed in contiguous chunks; exceptions from fn
-  /// are captured and the first one is rethrown on the caller thread.
+  /// Iterations are claimed in contiguous chunks off an atomic counter;
+  /// the first exception thrown by fn is rethrown on the caller thread
+  /// after all chunks drain.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: runs fn(begin, end) over a partition of [0, n) into
+  /// contiguous ranges of at most `grain` indices (grain 0 picks a size
+  /// that yields a few chunks per worker). fn is invoked once per chunk,
+  /// so per-chunk scratch buffers amortize across all iterations of the
+  /// chunk. Exceptions propagate as with parallel_for.
+  void parallel_for_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t grain = 0);
 
   /// Process-wide default pool (lazily constructed).
   static ThreadPool& global();
 
  private:
+  struct Job;
+
   void worker_loop();
+  static void run_job(Job& job);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "spatha/microkernel.hpp"
+
 namespace venom::spatha {
 
 namespace {
@@ -24,13 +26,11 @@ float apply_activation(Activation act, float v) {
 }
 
 /// Shared stage-1/2 body: accumulates the V x [c0,c1) tile of block row
-/// `br` into `acc` (row-major, width = c1-c0).
+/// `br` into s.acc through the packed float-panel micro-kernel.
 void accumulate_block(const VnmMatrix& a, const HalfMatrix& b,
                       const SpmmConfig& cfg, std::size_t br, std::size_t c0,
-                      std::size_t c1, std::vector<half_t>& panel,
-                      std::span<float> acc) {
+                      std::size_t c1, detail::SpmmScratch& s) {
   const VnmConfig fmt = a.config();
-  const std::size_t sel = fmt.selected_cols();
   const std::size_t groups = a.groups_per_row();
   const std::size_t groups_per_panel = cfg.block_k / fmt.m;
   const std::size_t width = c1 - c0;
@@ -38,31 +38,8 @@ void accumulate_block(const VnmMatrix& a, const HalfMatrix& b,
 
   for (std::size_t g0 = 0; g0 < groups; g0 += groups_per_panel) {
     const std::size_t g1 = std::min(groups, g0 + groups_per_panel);
-    panel.resize((g1 - g0) * sel * width);
-    for (std::size_t g = g0; g < g1; ++g) {
-      for (std::size_t s = 0; s < sel; ++s) {
-        const std::size_t offset =
-            fixed ? s : static_cast<std::size_t>(a.column_loc(br, g, s));
-        const half_t* src = &b(g * fmt.m + offset, c0);
-        std::copy(src, src + width,
-                  &panel[((g - g0) * sel + s) * width]);
-      }
-    }
-    for (std::size_t dr = 0; dr < fmt.v; ++dr) {
-      const std::size_t r = br * fmt.v + dr;
-      float* arow = &acc[dr * width];
-      for (std::size_t g = g0; g < g1; ++g) {
-        for (std::size_t j = 0; j < fmt.n; ++j) {
-          const half_t v = a.value(r, g, j);
-          if (v.is_zero()) continue;
-          const float av = v.to_float();
-          const half_t* brow =
-              &panel[((g - g0) * sel + a.m_index(r, g, j)) * width];
-          for (std::size_t n = 0; n < width; ++n)
-            arow[n] += av * brow[n].to_float();
-        }
-      }
-    }
+    detail::gather_b_panel_f32(a, b, br, g0, g1, c0, c1, fixed, s.panel);
+    detail::accumulate_panel_f32(a, br, g0, g1, width, s, s.acc.data());
   }
 }
 
@@ -82,26 +59,31 @@ HalfMatrix spmm_vnm_fused(const VnmMatrix& a, const HalfMatrix& b,
   HalfMatrix c(a.rows(), b.cols());
   const std::size_t c_tiles = (b.cols() + cfg.block_c - 1) / cfg.block_c;
 
-  pool->parallel_for(a.block_rows() * c_tiles, [&](std::size_t t) {
-    const std::size_t br = t / c_tiles;
-    const std::size_t ct = t % c_tiles;
-    const std::size_t c0 = ct * cfg.block_c;
-    const std::size_t c1 = std::min(b.cols(), c0 + cfg.block_c);
-    const std::size_t width = c1 - c0;
+  pool->parallel_for_chunks(
+      a.block_rows() * c_tiles, [&](std::size_t t0, std::size_t t1) {
+        detail::SpmmScratch s;
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t br = t / c_tiles;
+          const std::size_t ct = t % c_tiles;
+          const std::size_t c0 = ct * cfg.block_c;
+          const std::size_t c1 = std::min(b.cols(), c0 + cfg.block_c);
+          const std::size_t width = c1 - c0;
 
-    std::vector<half_t> panel;
-    std::vector<float> acc(fmt.v * width, 0.0f);
-    accumulate_block(a, b, cfg, br, c0, c1, panel, acc);
+          s.acc.assign(fmt.v * width, 0.0f);
+          accumulate_block(a, b, cfg, br, c0, c1, s);
 
-    // Fused stage 3: bias + activation + fp16 conversion in one pass.
-    for (std::size_t dr = 0; dr < fmt.v; ++dr) {
-      const std::size_t r = br * fmt.v + dr;
-      const float bias = epilogue.bias.empty() ? 0.0f : epilogue.bias[r];
-      for (std::size_t n = 0; n < width; ++n)
-        c(r, c0 + n) = half_t(
-            apply_activation(epilogue.activation, acc[dr * width + n] + bias));
-    }
-  });
+          // Fused stage 3: bias + activation in float, then one bulk fp16
+          // conversion per output row.
+          for (std::size_t dr = 0; dr < fmt.v; ++dr) {
+            const std::size_t r = br * fmt.v + dr;
+            const float bias = epilogue.bias.empty() ? 0.0f : epilogue.bias[r];
+            float* arow = &s.acc[dr * width];
+            for (std::size_t n = 0; n < width; ++n)
+              arow[n] = apply_activation(epilogue.activation, arow[n] + bias);
+            float_to_half_n(arow, &c(r, c0), width);
+          }
+        }
+      });
   return c;
 }
 
@@ -131,26 +113,28 @@ std::vector<FloatMatrix> spmm_vnm_batched(const VnmMatrix& a,
   for (auto& c : cs) c = FloatMatrix(a.rows(), b_cols);
 
   const std::size_t c_tiles = (b_cols + cfg.block_c - 1) / cfg.block_c;
-  pool->parallel_for(a.block_rows() * c_tiles, [&](std::size_t t) {
-    const std::size_t br = t / c_tiles;
-    const std::size_t ct = t % c_tiles;
-    const std::size_t c0 = ct * cfg.block_c;
-    const std::size_t c1 = std::min(b_cols, c0 + cfg.block_c);
-    const std::size_t width = c1 - c0;
+  pool->parallel_for_chunks(
+      a.block_rows() * c_tiles, [&](std::size_t t0, std::size_t t1) {
+        detail::SpmmScratch s;
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t br = t / c_tiles;
+          const std::size_t ct = t % c_tiles;
+          const std::size_t c0 = ct * cfg.block_c;
+          const std::size_t c1 = std::min(b_cols, c0 + cfg.block_c);
+          const std::size_t width = c1 - c0;
 
-    std::vector<half_t> panel;
-    std::vector<float> acc(fmt.v * width);
-    // The sparse operand's traversal order and column-loc reads repeat
-    // identically for every batch element — the weight-stationary reuse
-    // batched inference exploits.
-    for (std::size_t batch = 0; batch < bs.size(); ++batch) {
-      std::fill(acc.begin(), acc.end(), 0.0f);
-      accumulate_block(a, bs[batch], cfg, br, c0, c1, panel, acc);
-      for (std::size_t dr = 0; dr < fmt.v; ++dr)
-        std::copy(&acc[dr * width], &acc[dr * width] + width,
-                  &cs[batch](br * fmt.v + dr, c0));
-    }
-  });
+          // The sparse operand's traversal order and column-loc reads
+          // repeat identically for every batch element — the
+          // weight-stationary reuse batched inference exploits.
+          for (std::size_t batch = 0; batch < bs.size(); ++batch) {
+            s.acc.assign(fmt.v * width, 0.0f);
+            accumulate_block(a, bs[batch], cfg, br, c0, c1, s);
+            for (std::size_t dr = 0; dr < fmt.v; ++dr)
+              std::copy(&s.acc[dr * width], &s.acc[dr * width] + width,
+                        &cs[batch](br * fmt.v + dr, c0));
+          }
+        }
+      });
   return cs;
 }
 

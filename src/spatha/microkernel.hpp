@@ -1,0 +1,123 @@
+// Internal fast path shared by the Spatha SpMM kernels (spmm.cpp and the
+// fused/batched variants in epilogue.cpp). Not part of the public API.
+//
+// The pipeline replaces the seed's per-FMA half->float conversion and
+// per-element accessor arithmetic with:
+//
+//   gather_b_panel_f32     stage 1.2 gathers the selected B rows AND
+//                          converts them to a packed float panel in one
+//                          pass (half_to_float_n), so each gathered value
+//                          is converted exactly once per panel.
+//   accumulate_panel_f32   stage 2 hoists each row's nonzero values and
+//                          panel-row offsets into flat scratch, then runs
+//                          a register-blocked micro-kernel: fixed-size
+//                          width strips accumulated in local registers.
+//
+// Numerics: per output element, products are accumulated in fp32 in
+// ascending (group, j) order — bit-identical to spmm_vnm_reference and to
+// the seed scalar path (zero-valued slots are skipped in both).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/half.hpp"
+#include "format/vnm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::spatha::detail {
+
+/// Width of the register block: 16 floats = one zmm register (or two ymm),
+/// unrolled fully by the compiler.
+constexpr std::size_t kStrip = 16;
+
+/// Per-chunk scratch reused across output tiles; resize() calls settle to
+/// no-ops after the first tile of a chunk, so the steady state performs no
+/// allocation per panel or per tile.
+struct SpmmScratch {
+  std::vector<float> panel;           // packed float image of gathered B
+  std::vector<float> acc;             // V x width fp32 accumulator tile
+  std::vector<float> a_vals;          // hoisted nonzero values of one row
+  std::vector<std::uint32_t> a_offs;  // matching panel-row float offsets
+};
+
+/// Stage 1.2: gathers the B rows selected by column-loc for K-panel
+/// [g0, g1) of block row `br` into a packed float panel restricted to
+/// output columns [c0, c1). Layout matches the seed's half panel:
+/// panel[((g - g0) * sel + s) * width + n]. When `fixed` is set, selectors
+/// 0..sel-1 replace the column-loc reads (the Fig. 9 ablation).
+inline void gather_b_panel_f32(const VnmMatrix& a, const HalfMatrix& b,
+                               std::size_t br, std::size_t g0, std::size_t g1,
+                               std::size_t c0, std::size_t c1, bool fixed,
+                               std::vector<float>& panel) {
+  const VnmConfig fmt = a.config();
+  const std::size_t sel = fmt.selected_cols();
+  const std::size_t width = c1 - c0;
+  const std::size_t groups = a.groups_per_row();
+  panel.resize((g1 - g0) * sel * width);
+  const std::uint8_t* cloc =
+      a.column_locs().data() + (br * groups + g0) * sel;
+  for (std::size_t g = g0; g < g1; ++g) {
+    for (std::size_t s = 0; s < sel; ++s) {
+      const std::size_t offset = fixed ? s : cloc[(g - g0) * sel + s];
+      half_to_float_n(&b(g * fmt.m + offset, c0),
+                      &panel[((g - g0) * sel + s) * width], width);
+    }
+  }
+}
+
+/// Stage 2 micro-kernel: accumulates block row `br` against the gathered
+/// panel for groups [g0, g1) into `acc` (fmt.v rows of `width` floats).
+inline void accumulate_panel_f32(const VnmMatrix& a, std::size_t br,
+                                 std::size_t g0, std::size_t g1,
+                                 std::size_t width, SpmmScratch& s,
+                                 float* acc) {
+  const VnmConfig fmt = a.config();
+  const std::size_t sel = fmt.selected_cols();
+  const std::size_t groups = a.groups_per_row();
+  const std::size_t span = (g1 - g0) * fmt.n;
+  s.a_vals.resize(span);
+  s.a_offs.resize(span);
+  const float* pan = s.panel.data();
+
+  for (std::size_t dr = 0; dr < fmt.v; ++dr) {
+    const std::size_t r = br * fmt.v + dr;
+    // Hoist this row's nonzero descriptors out of the compressed
+    // structures: one flat pass instead of accessor arithmetic per FMA.
+    const half_t* vals = a.values().data() + (r * groups + g0) * fmt.n;
+    const std::uint8_t* midx = a.m_indices().data() + (r * groups + g0) * fmt.n;
+    std::size_t cnt = 0;
+    for (std::size_t k = 0; k < span; ++k) {
+      if (vals[k].is_zero()) continue;
+      s.a_vals[cnt] = vals[k].to_float();
+      s.a_offs[cnt] = static_cast<std::uint32_t>(
+          ((k / fmt.n) * sel + midx[k]) * width);
+      ++cnt;
+    }
+
+    float* arow = acc + dr * width;
+    std::size_t n0 = 0;
+    for (; n0 + kStrip <= width; n0 += kStrip) {
+      float regs[kStrip];
+      for (std::size_t u = 0; u < kStrip; ++u) regs[u] = arow[n0 + u];
+      for (std::size_t t = 0; t < cnt; ++t) {
+        const float av = s.a_vals[t];
+        const float* bp = pan + s.a_offs[t] + n0;
+        for (std::size_t u = 0; u < kStrip; ++u) regs[u] += av * bp[u];
+      }
+      for (std::size_t u = 0; u < kStrip; ++u) arow[n0 + u] = regs[u];
+    }
+    if (n0 < width) {
+      // Ragged tail: same order, runtime-bounded strip.
+      const std::size_t rem = width - n0;
+      for (std::size_t t = 0; t < cnt; ++t) {
+        const float av = s.a_vals[t];
+        const float* bp = pan + s.a_offs[t] + n0;
+        float* ar = arow + n0;
+        for (std::size_t u = 0; u < rem; ++u) ar[u] += av * bp[u];
+      }
+    }
+  }
+}
+
+}  // namespace venom::spatha::detail

@@ -20,21 +20,43 @@ VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
   if (pool == nullptr) pool = &ThreadPool::global();
 
   const VnmConfig fmt = structure.config();
+  const std::size_t sel = fmt.selected_cols();
   const std::size_t groups = structure.groups_per_row();
+  const std::size_t block_rows = structure.block_rows();
   const std::size_t depth = a.cols();
   std::vector<half_t> values(structure.values().size(), half_t(0.0f));
 
-  pool->parallel_for(structure.rows(), [&](std::size_t r) {
-    for (std::size_t g = 0; g < groups; ++g) {
-      for (std::size_t j = 0; j < fmt.n; ++j) {
-        // Padding slots (zero value in the structure) carry no position
-        // information worth sampling; keep them zero.
-        if (structure.value(r, g, j).is_zero()) continue;
-        const std::size_t col = structure.dense_column(r, g, j);
-        float acc = 0.0f;
-        for (std::size_t d = 0; d < depth; ++d)
-          acc += a(r, d).to_float() * b(d, col).to_float();
-        values[(r * groups + g) * fmt.n + j] = half_t(acc);
+  // Bulk-convert both dense operands once; the dot products then run on
+  // packed float data with no per-element conversion.
+  const FloatMatrix af = to_float(a);
+  const FloatMatrix bf = to_float(b);
+
+  // One iteration per block row: the <= 4 selected B columns of each
+  // group are gathered into contiguous float scratch once and reused by
+  // all V rows of the block (the paper's column-loc reuse, transposed).
+  pool->parallel_for_chunks(block_rows, [&](std::size_t b0, std::size_t b1) {
+    std::vector<float> cols_f(sel * depth);
+    for (std::size_t br = b0; br < b1; ++br) {
+      for (std::size_t g = 0; g < groups; ++g) {
+        for (std::size_t s = 0; s < sel; ++s) {
+          const std::size_t col = g * fmt.m + structure.column_loc(br, g, s);
+          float* dst = &cols_f[s * depth];
+          for (std::size_t d = 0; d < depth; ++d) dst[d] = bf(d, col);
+        }
+        for (std::size_t dr = 0; dr < fmt.v; ++dr) {
+          const std::size_t r = br * fmt.v + dr;
+          const float* arow = &af(r, 0);
+          for (std::size_t j = 0; j < fmt.n; ++j) {
+            // Padding slots (zero value in the structure) carry no
+            // position information worth sampling; keep them zero.
+            if (structure.value(r, g, j).is_zero()) continue;
+            const float* bcol =
+                &cols_f[structure.m_index(r, g, j) * depth];
+            float acc = 0.0f;
+            for (std::size_t d = 0; d < depth; ++d) acc += arow[d] * bcol[d];
+            values[(r * groups + g) * fmt.n + j] = half_t(acc);
+          }
+        }
       }
     }
   });

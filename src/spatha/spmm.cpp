@@ -3,41 +3,72 @@
 #include <algorithm>
 #include <vector>
 
+#include "spatha/microkernel.hpp"
 #include "sptc/metadata.hpp"
 #include "sptc/mma.hpp"
 
 namespace venom::spatha {
 
-namespace {
-
-/// Stage 1.2: gathers the B rows selected by column-loc for the K panel
-/// [g0, g1) of block row `br` into a contiguous panel. Row layout:
-/// panel[(g - g0) * sel + s] = B row (g*M + column_loc(br, g, s)),
-/// restricted to output columns [c0, c1). When `fixed` is set, selectors
-/// 0..sel-1 are used instead of column-loc reads (the Fig. 9 "w/o
-/// column-loc" ideal).
-void gather_b_panel(const VnmMatrix& a, const HalfMatrix& b, std::size_t br,
-                    std::size_t g0, std::size_t g1, std::size_t c0,
-                    std::size_t c1, bool fixed, std::vector<half_t>& panel) {
-  const VnmConfig fmt = a.config();
-  const std::size_t sel = fmt.selected_cols();
-  const std::size_t width = c1 - c0;
-  panel.resize((g1 - g0) * sel * width);
-  for (std::size_t g = g0; g < g1; ++g) {
-    for (std::size_t s = 0; s < sel; ++s) {
-      const std::size_t offset =
-          fixed ? s : static_cast<std::size_t>(a.column_loc(br, g, s));
-      const half_t* src = &b(g * fmt.m + offset, c0);
-      half_t* dst = &panel[((g - g0) * sel + s) * width];
-      std::copy(src, src + width, dst);
-    }
-  }
-}
-
-}  // namespace
-
 FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
                      const SpmmConfig& cfg, ThreadPool* pool) {
+  const VnmConfig fmt = a.config();
+  VENOM_CHECK_MSG(a.cols() == b.rows(), "SpMM shape mismatch");
+  validate(cfg, fmt, a.rows(), a.cols(), b.cols());
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  FloatMatrix c(a.rows(), b.cols());
+  const std::size_t groups = a.groups_per_row();
+  const std::size_t groups_per_panel = cfg.block_k / fmt.m;
+  const std::size_t c_tiles = (b.cols() + cfg.block_c - 1) / cfg.block_c;
+  const std::size_t block_rows = a.block_rows();
+  const bool fixed = cfg.column_loc == ColumnLocMode::kFixed;
+
+  // One iteration per (block row, C tile): BSr = V, so each tile owns a
+  // V x BSc output and reuses one column-loc row — exactly the paper's
+  // thread-block decomposition (Fig. 5). Scratch lives per chunk, so the
+  // panel/accumulator buffers are reused across the tiles of a chunk.
+  pool->parallel_for_chunks(
+      block_rows * c_tiles, [&](std::size_t t0, std::size_t t1) {
+        detail::SpmmScratch s;
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t br = t / c_tiles;
+          const std::size_t ct = t % c_tiles;
+          const std::size_t c0 = ct * cfg.block_c;
+          const std::size_t c1 = std::min(b.cols(), c0 + cfg.block_c);
+          const std::size_t width = c1 - c0;
+
+          s.acc.assign(fmt.v * width, 0.0f);
+          for (std::size_t g0 = 0; g0 < groups; g0 += groups_per_panel) {
+            const std::size_t g1 = std::min(groups, g0 + groups_per_panel);
+            // Stages 1.1 + 1.2: column-loc driven gather of B into a
+            // packed float panel (converted once per gather).
+            detail::gather_b_panel_f32(a, b, br, g0, g1, c0, c1, fixed,
+                                       s.panel);
+            // Stage 2: register-blocked indexed multiply-accumulate.
+            detail::accumulate_panel_f32(a, br, g0, g1, width, s,
+                                         s.acc.data());
+          }
+
+          // Stage 3: contiguous write-back of the finished output tile.
+          for (std::size_t dr = 0; dr < fmt.v; ++dr) {
+            float* crow = &c(br * fmt.v + dr, c0);
+            const float* arow = &s.acc[dr * width];
+            std::copy(arow, arow + width, crow);
+          }
+        }
+      });
+  return c;
+}
+
+FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
+                     ThreadPool* pool) {
+  return spmm_vnm(a, b,
+                  select_config(a.config(), a.rows(), a.cols(), b.cols()),
+                  pool);
+}
+
+FloatMatrix spmm_vnm_scalar(const VnmMatrix& a, const HalfMatrix& b,
+                            const SpmmConfig& cfg, ThreadPool* pool) {
   const VnmConfig fmt = a.config();
   VENOM_CHECK_MSG(a.cols() == b.rows(), "SpMM shape mismatch");
   validate(cfg, fmt, a.rows(), a.cols(), b.cols());
@@ -51,9 +82,6 @@ FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
   const std::size_t block_rows = a.block_rows();
   const bool fixed = cfg.column_loc == ColumnLocMode::kFixed;
 
-  // One task per (block row, C tile): BSr = V, so each task owns a V x BSc
-  // output tile and reuses one column-loc row — exactly the paper's
-  // thread-block decomposition (Fig. 5).
   pool->parallel_for(block_rows * c_tiles, [&](std::size_t t) {
     const std::size_t br = t / c_tiles;
     const std::size_t ct = t % c_tiles;
@@ -66,11 +94,16 @@ FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
 
     for (std::size_t g0 = 0; g0 < groups; g0 += groups_per_panel) {
       const std::size_t g1 = std::min(groups, g0 + groups_per_panel);
-      // Stages 1.1 + 1.2: column-loc driven gather of B into the panel.
-      gather_b_panel(a, b, br, g0, g1, c0, c1, fixed, panel);
-
-      // Stage 2: indexed multiply-accumulate. Each nonzero's 2-bit
-      // m-index picks one of the `sel` gathered rows of its group.
+      panel.resize((g1 - g0) * sel * width);
+      for (std::size_t g = g0; g < g1; ++g) {
+        for (std::size_t s = 0; s < sel; ++s) {
+          const std::size_t offset =
+              fixed ? s : static_cast<std::size_t>(a.column_loc(br, g, s));
+          const half_t* src = &b(g * fmt.m + offset, c0);
+          std::copy(src, src + width,
+                    &panel[((g - g0) * sel + s) * width]);
+        }
+      }
       for (std::size_t dr = 0; dr < fmt.v; ++dr) {
         const std::size_t r = br * fmt.v + dr;
         float* arow = &acc[dr * width];
@@ -87,8 +120,6 @@ FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
         }
       }
     }
-
-    // Stage 3: contiguous write-back of the finished output tile.
     for (std::size_t dr = 0; dr < fmt.v; ++dr) {
       float* crow = &c(br * fmt.v + dr, c0);
       const float* arow = &acc[dr * width];
@@ -98,11 +129,10 @@ FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
   return c;
 }
 
-FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
-                     ThreadPool* pool) {
-  return spmm_vnm(a, b,
-                  select_config(a.config(), a.rows(), a.cols(), b.cols()),
-                  pool);
+FloatMatrix spmm_vnm_scalar(const VnmMatrix& a, const HalfMatrix& b,
+                            ThreadPool* pool) {
+  return spmm_vnm_scalar(
+      a, b, select_config(a.config(), a.rows(), a.cols(), b.cols()), pool);
 }
 
 FloatMatrix spmm_vnm_mma(const VnmMatrix& a, const HalfMatrix& b,
@@ -127,47 +157,53 @@ FloatMatrix spmm_vnm_mma(const VnmMatrix& a, const HalfMatrix& b,
   const std::size_t block_rows = a.block_rows();
   const std::size_t row_tiles_per_block = fmt.v / 16;
 
-  pool->parallel_for(block_rows * row_tiles_per_block * tiles_n,
-                     [&](std::size_t t) {
-    const std::size_t br = t / (row_tiles_per_block * tiles_n);
-    const std::size_t rt = (t / tiles_n) % row_tiles_per_block;
-    const std::size_t tn = t % tiles_n;
-    const std::size_t r0 = br * fmt.v + rt * 16;
+  pool->parallel_for_chunks(
+      block_rows * row_tiles_per_block * tiles_n,
+      [&](std::size_t t0, std::size_t t1) {
+        // Tile staging buffers are reused across the tiles of a chunk.
+        std::vector<half_t> a_tile(16 * 16);
+        std::vector<std::uint8_t> idx_tile(16 * 16);
+        std::vector<half_t> b_tile(32 * 8);
+        std::vector<float> c_tile(16 * 8);
 
-    std::vector<half_t> a_tile(16 * 16);
-    std::vector<std::uint8_t> idx_tile(16 * 16);
-    std::vector<half_t> b_tile(32 * 8);
-    std::vector<float> c_tile(16 * 8, 0.0f);
+        for (std::size_t t = t0; t < t1; ++t) {
+          const std::size_t br = t / (row_tiles_per_block * tiles_n);
+          const std::size_t rt = (t / tiles_n) % row_tiles_per_block;
+          const std::size_t tn = t % tiles_n;
+          const std::size_t r0 = br * fmt.v + rt * 16;
+          std::fill(c_tile.begin(), c_tile.end(), 0.0f);
 
-    for (std::size_t tk = 0; tk < tiles_k; ++tk) {
-      // Each instruction tile covers 8 M-groups (8 groups * 4 selected
-      // columns = 32 logical / 16 compressed).
-      for (std::size_t i = 0; i < 16; ++i) {
-        const std::size_t r = r0 + i;
-        for (std::size_t gg = 0; gg < 8; ++gg) {
-          const std::size_t g = tk * 8 + gg;
-          for (std::size_t j = 0; j < 2; ++j) {
-            a_tile[i * 16 + gg * 2 + j] = a.value(r, g, j);
-            idx_tile[i * 16 + gg * 2 + j] = a.m_index(r, g, j);
+          for (std::size_t tk = 0; tk < tiles_k; ++tk) {
+            // Each instruction tile covers 8 M-groups (8 groups * 4
+            // selected columns = 32 logical / 16 compressed). The
+            // compressed row is contiguous in the format arrays, so the
+            // staging is two flat 16-element copies per row.
+            for (std::size_t i = 0; i < 16; ++i) {
+              const std::size_t r = r0 + i;
+              const std::size_t base = (r * groups + tk * 8) * 2;
+              std::copy(a.values().data() + base,
+                        a.values().data() + base + 16, &a_tile[i * 16]);
+              std::copy(a.m_indices().data() + base,
+                        a.m_indices().data() + base + 16, &idx_tile[i * 16]);
+            }
+            const auto meta = sptc::pack_metadata(idx_tile);
+            // Gathered B tile: row (gg*4 + s) is dense row g*M +
+            // column_loc, copied as one contiguous 8-wide strip.
+            for (std::size_t gg = 0; gg < 8; ++gg) {
+              const std::size_t g = tk * 8 + gg;
+              for (std::size_t s = 0; s < 4; ++s) {
+                const std::size_t row = g * fmt.m + a.column_loc(br, g, s);
+                const half_t* src = &b(row, tn * 8);
+                std::copy(src, src + 8, &b_tile[(gg * 4 + s) * 8]);
+              }
+            }
+            sptc::mma_sp_fp16(32, a_tile, meta, b_tile, c_tile);
           }
+          for (std::size_t i = 0; i < 16; ++i)
+            for (std::size_t n = 0; n < 8; ++n)
+              c(r0 + i, tn * 8 + n) = c_tile[i * 8 + n];
         }
-      }
-      const auto meta = sptc::pack_metadata(idx_tile);
-      // Gathered B tile: row (gg*4 + s) is dense row g*M + column_loc.
-      for (std::size_t gg = 0; gg < 8; ++gg) {
-        const std::size_t g = tk * 8 + gg;
-        for (std::size_t s = 0; s < 4; ++s) {
-          const std::size_t row = g * fmt.m + a.column_loc(br, g, s);
-          for (std::size_t n = 0; n < 8; ++n)
-            b_tile[(gg * 4 + s) * 8 + n] = b(row, tn * 8 + n);
-        }
-      }
-      sptc::mma_sp_fp16(32, a_tile, meta, b_tile, c_tile);
-    }
-    for (std::size_t i = 0; i < 16; ++i)
-      for (std::size_t n = 0; n < 8; ++n)
-        c(r0 + i, tn * 8 + n) = c_tile[i * 8 + n];
-  });
+      });
   return c;
 }
 
@@ -184,6 +220,10 @@ FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
   const std::size_t block_rows = a.block_rows();
   const std::size_t width = b.cols();
 
+  // Convert B to float once up front: every row is re-read by each of its
+  // nonzeros, so the bulk conversion amortizes across groups * N FMAs.
+  const FloatMatrix bf = to_float(b);
+
   // Each task owns a contiguous range of block rows and scatters into a
   // private K x C accumulator; partials are reduced afterwards. Memory
   // is bounded by capping the task count (the CUDA kernel would instead
@@ -196,23 +236,31 @@ FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
 
   pool->parallel_for(tasks, [&](std::size_t t) {
     FloatMatrix local(a.cols(), width);
+    // Flat per-row descriptor scratch: dense output row and value of each
+    // nonzero, hoisted ahead of the scatter loops.
+    std::vector<float> vals(groups * fmt.n);
+    std::vector<std::uint32_t> rows(groups * fmt.n);
     const std::size_t br0 = t * per_task;
     const std::size_t br1 = std::min(block_rows, br0 + per_task);
     for (std::size_t br = br0; br < br1; ++br) {
       for (std::size_t dr = 0; dr < fmt.v; ++dr) {
         const std::size_t r = br * fmt.v + dr;
-        const half_t* brow = &b(r, 0);
-        for (std::size_t g = 0; g < groups; ++g) {
-          for (std::size_t j = 0; j < fmt.n; ++j) {
-            const half_t v = a.value(r, g, j);
-            if (v.is_zero()) continue;
-            const float av = v.to_float();
-            const std::size_t col =
-                g * fmt.m + a.column_loc(br, g, a.m_index(r, g, j));
-            float* crow = &local(col, 0);
-            for (std::size_t n = 0; n < width; ++n)
-              crow[n] += av * brow[n].to_float();
-          }
+        const half_t* avals = a.values().data() + r * groups * fmt.n;
+        const std::uint8_t* midx = a.m_indices().data() + r * groups * fmt.n;
+        std::size_t cnt = 0;
+        for (std::size_t k = 0; k < groups * fmt.n; ++k) {
+          if (avals[k].is_zero()) continue;
+          const std::size_t g = k / fmt.n;
+          vals[cnt] = avals[k].to_float();
+          rows[cnt] = static_cast<std::uint32_t>(
+              g * fmt.m + a.column_loc(br, g, midx[k]));
+          ++cnt;
+        }
+        const float* brow = &bf(r, 0);
+        for (std::size_t x = 0; x < cnt; ++x) {
+          const float av = vals[x];
+          float* crow = &local(rows[x], 0);
+          for (std::size_t n = 0; n < width; ++n) crow[n] += av * brow[n];
         }
       }
     }

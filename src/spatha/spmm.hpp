@@ -5,12 +5,18 @@
 //   spmm_vnm            production path. Mirrors the paper's three stages:
 //                       (1.1) column-loc prefetch per block row,
 //                       (1.2) gather of the selected B rows into a
-//                             contiguous panel (the SMEM image),
-//                       (1.3/2) per-row multiply-accumulate through the
-//                             2-bit m-indices against the gathered panel,
+//                             contiguous packed float panel (the SMEM
+//                             image, converted from fp16 once per gather),
+//                       (1.3/2) register-blocked multiply-accumulate
+//                             through the 2-bit m-indices against the
+//                             panel (see microkernel.hpp),
 //                       (3)  contiguous write-back of the output tile.
-//                       One pool task per (block row, C tile) — the CPU
-//                       analogue of one thread block per output tile.
+//                       One pool iteration per (block row, C tile) — the
+//                       CPU analogue of one thread block per output tile —
+//                       with scratch reused across the tiles of a chunk.
+//
+//   spmm_vnm_scalar     the seed's element-at-a-time path, kept as the
+//                       perf baseline and bit-exactness oracle.
 //
 //   spmm_vnm_mma        same staging, but stage 2 executes genuine
 //                       m16n8k32 mma.sp instructions via the SPTC
@@ -34,6 +40,16 @@ FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
 /// Convenience overload with the heuristic configuration.
 FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
                      ThreadPool* pool = nullptr);
+
+/// The seed's scalar stage-2 loop (half->float conversion per FMA, no
+/// register blocking). Kept as the measurement baseline for the packed
+/// float-panel pipeline and as a parity oracle: spmm_vnm is bit-identical
+/// to this path for every configuration.
+FloatMatrix spmm_vnm_scalar(const VnmMatrix& a, const HalfMatrix& b,
+                            const SpmmConfig& cfg,
+                            ThreadPool* pool = nullptr);
+FloatMatrix spmm_vnm_scalar(const VnmMatrix& a, const HalfMatrix& b,
+                            ThreadPool* pool = nullptr);
 
 /// Fidelity path: stage 2 runs through sptc::mma_sp_fp16 tile by tile.
 /// Requires V % 16 == 0, (cols/M)*4 % 32 == 0, and C % 8 == 0.

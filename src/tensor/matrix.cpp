@@ -21,15 +21,13 @@ FloatMatrix random_float_matrix(std::size_t rows, std::size_t cols, Rng& rng,
 
 FloatMatrix to_float(const HalfMatrix& m) {
   FloatMatrix f(m.rows(), m.cols());
-  for (std::size_t i = 0; i < m.size(); ++i)
-    f.flat()[i] = m.flat()[i].to_float();
+  half_to_float_n(m.data(), f.data(), m.size());
   return f;
 }
 
 HalfMatrix to_half(const FloatMatrix& m) {
   HalfMatrix h(m.rows(), m.cols());
-  for (std::size_t i = 0; i < m.size(); ++i)
-    h.flat()[i] = half_t(m.flat()[i]);
+  float_to_half_n(m.data(), h.data(), m.size());
   return h;
 }
 

@@ -51,9 +51,17 @@ HalfMatrix Linear::forward(const HalfMatrix& x,
     return y;
   }
   FloatMatrix acc = gemm_dense(weight_, x);
-  add_bias(acc, bias_);
+  // Fused write-back: bias in float, then one bulk fp16 conversion per
+  // row (mirrors the sparse path's fused epilogue).
+  HalfMatrix y(acc.rows(), acc.cols());
+  for (std::size_t r = 0; r < acc.rows(); ++r) {
+    float* arow = &acc(r, 0);
+    const float bias = bias_[r];
+    for (std::size_t n = 0; n < acc.cols(); ++n) arow[n] += bias;
+    float_to_half_n(arow, &y(r, 0), acc.cols());
+  }
   if (timing != nullptr) timing->gemm_s += seconds_since(t0);
-  return to_half(acc);
+  return y;
 }
 
 Linear::Grads Linear::backward(const HalfMatrix& x,
