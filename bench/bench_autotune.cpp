@@ -1,0 +1,105 @@
+// Tuned-vs-heuristic throughput on the Table-1 bench shape.
+//
+// Runs the empirical autotuner (gpumodel::autotune_measured) on the same
+// problems bench_kernels_cpu measures, reports tuned and heuristic
+// GFLOP/s, and merges both into BENCH_kernels.json so the tuning gain is
+// tracked across PRs alongside the fast-vs-seed trajectory.
+//
+// Doubles as the CI parity gate: the tuner bit-compares the winning
+// configuration's output against spmm_vnm_reference (and this bench
+// additionally checks the heuristic config), exiting non-zero on any
+// mismatch.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "common/cpu_features.hpp"
+#include "common/rng.hpp"
+#include "gpumodel/autotune.hpp"
+#include "spatha/spmm.hpp"
+
+namespace {
+
+using namespace venom;
+
+constexpr std::size_t kR = 256;
+constexpr std::size_t kK = 512;
+constexpr std::size_t kC = 128;
+
+bool bit_identical(const FloatMatrix& a, const FloatMatrix& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Empirical autotuning — tuned vs heuristic dispatch",
+                "spmm_vnm on R256 x K512 x C128, features: " +
+                    cpu_feature_string());
+
+  Rng rng_w(1), rng_b(2);
+  const HalfMatrix w = random_half_matrix(kR, kK, rng_w, 0.05f);
+  const HalfMatrix b = random_half_matrix(kK, kC, rng_b, 0.05f);
+
+  std::vector<bench::JsonRecord> records;
+  bench::header({"V:N:M", "heuristic", "tuned", "gain%", "parity"});
+
+  int failures = 0;
+  for (const VnmConfig fmt : {VnmConfig{64, 2, 8}, VnmConfig{128, 2, 16}}) {
+    const VnmMatrix a = VnmMatrix::from_dense_magnitude(w, fmt);
+    gpumodel::MeasureOptions opts;
+    opts.verify = true;  // bit-compares the winner against the reference
+    gpumodel::MeasuredResult tuned;
+    try {
+      tuned = gpumodel::autotune_measured(a, b, {}, opts);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "autotune parity failure: %s\n", e.what());
+      return 1;
+    }
+
+    // The heuristic config must agree with the reference bit-for-bit too.
+    const bool parity =
+        bit_identical(spatha::spmm_vnm(a, b, tuned.heuristic.config),
+                      spatha::spmm_vnm_reference(a, b));
+    if (!parity) ++failures;
+    // (best >= heuristic holds by construction — the heuristic is in the
+    // measured set — so there is no slower-than-heuristic gate here.)
+
+    const std::string vnm = std::to_string(fmt.v) + ":" +
+                            std::to_string(fmt.n) + ":" +
+                            std::to_string(fmt.m);
+    bench::cell(vnm);
+    bench::cell(tuned.heuristic.gflops);
+    bench::cell(tuned.best.gflops);
+    bench::cell((tuned.best.gflops / tuned.heuristic.gflops - 1.0) * 100.0,
+                "%.1f");
+    bench::cell(parity ? "ok" : "FAIL");
+    bench::endrow();
+    std::printf("    tuned:     %s\n", tuned.best.config.describe().c_str());
+    std::printf("    heuristic: %s\n",
+                tuned.heuristic.config.describe().c_str());
+
+    // speedup_vs_seed keeps the BENCH_kernels.json convention: wall-clock
+    // of the retained seed scalar path over this kernel's.
+    const double seed_s = bench::seconds_per_call(
+        [&] {
+          volatile float sink = spatha::spmm_vnm_scalar(a, b).flat()[0];
+          (void)sink;
+        },
+        0.05);
+    const std::string shape = "R" + std::to_string(kR) + "xK" +
+                              std::to_string(kK) + "xC" + std::to_string(kC) +
+                              " " + vnm;
+    records.push_back({"spmm_vnm_tuned", shape, tuned.best.gflops,
+                       seed_s / tuned.best.seconds});
+    records.push_back({"spmm_vnm_heuristic", shape, tuned.heuristic.gflops,
+                       seed_s / tuned.heuristic.seconds});
+  }
+
+  bench::merge_bench_json("BENCH_kernels.json", records);
+  std::printf("\nmerged %zu records into BENCH_kernels.json\n",
+              records.size());
+  return failures == 0 ? 0 : 1;
+}

@@ -112,20 +112,7 @@ void BM_VnmCompression(benchmark::State& state) {
 }
 BENCHMARK(BM_VnmCompression)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 
-/// Times fn() with one warmup call, then enough iterations for ~0.2 s.
-template <typename Fn>
-double seconds_per_call(Fn&& fn) {
-  using clock = std::chrono::steady_clock;
-  fn();
-  std::size_t iters = 1;
-  for (;;) {
-    const auto t0 = clock::now();
-    for (std::size_t i = 0; i < iters; ++i) fn();
-    const double s = std::chrono::duration<double>(clock::now() - t0).count();
-    if (s >= 0.2 || iters >= 1u << 14) return s / double(iters);
-    iters *= 4;
-  }
-}
+using venom::bench::seconds_per_call;
 
 /// Measures the packed float-panel pipeline against the seed scalar path
 /// on the Table-1 bench shape and writes BENCH_kernels.json so the perf
@@ -153,7 +140,9 @@ void write_speedup_json() {
                 shape.c_str(), flops / fast_s * 1e-9, flops / seed_s * 1e-9,
                 seed_s / fast_s);
   }
-  venom::bench::write_bench_json("BENCH_kernels.json", records);
+  // Merge (not overwrite) so bench_autotune's tuned-vs-heuristic records
+  // survive a re-run of this harness and vice versa.
+  venom::bench::merge_bench_json("BENCH_kernels.json", records);
   std::printf("wrote BENCH_kernels.json\n\n");
 }
 

@@ -1,0 +1,45 @@
+// Compile-time CPU feature fingerprint.
+//
+// The empirical tuning cache keys measured kernel configurations by the
+// instruction-set features the binary was compiled for: a config tuned
+// with the F16C bulk converters and AVX2 auto-vectorization is not
+// transferable to a portable build (and vice versa), so the fingerprint
+// is part of the cache key and entries from a different build silently
+// fall back to the heuristic.
+#pragma once
+
+#include <string>
+
+namespace venom {
+
+/// Dash-separated feature tags of this build, most specific first, e.g.
+/// "avx512f-avx2-f16c" on a -march=native build of a modern x86 host or
+/// "portable" when none of the recognized extensions are targeted.
+/// Stable across runs of the same binary; NOT a runtime CPUID probe.
+/// Built once (the string is consulted on every tuned dispatch lookup).
+inline const std::string& cpu_feature_string() {
+  static const std::string features = [] {
+    std::string s;
+    const auto add = [&s](const char* tag) {
+      if (!s.empty()) s += '-';
+      s += tag;
+    };
+#if defined(__AVX512F__)
+    add("avx512f");
+#endif
+#if defined(__AVX2__)
+    add("avx2");
+#endif
+#if defined(__F16C__) && !defined(VENOM_NO_F16C)
+    add("f16c");
+#endif
+#if defined(__ARM_NEON)
+    add("neon");
+#endif
+    if (s.empty()) s = "portable";
+    return s;
+  }();
+  return features;
+}
+
+}  // namespace venom

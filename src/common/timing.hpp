@@ -1,0 +1,29 @@
+// Shared wall-clock micro-measurement loop, used by the empirical
+// autotuner and (via bench/bench_util.hpp) the bench executables.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace venom {
+
+/// Wall-clock seconds per fn() call: `warmup` untimed invocations, then
+/// iteration counts grown geometrically until one timed sample spans
+/// `min_sample_s` (capped at 2^14 iterations for degenerate fn).
+template <typename Fn>
+double seconds_per_call(Fn&& fn, std::size_t warmup = 1,
+                        double min_sample_s = 0.2) {
+  using clock = std::chrono::steady_clock;
+  for (std::size_t i = 0; i < warmup; ++i) fn();
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s >= min_sample_s || iters >= (std::size_t{1} << 14))
+      return s / double(iters);
+    iters *= 4;
+  }
+}
+
+}  // namespace venom

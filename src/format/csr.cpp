@@ -36,6 +36,11 @@ CsrMatrix CsrMatrix::from_parts(std::size_t rows, std::size_t cols,
   for (std::size_t r = 0; r < rows; ++r) {
     VENOM_CHECK_MSG(row_offsets[r] <= row_offsets[r + 1],
                     "row_offsets not monotone at row " << r);
+    // Monotonicity alone does not bound intermediate offsets: an offset
+    // above nnz with a later decrease would pass the pairwise check of an
+    // earlier row and overflow the column scan below.
+    VENOM_CHECK_MSG(row_offsets[r + 1] <= values.size(),
+                    "row_offsets exceed nnz at row " << r);
     for (std::uint32_t i = row_offsets[r]; i < row_offsets[r + 1]; ++i) {
       VENOM_CHECK_MSG(col_indices[i] < cols,
                       "column " << col_indices[i] << " out of " << cols);

@@ -1,9 +1,13 @@
 #include "gpumodel/autotune.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/timing.hpp"
+#include "spatha/spmm.hpp"
 
 namespace venom::gpumodel {
 
@@ -48,6 +52,118 @@ std::vector<TunedConfig> enumerate_configs(const DeviceSpec& dev,
 TunedConfig autotune(const DeviceSpec& dev, GemmShape shape, VnmConfig fmt,
                      const TuneSpace& space) {
   return enumerate_configs(dev, shape, fmt, space).front();
+}
+
+namespace {
+
+double measure_config(const VnmMatrix& a, const HalfMatrix& b,
+                      const spatha::SpmmConfig& cfg, ThreadPool* pool,
+                      const MeasureOptions& opts) {
+  volatile float sink = 0.0f;  // keep the product from being elided
+  return seconds_per_call(
+      [&] {
+        const FloatMatrix c = spatha::spmm_vnm(a, b, cfg, pool);
+        sink = sink + c.flat()[0];
+      },
+      opts.warmup, opts.min_sample_s);
+}
+
+}  // namespace
+
+MeasuredResult autotune_measured(const VnmMatrix& a, const HalfMatrix& b,
+                                 const TuneSpace& space,
+                                 const MeasureOptions& opts) {
+  const VnmConfig fmt = a.config();
+  VENOM_CHECK_MSG(a.cols() == b.rows(), "SpMM shape mismatch");
+  const GemmShape shape{a.rows(), a.cols(), b.cols()};
+  ThreadPool* pool = opts.pool != nullptr ? opts.pool : &ThreadPool::global();
+  const DeviceSpec& dev = opts.dev != nullptr ? *opts.dev : rtx3090();
+
+  // Tile candidates: the fixed heuristic first, then the analytically
+  // best distinct (block_k, block_c) tiles — the model prunes the search
+  // so only configurations it considers competitive are ever timed.
+  const spatha::SpmmConfig heuristic_cfg =
+      spatha::select_config_heuristic(fmt, shape.r, shape.k, shape.c);
+  std::vector<spatha::SpmmConfig> tiles = {heuristic_cfg};
+  std::set<std::pair<std::size_t, std::size_t>> seen = {
+      {heuristic_cfg.block_k, heuristic_cfg.block_c}};
+  try {
+    for (const TunedConfig& tc : enumerate_configs(dev, shape, fmt, space)) {
+      if (tiles.size() > opts.max_tiles) break;
+      if (!seen.insert({tc.config.block_k, tc.config.block_c}).second)
+        continue;
+      tiles.push_back(tc.config);
+    }
+  } catch (const Error&) {
+    // No analytical candidate validated (degenerate shape); the
+    // heuristic tile alone is still measurable.
+  }
+
+  const std::vector<std::size_t> grains =
+      space.chunk_grains.empty() ? std::vector<std::size_t>{0}
+                                 : space.chunk_grains;
+  const double flops = spatha::spmm_flops(a, shape.c);
+
+  MeasuredResult result;
+  // The heuristic baseline — the untouched select_config_heuristic choice
+  // — is always measured, so best.gflops >= heuristic.gflops holds by
+  // construction.
+  result.heuristic.config = heuristic_cfg;
+  result.heuristic.seconds = measure_config(a, b, heuristic_cfg, pool, opts);
+  result.heuristic.gflops = flops / result.heuristic.seconds * 1e-9;
+  result.ranked.push_back(result.heuristic);
+
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    for (const std::size_t grain : grains) {
+      spatha::SpmmConfig cfg = tiles[t];
+      cfg.chunk_grain = grain;
+      if (cfg == heuristic_cfg) continue;  // already measured
+      MeasuredConfig mc;
+      mc.config = cfg;
+      mc.seconds = measure_config(a, b, cfg, pool, opts);
+      mc.gflops = flops / mc.seconds * 1e-9;
+      result.ranked.push_back(std::move(mc));
+    }
+  }
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const MeasuredConfig& x, const MeasuredConfig& y) {
+              return x.seconds < y.seconds;
+            });
+  result.best = result.ranked.front();
+
+  // Thread-count refinement: re-measure the winner under dedicated pools
+  // and record the fastest pool size (0 = the measuring pool, already
+  // covered). Advisory only — dispatch always runs on the caller's pool,
+  // so best/ranked keep the measuring pool's numbers.
+  std::size_t best_threads = pool->size();
+  double best_refined_s = result.best.seconds;
+  for (const std::size_t t : space.thread_counts) {
+    if (t == 0 || t == pool->size()) continue;
+    ThreadPool scoped(t);
+    const double s = measure_config(a, b, result.best.config, &scoped, opts);
+    if (s < best_refined_s) {
+      best_refined_s = s;
+      best_threads = t;
+    }
+  }
+
+  if (opts.verify) {
+    const FloatMatrix got = spatha::spmm_vnm(a, b, result.best.config, pool);
+    const FloatMatrix want = spatha::spmm_vnm_reference(a, b);
+    VENOM_CHECK_MSG(
+        got.size() == want.size() &&
+            std::memcmp(got.data(), want.data(),
+                        got.size() * sizeof(float)) == 0,
+        "tuned config " << result.best.config.describe()
+                        << " is not bit-identical to the reference");
+  }
+
+  result.key = spatha::make_tuning_key(fmt, shape.r, shape.k, shape.c);
+  result.entry.config = result.best.config;
+  result.entry.gflops = result.best.gflops;
+  result.entry.heuristic_gflops = result.heuristic.gflops;
+  result.entry.threads = best_threads;
+  return result;
 }
 
 }  // namespace venom::gpumodel

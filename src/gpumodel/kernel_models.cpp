@@ -146,7 +146,11 @@ KernelCost spatha_spmm(const DeviceSpec& dev, GemmShape g, VnmConfig fmt,
 }
 
 KernelCost spatha_spmm(const DeviceSpec& dev, GemmShape g, VnmConfig fmt) {
-  return spatha_spmm(dev, g, fmt, spatha::select_config(fmt, g.r, g.k, g.c));
+  // Deliberately the fixed heuristic, not select_config: the analytical
+  // model reproduces the paper's GPU figures and must not shift when a
+  // CPU-measured tuning cache ($VENOM_TUNE_CACHE) is loaded.
+  return spatha_spmm(dev, g, fmt,
+                     spatha::select_config_heuristic(fmt, g.r, g.k, g.c));
 }
 
 KernelCost sputnik_spmm(const DeviceSpec& dev, GemmShape g, double density) {

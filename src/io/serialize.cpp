@@ -1,7 +1,12 @@
 #include "io/serialize.hpp"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -98,6 +103,7 @@ FileKind probe(const std::string& path) {
   if (std::memcmp(magic, kMagicVnm, 4) == 0) return FileKind::kVnmMatrix;
   if (std::memcmp(magic, kMagicNm, 4) == 0) return FileKind::kNmMatrix;
   if (std::memcmp(magic, kMagicCsr, 4) == 0) return FileKind::kCsrMatrix;
+  if (magic[0] == '{') return FileKind::kTuningCache;
   return FileKind::kUnknown;
 }
 
@@ -240,6 +246,316 @@ NmMatrix load_nm_matrix(const std::string& path) {
   auto indices = r.raw<std::uint8_t>(count);
   return NmMatrix::from_parts(pattern, rows, cols, std::move(values),
                               std::move(indices));
+}
+
+// ------------------------------------------------------------------ JSON
+// Minimal JSON reader for the tuning cache: objects, arrays, strings,
+// numbers, booleans, null. Enough for the documents save_tuning_cache
+// writes plus hand-edited variants; anything malformed throws with the
+// byte offset so a corrupt cache is diagnosable.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* get(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& path)
+      : text_(text), path_(path) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    check(pos_ == text_.size(), "trailing garbage");
+    return v;
+  }
+
+ private:
+  void check(bool ok, const char* what) const {
+    VENOM_CHECK_MSG(ok, "'" << path_ << "' is not a valid JSON cache ("
+                            << what << " at byte " << pos_ << ")");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    check(peek() == c, "unexpected character");
+    ++pos_;
+  }
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      check(consume_literal("null"), "bad literal");
+      return {};
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key.str), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    for (;;) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return v;
+      if (c == '\\') {
+        const char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          case 'r': v.str += '\r'; break;
+          default: check(false, "unsupported escape");
+        }
+        continue;
+      }
+      check(static_cast<unsigned char>(c) >= 0x20, "control character");
+      v.str += c;
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (consume_literal("true")) {
+      v.boolean = true;
+      return v;
+    }
+    check(consume_literal("false"), "bad literal");
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    check(pos_ > start, "expected a value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    char* end = nullptr;
+    const std::string tok = text_.substr(start, pos_ - start);
+    v.number = std::strtod(tok.c_str(), &end);
+    check(end != nullptr && *end == '\0', "bad number");
+    return v;
+  }
+
+  const std::string& text_;
+  const std::string& path_;
+  std::size_t pos_ = 0;
+};
+
+/// Required numeric field of a JSON object, as a size (rejects negatives
+/// and non-integers) — the shape/config fields of a cache entry.
+std::size_t json_size_field(const JsonValue& obj, const char* key,
+                            const std::string& path) {
+  const JsonValue* v = obj.get(key);
+  // The 2^53 cap both bounds the value before the float-to-integer
+  // conversion (UB for >= 2^64) and guarantees the double held it
+  // exactly.
+  VENOM_CHECK_MSG(v != nullptr && v->type == JsonValue::Type::kNumber &&
+                      v->number >= 0.0 && v->number < 9007199254740992.0 &&
+                      v->number == double(std::uint64_t(v->number)),
+                  "'" << path << "' cache entry missing numeric \"" << key
+                      << "\"");
+  return static_cast<std::size_t>(v->number);
+}
+
+double json_double_field(const JsonValue& obj, const char* key,
+                         const std::string& path) {
+  const JsonValue* v = obj.get(key);
+  VENOM_CHECK_MSG(v != nullptr && v->type == JsonValue::Type::kNumber,
+                  "'" << path << "' cache entry missing numeric \"" << key
+                      << "\"");
+  return v->number;
+}
+
+void json_escape_to(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+void save_tuning_cache(const spatha::TuningCache& cache,
+                       const std::string& path) {
+  std::string out = "{\n  \"format\": \"venom-tune-cache\",\n"
+                    "  \"version\": 1,\n  \"entries\": [";
+  const auto entries = cache.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& [key, e] = entries[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    {\"r\": %zu, \"k\": %zu, \"c\": %zu, "
+        "\"v\": %zu, \"n\": %zu, \"m\": %zu, \"features\": \"",
+        i == 0 ? "" : ",", key.rows, key.cols, key.b_cols, key.v, key.n,
+        key.m);
+    out += buf;
+    json_escape_to(out, key.features);
+    std::snprintf(
+        buf, sizeof(buf),
+        "\",\n     \"config\": {\"block_k\": %zu, \"block_c\": %zu, "
+        "\"warp_r\": %zu, \"warp_k\": %zu, \"warp_c\": %zu, "
+        "\"batch_size\": %zu, \"chunk_grain\": %zu},\n"
+        "     \"gflops\": %.6g, \"heuristic_gflops\": %.6g, "
+        "\"threads\": %zu}",
+        e.config.block_k, e.config.block_c, e.config.warp_r,
+        e.config.warp_k, e.config.warp_c, e.config.batch_size,
+        e.config.chunk_grain, e.gflops, e.heuristic_gflops, e.threads);
+    out += buf;
+  }
+  out += entries.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+  Writer w(path);
+  w.raw(out.data(), out.size());
+  w.finish(path);
+}
+
+spatha::TuningCache load_tuning_cache(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  VENOM_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  const JsonValue doc = JsonParser(text, path).parse();
+  VENOM_CHECK_MSG(doc.type == JsonValue::Type::kObject,
+                  "'" << path << "' is not a JSON object");
+  const JsonValue* format = doc.get("format");
+  VENOM_CHECK_MSG(format != nullptr &&
+                      format->type == JsonValue::Type::kString &&
+                      format->str == "venom-tune-cache",
+                  "'" << path << "' is not a venom tuning cache");
+  VENOM_CHECK_MSG(json_size_field(doc, "version", path) == 1,
+                  "unsupported tuning-cache version in " << path);
+  const JsonValue* entries = doc.get("entries");
+  VENOM_CHECK_MSG(entries != nullptr &&
+                      entries->type == JsonValue::Type::kArray,
+                  "'" << path << "' has no \"entries\" array");
+
+  spatha::TuningCache cache;
+  for (const JsonValue& item : entries->array) {
+    VENOM_CHECK_MSG(item.type == JsonValue::Type::kObject,
+                    "'" << path << "' has a non-object cache entry");
+    spatha::TuningKey key;
+    key.rows = json_size_field(item, "r", path);
+    key.cols = json_size_field(item, "k", path);
+    key.b_cols = json_size_field(item, "c", path);
+    key.v = json_size_field(item, "v", path);
+    key.n = json_size_field(item, "n", path);
+    key.m = json_size_field(item, "m", path);
+    const JsonValue* features = item.get("features");
+    VENOM_CHECK_MSG(features != nullptr &&
+                        features->type == JsonValue::Type::kString,
+                    "'" << path << "' cache entry missing \"features\"");
+    key.features = features->str;
+
+    const JsonValue* cfg = item.get("config");
+    VENOM_CHECK_MSG(cfg != nullptr && cfg->type == JsonValue::Type::kObject,
+                    "'" << path << "' cache entry missing \"config\"");
+    spatha::TuningEntry e;
+    e.config.block_k = json_size_field(*cfg, "block_k", path);
+    e.config.block_c = json_size_field(*cfg, "block_c", path);
+    e.config.warp_r = json_size_field(*cfg, "warp_r", path);
+    e.config.warp_k = json_size_field(*cfg, "warp_k", path);
+    e.config.warp_c = json_size_field(*cfg, "warp_c", path);
+    e.config.batch_size = json_size_field(*cfg, "batch_size", path);
+    e.config.chunk_grain = json_size_field(*cfg, "chunk_grain", path);
+    VENOM_CHECK_MSG(e.config.block_k >= 1 && e.config.block_c >= 1,
+                    "'" << path << "' cache entry has a degenerate tile");
+    e.gflops = json_double_field(item, "gflops", path);
+    e.heuristic_gflops = json_double_field(item, "heuristic_gflops", path);
+    e.threads = json_size_field(item, "threads", path);
+    cache.put(key, e);
+  }
+  return cache;
 }
 
 CsrMatrix load_csr_matrix(const std::string& path) {

@@ -7,6 +7,10 @@
 //
 //   MATH — HalfMatrix      MATF — FloatMatrix      VNM1 — VnmMatrix
 //   NMF1 — NmMatrix        CSR1 — CsrMatrix
+//
+// The empirical tuning cache is the one human-readable artefact: a JSON
+// document (see save_tuning_cache below) so tuned kernel configurations
+// can be inspected, diffed, and checked into deployment images.
 #pragma once
 
 #include <string>
@@ -14,17 +18,20 @@
 #include "format/csr.hpp"
 #include "format/nm.hpp"
 #include "format/vnm.hpp"
+#include "spatha/tuning_cache.hpp"
 #include "tensor/matrix.hpp"
 
 namespace venom::io {
 
-/// Kind of artefact stored in a file (from its magic).
+/// Kind of artefact stored in a file (from its magic; a leading '{'
+/// marks the JSON tuning cache).
 enum class FileKind {
   kHalfMatrix,
   kFloatMatrix,
   kVnmMatrix,
   kNmMatrix,
   kCsrMatrix,
+  kTuningCache,
   kUnknown
 };
 
@@ -44,5 +51,21 @@ FloatMatrix load_float_matrix(const std::string& path);
 VnmMatrix load_vnm_matrix(const std::string& path);
 NmMatrix load_nm_matrix(const std::string& path);
 CsrMatrix load_csr_matrix(const std::string& path);
+
+/// Writes the tuning cache as a JSON document:
+///
+///   {"format": "venom-tune-cache", "version": 1, "entries": [
+///     {"r":…, "k":…, "c":…, "v":…, "n":…, "m":…, "features":"…",
+///      "config": {"block_k":…, "block_c":…, "warp_r":…, "warp_k":…,
+///                 "warp_c":…, "batch_size":…, "chunk_grain":…},
+///      "gflops":…, "heuristic_gflops":…, "threads":…}, …]}
+void save_tuning_cache(const spatha::TuningCache& cache,
+                       const std::string& path);
+
+/// Parses a JSON tuning cache. Throws venom::Error on a missing file,
+/// malformed JSON, a foreign "format" tag, an unsupported version, or
+/// missing/invalid entry fields (TuningCache::try_load wraps this with a
+/// non-throwing fallback for dispatch-time lazy loading).
+spatha::TuningCache load_tuning_cache(const std::string& path);
 
 }  // namespace venom::io

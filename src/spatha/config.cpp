@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "spatha/tuning_cache.hpp"
 
 namespace venom::spatha {
 
@@ -11,7 +12,8 @@ std::string SpmmConfig::describe() const {
   std::ostringstream os;
   os << "BS(k=" << block_k << ",c=" << block_c << ") WS(r=" << warp_r
      << ",k=" << warp_k << ",c=" << warp_c << ") mma m" << mma_r << "n"
-     << mma_c << "k" << mma_k << " pipe=" << batch_size << " store="
+     << mma_c << "k" << mma_k << " pipe=" << batch_size << " grain="
+     << chunk_grain << " store="
      << (store_width == StoreWidth::k128bit ? "128b" : "32b") << " cloc="
      << (column_loc == ColumnLocMode::kEnabled ? "on" : "fixed");
   return os.str();
@@ -38,6 +40,23 @@ void validate(const SpmmConfig& cfg, const VnmConfig& fmt, std::size_t rows,
 
 SpmmConfig select_config(const VnmConfig& fmt, std::size_t rows,
                          std::size_t cols, std::size_t b_cols) {
+  const auto tuned =
+      TuningCache::global().lookup(fmt, rows, cols, b_cols);
+  if (tuned.has_value()) {
+    // The cache file is hand-editable: an entry that no longer validates
+    // (wrong divisibility, out-of-range pipeline depth) degrades to the
+    // heuristic instead of poisoning every dispatch at this shape.
+    try {
+      validate(*tuned, fmt, rows, cols, b_cols);
+      return *tuned;
+    } catch (const Error&) {
+    }
+  }
+  return select_config_heuristic(fmt, rows, cols, b_cols);
+}
+
+SpmmConfig select_config_heuristic(const VnmConfig& fmt, std::size_t rows,
+                                   std::size_t cols, std::size_t b_cols) {
   (void)rows;
   SpmmConfig cfg;
   // K panel: cover many M-groups per staging step, but cap the gathered-B

@@ -44,10 +44,18 @@ struct SpmmConfig {
   // Depth of the GMEM->SMEM async-copy pipeline (stage 1.2/1.3 overlap).
   std::size_t batch_size = 2;
 
+  // CPU execution knob: output tiles handed to a pool runner per claimed
+  // chunk (ThreadPool::parallel_for_chunks grain). 0 lets the pool pick a
+  // few chunks per worker; small grains balance ragged work, large grains
+  // keep a chunk's scratch hot. Does not affect results or modelled time.
+  std::size_t chunk_grain = 0;
+
   StoreWidth store_width = StoreWidth::k128bit;
   ColumnLocMode column_loc = ColumnLocMode::kEnabled;
 
   std::string describe() const;
+
+  friend bool operator==(const SpmmConfig&, const SpmmConfig&) = default;
 };
 
 /// Validates `cfg` against a concrete problem; throws venom::Error with a
@@ -55,10 +63,19 @@ struct SpmmConfig {
 void validate(const SpmmConfig& cfg, const VnmConfig& fmt, std::size_t rows,
               std::size_t cols, std::size_t b_cols);
 
-/// Heuristic configuration choice from problem shape (the CPU analogue of
-/// Spatha's template autotuning table): picks tile sizes that divide the
-/// problem and balance panel footprint against parallelism.
+/// Configuration choice from problem shape. Consults the process-wide
+/// empirical tuning cache (spatha/tuning_cache.hpp) first — an entry for
+/// (shape, V:N:M, this build's CPU features) wins — and falls back to
+/// select_config_heuristic when none exists. Every dispatch path that
+/// defaults its config (spmm_vnm, the fused/batched variants, sddmm_vnm,
+/// transformer::Linear) therefore picks up tuned configs transparently.
 SpmmConfig select_config(const VnmConfig& fmt, std::size_t rows,
                          std::size_t cols, std::size_t b_cols);
+
+/// The fixed shape-driven heuristic (the pre-tuning behaviour): picks
+/// tile sizes that divide the problem and balance panel footprint against
+/// parallelism. Also the baseline autotune_measured compares against.
+SpmmConfig select_config_heuristic(const VnmConfig& fmt, std::size_t rows,
+                                   std::size_t cols, std::size_t b_cols);
 
 }  // namespace venom::spatha

@@ -83,7 +83,8 @@ HalfMatrix spmm_vnm_fused(const VnmMatrix& a, const HalfMatrix& b,
             float_to_half_n(arow, &c(r, c0), width);
           }
         }
-      });
+      },
+      cfg.chunk_grain);
   return c;
 }
 
@@ -134,7 +135,8 @@ std::vector<FloatMatrix> spmm_vnm_batched(const VnmMatrix& a,
                         &cs[batch](br * fmt.v + dr, c0));
           }
         }
-      });
+      },
+      cfg.chunk_grain);
   return cs;
 }
 

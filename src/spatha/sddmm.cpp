@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "spatha/config.hpp"
 
 namespace venom::spatha {
 
@@ -30,6 +31,14 @@ VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
   // packed float data with no per-element conversion.
   const FloatMatrix af = to_float(a);
   const FloatMatrix bf = to_float(b);
+
+  // Chunking follows the tuned dispatch config for this shape (keyed by
+  // the structure's R x K and the dot-product depth): a tuned chunk_grain
+  // applies to the SDDMM's block-row partition too, heuristic 0 (= pool
+  // default) otherwise.
+  const std::size_t grain =
+      select_config(fmt, structure.rows(), structure.cols(), depth)
+          .chunk_grain;
 
   // One iteration per block row: the <= 4 selected B columns of each
   // group are gathered into contiguous float scratch once and reused by
@@ -59,7 +68,7 @@ VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
         }
       }
     }
-  });
+  }, grain);
 
   return VnmMatrix::from_parts(fmt, structure.rows(), structure.cols(),
                                std::move(values), structure.m_indices(),

@@ -56,7 +56,8 @@ FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
             std::copy(arow, arow + width, crow);
           }
         }
-      });
+      },
+      cfg.chunk_grain);
   return c;
 }
 

@@ -1,0 +1,103 @@
+#include "spatha/tuning_cache.hpp"
+
+#include <cstdlib>
+
+#include "common/cpu_features.hpp"
+#include "common/error.hpp"
+#include "io/serialize.hpp"
+
+namespace venom::spatha {
+
+TuningKey make_tuning_key(const VnmConfig& fmt, std::size_t rows,
+                          std::size_t cols, std::size_t b_cols) {
+  TuningKey key;
+  key.rows = rows;
+  key.cols = cols;
+  key.b_cols = b_cols;
+  key.v = fmt.v;
+  key.n = fmt.n;
+  key.m = fmt.m;
+  key.features = cpu_feature_string();
+  return key;
+}
+
+TuningCache::TuningCache(TuningCache&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  map_ = std::move(other.map_);
+}
+
+TuningCache& TuningCache::operator=(TuningCache&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mutex_, other.mutex_);
+    map_ = std::move(other.map_);
+  }
+  return *this;
+}
+
+std::optional<TuningEntry> TuningCache::find(const TuningKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<SpmmConfig> TuningCache::lookup(const VnmConfig& fmt,
+                                              std::size_t rows,
+                                              std::size_t cols,
+                                              std::size_t b_cols) const {
+  // Fast path for the common untuned process: skip building the key (its
+  // feature string allocates) when there is nothing to find.
+  if (empty()) return std::nullopt;
+  const auto entry = find(make_tuning_key(fmt, rows, cols, b_cols));
+  if (!entry.has_value()) return std::nullopt;
+  return entry->config;
+}
+
+void TuningCache::put(const TuningKey& key, const TuningEntry& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_[key] = entry;
+}
+
+void TuningCache::erase(const TuningKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.erase(key);
+}
+
+void TuningCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+}
+
+std::size_t TuningCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::vector<std::pair<TuningKey, TuningEntry>> TuningCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {map_.begin(), map_.end()};
+}
+
+bool TuningCache::try_load(const std::string& path) {
+  TuningCache loaded;
+  try {
+    loaded = io::load_tuning_cache(path);
+  } catch (const Error&) {
+    return false;
+  }
+  for (const auto& [key, entry] : loaded.entries()) put(key, entry);
+  return true;
+}
+
+TuningCache& TuningCache::global() {
+  static TuningCache cache;
+  static const bool loaded = [] {
+    const char* path = std::getenv("VENOM_TUNE_CACHE");
+    if (path != nullptr && *path != '\0') cache.try_load(path);
+    return true;
+  }();
+  (void)loaded;
+  return cache;
+}
+
+}  // namespace venom::spatha

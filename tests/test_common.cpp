@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -121,6 +123,85 @@ TEST(ThreadPool, ReusableAfterException) {
   std::atomic<int> sum{0};
   pool.parallel_for(10, [&](std::size_t) { sum.fetch_add(1); });
   EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ThreadPoolChunks, CoversRangeExactlyOnceWithoutOverlap) {
+  ThreadPool pool(4);
+  const std::size_t n = 1003;  // deliberately not a multiple of any grain
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_chunks(n, [&](std::size_t b, std::size_t e) {
+    ASSERT_LE(b, e);
+    ASSERT_LE(e, n);
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  }, 7);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolChunks, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_chunks(
+      0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  pool.parallel_for_chunks(
+      0, [&](std::size_t, std::size_t) { called = true; }, 64);
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolChunks, GrainLargerThanRangeRunsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for_chunks(5, [&](std::size_t b, std::size_t e) {
+    calls.fetch_add(1);
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 5u);
+  }, 1000);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolChunks, SingleThreadPoolRunsSerially) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t covered = 0;
+  pool.parallel_for_chunks(100, [&](std::size_t b, std::size_t e) {
+    // The <= 1 worker path runs everything inline on the caller, so
+    // unsynchronized accumulation is safe here.
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    covered += e - b;
+  }, 3);
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(ThreadPoolChunks, WorkerExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  // Grain 1 over many indices: the throwing chunk is very likely claimed
+  // by a worker task, not the participating caller.
+  EXPECT_THROW(pool.parallel_for_chunks(256,
+                                        [&](std::size_t b, std::size_t) {
+                                          if (b == 101) throw Error("chunk");
+                                        },
+                                        1),
+               Error);
+  // The pool must stay usable after draining the failed job.
+  std::atomic<int> sum{0};
+  pool.parallel_for_chunks(64, [&](std::size_t b, std::size_t e) {
+    sum.fetch_add(int(e - b));
+  }, 1);
+  EXPECT_EQ(sum.load(), 64);
+}
+
+TEST(ThreadPoolChunks, FirstOfConcurrentExceptionsWins) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for_chunks(128,
+                             [&](std::size_t b, std::size_t) {
+                               throw Error("chunk " + std::to_string(b));
+                             },
+                             1);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("chunk"), std::string::npos);
+  }
 }
 
 TEST(ThreadPool, GlobalPoolIsSingleton) {

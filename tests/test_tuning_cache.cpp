@@ -1,0 +1,302 @@
+// Tests for the empirical tuning cache: JSON round-trip, transparent
+// cache-hit dispatch (bit-identical to the heuristic path), corrupt-file
+// fallback, and the measured autotuner itself.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/cpu_features.hpp"
+#include "common/rng.hpp"
+#include "gpumodel/autotune.hpp"
+#include "io/serialize.hpp"
+#include "spatha/epilogue.hpp"
+#include "spatha/sddmm.hpp"
+#include "spatha/spmm.hpp"
+#include "spatha/tuning_cache.hpp"
+
+namespace venom {
+namespace {
+
+using spatha::SpmmConfig;
+using spatha::TuningCache;
+using spatha::TuningEntry;
+using spatha::TuningKey;
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+TuningKey sample_key() {
+  TuningKey key;
+  key.rows = 256;
+  key.cols = 512;
+  key.b_cols = 128;
+  key.v = 64;
+  key.n = 2;
+  key.m = 8;
+  key.features = "avx2-f16c";
+  return key;
+}
+
+TuningEntry sample_entry() {
+  TuningEntry e;
+  e.config.block_k = 256;
+  e.config.block_c = 32;
+  e.config.warp_r = 16;
+  e.config.warp_k = 32;
+  e.config.warp_c = 32;
+  e.config.batch_size = 3;
+  e.config.chunk_grain = 2;
+  e.gflops = 21.5;
+  e.heuristic_gflops = 13.25;
+  e.threads = 8;
+  return e;
+}
+
+TEST(TuningCache, PutFindLookup) {
+  TuningCache cache;
+  EXPECT_TRUE(cache.empty());
+  const TuningKey key = sample_key();
+  cache.put(key, sample_entry());
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto found = cache.find(key);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->config, sample_entry().config);
+
+  TuningKey other = key;
+  other.b_cols = 64;  // different C: no entry
+  EXPECT_FALSE(cache.find(other).has_value());
+
+  // lookup() keys by this build's feature string, not the entry's.
+  TuningKey native = spatha::make_tuning_key({64, 2, 8}, 256, 512, 128);
+  EXPECT_EQ(native.features, cpu_feature_string());
+  cache.put(native, sample_entry());
+  const auto cfg = cache.lookup({64, 2, 8}, 256, 512, 128);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(*cfg, sample_entry().config);
+}
+
+TEST(TuningCache, JsonRoundTripPreservesEveryField) {
+  TuningCache cache;
+  cache.put(sample_key(), sample_entry());
+  TuningKey key2 = sample_key();
+  key2.m = 16;
+  key2.features = "portable";
+  TuningEntry e2 = sample_entry();
+  e2.config.block_k = 64;
+  e2.config.chunk_grain = 0;
+  e2.gflops = 1.75;
+  e2.threads = 1;
+  cache.put(key2, e2);
+
+  const std::string path = temp_path("roundtrip.json");
+  io::save_tuning_cache(cache, path);
+  EXPECT_EQ(io::probe(path), io::FileKind::kTuningCache);
+
+  const TuningCache loaded = io::load_tuning_cache(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  for (const auto& [key, want] : cache.entries()) {
+    const auto got = loaded.find(key);
+    ASSERT_TRUE(got.has_value()) << key.features;
+    EXPECT_EQ(got->config, want.config);
+    EXPECT_DOUBLE_EQ(got->gflops, want.gflops);
+    EXPECT_DOUBLE_EQ(got->heuristic_gflops, want.heuristic_gflops);
+    EXPECT_EQ(got->threads, want.threads);
+  }
+}
+
+TEST(TuningCache, EmptyCacheRoundTrips) {
+  const std::string path = temp_path("empty.json");
+  io::save_tuning_cache(TuningCache{}, path);
+  EXPECT_TRUE(io::load_tuning_cache(path).empty());
+}
+
+TEST(TuningCache, CorruptFilesThrowFromLoadAndFallBackInTryLoad) {
+  const std::string missing = temp_path("no_such_cache.json");
+  std::remove(missing.c_str());
+  EXPECT_THROW(io::load_tuning_cache(missing), Error);
+
+  const auto corrupt_cases = {
+      std::string("this is not json"),
+      std::string("{\"format\": \"venom-tune-cache\", \"version\": 1"),
+      std::string("{\"format\": \"something-else\", \"version\": 1, "
+                  "\"entries\": []}"),
+      std::string("{\"format\": \"venom-tune-cache\", \"version\": 99, "
+                  "\"entries\": []}"),
+      std::string("{\"format\": \"venom-tune-cache\", \"version\": 1, "
+                  "\"entries\": [{\"r\": 8}]}"),
+      // Above 2^53: must reject, not overflow the float-to-int cast.
+      std::string("{\"format\": \"venom-tune-cache\", \"version\": 1, "
+                  "\"entries\": [{\"r\": 1e300}]}"),
+  };
+  const std::string path = temp_path("corrupt.json");
+  for (const std::string& text : corrupt_cases) {
+    std::ofstream(path, std::ios::trunc) << text;
+    EXPECT_THROW(io::load_tuning_cache(path), Error) << text;
+
+    TuningCache cache;
+    cache.put(sample_key(), sample_entry());
+    EXPECT_FALSE(cache.try_load(path)) << text;
+    EXPECT_EQ(cache.size(), 1u);  // fallback leaves the cache unchanged
+  }
+}
+
+TEST(TuningCache, TryLoadMergesIntoExistingEntries) {
+  TuningCache on_disk;
+  on_disk.put(sample_key(), sample_entry());
+  const std::string path = temp_path("merge.json");
+  io::save_tuning_cache(on_disk, path);
+
+  TuningCache cache;
+  TuningKey other = sample_key();
+  other.rows = 1024;
+  cache.put(other, sample_entry());
+  EXPECT_TRUE(cache.try_load(path));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.find(sample_key()).has_value());
+  EXPECT_TRUE(cache.find(other).has_value());
+}
+
+/// Inserts `cfg` as the global tuned choice for the problem and erases
+/// exactly that key on destruction, so dispatch tests neither leak state
+/// nor wipe entries the process loaded from $VENOM_TUNE_CACHE.
+class ScopedGlobalEntry {
+ public:
+  ScopedGlobalEntry(const VnmConfig& fmt, std::size_t rows, std::size_t cols,
+                    std::size_t b_cols, const SpmmConfig& cfg) {
+    key_ = spatha::make_tuning_key(fmt, rows, cols, b_cols);
+    TuningEntry e;
+    e.config = cfg;
+    TuningCache::global().put(key_, e);
+  }
+  ~ScopedGlobalEntry() { TuningCache::global().erase(key_); }
+
+ private:
+  TuningKey key_;
+};
+
+TEST(TuningCacheDispatch, SelectConfigPrefersCacheAndFallsBack) {
+  const VnmConfig fmt{64, 2, 8};
+  const auto heuristic = spatha::select_config_heuristic(fmt, 256, 512, 128);
+  EXPECT_EQ(spatha::select_config(fmt, 256, 512, 128), heuristic);
+
+  SpmmConfig tuned = heuristic;
+  tuned.block_c = 128;
+  tuned.batch_size = 4;
+  tuned.chunk_grain = 2;
+  ScopedGlobalEntry scoped(fmt, 256, 512, 128, tuned);
+  EXPECT_EQ(spatha::select_config(fmt, 256, 512, 128), tuned);
+  // Any other shape still falls back to the heuristic.
+  EXPECT_EQ(spatha::select_config(fmt, 256, 512, 64),
+            spatha::select_config_heuristic(fmt, 256, 512, 64));
+}
+
+TEST(TuningCacheDispatch, InvalidCachedConfigFallsBackToHeuristic) {
+  const VnmConfig fmt{64, 2, 8};
+  SpmmConfig bad = spatha::select_config_heuristic(fmt, 256, 512, 128);
+  bad.block_k = 100;  // not a multiple of M: fails validate()
+  ScopedGlobalEntry scoped(fmt, 256, 512, 128, bad);
+  // A hand-edited cache entry that no longer validates must not poison
+  // dispatch at that shape.
+  EXPECT_EQ(spatha::select_config(fmt, 256, 512, 128),
+            spatha::select_config_heuristic(fmt, 256, 512, 128));
+}
+
+TEST(TuningCacheDispatch, CacheHitSpmmIsBitIdenticalToHeuristicDispatch) {
+  const VnmConfig fmt{16, 2, 8};
+  Rng rng(3);
+  const HalfMatrix w = random_half_matrix(64, 128, rng, 0.1f);
+  const HalfMatrix b = random_half_matrix(128, 48, rng, 0.1f);
+  const VnmMatrix a = VnmMatrix::from_dense_magnitude(w, fmt);
+
+  const FloatMatrix heuristic_out = spatha::spmm_vnm(a, b);
+  const FloatMatrix reference = spatha::spmm_vnm_reference(a, b);
+
+  SpmmConfig tuned =
+      spatha::select_config_heuristic(fmt, 64, 128, 48);
+  tuned.block_k = 32;
+  tuned.block_c = 16;
+  tuned.chunk_grain = 1;
+
+  spatha::Epilogue epilogue;
+  FloatMatrix tuned_out;
+  HalfMatrix fused;
+  {
+    ScopedGlobalEntry scoped(fmt, 64, 128, 48, tuned);
+    tuned_out = spatha::spmm_vnm(a, b);
+    // The fused epilogue (the transformer::Linear path) also dispatches
+    // through select_config.
+    fused = spatha::spmm_vnm_fused(a, b, epilogue);
+  }
+
+  // The convenience overload dispatched the cached config; results must
+  // stay bit-identical to both the heuristic path and the oracle.
+  ASSERT_EQ(tuned_out.size(), heuristic_out.size());
+  EXPECT_EQ(std::memcmp(tuned_out.data(), heuristic_out.data(),
+                        tuned_out.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(tuned_out.data(), reference.data(),
+                        tuned_out.size() * sizeof(float)),
+            0);
+
+  const HalfMatrix fused_heuristic = spatha::spmm_vnm_fused(a, b, epilogue);
+  ASSERT_EQ(fused.size(), fused_heuristic.size());
+  for (std::size_t i = 0; i < fused.size(); ++i)
+    EXPECT_EQ(fused.flat()[i].bits(), fused_heuristic.flat()[i].bits()) << i;
+}
+
+TEST(TuningCacheDispatch, SddmmUnaffectedByTunedChunkGrain) {
+  const VnmConfig fmt{16, 2, 8};
+  Rng rng(5);
+  const HalfMatrix w = random_half_matrix(64, 128, rng, 0.1f);
+  const VnmMatrix structure = VnmMatrix::from_dense_magnitude(w, fmt);
+  const HalfMatrix qa = random_half_matrix(64, 32, rng, 0.1f);
+  const HalfMatrix qb = random_half_matrix(32, 128, rng, 0.1f);
+
+  const VnmMatrix plain = spatha::sddmm_vnm(structure, qa, qb);
+  SpmmConfig tuned = spatha::select_config_heuristic(fmt, 64, 128, 32);
+  tuned.chunk_grain = 3;
+  ScopedGlobalEntry scoped(fmt, 64, 128, 32, tuned);
+  const VnmMatrix cached = spatha::sddmm_vnm(structure, qa, qb);
+
+  ASSERT_EQ(plain.values().size(), cached.values().size());
+  for (std::size_t i = 0; i < plain.values().size(); ++i)
+    EXPECT_EQ(plain.values()[i].bits(), cached.values()[i].bits()) << i;
+}
+
+TEST(AutotuneMeasured, BeatsOrMatchesHeuristicAndVerifies) {
+  const VnmConfig fmt{8, 2, 8};
+  Rng rng(9);
+  const HalfMatrix w = random_half_matrix(32, 64, rng, 0.1f);
+  const HalfMatrix b = random_half_matrix(64, 32, rng, 0.1f);
+  const VnmMatrix a = VnmMatrix::from_dense_magnitude(w, fmt);
+
+  gpumodel::MeasureOptions opts;
+  opts.max_tiles = 3;
+  opts.min_sample_s = 0.001;  // keep the unit test fast
+  gpumodel::TuneSpace space;
+  space.thread_counts = {1};  // exercise the refinement path
+  const auto result = gpumodel::autotune_measured(a, b, space, opts);
+
+  EXPECT_GE(result.best.gflops, result.heuristic.gflops);
+  EXPECT_FALSE(result.ranked.empty());
+  for (std::size_t i = 1; i < result.ranked.size(); ++i)
+    EXPECT_LE(result.ranked[i - 1].seconds, result.ranked[i].seconds);
+
+  // The result carries a ready-to-persist entry for this problem.
+  EXPECT_EQ(result.key.rows, 32u);
+  EXPECT_EQ(result.key.cols, 64u);
+  EXPECT_EQ(result.key.b_cols, 32u);
+  EXPECT_EQ(result.key.features, cpu_feature_string());
+  EXPECT_EQ(result.entry.config, result.best.config);
+  EXPECT_GT(result.entry.gflops, 0.0);
+  EXPECT_GT(result.entry.heuristic_gflops, 0.0);
+  EXPECT_GE(result.entry.threads, 1u);
+}
+
+}  // namespace
+}  // namespace venom

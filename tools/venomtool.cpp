@@ -16,6 +16,12 @@
 //   venomtool autotune <R> <K> <C> <V> <N> <M>
 //       rank Spatha kernel configurations for a GEMM shape (RTX 3090
 //       model) and print the top candidates
+//   venomtool tune <R> <K> <C> <V> <N> <M> [cache.json]
+//       empirical autotuning: benchmark real spmm_vnm executions on this
+//       machine (analytically pruned candidates), print tuned vs
+//       heuristic GFLOP/s, and merge the winner into the JSON tuning
+//       cache (default venom_tune.json). Export VENOM_TUNE_CACHE=<file>
+//       so select_config dispatches the tuned configs transparently.
 //   venomtool model <R> <K> <C> <V> <N> <M>
 //       modeled kernel times and speedup vs cuBLAS for one problem
 #include <cstdio>
@@ -23,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "format/vnm.hpp"
@@ -45,6 +52,7 @@ int usage() {
                "  venomtool spmm <a.vnm> <b.mat> <out.matf>\n"
                "  venomtool energy <pruned.mat> <dense.mat>\n"
                "  venomtool autotune <R> <K> <C> <V> <N> <M>\n"
+               "  venomtool tune <R> <K> <C> <V> <N> <M> [cache.json]\n"
                "  venomtool model <R> <K> <C> <V> <N> <M>\n");
   return 2;
 }
@@ -115,6 +123,18 @@ int cmd_info(const std::vector<std::string>& args) {
                   m.compressed_bytes());
       return 0;
     }
+    case io::FileKind::kTuningCache: {
+      const spatha::TuningCache cache = io::load_tuning_cache(args[0]);
+      std::printf("tuning cache  %zu entr%s\n", cache.size(),
+                  cache.size() == 1 ? "y" : "ies");
+      for (const auto& [key, e] : cache.entries())
+        std::printf("  %zux%zux%zu %zu:%zu:%zu [%s]  %.2f GFLOP/s "
+                    "(heuristic %.2f)  %s\n",
+                    key.rows, key.cols, key.b_cols, key.v, key.n, key.m,
+                    key.features.c_str(), e.gflops, e.heuristic_gflops,
+                    e.config.describe().c_str());
+      return 0;
+    }
     case io::FileKind::kUnknown:
       std::fprintf(stderr, "unrecognized file: %s\n", args[0].c_str());
       return 1;
@@ -158,6 +178,53 @@ int cmd_autotune(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_tune(const std::vector<std::string>& args) {
+  if (args.size() < 6 || args.size() > 7) return usage();
+  const std::size_t r = to_size(args[0]);
+  const std::size_t k = to_size(args[1]);
+  const std::size_t c = to_size(args[2]);
+  const VnmConfig fmt{to_size(args[3]), to_size(args[4]), to_size(args[5])};
+  const std::string cache_path =
+      args.size() > 6 ? args[6] : "venom_tune.json";
+
+  // Deterministic synthetic problem: the transformer-like weight the gen
+  // command produces, pruned to V:N:M, against random activations.
+  Rng rng(42);
+  const HalfMatrix w = pruning::synthetic_bert_weight(r, k, rng, 0.15, 4.0f);
+  const VnmMatrix a = VnmMatrix::from_dense_magnitude(w, fmt);
+  Rng rng_b(43);
+  const HalfMatrix b = random_half_matrix(k, c, rng_b, 0.05f);
+
+  std::printf("tuning spmm_vnm %zux%zux%zu at %zu:%zu:%zu on '%s' ...\n", r,
+              k, c, fmt.v, fmt.n, fmt.m, cpu_feature_string().c_str());
+  const auto tuned = gpumodel::autotune_measured(a, b);
+
+  std::printf("measured %zu candidates; top 5:\n", tuned.ranked.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, tuned.ranked.size());
+       ++i)
+    std::printf("  %8.2f GFLOP/s   %s\n", tuned.ranked[i].gflops,
+                tuned.ranked[i].config.describe().c_str());
+  std::printf("heuristic: %8.2f GFLOP/s   %s\n", tuned.heuristic.gflops,
+              tuned.heuristic.config.describe().c_str());
+  std::printf("tuned:     %8.2f GFLOP/s   (%.2fx over heuristic)\n",
+              tuned.best.gflops,
+              tuned.best.gflops / tuned.heuristic.gflops);
+
+  // Merge into the existing cache so repeated tune runs for different
+  // shapes accumulate in one file; a corrupt file is rebuilt from scratch.
+  spatha::TuningCache cache;
+  if (!cache.try_load(cache_path) && io::probe(cache_path) != io::FileKind::kUnknown)
+    std::fprintf(stderr, "warning: ignoring unreadable cache '%s'\n",
+                 cache_path.c_str());
+  cache.put(tuned.key, tuned.entry);
+  io::save_tuning_cache(cache, cache_path);
+  std::printf("wrote %zu entr%s to %s (export VENOM_TUNE_CACHE=%s to "
+              "dispatch tuned configs)\n",
+              cache.size(), cache.size() == 1 ? "y" : "ies",
+              cache_path.c_str(), cache_path.c_str());
+  return 0;
+}
+
 int cmd_model(const std::vector<std::string>& args) {
   if (args.size() != 6) return usage();
   const auto& dev = gpumodel::rtx3090();
@@ -191,6 +258,7 @@ int main(int argc, char** argv) {
     if (cmd == "spmm") return cmd_spmm(args);
     if (cmd == "energy") return cmd_energy(args);
     if (cmd == "autotune") return cmd_autotune(args);
+    if (cmd == "tune") return cmd_tune(args);
     if (cmd == "model") return cmd_model(args);
   } catch (const venom::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
