@@ -1,0 +1,108 @@
+// Serving throughput bench: dynamic batching vs a sequential
+// one-request-at-a-time loop over the same pruned encoder.
+//
+// The sequential baseline is what the repo could do before the serving
+// subsystem existed: pop a request, run Encoder::forward, repeat. The
+// engine coalesces the same request trace into token-packed batches, so
+// every sparse weight is streamed once per batch instead of once per
+// request (and the register-blocked kernel runs at full strip width
+// instead of a few ragged columns). The measurement itself lives in
+// serving::run_serving_comparison — shared with `venomtool serve-bench`
+// so the two surfaces can never drift — and asserts per-request outputs
+// are bit-identical; the interesting numbers are requests/s, tokens/s,
+// and the p50/p99 submit-to-completion latency, all merged into
+// BENCH_kernels.json for the CI perf-regression gate.
+//
+// Usage: bench_serving [requests] [tokens_per_request] [max_batch_tokens]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "serving/bench_harness.hpp"
+#include "transformer/config.hpp"
+
+namespace {
+
+using namespace venom;
+
+transformer::ModelConfig bench_model() {
+  // A BERT-tiny-ish stack: big enough that the SpMMs dominate, small
+  // enough for a CI smoke job.
+  return transformer::ModelConfig{.name = "bert-tiny", .layers = 2,
+                                  .hidden = 256, .heads = 4,
+                                  .ffn_hidden = 512, .seq_len = 128};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serving::BenchSetup setup;
+  setup.model = bench_model();
+  setup.requests = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+  setup.tokens = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+  setup.max_batch_tokens =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 256;
+  setup.max_batch_requests = setup.requests;
+
+  char shape[128];
+  std::snprintf(shape, sizeof(shape), "%s h%zuL%zu reqs%zux%zutok bt%zu",
+                setup.model.name.c_str(), setup.model.hidden,
+                setup.model.layers, setup.requests, setup.tokens,
+                setup.max_batch_tokens);
+  bench::banner("Serving: dynamic batching vs sequential loop", shape);
+
+  const serving::BenchComparison r = serving::run_serving_comparison(setup);
+  if (!r.bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: batched outputs differ from the sequential "
+                 "forward\n");
+    return 1;
+  }
+
+  bench::header({"path", "req/s", "tok/s", "p50 ms", "p99 ms", "speedup"});
+  bench::cell("sequential");
+  bench::cell(r.sequential_rps(), "%.1f");
+  bench::cell(r.sequential_rps() * double(setup.tokens), "%.0f");
+  bench::cell(r.sequential_p50_ms, "%.3f");
+  bench::cell(r.sequential_p99_ms, "%.3f");
+  bench::cell(1.0);
+  bench::endrow();
+  bench::cell("batched");
+  bench::cell(r.batched_rps(), "%.1f");
+  bench::cell(r.batched_rps() * double(setup.tokens), "%.0f");
+  bench::cell(r.stats.p50_ms, "%.3f");
+  bench::cell(r.stats.p99_ms, "%.3f");
+  bench::cell(r.speedup());
+  bench::endrow();
+  std::printf("\nper-request outputs bit-identical: yes\n");
+  std::printf("avg batch occupancy: %.1f tokens (%zu batches, plan cache "
+              "%zu hits / %zu misses)\n",
+              r.stats.avg_batch_tokens, r.stats.batches,
+              r.stats.plan_cache_hits, r.stats.plan_cache_misses);
+
+  bench::merge_bench_json(
+      "BENCH_kernels.json",
+      {{"serving_sequential", shape, r.sequential_rps(), 1.0, "req_per_s"},
+       {"serving_batched", shape, r.batched_rps(), r.speedup(),
+        "req_per_s"},
+       {"serving_p50", shape, r.stats.p50_ms, 1.0, "ms"},
+       {"serving_p99", shape, r.stats.p99_ms, 1.0, "ms"}});
+  std::printf("merged 4 serving records into BENCH_kernels.json\n");
+
+  // The acceptance bar for the serving engine: batching must buy at
+  // least 3x over the one-request-at-a-time loop. Exit nonzero so the CI
+  // bench smoke job fails loudly if batching stops paying.
+  // VENOM_SERVING_SPEEDUP_BAR overrides it (e.g. for unusually slow or
+  // contended runners), mirroring the perf gate's tolerance envs.
+  double bar = 3.0;
+  if (const char* env = std::getenv("VENOM_SERVING_SPEEDUP_BAR"))
+    bar = std::strtod(env, nullptr);
+  if (r.speedup() < bar) {
+    std::fprintf(stderr, "FAIL: batched speedup %.2fx < %.1fx bar\n",
+                 r.speedup(), bar);
+    return 1;
+  }
+  std::printf("batched speedup %.2fx >= %.1fx bar: PASS\n", r.speedup(),
+              bar);
+  return 0;
+}

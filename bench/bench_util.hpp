@@ -13,14 +13,18 @@
 
 namespace venom::bench {
 
-/// One measured kernel configuration. `speedup_vs_seed` is wall-clock of
-/// the seed scalar path divided by this kernel's wall-clock on the same
-/// problem (1.0 when the kernel IS the seed path or has no baseline).
+/// One measured configuration. `speedup_vs_seed` is wall-clock of the
+/// baseline path divided by this one's wall-clock on the same problem
+/// (1.0 when the record IS the baseline or has none). `unit` names what
+/// `gflops` carries — "gflops" for kernels; serving records reuse the
+/// field for "req_per_s", "tok_per_s", or "ms" (the perf-regression gate
+/// reads it to pick the regression direction: for "ms" higher is worse).
 struct JsonRecord {
   std::string name;
   std::string shape;
   double gflops = 0.0;
   double speedup_vs_seed = 1.0;
+  std::string unit = "gflops";
 };
 
 /// Writes records as a JSON array to `path` (e.g. BENCH_kernels.json).
@@ -36,9 +40,11 @@ inline void write_bench_json(const std::string& path,
     const JsonRecord& r = records[i];
     std::fprintf(f,
                  "  {\"name\": \"%s\", \"shape\": \"%s\", "
-                 "\"gflops\": %.3f, \"speedup_vs_seed\": %.3f}%s\n",
+                 "\"gflops\": %.3f, \"speedup_vs_seed\": %.3f, "
+                 "\"unit\": \"%s\"}%s\n",
                  r.name.c_str(), r.shape.c_str(), r.gflops,
-                 r.speedup_vs_seed, i + 1 < records.size() ? "," : "");
+                 r.speedup_vs_seed, r.unit.c_str(),
+                 i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -75,6 +81,8 @@ inline bool parse_bench_line(const std::string& line, JsonRecord& r) {
   if (r.name.empty() || r.shape.empty()) return false;
   r.gflops = num_field("gflops", 0.0);
   r.speedup_vs_seed = num_field("speedup_vs_seed", 1.0);
+  const std::string unit = str_field("unit");
+  r.unit = unit.empty() ? "gflops" : unit;  // records from older PRs
   return true;
 }
 

@@ -1,0 +1,206 @@
+// Reusable scratch memory for steady-state hot paths.
+//
+// Serving the same model shape over and over makes every per-call
+// allocation pure overhead: the buffers requested by batch N are exactly
+// the buffers batch N+1 will request again. Two primitives cover the
+// repo's reuse patterns:
+//
+//   ScratchArena   a bump allocator over retained blocks. alloc<T>(n)
+//                  hands out aligned uninitialized storage; reset() makes
+//                  all of it reusable without releasing the pages. After
+//                  the first batch warms the arena, reset()+alloc cycles
+//                  perform zero heap allocation (the high-water block is
+//                  kept; an undersized arena grows by chaining blocks and
+//                  coalesces them on the next reset).
+//
+//   ObjectPool<T>  a thread-safe freelist of default-constructed objects
+//                  whose internal buffers retain capacity across uses
+//                  (e.g. the packed float B panels of SpmmScratch).
+//                  acquire() reuses a warm object or creates one;
+//                  release() returns it. Handout is LIFO so the most
+//                  recently used — cache-warm — object is reused first.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace venom {
+
+/// Bump allocator over retained blocks (not thread-safe: one arena per
+/// worker thread is the intended usage).
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  /// Pre-reserves `initial_bytes` so the first cycle is allocation-free.
+  explicit ScratchArena(std::size_t initial_bytes) {
+    if (initial_bytes > 0) blocks_.push_back(Block::make(initial_bytes));
+  }
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+  ScratchArena(ScratchArena&&) = default;
+  ScratchArena& operator=(ScratchArena&&) = default;
+
+  /// Uninitialized storage for `count` objects of T, aligned to alignof(T).
+  /// Pointers stay valid until the next reset() (growth chains a new block
+  /// instead of moving existing ones).
+  template <typename T>
+  T* alloc(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without destructor calls");
+    // Blocks come from plain operator new[], whose guarantee stops at
+    // max_align_t — intra-block alignment cannot promise more than the
+    // block base has.
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned types are not supported by the arena");
+    const std::size_t bytes = count * sizeof(T);
+    return static_cast<T*>(raw_alloc(bytes, alignof(T)));
+  }
+
+  /// Reclaims every allocation at once. Retains the high-water footprint:
+  /// if the cycle spilled into extra blocks, they are coalesced into one
+  /// block sized for the whole cycle, so the next cycle bumps through a
+  /// single resident block.
+  void reset() {
+    if (blocks_.size() > 1) {
+      const std::size_t total = high_water_;
+      blocks_.clear();
+      blocks_.push_back(Block::make(total));
+    } else if (!blocks_.empty()) {
+      blocks_.front().used = 0;
+    }
+    cycle_bytes_ = 0;
+  }
+
+  /// Bytes consumed since the last reset: payload plus worst-case
+  /// alignment headroom per allocation, so a single block of high_water()
+  /// bytes can always replay the cycle regardless of where padding lands.
+  std::size_t bytes_used() const { return cycle_bytes_; }
+  /// Largest bytes_used() seen over the arena's lifetime.
+  std::size_t high_water() const { return high_water_; }
+  /// Bytes of backing storage currently resident.
+  std::size_t capacity() const {
+    std::size_t c = 0;
+    for (const Block& b : blocks_) c += b.size;
+    return c;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+
+    static Block make(std::size_t bytes) {
+      Block b;
+      b.size = std::max<std::size_t>(bytes, 64);
+      b.data = std::make_unique<std::byte[]>(b.size);
+      return b;
+    }
+  };
+
+  void* raw_alloc(std::size_t bytes, std::size_t align) {
+    VENOM_CHECK_MSG(align != 0 && (align & (align - 1)) == 0,
+                    "alignment " << align << " is not a power of two");
+    if (blocks_.empty()) blocks_.push_back(Block::make(bytes + align));
+    Block* blk = &blocks_.back();
+    std::size_t offset = (blk->used + align - 1) & ~(align - 1);
+    if (offset + bytes > blk->size) {
+      // Chain a block big enough for this request and sized to grow
+      // geometrically, so repeated spills settle quickly.
+      blocks_.push_back(Block::make(std::max(bytes + align, blk->size * 2)));
+      blk = &blocks_.back();
+      offset = 0;
+    }
+    blk->used = offset + bytes;
+    // Count worst-case padding, not the padding this layout happened to
+    // need: reset() sizes the coalesced block from high_water_, and the
+    // replayed cycle may align differently against a fresh block base.
+    cycle_bytes_ += bytes + (align - 1);
+    high_water_ = std::max(high_water_, cycle_bytes_);
+    return blk->data.get() + offset;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t cycle_bytes_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+/// Thread-safe LIFO freelist of reusable T objects.
+template <typename T>
+class ObjectPool {
+ public:
+  /// An acquired object that returns itself to the pool on destruction.
+  class Lease {
+   public:
+    Lease(ObjectPool* pool, std::unique_ptr<T> obj)
+        : pool_(pool), obj_(std::move(obj)) {}
+    ~Lease() {
+      if (obj_ != nullptr) pool_->release(std::move(obj_));
+    }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), obj_(std::move(other.obj_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        // Return the currently held object before taking over the other
+        // lease's — a defaulted move-assign would destroy it instead,
+        // silently shrinking the pool.
+        if (obj_ != nullptr) pool_->release(std::move(obj_));
+        pool_ = other.pool_;
+        obj_ = std::move(other.obj_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    T& operator*() { return *obj_; }
+    T* operator->() { return obj_.get(); }
+
+   private:
+    ObjectPool* pool_;
+    std::unique_ptr<T> obj_;
+  };
+
+  /// A warm object off the freelist, or a fresh one when empty.
+  Lease acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        std::unique_ptr<T> obj = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(obj));
+      }
+      ++created_;
+    }
+    return Lease(this, std::make_unique<T>());
+  }
+
+  /// Objects constructed over the pool's lifetime (== peak concurrent
+  /// users; steady-state serving should see this settle, not grow).
+  std::size_t created() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return created_;
+  }
+  std::size_t idle() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  void release(std::unique_ptr<T> obj) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(obj));
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace venom

@@ -20,7 +20,8 @@ namespace venom {
 inline const std::string& cpu_feature_string() {
   static const std::string features = [] {
     std::string s;
-    const auto add = [&s](const char* tag) {
+    // [[maybe_unused]]: a portable build compiles none of the #if arms.
+    [[maybe_unused]] const auto add = [&s](const char* tag) {
       if (!s.empty()) s += '-';
       s += tag;
     };

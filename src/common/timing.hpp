@@ -1,11 +1,25 @@
 // Shared wall-clock micro-measurement loop, used by the empirical
-// autotuner and (via bench/bench_util.hpp) the bench executables.
+// autotuner and (via bench/bench_util.hpp) the bench executables, plus
+// the percentile helper the latency reporters share.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <span>
 
 namespace venom {
+
+/// Nearest-rank percentile (q in [0, 1]) of ascending-sorted samples;
+/// 0 for an empty span. One definition shared by the serving engine's
+/// latency window and the bench harness, so their p50/p99 stay
+/// comparable by construction.
+inline double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t i =
+      static_cast<std::size_t>(q * double(sorted.size() - 1) + 0.5);
+  return sorted[std::min(i, sorted.size() - 1)];
+}
 
 /// Wall-clock seconds per fn() call: `warmup` untimed invocations, then
 /// iteration counts grown geometrically until one timed sample spans

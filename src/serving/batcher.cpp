@@ -1,0 +1,58 @@
+#include "serving/batcher.hpp"
+
+#include "common/error.hpp"
+
+namespace venom::serving {
+
+DynamicBatcher::DynamicBatcher(BatchPolicy policy) : policy_(policy) {
+  VENOM_CHECK_MSG(policy_.max_batch_tokens >= 1,
+                  "max_batch_tokens must be positive");
+  VENOM_CHECK_MSG(policy_.max_batch_requests >= 1,
+                  "max_batch_requests must be positive");
+}
+
+bool DynamicBatcher::submit(PendingRequest& req) {
+  // push moves from req only on success: a refused request stays intact
+  // with its promise, as batcher.hpp documents.
+  return queue_.push(std::move(req));
+}
+
+void DynamicBatcher::close() { queue_.close(); }
+
+bool DynamicBatcher::next_batch(std::vector<PendingRequest>& out) {
+  out.clear();
+  std::lock_guard<std::mutex> lock(collect_mutex_);
+
+  // Seed the batch: the carried-over request from the previous
+  // collection, or a blocking wait for fresh work.
+  PendingRequest first;
+  if (carry_.has_value()) {
+    first = std::move(*carry_);
+    carry_.reset();
+  } else if (!queue_.pop(first)) {
+    return false;  // closed and drained
+  }
+  std::size_t tokens = first.tokens();
+  out.push_back(std::move(first));
+
+  // Greedy fill until the budget is met or the flush timer expires. The
+  // deadline is absolute from the moment the batch opened, so a trickle
+  // of small requests cannot stall the first one indefinitely.
+  const auto deadline = std::chrono::steady_clock::now() + policy_.max_wait;
+  while (out.size() < policy_.max_batch_requests &&
+         tokens < policy_.max_batch_tokens) {
+    PendingRequest next;
+    bool timed_out = false;
+    if (!queue_.pop_until(next, deadline, timed_out))
+      break;  // flush: timer expired, or closed and drained
+    if (tokens + next.tokens() > policy_.max_batch_tokens) {
+      carry_.emplace(std::move(next));  // never split a request
+      break;
+    }
+    tokens += next.tokens();
+    out.push_back(std::move(next));
+  }
+  return true;
+}
+
+}  // namespace venom::serving

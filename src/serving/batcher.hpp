@@ -1,0 +1,76 @@
+// Dynamic request batching (the serving analogue of Fig. 15's model-level
+// claim: V:N:M pays off per *deployed model*, not per kernel).
+//
+// Requests are independent sequences of hidden-dim token columns. The
+// batcher coalesces queued requests into one token-packed forward pass
+// under two knobs: a token budget per batch (max_batch_tokens bounds the
+// SpMM's C extent and the batch's memory) and a flush timer (max_wait
+// bounds the latency a lone request pays waiting for company). A request
+// that would overflow the budget is carried into the next batch, so
+// batches never split a request; a request bigger than the whole budget
+// runs as a batch of one.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serving/queue.hpp"
+#include "tensor/matrix.hpp"
+
+namespace venom::serving {
+
+/// Batch formation knobs.
+struct BatchPolicy {
+  std::size_t max_batch_tokens = 256;   ///< token budget per forward pass
+  std::size_t max_batch_requests = 64;  ///< cap on coalesced requests
+  std::chrono::microseconds max_wait{2000};  ///< flush timer for partial batches
+};
+
+/// One queued inference request: input activations (hidden x tokens) and
+/// the promise its output is delivered through.
+struct PendingRequest {
+  std::uint64_t id = 0;
+  HalfMatrix input;
+  std::promise<HalfMatrix> result;
+  std::chrono::steady_clock::time_point enqueued{};
+
+  std::size_t tokens() const { return input.cols(); }
+};
+
+/// Coalesces a thread-safe request queue into token-budgeted batches.
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatchPolicy policy);
+
+  /// Enqueues a request; false once close()d (the request is returned to
+  /// the caller untouched so its promise can be failed).
+  bool submit(PendingRequest& req);
+
+  /// Refuses further submissions; next_batch() keeps returning batches
+  /// until the queue is drained, then false.
+  void close();
+
+  /// Blocks for the next batch. `out` is cleared and filled with 1..max
+  /// requests whose token counts sum within the policy budget (except a
+  /// single oversized request, which forms its own batch). Returns false
+  /// only after close() with everything drained — the worker-loop exit.
+  bool next_batch(std::vector<PendingRequest>& out);
+
+  std::size_t queued() const { return queue_.size(); }
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  BatchPolicy policy_;
+  BlockingQueue<PendingRequest> queue_;
+  // Collection is serialized: concurrent workers take turns forming
+  // batches (formation is trivially cheap next to executing one) and the
+  // carried-over request is handed to whichever worker collects next.
+  std::mutex collect_mutex_;
+  std::optional<PendingRequest> carry_;
+};
+
+}  // namespace venom::serving

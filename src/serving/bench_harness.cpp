@@ -1,0 +1,101 @@
+#include "serving/bench_harness.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timing.hpp"
+#include "transformer/encoder.hpp"
+
+namespace venom::serving {
+
+namespace {
+
+transformer::Encoder pruned_encoder(const BenchSetup& setup) {
+  Rng rng(42);
+  transformer::Encoder enc(setup.model, rng);
+  enc.sparsify(setup.format);
+  return enc;
+}
+
+}  // namespace
+
+BenchComparison run_serving_comparison(const BenchSetup& setup) {
+  std::vector<HalfMatrix> trace;
+  trace.reserve(setup.requests);
+  for (std::size_t i = 0; i < setup.requests; ++i) {
+    Rng rng(1000 + i);
+    trace.push_back(
+        random_half_matrix(setup.model.hidden, setup.tokens, rng, 0.5f));
+  }
+
+  transformer::Encoder seq_enc = pruned_encoder(setup);
+  InferenceEngine engine(
+      pruned_encoder(setup),
+      {.batching = {.max_batch_tokens = setup.max_batch_tokens,
+                    .max_batch_requests = setup.max_batch_requests,
+                    .max_wait = setup.max_wait}});
+
+  // Per-request forward durations from the timed pass: the sequential
+  // path's "latency" is each request's own forward time, so its p50/p99
+  // are percentiles of these (not the whole-trace mean).
+  std::vector<double> seq_latencies_s;
+  const auto run_sequential = [&](std::vector<HalfMatrix>* out) {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      HalfMatrix y = seq_enc.forward(trace[i]);
+      if (out == nullptr)  // timed pass only
+        seq_latencies_s.push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count());
+      if (out != nullptr) (*out)[i] = std::move(y);
+    }
+  };
+  const auto run_batched = [&](std::vector<HalfMatrix>* out) {
+    std::vector<std::future<HalfMatrix>> futs;
+    futs.reserve(trace.size());
+    for (const HalfMatrix& x : trace) futs.push_back(engine.submit(x));
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      HalfMatrix y = futs[i].get();
+      if (out != nullptr) (*out)[i] = std::move(y);
+    }
+  };
+
+  BenchComparison result;
+  result.requests = setup.requests;
+  result.tokens_per_request = setup.tokens;
+
+  // Correctness pass (doubles as warmup): batching must not change any
+  // request's bits.
+  std::vector<HalfMatrix> seq_out(trace.size()), eng_out(trace.size());
+  run_sequential(&seq_out);
+  run_batched(&eng_out);
+  result.bit_identical = true;
+  for (std::size_t i = 0; i < trace.size() && result.bit_identical; ++i) {
+    result.bit_identical = seq_out[i].rows() == eng_out[i].rows() &&
+                           seq_out[i].cols() == eng_out[i].cols();
+    for (std::size_t e = 0;
+         result.bit_identical && e < seq_out[i].size(); ++e)
+      result.bit_identical =
+          seq_out[i].flat()[e].bits() == eng_out[i].flat()[e].bits();
+  }
+
+  // Timed passes run against a warm engine; dropping the warmup-pass
+  // samples keeps the reported percentiles steady-state.
+  engine.reset_stats();
+  result.sequential_s =
+      seconds_per_call([&] { run_sequential(nullptr); }, /*warmup=*/0);
+  result.batched_s =
+      seconds_per_call([&] { run_batched(nullptr); }, /*warmup=*/0);
+  result.stats = engine.stats();
+
+  std::sort(seq_latencies_s.begin(), seq_latencies_s.end());
+  result.sequential_p50_ms = 1e3 * percentile_sorted(seq_latencies_s, 0.50);
+  result.sequential_p99_ms = 1e3 * percentile_sorted(seq_latencies_s, 0.99);
+  return result;
+}
+
+}  // namespace venom::serving

@@ -1,0 +1,60 @@
+// Shared harness for the serving throughput comparison, used by both
+// bench_serving (the CI-gated benchmark) and `venomtool serve-bench` (the
+// ad-hoc CLI probe) so the two surfaces measure exactly the same thing:
+// one deterministic request trace, one pruned encoder per path built from
+// the same seed, a timed sequential forward() loop vs the dynamic-batching
+// engine, and an element-wise bit-identity check of every request's
+// outputs.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "format/vnm.hpp"
+#include "serving/engine.hpp"
+#include "transformer/config.hpp"
+
+namespace venom::serving {
+
+/// What to measure: model, pruning format, trace shape, batching knobs.
+struct BenchSetup {
+  transformer::ModelConfig model;
+  VnmConfig format{64, 2, 8};
+  std::size_t requests = 64;
+  std::size_t tokens = 4;  ///< per request
+  std::size_t max_batch_tokens = 256;
+  std::size_t max_batch_requests = 64;
+  std::chrono::microseconds max_wait{500};
+};
+
+/// Measured outcome of one comparison run.
+struct BenchComparison {
+  std::size_t requests = 0;
+  std::size_t tokens_per_request = 0;
+  double sequential_s = 0.0;  ///< wall seconds for the whole trace
+  double batched_s = 0.0;     ///< same trace through the engine
+  double sequential_p50_ms = 0.0;  ///< true per-request forward percentiles
+  double sequential_p99_ms = 0.0;
+  bool bit_identical = false;  ///< every request, every element
+  /// Engine-side counters and latencies, from the timed pass only (the
+  /// warmup/correctness pass is excluded, so p50/p99 are steady-state
+  /// with a warm plan cache).
+  ServingStats stats;
+
+  double speedup() const { return sequential_s / batched_s; }
+  double sequential_rps() const {
+    return static_cast<double>(requests) / sequential_s;
+  }
+  double batched_rps() const {
+    return static_cast<double>(requests) / batched_s;
+  }
+};
+
+/// Runs the canonical comparison: deterministic trace (request i is seeded
+/// 1000+i), encoder weights seeded 42 and magnitude-pruned to
+/// setup.format for both paths, a correctness pass asserting per-request
+/// bit-identity (doubling as warmup), then timed sequential and batched
+/// passes over the full trace.
+BenchComparison run_serving_comparison(const BenchSetup& setup);
+
+}  // namespace venom::serving

@@ -1,0 +1,191 @@
+#include "serving/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/timing.hpp"
+
+namespace venom::serving {
+
+InferenceEngine::InferenceEngine(transformer::Encoder encoder,
+                                 ServingConfig cfg)
+    : encoder_(std::move(encoder)), cfg_(cfg),
+      plan_cache_(cfg.plan_cache_capacity), batcher_(cfg.batching),
+      latency_ms_(std::max<std::size_t>(1, cfg.latency_window), 0.0) {
+  VENOM_CHECK_MSG(cfg_.workers >= 1, "engine needs at least one worker");
+  // Every sparse Linear in the stack now shares one plan cache: kernel
+  // configs are selected once per layer shape x batch width, and the
+  // plans' scratch pools keep the packed B panels warm across batches.
+  encoder_.set_plan_cache(&plan_cache_);
+  workers_.reserve(cfg_.workers);
+  for (std::size_t i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+std::future<HalfMatrix> InferenceEngine::submit(HalfMatrix input) {
+  VENOM_CHECK_MSG(input.rows() == encoder_.config().hidden,
+                  "request has " << input.rows() << " features, encoder "
+                                 << encoder_.config().hidden);
+  VENOM_CHECK_MSG(input.cols() >= 1, "request has no tokens");
+  // Reject what forward_batched would reject, here, where the error can
+  // be confined to the offending caller — inside a batch it would fail
+  // every co-batched request's future.
+  for (std::size_t i = 0; i < encoder_.layer_count(); ++i) {
+    const auto pattern =
+        encoder_.layer(i).attention().dynamic_score_sparsity();
+    if (pattern.has_value()) {
+      VENOM_CHECK_MSG(input.cols() % pattern->m == 0,
+                      "request length " << input.cols()
+                          << " not divisible by the dynamic attention M="
+                          << pattern->m);
+    }
+  }
+  PendingRequest req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.input = std::move(input);
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<HalfMatrix> fut = req.result.get_future();
+  VENOM_CHECK_MSG(batcher_.submit(req), "engine is shut down");
+  return fut;
+}
+
+void InferenceEngine::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  batcher_.close();
+  for (auto& w : workers_) w.join();
+}
+
+void InferenceEngine::worker_loop() {
+  WorkerState ws;
+  std::vector<PendingRequest> batch;
+  while (batcher_.next_batch(batch)) process_batch(batch, ws);
+}
+
+void InferenceEngine::process_batch(std::vector<PendingRequest>& batch,
+                                    WorkerState& ws) {
+  // Everything from staging to delivery runs under one guard: any
+  // failure (a malformed request the encoder rejects, allocation
+  // pressure while packing or splitting) fails this batch's remaining
+  // futures and leaves the engine serving — a worker thread must never
+  // let an exception escape (that would std::terminate the process).
+  std::size_t delivered = 0;
+  try {
+    ws.arena.reset();
+    const std::size_t hidden = encoder_.config().hidden;
+    const std::size_t count = batch.size();
+
+    // Segment table: exclusive end column of each request in the packed
+    // batch (arena-backed — reused storage after the first batch).
+    std::size_t* seq_ends = ws.arena.alloc<std::size_t>(count);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      total += batch[i].tokens();
+      seq_ends[i] = total;
+    }
+
+    // Pack the requests along the token axis. The staging matrix retains
+    // its capacity, so steady-state assembly is copy-only.
+    ws.staging.resize(hidden, total);
+    for (std::size_t r = 0; r < hidden; ++r) {
+      half_t* dst = &ws.staging(r, 0);
+      std::size_t off = 0;
+      for (const PendingRequest& req : batch) {
+        std::memcpy(dst + off, &req.input(r, 0),
+                    req.tokens() * sizeof(half_t));
+        off += req.tokens();
+      }
+    }
+
+    transformer::TimingBreakdown timing;
+    const HalfMatrix y = encoder_.forward_batched(
+        ws.staging, std::span<const std::size_t>(seq_ends, count), &timing);
+
+    // Split the packed output back into per-request matrices (these
+    // allocations are the deliverables — callers own them). Built before
+    // the stats are recorded, so an allocation failure here fails the
+    // batch without counting any of its requests as completed.
+    std::vector<HalfMatrix> outs;
+    outs.reserve(count);
+    std::size_t off = 0;
+    for (const PendingRequest& req : batch) {
+      HalfMatrix out(hidden, req.tokens());
+      for (std::size_t r = 0; r < hidden; ++r)
+        std::memcpy(&out(r, 0), &y(r, off), req.tokens() * sizeof(half_t));
+      off += req.tokens();
+      outs.push_back(std::move(out));
+    }
+
+    // Stats before delivery: a caller that has awaited its future must
+    // already see the request counted.
+    record_batch(batch, total, timing, std::chrono::steady_clock::now(),
+                 ws);
+
+    for (PendingRequest& req : batch) {
+      req.result.set_value(std::move(outs[delivered]));
+      ++delivered;
+    }
+  } catch (...) {
+    const auto err = std::current_exception();
+    for (std::size_t i = delivered; i < batch.size(); ++i)
+      batch[i].result.set_exception(err);
+  }
+}
+
+void InferenceEngine::record_batch(
+    const std::vector<PendingRequest>& batch, std::size_t batch_tokens,
+    const transformer::TimingBreakdown& timing,
+    std::chrono::steady_clock::time_point done, const WorkerState& ws) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  requests_ += batch.size();
+  batches_ += 1;
+  tokens_ += batch_tokens;
+  timing_ += timing;
+  peak_arena_bytes_ = std::max(peak_arena_bytes_, ws.arena.high_water());
+  for (const PendingRequest& req : batch) {
+    const double ms =
+        std::chrono::duration<double, std::milli>(done - req.enqueued)
+            .count();
+    latency_ms_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % latency_ms_.size();
+    latency_count_ = std::min(latency_count_ + 1, latency_ms_.size());
+  }
+}
+
+void InferenceEngine::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  requests_ = 0;
+  batches_ = 0;
+  tokens_ = 0;
+  peak_arena_bytes_ = 0;
+  timing_ = transformer::TimingBreakdown{};
+  latency_next_ = 0;
+  latency_count_ = 0;
+}
+
+ServingStats InferenceEngine::stats() const {
+  ServingStats s;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.requests = requests_;
+    s.batches = batches_;
+    s.tokens = tokens_;
+    s.timing = timing_;
+    s.peak_arena_bytes = peak_arena_bytes_;
+    s.avg_batch_tokens =
+        batches_ == 0 ? 0.0 : double(tokens_) / double(batches_);
+    window.assign(latency_ms_.begin(), latency_ms_.begin() + latency_count_);
+  }
+  s.plan_cache_hits = plan_cache_.hits();
+  s.plan_cache_misses = plan_cache_.misses();
+  std::sort(window.begin(), window.end());
+  s.p50_ms = percentile_sorted(window, 0.50);
+  s.p99_ms = percentile_sorted(window, 0.99);
+  return s;
+}
+
+}  // namespace venom::serving

@@ -1,0 +1,128 @@
+// Batched sparse-transformer inference engine — the serving layer the
+// ROADMAP's "heavy traffic" north star asks for.
+//
+// An InferenceEngine owns a (typically V:N:M-pruned) Encoder and serves
+// concurrent submit() calls through a dynamic batcher: queued sequences
+// are packed along the token axis into one forward_batched() pass per
+// batch, so every sparse weight is streamed once per batch instead of
+// once per request (the weight-stationary reuse that makes batching pay),
+// while attention stays confined to each request's span — per-request
+// outputs are bit-identical to unbatched forward() calls.
+//
+// Steady-state hot path:
+//   * a shared spatha::PlanCache reuses kernel plans (tuned SpmmConfig
+//     selection, compressed-operand bookkeeping) and their scratch pools
+//     (packed fp16->float B panels) across batches,
+//   * each worker owns a ScratchArena (segment tables) and a reusable
+//     staging matrix whose buffers settle at their high-water size,
+// so after warmup the engine's batching layer performs no allocation
+// beyond the per-request output matrices it hands back to callers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "serving/batcher.hpp"
+#include "spatha/plan.hpp"
+#include "tensor/matrix.hpp"
+#include "transformer/encoder.hpp"
+
+namespace venom::serving {
+
+/// Engine construction knobs.
+struct ServingConfig {
+  BatchPolicy batching;
+  /// Batch-execution workers. One worker already parallelizes inside the
+  /// kernels via the shared ThreadPool; extra workers overlap batch
+  /// assembly/split with compute at the cost of pool contention.
+  std::size_t workers = 1;
+  std::size_t plan_cache_capacity = 64;
+  /// Latency samples retained for the p50/p99 estimate (ring buffer).
+  std::size_t latency_window = 4096;
+};
+
+/// Monotonic serving counters plus latency percentiles over the window.
+struct ServingStats {
+  std::size_t requests = 0;  ///< completed requests
+  std::size_t batches = 0;   ///< executed forward passes
+  std::size_t tokens = 0;    ///< tokens pushed through the encoder
+  double avg_batch_tokens = 0.0;
+  double p50_ms = 0.0;  ///< submit-to-completion, over the window
+  double p99_ms = 0.0;
+  std::size_t plan_cache_hits = 0;
+  std::size_t plan_cache_misses = 0;
+  std::size_t peak_arena_bytes = 0;  ///< largest per-batch arena cycle
+  transformer::TimingBreakdown timing;  ///< aggregated over all batches
+};
+
+/// Thread-safe batched inference front end over one pruned encoder.
+class InferenceEngine {
+ public:
+  /// Takes ownership of the encoder (prune/sparsify it before handing it
+  /// over). Workers start immediately.
+  explicit InferenceEngine(transformer::Encoder encoder,
+                           ServingConfig cfg = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Queues one sequence (hidden x tokens) and returns the future of its
+  /// encoder output (same shape). Throws venom::Error on a shape mismatch
+  /// or when the engine is shut down. Safe from any thread.
+  std::future<HalfMatrix> submit(HalfMatrix input);
+
+  /// Stops accepting requests, lets the workers drain everything already
+  /// queued, and joins them. Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServingStats stats() const;
+
+  /// Zeroes the serving counters, latency window, and timing aggregate —
+  /// e.g. after a warmup phase, so percentiles reflect steady state. The
+  /// plan cache (and its cumulative hit/miss counters) is deliberately
+  /// kept: discarding it would un-warm exactly what warmup warmed.
+  void reset_stats();
+
+  const transformer::Encoder& encoder() const { return encoder_; }
+  const ServingConfig& config() const { return cfg_; }
+
+ private:
+  /// Per-worker reusable buffers (never shared, so unsynchronized).
+  struct WorkerState {
+    ScratchArena arena;
+    HalfMatrix staging;  ///< packed batch input, capacity retained
+  };
+
+  void worker_loop();
+  void process_batch(std::vector<PendingRequest>& batch, WorkerState& ws);
+  void record_batch(const std::vector<PendingRequest>& batch,
+                    std::size_t batch_tokens,
+                    const transformer::TimingBreakdown& timing,
+                    std::chrono::steady_clock::time_point done,
+                    const WorkerState& ws);
+
+  transformer::Encoder encoder_;
+  ServingConfig cfg_;
+  spatha::PlanCache plan_cache_;
+  DynamicBatcher batcher_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> shut_down_{false};
+
+  mutable std::mutex stats_mutex_;
+  std::size_t requests_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t tokens_ = 0;
+  std::size_t peak_arena_bytes_ = 0;
+  transformer::TimingBreakdown timing_;
+  std::vector<double> latency_ms_;  ///< ring buffer of latency_window
+  std::size_t latency_next_ = 0;
+  std::size_t latency_count_ = 0;
+};
+
+}  // namespace venom::serving

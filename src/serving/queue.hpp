@@ -1,0 +1,105 @@
+// Thread-safe blocking queue — the front door of the serving engine.
+//
+// Producers (request submitters) push from any thread; consumers (the
+// batching workers) block on pop. close() initiates shutdown: pushes are
+// refused, but consumers keep draining until the queue is empty so no
+// accepted request is dropped — pop() returns false only on
+// closed-and-drained, the worker-loop termination signal.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace venom::serving {
+
+/// Unbounded MPMC blocking queue of move-only or copyable T.
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Enqueues one item; false after close(). The item is moved from only
+  /// on success — a refused caller still owns it intact (so e.g. a
+  /// pending promise can be failed instead of silently dropped).
+  bool push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives (true) or the queue is closed and
+  /// drained (false).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// As pop(), but gives up at `deadline`: returns false with `timed_out`
+  /// set when the wait expired while the queue was still open and empty.
+  template <typename Clock, typename Duration>
+  bool pop_until(T& out,
+                 const std::chrono::time_point<Clock, Duration>& deadline,
+                 bool& timed_out) {
+    timed_out = false;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_until(lock, deadline,
+                        [this] { return closed_ || !items_.empty(); })) {
+      timed_out = true;
+      return false;
+    }
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop.
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Refuses further pushes and wakes every blocked consumer. Items
+  /// already queued remain poppable (drain-then-stop semantics).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace venom::serving

@@ -47,7 +47,7 @@ void accumulate_block(const VnmMatrix& a, const HalfMatrix& b,
 
 HalfMatrix spmm_vnm_fused(const VnmMatrix& a, const HalfMatrix& b,
                           const Epilogue& epilogue, const SpmmConfig& cfg,
-                          ThreadPool* pool) {
+                          ThreadPool* pool, SpmmScratchPool* scratch) {
   const VnmConfig fmt = a.config();
   VENOM_CHECK_MSG(a.cols() == b.rows(), "SpMM shape mismatch");
   VENOM_CHECK_MSG(epilogue.bias.empty() || epilogue.bias.size() == a.rows(),
@@ -61,7 +61,8 @@ HalfMatrix spmm_vnm_fused(const VnmMatrix& a, const HalfMatrix& b,
 
   pool->parallel_for_chunks(
       a.block_rows() * c_tiles, [&](std::size_t t0, std::size_t t1) {
-        detail::SpmmScratch s;
+        detail::ScratchLease scratch_lease;
+        detail::SpmmScratch& s = scratch_lease.bind(scratch);
         for (std::size_t t = t0; t < t1; ++t) {
           const std::size_t br = t / c_tiles;
           const std::size_t ct = t % c_tiles;

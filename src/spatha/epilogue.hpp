@@ -13,6 +13,7 @@
 #include "common/thread_pool.hpp"
 #include "format/vnm.hpp"
 #include "spatha/config.hpp"
+#include "spatha/spmm.hpp"
 #include "tensor/matrix.hpp"
 
 namespace venom::spatha {
@@ -28,10 +29,12 @@ struct Epilogue {
 };
 
 /// C_half = act(A_vnm * B + bias), computed tile-by-tile with the
-/// epilogue fused into the write-back stage.
+/// epilogue fused into the write-back stage. `scratch` as in spmm_vnm:
+/// a pool owned by the caller keeps the packed panels warm across calls.
 HalfMatrix spmm_vnm_fused(const VnmMatrix& a, const HalfMatrix& b,
                           const Epilogue& epilogue, const SpmmConfig& cfg,
-                          ThreadPool* pool = nullptr);
+                          ThreadPool* pool = nullptr,
+                          SpmmScratchPool* scratch = nullptr);
 
 /// Convenience overload with the heuristic kernel configuration.
 HalfMatrix spmm_vnm_fused(const VnmMatrix& a, const HalfMatrix& b,

@@ -23,6 +23,7 @@
 
 #include "common/half.hpp"
 #include "format/vnm.hpp"
+#include "spatha/spmm.hpp"  // detail::SpmmScratch
 #include "tensor/matrix.hpp"
 
 namespace venom::spatha::detail {
@@ -30,16 +31,6 @@ namespace venom::spatha::detail {
 /// Width of the register block: 16 floats = one zmm register (or two ymm),
 /// unrolled fully by the compiler.
 constexpr std::size_t kStrip = 16;
-
-/// Per-chunk scratch reused across output tiles; resize() calls settle to
-/// no-ops after the first tile of a chunk, so the steady state performs no
-/// allocation per panel or per tile.
-struct SpmmScratch {
-  std::vector<float> panel;           // packed float image of gathered B
-  std::vector<float> acc;             // V x width fp32 accumulator tile
-  std::vector<float> a_vals;          // hoisted nonzero values of one row
-  std::vector<std::uint32_t> a_offs;  // matching panel-row float offsets
-};
 
 /// Stage 1.2: gathers the B rows selected by column-loc for K-panel
 /// [g0, g1) of block row `br` into a packed float panel restricted to

@@ -18,15 +18,26 @@ SpmmPlan SpmmPlan::build(const SpmmProblem& problem,
 
 SpmmPlan SpmmPlan::from_compressed(const SpmmProblem& problem,
                                    VnmMatrix compressed) {
-  VENOM_CHECK_MSG(compressed.rows() == problem.rows &&
-                      compressed.cols() == problem.cols &&
-                      compressed.config() == problem.format,
+  return from_compressed(
+      problem, std::make_shared<const VnmMatrix>(std::move(compressed)));
+}
+
+SpmmPlan SpmmPlan::from_compressed(
+    const SpmmProblem& problem,
+    std::shared_ptr<const VnmMatrix> compressed,
+    std::shared_ptr<SpmmScratchPool> scratch) {
+  VENOM_CHECK_MSG(compressed != nullptr, "null compressed operand");
+  VENOM_CHECK_MSG(compressed->rows() == problem.rows &&
+                      compressed->cols() == problem.cols &&
+                      compressed->config() == problem.format,
                   "compressed operand does not match the problem");
   SpmmPlan plan;
   plan.problem_ = problem;
   plan.config_ = select_config(problem.format, problem.rows, problem.cols,
                                problem.b_cols);
   plan.weight_ = std::move(compressed);
+  plan.scratch_ = scratch != nullptr ? std::move(scratch)
+                                     : std::make_shared<SpmmScratchPool>();
   return plan;
 }
 
@@ -35,7 +46,7 @@ FloatMatrix SpmmPlan::execute(const HalfMatrix& b, ThreadPool* pool) const {
                   "operand B is " << b.rows() << 'x' << b.cols()
                                   << ", plan expects " << problem_.cols << 'x'
                                   << problem_.b_cols);
-  return spmm_vnm(weight_, b, config_, pool);
+  return spmm_vnm(*weight_, b, config_, pool, scratch_.get());
 }
 
 HalfMatrix SpmmPlan::execute_fused(const HalfMatrix& b,
@@ -45,46 +56,157 @@ HalfMatrix SpmmPlan::execute_fused(const HalfMatrix& b,
                   "operand B is " << b.rows() << 'x' << b.cols()
                                   << ", plan expects " << problem_.cols << 'x'
                                   << problem_.b_cols);
-  return spmm_vnm_fused(weight_, b, epilogue, config_, pool);
+  return spmm_vnm_fused(*weight_, b, epilogue, config_, pool,
+                        scratch_.get());
 }
 
-std::uint64_t weight_fingerprint(const HalfMatrix& m) {
+namespace {
+
+struct Fnv1a {
   std::uint64_t h = 0xcbf29ce484222325ull;
-  const auto mix = [&h](std::uint64_t v) {
+  void mix(std::uint64_t v) {
     h ^= v;
     h *= 0x100000001b3ull;
-  };
-  mix(m.rows());
-  mix(m.cols());
-  for (const half_t v : m.flat()) mix(v.bits());
-  return h;
+  }
+};
+
+}  // namespace
+
+std::uint64_t weight_fingerprint(const HalfMatrix& m) {
+  Fnv1a f;
+  f.mix(m.rows());
+  f.mix(m.cols());
+  for (const half_t v : m.flat()) f.mix(v.bits());
+  return f.h;
+}
+
+std::uint64_t weight_fingerprint(const VnmMatrix& m) {
+  Fnv1a f;
+  f.mix(m.rows());
+  f.mix(m.cols());
+  f.mix(m.config().v);
+  f.mix(m.config().n);
+  f.mix(m.config().m);
+  for (const half_t v : m.values()) f.mix(v.bits());
+  for (const std::uint8_t i : m.m_indices()) f.mix(i);
+  for (const std::uint8_t c : m.column_locs()) f.mix(c);
+  return f.h;
 }
 
 PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
   VENOM_CHECK_MSG(capacity_ >= 1, "cache capacity must be positive");
 }
 
-std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
-    const SpmmProblem& problem, const HalfMatrix& weight) {
-  const Key key{problem, weight_fingerprint(weight)};
+std::shared_ptr<const SpmmPlan> PlanCache::find_locked(const Key& key) {
   const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
-    lru_.erase(it->second.second);
-    lru_.push_front(key);
-    it->second.second = lru_.begin();
-    return it->second.first;
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
   }
-  ++misses_;
-  auto plan = std::make_shared<const SpmmPlan>(SpmmPlan::build(problem,
-                                                               weight));
+  ++hits_;
+  lru_.erase(it->second.second);
+  lru_.push_front(key);
+  it->second.second = lru_.begin();
+  return it->second.first;
+}
+
+std::shared_ptr<const SpmmPlan> PlanCache::insert_locked(
+    const Key& key, std::shared_ptr<const SpmmPlan> plan) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second.first;  // racing build lost
   lru_.push_front(key);
   entries_.emplace(key, std::make_pair(plan, lru_.begin()));
   if (entries_.size() > capacity_) {
-    entries_.erase(lru_.back());
+    const Key evicted = lru_.back();
+    entries_.erase(evicted);
     lru_.pop_back();
+    // Drop the weight's shared scratch pool once its last plan is gone,
+    // so weight churn (re-sparsifying training loops, model swaps)
+    // cannot grow the pool registry past what entries_ references.
+    const WeightKey wkey{evicted.second, {evicted.first.rows,
+                                          evicted.first.cols}};
+    bool still_referenced = false;
+    for (const auto& [k, v] : entries_) {
+      if (k.second == wkey.first && k.first.rows == wkey.second.first &&
+          k.first.cols == wkey.second.second) {
+        still_referenced = true;
+        break;
+      }
+    }
+    if (!still_referenced) scratch_pools_.erase(wkey);
   }
   return plan;
+}
+
+std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
+    const SpmmProblem& problem, const HalfMatrix& weight) {
+  const Key key{problem, weight_fingerprint(weight)};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto plan = find_locked(key)) return plan;
+  }
+  auto plan = std::make_shared<const SpmmPlan>(SpmmPlan::build(problem,
+                                                               weight));
+  std::lock_guard<std::mutex> lock(mutex_);
+  return insert_locked(key, std::move(plan));
+}
+
+std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
+    const SpmmProblem& problem, const VnmMatrix& compressed) {
+  // Copying caller: one O(nnz) copy on a miss (the plan needs owned or
+  // shared storage), none on a hit. Callers that can share ownership
+  // should use the shared_ptr overload instead.
+  const Key key{problem, weight_fingerprint(compressed)};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto plan = find_locked(key)) return plan;
+  }
+  auto plan = std::make_shared<const SpmmPlan>(SpmmPlan::from_compressed(
+      problem, std::make_shared<const VnmMatrix>(compressed)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  return insert_locked(key, std::move(plan));
+}
+
+std::shared_ptr<SpmmScratchPool> PlanCache::scratch_pool_for(
+    const WeightKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& pool = scratch_pools_[key];
+  if (pool == nullptr) pool = std::make_shared<SpmmScratchPool>();
+  return pool;
+}
+
+std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
+    const SpmmProblem& problem, std::shared_ptr<const VnmMatrix> compressed,
+    std::uint64_t fingerprint) {
+  const Key key{problem, fingerprint};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto plan = find_locked(key)) return plan;
+  }
+  // Plans for this weight share one scratch pool regardless of b_cols:
+  // the panel buffers are width-agnostic capacity, so a new batch width
+  // reuses warm scratch instead of starting a cold pool.
+  auto scratch = scratch_pool_for(
+      {fingerprint, {problem.rows, problem.cols}});
+  auto plan = std::make_shared<const SpmmPlan>(SpmmPlan::from_compressed(
+      problem, std::move(compressed), std::move(scratch)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  return insert_locked(key, std::move(plan));
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
 }
 
 }  // namespace venom::spatha

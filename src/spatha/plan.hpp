@@ -15,11 +15,13 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/thread_pool.hpp"
 #include "format/vnm.hpp"
 #include "spatha/config.hpp"
 #include "spatha/epilogue.hpp"
+#include "spatha/spmm.hpp"
 #include "tensor/matrix.hpp"
 
 namespace venom::spatha {
@@ -34,7 +36,12 @@ struct SpmmProblem {
   friend auto operator<=>(const SpmmProblem&, const SpmmProblem&) = default;
 };
 
-/// An executable sparse-matmul plan.
+/// An executable sparse-matmul plan. Besides the compressed operand and
+/// the (tuning-cache-aware) kernel configuration, a plan owns a
+/// SpmmScratchPool, so the packed fp16->float B panels and accumulator
+/// tiles the kernels stage through are recycled across execute() calls —
+/// steady-state repeated execution (inference serving) allocates only the
+/// output matrix.
 class SpmmPlan {
  public:
   /// Builds a plan by magnitude-pruning `dense_weight` into the problem's
@@ -46,6 +53,18 @@ class SpmmPlan {
   static SpmmPlan from_compressed(const SpmmProblem& problem,
                                   VnmMatrix compressed);
 
+  /// Shares an already-compressed operand instead of copying it: plans
+  /// for the same weight at different batch widths (the serving case —
+  /// one plan per packed-batch token total) all alias the owner's one
+  /// copy. The operand must stay immutable while any plan references it.
+  /// `scratch`, when supplied, replaces the plan's own pool — the
+  /// SpmmScratch buffers are width-agnostic capacity, so plans for the
+  /// same weight can share one pool and stay warm across widths.
+  static SpmmPlan from_compressed(
+      const SpmmProblem& problem,
+      std::shared_ptr<const VnmMatrix> compressed,
+      std::shared_ptr<SpmmScratchPool> scratch = nullptr);
+
   /// C = A * B. B must be cols x b_cols as declared in the problem.
   FloatMatrix execute(const HalfMatrix& b, ThreadPool* pool = nullptr) const;
 
@@ -54,16 +73,33 @@ class SpmmPlan {
                            ThreadPool* pool = nullptr) const;
 
   const SpmmProblem& problem() const { return problem_; }
-  const VnmMatrix& compressed() const { return weight_; }
+  const VnmMatrix& compressed() const { return *weight_; }
   const SpmmConfig& config() const { return config_; }
 
+  /// The plan's reusable kernel scratch (shared across concurrent
+  /// executors; exposed for pooling diagnostics).
+  SpmmScratchPool& scratch() const { return *scratch_; }
+
  private:
+  // Plans are only made through the named builders above: a
+  // default-constructed plan would hold null weight/scratch pointers, so
+  // the blank state never escapes this class.
+  SpmmPlan() = default;
+
   SpmmProblem problem_;
-  VnmMatrix weight_;
+  // Shared, not owned exclusively: see the sharing from_compressed.
+  std::shared_ptr<const VnmMatrix> weight_;
   SpmmConfig config_;
+  // shared_ptr so plans stay copyable and the deleter is bound where
+  // detail::SpmmScratch is complete (plan.cpp).
+  std::shared_ptr<SpmmScratchPool> scratch_;
 };
 
 /// LRU cache of plans keyed by problem descriptor + a weight fingerprint.
+/// Thread-safe: serving workers share one cache, so lookups, insertions,
+/// and the LRU bookkeeping run under a mutex (plan construction itself
+/// happens outside the lock; concurrent misses on the same key build
+/// twice and the first insert wins).
 class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity = 16);
@@ -74,23 +110,66 @@ class PlanCache {
   std::shared_ptr<const SpmmPlan> get_or_build(const SpmmProblem& problem,
                                                const HalfMatrix& weight);
 
-  std::size_t size() const { return entries_.size(); }
+  /// Same, for an operand that is already V:N:M-compressed (the serving
+  /// path: transformer weights are pruned once at load time, so a cache
+  /// hit must not re-prune). Fingerprints the compressed structures.
+  std::shared_ptr<const SpmmPlan> get_or_build(const SpmmProblem& problem,
+                                               const VnmMatrix& compressed);
+
+  /// As above with a caller-supplied fingerprint and shared ownership:
+  /// a holder of an immutable operand (transformer::Linear) hashes it
+  /// once instead of once per forward, and every cached plan for it —
+  /// one per batch width under dynamic batching — aliases the same copy
+  /// instead of duplicating O(nnz) storage. The fingerprint must be
+  /// weight_fingerprint(*compressed) — a stale one silently aliases
+  /// cache entries.
+  std::shared_ptr<const SpmmPlan> get_or_build(
+      const SpmmProblem& problem,
+      std::shared_ptr<const VnmMatrix> compressed,
+      std::uint64_t fingerprint);
+
+  std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
+  std::size_t hits() const;
+  std::size_t misses() const;
 
  private:
   using Key = std::pair<SpmmProblem, std::uint64_t>;
+
+  /// Weight identity (fingerprint + shape) independent of b_cols: plans
+  /// for the same weight at different batch widths share one scratch
+  /// pool, so ragged serving traffic cannot churn the packed panels cold.
+  using WeightKey = std::pair<std::uint64_t, std::pair<std::size_t,
+                                                       std::size_t>>;
+
+  /// Lookup + LRU touch under the lock; nullptr on miss.
+  std::shared_ptr<const SpmmPlan> find_locked(const Key& key);
+  /// Inserts `plan` (first insert wins on a racing key) and evicts LRU.
+  std::shared_ptr<const SpmmPlan> insert_locked(
+      const Key& key, std::shared_ptr<const SpmmPlan> plan);
+  /// The shared scratch pool for a weight, created on first use.
+  std::shared_ptr<SpmmScratchPool> scratch_pool_for(const WeightKey& key);
+
+  mutable std::mutex mutex_;
   std::size_t capacity_;
   std::list<Key> lru_;  // front = most recent
   std::map<Key, std::pair<std::shared_ptr<const SpmmPlan>,
                           std::list<Key>::iterator>>
       entries_;
+  // One pool per distinct weight (bounded by the model's layer count in
+  // serving use, not by batch-width diversity); entries outlive plan
+  // evictions so a re-built plan comes back warm.
+  std::map<WeightKey, std::shared_ptr<SpmmScratchPool>> scratch_pools_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };
 
 /// FNV-1a content hash of a half matrix (the cache fingerprint).
 std::uint64_t weight_fingerprint(const HalfMatrix& m);
+
+/// FNV-1a hash over the compressed V:N:M structures (values, m-indices,
+/// column-locs) plus shape/format — the fingerprint for pre-compressed
+/// operands.
+std::uint64_t weight_fingerprint(const VnmMatrix& m);
 
 }  // namespace venom::spatha

@@ -10,7 +10,8 @@
 namespace venom::spatha {
 
 FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
-                     const SpmmConfig& cfg, ThreadPool* pool) {
+                     const SpmmConfig& cfg, ThreadPool* pool,
+                     SpmmScratchPool* scratch) {
   const VnmConfig fmt = a.config();
   VENOM_CHECK_MSG(a.cols() == b.rows(), "SpMM shape mismatch");
   validate(cfg, fmt, a.rows(), a.cols(), b.cols());
@@ -26,10 +27,12 @@ FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
   // One iteration per (block row, C tile): BSr = V, so each tile owns a
   // V x BSc output and reuses one column-loc row — exactly the paper's
   // thread-block decomposition (Fig. 5). Scratch lives per chunk, so the
-  // panel/accumulator buffers are reused across the tiles of a chunk.
+  // panel/accumulator buffers are reused across the tiles of a chunk —
+  // and, when a SpmmScratchPool is supplied, across calls.
   pool->parallel_for_chunks(
       block_rows * c_tiles, [&](std::size_t t0, std::size_t t1) {
-        detail::SpmmScratch s;
+        detail::ScratchLease scratch_lease;
+        detail::SpmmScratch& s = scratch_lease.bind(scratch);
         for (std::size_t t = t0; t < t1; ++t) {
           const std::size_t br = t / c_tiles;
           const std::size_t ct = t % c_tiles;
@@ -272,6 +275,85 @@ FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
   for (std::size_t t = 1; t < tasks; ++t)
     for (std::size_t i = 0; i < c.size(); ++i)
       c.flat()[i] += partials[t].flat()[i];
+  return c;
+}
+
+// Deliberately independent of spmm_24 despite the shared staging shape:
+// spmm_24 is this kernel's bit-parity oracle (like spmm_vnm_scalar is for
+// spmm_vnm) — its inner loop streams each nonzero through memory while
+// this one keeps an output strip in registers across all of them — so
+// folding the two into one implementation would make the parity test
+// vacuous.
+FloatMatrix spmm_nm(const NmMatrix& a, const HalfMatrix& b,
+                    ThreadPool* pool) {
+  const NmPattern p = a.pattern();
+  VENOM_CHECK_MSG(a.cols() == b.rows(),
+                  "N:M SpMM shape mismatch: A is " << a.rows() << 'x'
+                      << a.cols() << ", B is " << b.rows() << 'x' << b.cols());
+  if (pool == nullptr) pool = &ThreadPool::global();
+
+  FloatMatrix c(a.rows(), b.cols());
+  const std::size_t groups = a.groups_per_row();
+  const std::size_t width = b.cols();
+  constexpr std::size_t kRowBlock = 32;
+  const std::size_t row_blocks = (a.rows() + kRowBlock - 1) / kRowBlock;
+
+  // Stage 1: one bulk fp16->float conversion of B, shared by every row
+  // (each dense row is re-read by all the nonzeros that select it).
+  const FloatMatrix bf = to_float(b);
+
+  pool->parallel_for_chunks(row_blocks, [&](std::size_t rb0, std::size_t rb1) {
+    std::vector<float> vals(groups * p.n);
+    std::vector<std::uint32_t> rows(groups * p.n);
+    for (std::size_t rb = rb0; rb < rb1; ++rb) {
+      const std::size_t r0 = rb * kRowBlock;
+      const std::size_t r1 = std::min(a.rows(), r0 + kRowBlock);
+      for (std::size_t r = r0; r < r1; ++r) {
+        // Hoist the row's nonzero descriptors (value, dense B row) out of
+        // the compressed structures, in ascending (group, j) order.
+        const half_t* avals = a.values().data() + r * groups * p.n;
+        const std::uint8_t* aidx = a.indices().data() + r * groups * p.n;
+        std::size_t cnt = 0;
+        for (std::size_t k = 0; k < groups * p.n; ++k) {
+          if (avals[k].is_zero()) continue;
+          vals[cnt] = avals[k].to_float();
+          rows[cnt] =
+              static_cast<std::uint32_t>((k / p.n) * p.m + aidx[k]);
+          ++cnt;
+        }
+
+        // Stage 2: register-blocked strips — the output strip stays in
+        // registers across all of the row's nonzeros, so each element
+        // still accumulates in ascending (group, j) order (bit-identical
+        // to spmm_24's element order) while C traffic drops to one
+        // read-modify-write per strip.
+        float* crow = &c(r, 0);
+        std::size_t n0 = 0;
+        for (; n0 + detail::kStrip <= width; n0 += detail::kStrip) {
+          float regs[detail::kStrip];
+          for (std::size_t u = 0; u < detail::kStrip; ++u)
+            regs[u] = crow[n0 + u];
+          for (std::size_t t = 0; t < cnt; ++t) {
+            const float av = vals[t];
+            const float* brow = &bf(rows[t], n0);
+            for (std::size_t u = 0; u < detail::kStrip; ++u)
+              regs[u] += av * brow[u];
+          }
+          for (std::size_t u = 0; u < detail::kStrip; ++u)
+            crow[n0 + u] = regs[u];
+        }
+        if (n0 < width) {
+          const std::size_t rem = width - n0;
+          for (std::size_t t = 0; t < cnt; ++t) {
+            const float av = vals[t];
+            const float* brow = &bf(rows[t], n0);
+            float* cr = crow + n0;
+            for (std::size_t u = 0; u < rem; ++u) cr[u] += av * brow[u];
+          }
+        }
+      }
+    }
+  });
   return c;
 }
 

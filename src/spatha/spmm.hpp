@@ -26,16 +26,69 @@
 //   spmm_vnm_reference  naive traversal used as the oracle in tests.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/arena.hpp"
 #include "common/thread_pool.hpp"
+#include "format/nm.hpp"
 #include "format/vnm.hpp"
 #include "spatha/config.hpp"
 #include "tensor/matrix.hpp"
 
 namespace venom::spatha {
 
+namespace detail {
+
+/// Per-chunk kernel scratch reused across output tiles (and, through a
+/// SpmmScratchPool, across calls); resize() calls settle to no-ops after
+/// the buffers reach their high-water sizes, so the steady state performs
+/// no allocation per panel or per tile. Populated by the micro-kernel
+/// stages in microkernel.hpp.
+struct SpmmScratch {
+  std::vector<float> panel;           // packed float image of gathered B
+  std::vector<float> acc;             // V x width fp32 accumulator tile
+  std::vector<float> a_vals;          // hoisted nonzero values of one row
+  std::vector<std::uint32_t> a_offs;  // matching panel-row float offsets
+};
+
+}  // namespace detail
+
+/// Freelist of per-chunk kernel scratch (packed fp16->float B panels,
+/// accumulator tiles, hoisted nonzero descriptors). A caller that owns one
+/// — e.g. an SpmmPlan executed repeatedly while serving — amortizes the
+/// panel buffers across calls: after warmup the kernels allocate nothing.
+using SpmmScratchPool = ObjectPool<detail::SpmmScratch>;
+
+namespace detail {
+
+/// One worker-chunk's view of kernel scratch: bind() leases from the
+/// caller's pool when one was supplied (cross-call buffer reuse) and
+/// falls back to chunk-local storage otherwise. Shared by every kernel
+/// that takes an optional SpmmScratchPool.
+struct ScratchLease {
+  SpmmScratch& bind(SpmmScratchPool* pool) {
+    if (pool != nullptr) {
+      lease_.emplace(pool->acquire());
+      return **lease_;
+    }
+    return local_;
+  }
+
+ private:
+  SpmmScratch local_;
+  std::optional<SpmmScratchPool::Lease> lease_;
+};
+
+}  // namespace detail
+
 /// Production tiled kernel. `cfg` defaults to select_config(...).
+/// `scratch`, when non-null, supplies the per-chunk panel/accumulator
+/// buffers instead of stack-local vectors (see SpmmScratchPool).
 FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
-                     const SpmmConfig& cfg, ThreadPool* pool = nullptr);
+                     const SpmmConfig& cfg, ThreadPool* pool = nullptr,
+                     SpmmScratchPool* scratch = nullptr);
 
 /// Convenience overload with the heuristic configuration.
 FloatMatrix spmm_vnm(const VnmMatrix& a, const HalfMatrix& b,
@@ -58,6 +111,19 @@ FloatMatrix spmm_vnm_mma(const VnmMatrix& a, const HalfMatrix& b,
 
 /// Naive oracle (no tiling, no pool).
 FloatMatrix spmm_vnm_reference(const VnmMatrix& a, const HalfMatrix& b);
+
+/// Fast SpMM over the native row-wise N:M format (no V grouping): the
+/// DFSS-style dynamic-attention kernel [Chen et al., PPoPP'23 — the
+/// paper's ref. 6]. B converts to packed float once (bulk fp16->float),
+/// each row's nonzero descriptors are hoisted into flat scratch, and the
+/// multiply-accumulate runs the same register-blocked strips as the
+/// V:N:M micro-kernel. Per output element products accumulate in
+/// ascending (group, j) order, so the result is bit-identical to the
+/// scalar `venom::spmm_24` baseline it accelerates (any N:M pattern is
+/// accepted; the hardware-pattern restriction is spmm_24's, not this
+/// kernel's).
+FloatMatrix spmm_nm(const NmMatrix& a, const HalfMatrix& b,
+                    ThreadPool* pool = nullptr);
 
 /// Transposed SpMM: C(K x C, fp32) = A^T * B with A(R x K) in V:N:M and
 /// B(R x C) dense. This is the backward-pass kernel: for y = W x with a

@@ -29,6 +29,18 @@ class Matrix {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes to rows x cols, reusing the backing storage: existing
+  /// element values are unspecified afterwards (only newly grown slots
+  /// are value-initialized), so a matrix reused as a staging buffer
+  /// (serving batch assembly) pays neither an allocation nor a clearing
+  /// pass once it has seen its high-water size. Callers must overwrite
+  /// every element before reading.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   T& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
   }

@@ -3,8 +3,8 @@
 #include <chrono>
 #include <cmath>
 
-#include "baselines/spmm_24.hpp"
 #include "common/error.hpp"
+#include "spatha/spmm.hpp"
 #include "transformer/ops.hpp"
 
 namespace venom::transformer {
@@ -16,11 +16,14 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Copies head h (rows [h*dh, (h+1)*dh)) out of a (hidden x T) matrix.
-HalfMatrix slice_head(const HalfMatrix& x, std::size_t h, std::size_t dh) {
-  HalfMatrix out(dh, x.cols());
+/// Copies head h (rows [h*dh, (h+1)*dh)), columns [t0, t1), out of a
+/// (hidden x T) matrix.
+HalfMatrix slice_head(const HalfMatrix& x, std::size_t h, std::size_t dh,
+                      std::size_t t0, std::size_t t1) {
+  HalfMatrix out(dh, t1 - t0);
   for (std::size_t d = 0; d < dh; ++d)
-    for (std::size_t t = 0; t < x.cols(); ++t) out(d, t) = x(h * dh + d, t);
+    for (std::size_t t = t0; t < t1; ++t)
+      out(d, t - t0) = x(h * dh + d, t);
   return out;
 }
 
@@ -104,54 +107,82 @@ NmMatrix prune_probabilities(const FloatMatrix& p, NmPattern pattern) {
 
 HalfMatrix MultiHeadAttention::forward(const HalfMatrix& x,
                                        TimingBreakdown* timing) const {
+  const std::size_t end = x.cols();
+  return forward_batched(x, std::span<const std::size_t>(&end, 1), timing);
+}
+
+HalfMatrix MultiHeadAttention::forward_batched(
+    const HalfMatrix& x, std::span<const std::size_t> seq_ends,
+    TimingBreakdown* timing) const {
   VENOM_CHECK(x.rows() == hidden_);
+  VENOM_CHECK_MSG(!seq_ends.empty() && seq_ends.back() == x.cols(),
+                  "sequence ends must cover all " << x.cols() << " tokens");
+  if (x.cols() == 0) {
+    // Zero tokens: attention over nothing is nothing (what the pre-batched
+    // forward() returned for an empty activation).
+    return HalfMatrix(hidden_, 0);
+  }
+  for (std::size_t i = 0; i + 1 < seq_ends.size(); ++i)
+    VENOM_CHECK_MSG(seq_ends[i] < seq_ends[i + 1],
+                    "sequence ends must be strictly increasing");
+  VENOM_CHECK_MSG(seq_ends.front() > 0, "empty leading sequence");
   const std::size_t dh = hidden_ / heads_;
   const float scale = 1.0f / std::sqrt(float(dh));
 
+  // The projections are token-wise: one SpMM over the whole packed batch
+  // (the weight-stationary reuse serving is after). Every output column
+  // depends only on its own input column, so per-sequence bits match the
+  // unbatched pass.
   const HalfMatrix q = wq_.forward(x, timing);
   const HalfMatrix k = wk_.forward(x, timing);
   const HalfMatrix v = wv_.forward(x, timing);
 
   HalfMatrix context(hidden_, x.cols());
   for (std::size_t h = 0; h < heads_; ++h) {
-    const HalfMatrix qh = slice_head(q, h, dh);
-    const HalfMatrix kh = slice_head(k, h, dh);
-    const HalfMatrix vh = slice_head(v, h, dh);
+    std::size_t s0 = 0;
+    for (const std::size_t s1 : seq_ends) {
+      const HalfMatrix qh = slice_head(q, h, dh, s0, s1);
+      const HalfMatrix kh = slice_head(k, h, dh, s0, s1);
+      const HalfMatrix vh = slice_head(v, h, dh, s0, s1);
 
-    auto t0 = std::chrono::steady_clock::now();
-    FloatMatrix scores = attention_scores(qh, kh, scale);
-    if (timing != nullptr) timing->attn_matmul_s += seconds_since(t0);
+      auto t0 = std::chrono::steady_clock::now();
+      FloatMatrix scores = attention_scores(qh, kh, scale);
+      if (timing != nullptr) timing->attn_matmul_s += seconds_since(t0);
 
-    t0 = std::chrono::steady_clock::now();
-    if (causal_) {
-      // Decoder mask: query i must not see keys j > i.
-      for (std::size_t i = 0; i < scores.rows(); ++i)
-        for (std::size_t j = i + 1; j < scores.cols(); ++j)
-          scores(i, j) = -1e30f;
-    }
-    softmax_rows(scores);
-    if (timing != nullptr) timing->softmax_s += seconds_since(t0);
-
-    t0 = std::chrono::steady_clock::now();
-    HalfMatrix ctx;
-    if (score_pattern_.has_value()) {
-      // Dynamic N:M attention: context^T = P_nm * V^T via the sparse
-      // hardware kernel.
-      const NmMatrix p_nm = prune_probabilities(scores, *score_pattern_);
-      const HalfMatrix vt = transpose(vh);
-      const FloatMatrix ctx_t = spmm_24(p_nm, vt);
-      ctx = HalfMatrix(vh.rows(), scores.rows());
-      for (std::size_t d = 0; d < vh.rows(); ++d)
+      t0 = std::chrono::steady_clock::now();
+      if (causal_) {
+        // Decoder mask: query i must not see keys j > i (positions are
+        // relative to the sequence's own start).
         for (std::size_t i = 0; i < scores.rows(); ++i)
-          ctx(d, i) = half_t(ctx_t(i, d));
-    } else {
-      ctx = attention_context(scores, vh);
-    }
-    if (timing != nullptr) timing->attn_matmul_s += seconds_since(t0);
+          for (std::size_t j = i + 1; j < scores.cols(); ++j)
+            scores(i, j) = -1e30f;
+      }
+      softmax_rows(scores);
+      if (timing != nullptr) timing->softmax_s += seconds_since(t0);
 
-    for (std::size_t d = 0; d < dh; ++d)
-      for (std::size_t t = 0; t < x.cols(); ++t)
-        context(h * dh + d, t) = ctx(d, t);
+      t0 = std::chrono::steady_clock::now();
+      HalfMatrix ctx;
+      if (score_pattern_.has_value()) {
+        // Dynamic N:M attention: context^T = P_nm * V^T through the
+        // register-blocked sparse fast path (bit-identical to the
+        // spmm_24 baseline).
+        const NmMatrix p_nm = prune_probabilities(scores, *score_pattern_);
+        const HalfMatrix vt = transpose(vh);
+        const FloatMatrix ctx_t = spatha::spmm_nm(p_nm, vt);
+        ctx = HalfMatrix(vh.rows(), scores.rows());
+        for (std::size_t d = 0; d < vh.rows(); ++d)
+          for (std::size_t i = 0; i < scores.rows(); ++i)
+            ctx(d, i) = half_t(ctx_t(i, d));
+      } else {
+        ctx = attention_context(scores, vh);
+      }
+      if (timing != nullptr) timing->attn_matmul_s += seconds_since(t0);
+
+      for (std::size_t d = 0; d < dh; ++d)
+        for (std::size_t t = s0; t < s1; ++t)
+          context(h * dh + d, t) = ctx(d, t - s0);
+      s0 = s1;
+    }
   }
   return wo_.forward(context, timing);
 }

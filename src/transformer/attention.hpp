@@ -6,10 +6,20 @@
 // paper; set_dynamic_score_sparsity() additionally enables DFSS-style
 // dynamic N:M attention [Chen et al., PPoPP'23 — the paper's ref. 6]:
 // after softmax, each probability row is pruned to the hardware 2:4 (or
-// 1:2) pattern and the context matmul runs through the sparse kernel.
+// 1:2) pattern and the context matmul runs through the register-blocked
+// sparse fast path (spatha::spmm_nm, bit-identical to the spmm_24
+// baseline it replaced).
+//
+// forward_batched() evaluates several independent sequences packed along
+// the token axis in one pass: the projections are token-wise (one big
+// SpMM over the whole batch — the serving hot path), while the
+// scores/softmax/context stage is evaluated per sequence so tokens never
+// attend across request boundaries. Each sequence's output is
+// bit-identical to running it through forward() alone.
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "format/nm.hpp"
 #include "transformer/config.hpp"
@@ -29,6 +39,15 @@ class MultiHeadAttention {
   /// Sparsifies all four projection weights to V:N:M.
   void sparsify(VnmConfig cfg);
 
+  /// Attaches a shared plan cache to all four projections (see
+  /// Linear::set_plan_cache).
+  void set_plan_cache(spatha::PlanCache* cache) {
+    wq_.set_plan_cache(cache);
+    wk_.set_plan_cache(cache);
+    wv_.set_plan_cache(cache);
+    wo_.set_plan_cache(cache);
+  }
+
   /// Enables (or, with nullopt, disables) dynamic N:M pruning of the
   /// attention probabilities. Only the hardware patterns 2:4 and 1:2 are
   /// accepted (they are what mma.sp executes); the sequence length must
@@ -41,6 +60,14 @@ class MultiHeadAttention {
 
   HalfMatrix forward(const HalfMatrix& x,
                      TimingBreakdown* timing = nullptr) const;
+
+  /// Batched forward over independent sequences packed along the token
+  /// axis. `seq_ends` holds the exclusive end column of each sequence in
+  /// ascending order; the last entry must equal x.cols() (so {T} is
+  /// exactly forward()). Attention is masked to each [start, end) span.
+  HalfMatrix forward_batched(const HalfMatrix& x,
+                             std::span<const std::size_t> seq_ends,
+                             TimingBreakdown* timing = nullptr) const;
 
   std::size_t hidden() const { return hidden_; }
   std::size_t heads() const { return heads_; }

@@ -34,7 +34,14 @@ void EncoderLayer::sparsify(VnmConfig cfg) {
 
 HalfMatrix EncoderLayer::forward(const HalfMatrix& x,
                                  TimingBreakdown* timing) const {
-  const HalfMatrix attn = mha_.forward(x, timing);
+  const std::size_t end = x.cols();
+  return forward_batched(x, std::span<const std::size_t>(&end, 1), timing);
+}
+
+HalfMatrix EncoderLayer::forward_batched(const HalfMatrix& x,
+                                         std::span<const std::size_t> seq_ends,
+                                         TimingBreakdown* timing) const {
+  const HalfMatrix attn = mha_.forward_batched(x, seq_ends, timing);
 
   auto t0 = std::chrono::steady_clock::now();
   HalfMatrix h = layer_norm(add(x, attn), ln1_gamma_, ln1_beta_);
@@ -69,6 +76,15 @@ HalfMatrix Encoder::forward(const HalfMatrix& x,
                             TimingBreakdown* timing) const {
   HalfMatrix h = x;
   for (const auto& layer : layers_) h = layer.forward(h, timing);
+  return h;
+}
+
+HalfMatrix Encoder::forward_batched(const HalfMatrix& x,
+                                    std::span<const std::size_t> seq_ends,
+                                    TimingBreakdown* timing) const {
+  HalfMatrix h = x;
+  for (const auto& layer : layers_)
+    h = layer.forward_batched(h, seq_ends, timing);
   return h;
 }
 

@@ -26,10 +26,26 @@ class EncoderLayer {
     mha_.set_dynamic_score_sparsity(pattern);
   }
 
+  /// Attaches a shared plan cache to all six linear layers (see
+  /// Linear::set_plan_cache).
+  void set_plan_cache(spatha::PlanCache* cache) {
+    mha_.set_plan_cache(cache);
+    ffn_in_.set_plan_cache(cache);
+    ffn_out_.set_plan_cache(cache);
+  }
+
   HalfMatrix forward(const HalfMatrix& x,
                      TimingBreakdown* timing = nullptr) const;
 
+  /// Batched forward over sequences packed along the token axis (see
+  /// MultiHeadAttention::forward_batched). LayerNorm / FFN / residuals
+  /// are token-wise, so only attention needs the boundaries.
+  HalfMatrix forward_batched(const HalfMatrix& x,
+                             std::span<const std::size_t> seq_ends,
+                             TimingBreakdown* timing = nullptr) const;
+
   MultiHeadAttention& attention() { return mha_; }
+  const MultiHeadAttention& attention() const { return mha_; }
   Linear& ffn_in() { return ffn_in_; }
   Linear& ffn_out() { return ffn_out_; }
 
@@ -53,11 +69,24 @@ class Encoder {
     for (auto& layer : layers_) layer.set_dynamic_score_sparsity(pattern);
   }
 
+  /// Attaches a shared plan cache to every linear layer in the stack.
+  void set_plan_cache(spatha::PlanCache* cache) {
+    for (auto& layer : layers_) layer.set_plan_cache(cache);
+  }
+
   HalfMatrix forward(const HalfMatrix& x,
                      TimingBreakdown* timing = nullptr) const;
 
+  /// Batched forward: every layer runs the packed batch with attention
+  /// confined to each sequence's span. Per-sequence outputs are
+  /// bit-identical to forward() on that sequence alone.
+  HalfMatrix forward_batched(const HalfMatrix& x,
+                             std::span<const std::size_t> seq_ends,
+                             TimingBreakdown* timing = nullptr) const;
+
   std::size_t layer_count() const { return layers_.size(); }
   EncoderLayer& layer(std::size_t i) { return layers_[i]; }
+  const EncoderLayer& layer(std::size_t i) const { return layers_[i]; }
   const ModelConfig& config() const { return cfg_; }
 
  private:

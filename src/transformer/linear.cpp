@@ -5,6 +5,7 @@
 
 #include "baselines/gemm.hpp"
 #include "spatha/epilogue.hpp"
+#include "spatha/plan.hpp"
 #include "spatha/spmm.hpp"
 #include "transformer/ops.hpp"
 
@@ -34,7 +35,9 @@ Linear Linear::random(std::size_t out, std::size_t in, Rng& rng) {
 }
 
 void Linear::sparsify(VnmConfig cfg) {
-  sparse_ = VnmMatrix::from_dense_magnitude(weight_, cfg);
+  sparse_ = std::make_shared<const VnmMatrix>(
+      VnmMatrix::from_dense_magnitude(weight_, cfg));
+  sparse_fingerprint_ = spatha::weight_fingerprint(*sparse_);
 }
 
 HalfMatrix Linear::forward(const HalfMatrix& x,
@@ -42,11 +45,25 @@ HalfMatrix Linear::forward(const HalfMatrix& x,
   VENOM_CHECK_MSG(x.rows() == in_, "Linear expects " << in_ << " features, got "
                                                      << x.rows());
   const auto t0 = std::chrono::steady_clock::now();
-  if (sparse_.has_value()) {
+  if (sparse_ != nullptr) {
     // Sparse path: Spatha with the bias fused into the write-back stage.
     spatha::Epilogue epilogue;
     epilogue.bias = bias_;
-    HalfMatrix y = spatha::spmm_vnm_fused(*sparse_, x, epilogue);
+    HalfMatrix y;
+    if (plan_cache_ != nullptr) {
+      // Serving path: the shared cache reuses the plan (config selection,
+      // kernel scratch with its packed B panels) across calls. The plan's
+      // config comes from the same select_config the direct dispatch
+      // uses, so results are bit-identical either way.
+      const spatha::SpmmProblem problem{.rows = out_, .cols = in_,
+                                        .b_cols = x.cols(),
+                                        .format = sparse_->config()};
+      const auto plan =
+          plan_cache_->get_or_build(problem, sparse_, sparse_fingerprint_);
+      y = plan->execute_fused(x, epilogue);
+    } else {
+      y = spatha::spmm_vnm_fused(*sparse_, x, epilogue);
+    }
     if (timing != nullptr) timing->gemm_s += seconds_since(t0);
     return y;
   }
@@ -75,7 +92,7 @@ Linear::Grads Linear::backward(const HalfMatrix& x,
   const HalfMatrix grad_y_half = to_half(grad_y);
 
   // dL/dx = W^T dL/dy — through the transposed sparse kernel when pruned.
-  g.input = sparse_.has_value()
+  g.input = sparse_ != nullptr
                 ? spatha::spmm_vnm_transposed(*sparse_, grad_y_half)
                 : gemm_dense(transpose(weight_), grad_y_half);
 
@@ -93,7 +110,7 @@ Linear::Grads Linear::backward(const HalfMatrix& x,
 
 void Linear::mask_gradient_to_pattern(FloatMatrix& grad_weight) const {
   VENOM_CHECK(grad_weight.rows() == out_ && grad_weight.cols() == in_);
-  if (!sparse_.has_value()) return;
+  if (sparse_ == nullptr) return;
   const HalfMatrix pattern = sparse_->to_dense();
   for (std::size_t r = 0; r < out_; ++r)
     for (std::size_t c = 0; c < in_; ++c)

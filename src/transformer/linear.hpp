@@ -7,11 +7,16 @@
 // routes through spatha::spmm_vnm instead of the dense GEMM.
 #pragma once
 
-#include <optional>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "format/vnm.hpp"
 #include "tensor/matrix.hpp"
+
+namespace venom::spatha {
+class PlanCache;
+}
 
 namespace venom::transformer {
 
@@ -46,7 +51,16 @@ class Linear {
   /// this call forward() uses Spatha. Throws if shapes do not divide.
   void sparsify(VnmConfig cfg);
 
-  bool is_sparse() const { return sparse_.has_value(); }
+  /// Routes sparse forwards through a shared plan cache: the kernel
+  /// configuration is selected once per (shape, weight) and the plan's
+  /// scratch pool recycles the packed B panels across calls — the serving
+  /// engine attaches its cache to every layer of the encoder it owns.
+  /// nullptr detaches. The cache must outlive the layer's forwards; it
+  /// may be shared across threads (PlanCache is thread-safe).
+  void set_plan_cache(spatha::PlanCache* cache) { plan_cache_ = cache; }
+  spatha::PlanCache* plan_cache() const { return plan_cache_; }
+
+  bool is_sparse() const { return sparse_ != nullptr; }
   std::size_t out_features() const { return out_; }
   std::size_t in_features() const { return in_; }
   const HalfMatrix& dense_weight() const { return weight_; }
@@ -78,7 +92,15 @@ class Linear {
   std::size_t in_ = 0;
   HalfMatrix weight_;
   std::vector<float> bias_;
-  std::optional<VnmMatrix> sparse_;
+  // Shared so plan-cache entries (one per batch width under dynamic
+  // batching) alias this copy instead of duplicating O(nnz) storage;
+  // immutable once built.
+  std::shared_ptr<const VnmMatrix> sparse_;
+  // Content hash of sparse_, computed once at sparsify() (the compressed
+  // weight is immutable afterwards) so plan-cache lookups in the serving
+  // hot path skip the per-call O(nnz) fingerprint.
+  std::uint64_t sparse_fingerprint_ = 0;
+  spatha::PlanCache* plan_cache_ = nullptr;  // not owned
 };
 
 }  // namespace venom::transformer

@@ -1,13 +1,17 @@
-// Tests for RNG determinism/quality, thread pool semantics, and errors.
+// Tests for RNG determinism/quality, thread pool semantics, scratch
+// memory reuse (arena + object pool), and errors.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -222,6 +226,128 @@ TEST(Error, ChecksThrowWithContext) {
 
 TEST(Error, PassingCheckDoesNotThrow) {
   EXPECT_NO_THROW(VENOM_CHECK(2 + 2 == 4));
+}
+
+TEST(ScratchArena, AllocationsAreAlignedAndDisjoint) {
+  ScratchArena arena;
+  auto* bytes = arena.alloc<std::uint8_t>(3);
+  auto* doubles = arena.alloc<double>(4);
+  auto* ints = arena.alloc<std::uint32_t>(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ints) % alignof(std::uint32_t),
+            0u);
+  // Writes to one allocation must not bleed into another.
+  std::memset(bytes, 0xAB, 3);
+  for (int i = 0; i < 4; ++i) doubles[i] = 1.5;
+  for (int i = 0; i < 5; ++i) ints[i] = 7;
+  EXPECT_EQ(bytes[0], 0xAB);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(doubles[i], 1.5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ints[i], 7u);
+}
+
+TEST(ScratchArena, PointersSurviveGrowthWithinACycle) {
+  ScratchArena arena(64);  // small: the second alloc must chain a block
+  auto* first = arena.alloc<std::uint64_t>(4);
+  for (int i = 0; i < 4; ++i) first[i] = 0x1111111111111111ull * (i + 1);
+  auto* second = arena.alloc<std::uint64_t>(1024);
+  second[0] = 42;
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(first[i], 0x1111111111111111ull * (i + 1));
+}
+
+TEST(ScratchArena, SteadyStateCapacitySettles) {
+  ScratchArena arena;
+  const auto cycle = [&arena] {
+    arena.reset();
+    arena.alloc<float>(1000);
+    arena.alloc<std::uint32_t>(500);
+  };
+  cycle();
+  cycle();  // second cycle coalesces any chained blocks
+  const std::size_t settled = arena.capacity();
+  for (int i = 0; i < 10; ++i) cycle();
+  EXPECT_EQ(arena.capacity(), settled);  // no growth once warm
+  EXPECT_GE(arena.high_water(), 1000 * sizeof(float));
+}
+
+TEST(ScratchArena, MixedAlignmentCyclesSettleToo) {
+  // Alignment padding must count toward the high-water mark: a coalesced
+  // block sized without it would spill (and heap-allocate) every cycle.
+  ScratchArena arena;
+  const auto cycle = [&arena] {
+    arena.reset();
+    arena.alloc<std::uint8_t>(1);   // forces 7 bytes of padding before...
+    arena.alloc<double>(64);        // ...this 8-aligned allocation
+    arena.alloc<std::uint8_t>(3);
+    arena.alloc<std::uint64_t>(16);
+  };
+  cycle();
+  cycle();
+  const std::size_t settled = arena.capacity();
+  for (int i = 0; i < 16; ++i) cycle();
+  EXPECT_EQ(arena.capacity(), settled);
+}
+
+TEST(ObjectPool, MoveAssignedLeaseReturnsHeldObject) {
+  ObjectPool<std::vector<int>> pool;
+  auto lease = pool.acquire();
+  lease->resize(10);
+  for (int i = 0; i < 5; ++i) {
+    // Move-assign over a live lease: the held object must go back to the
+    // pool (not be destroyed), so the pool never grows past 2.
+    lease = pool.acquire();
+  }
+  EXPECT_LE(pool.created(), 2u);
+}
+
+TEST(ScratchArena, ResetReclaimsUsage) {
+  ScratchArena arena;
+  arena.alloc<std::uint8_t>(100);
+  EXPECT_GE(arena.bytes_used(), 100u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_GE(arena.high_water(), 100u);
+}
+
+TEST(ObjectPool, SequentialAcquiresReuseOneObject) {
+  ObjectPool<std::vector<int>> pool;
+  std::vector<int>* seen = nullptr;
+  for (int i = 0; i < 5; ++i) {
+    auto lease = pool.acquire();
+    lease->resize(100);
+    if (seen == nullptr) seen = &*lease;
+    EXPECT_EQ(&*lease, seen);  // LIFO: the warm object comes back
+  }
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.idle(), 1u);
+}
+
+TEST(ObjectPool, ConcurrentLeasesGetDistinctObjects) {
+  ObjectPool<std::vector<int>> pool;
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();
+    EXPECT_NE(&*a, &*b);
+  }
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.idle(), 2u);
+}
+
+TEST(ObjectPool, ThreadedAcquireReleaseIsSafe) {
+  ObjectPool<std::vector<int>> pool;
+  std::vector<std::thread> threads;
+  std::atomic<int> total{0};
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&pool, &total] {
+      for (int i = 0; i < 200; ++i) {
+        auto lease = pool.acquire();
+        lease->push_back(i);
+        total.fetch_add(1);
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(total.load(), 800);
+  EXPECT_LE(pool.created(), 4u);  // bounded by peak concurrency
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "baselines/gemm.hpp"
 #include "common/rng.hpp"
@@ -107,6 +110,60 @@ TEST(PlanCache, DistinguishesProblems) {
 
 TEST(PlanCache, RejectsZeroCapacity) {
   EXPECT_THROW(PlanCache(0), Error);
+}
+
+TEST(PlanCache, CompressedOperandsHitWithoutRepruning) {
+  Rng rng(12);
+  PlanCache cache(4);
+  const SpmmProblem p = problem(16, 32, 8, {4, 2, 8});
+  const VnmMatrix w = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(16, 32, rng), {4, 2, 8});
+  const auto plan = cache.get_or_build(p, w);
+  const auto again = cache.get_or_build(p, w);
+  EXPECT_EQ(plan.get(), again.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // The cached plan executes on the compressed operand as-is.
+  const HalfMatrix b = random_half_matrix(32, 8, rng);
+  EXPECT_EQ(max_abs_diff(plan->execute(b), spmm_vnm(w, b)), 0.0f);
+}
+
+TEST(PlanCache, ConcurrentGetOrBuildIsSafe) {
+  Rng rng(13);
+  PlanCache cache(8);
+  const VnmMatrix w = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(16, 32, rng), {4, 2, 8});
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> served{0};
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < 32; ++i) {
+        const auto plan =
+            cache.get_or_build(problem(16, 32, 8, {4, 2, 8}), w);
+        if (plan != nullptr) served.fetch_add(1);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(served.load(), 128u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SpmmPlan, ScratchPoolWarmsAcrossExecutions) {
+  Rng rng(14);
+  const HalfMatrix w = random_half_matrix(32, 64, rng);
+  const SpmmProblem p = problem(32, 64, 16, {8, 2, 8});
+  const SpmmPlan plan = SpmmPlan::build(p, w);
+  const HalfMatrix b = random_half_matrix(64, 16, rng);
+  const FloatMatrix first = plan.execute(b);
+  for (int i = 0; i < 4; ++i) {
+    const FloatMatrix again = plan.execute(b);
+    for (std::size_t e = 0; e < first.size(); ++e)
+      ASSERT_EQ(again.flat()[e], first.flat()[e]);
+  }
+  // The pool is bounded by peak chunk concurrency (runners + caller), not
+  // by execution count: 5 runs must not mean 5x the scratch.
+  EXPECT_GE(plan.scratch().created(), 1u);
+  EXPECT_LE(plan.scratch().created(), ThreadPool::global().size() + 1);
 }
 
 // ---- Linear backward (uses the transposed kernel) -------------------------

@@ -60,8 +60,9 @@ TEST_P(VnmFuzz, CompressionLaws) {
   // Law 4: every kept value exists identically in the dense origin.
   for (std::size_t r = 0; r < fc.rows; ++r)
     for (std::size_t c = 0; c < fc.cols; ++c)
-      if (!pruned(r, c).is_zero())
+      if (!pruned(r, c).is_zero()) {
         ASSERT_EQ(pruned(r, c).bits(), fc.dense(r, c).bits());
+      }
   // Law 5: magnitude pruning keeps at least as much energy as zeroing
   // arbitrary positions would on average — concretely, at least n/m of
   // the total (the mean of a random selection).
@@ -126,9 +127,10 @@ TEST_P(BaselineFuzz, FormatsRoundTripArbitrarySparsity) {
 
   EXPECT_TRUE(CsrMatrix::from_dense(pruned).to_dense() == pruned);
   for (std::size_t l : {1u, 2u, 4u, 8u})
-    if (rows % l == 0)
+    if (rows % l == 0) {
       EXPECT_TRUE(CvseMatrix::from_dense(pruned, l).to_dense() == pruned)
           << "l=" << l;
+    }
 }
 
 TEST_P(BaselineFuzz, Spmm24MmaAgreesOnRandomShapes) {

@@ -87,9 +87,10 @@ TEST(Sddmm, AttentionGradientUseCase) {
   const HalfMatrix mask = p_structure.to_dense();
   for (std::size_t i = 0; i < tq; ++i)
     for (std::size_t k = 0; k < tk; ++k)
-      if (!mask(i, k).is_zero())
+      if (!mask(i, k).is_zero()) {
         EXPECT_NEAR(gp(i, k).to_float(), dense_grad(i, k),
                     0.01f + 0.02f * std::fabs(dense_grad(i, k)));
+      }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "baselines/spmm_24.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "spatha/epilogue.hpp"
@@ -116,6 +117,64 @@ TEST(SpmmFast, FusedEpilogueMatchesHalfOfUnfused) {
   ASSERT_EQ(fused.cols(), expect.cols());
   for (std::size_t i = 0; i < fused.size(); ++i)
     EXPECT_EQ(fused.flat()[i].bits(), expect.flat()[i].bits()) << "at " << i;
+}
+
+TEST(SpmmNm, BitIdenticalToSpmm24Baseline) {
+  // The register-blocked N:M fast path must reproduce the scalar spmm_24
+  // bit for bit (same per-element accumulation order) — it replaces it in
+  // the dynamic-attention context matmul.
+  for (const NmPattern pattern : {NmPattern{2, 4}, NmPattern{1, 2}}) {
+    for (const std::size_t width : {8u, 37u, 70u}) {  // ragged strip tails
+      Rng rng(17 + pattern.m + width);
+      const NmMatrix a = NmMatrix::from_dense_magnitude(
+          random_half_matrix(24, 32, rng), pattern);
+      const HalfMatrix b = random_half_matrix(32, width, rng);
+      const FloatMatrix fast = spmm_nm(a, b);
+      const FloatMatrix base = spmm_24(a, b);
+      ASSERT_EQ(fast.rows(), base.rows());
+      ASSERT_EQ(fast.cols(), base.cols());
+      for (std::size_t i = 0; i < fast.size(); ++i)
+        ASSERT_EQ(fast.flat()[i], base.flat()[i])
+            << pattern.n << ':' << pattern.m << " width " << width
+            << " elem " << i;
+    }
+  }
+}
+
+TEST(SpmmNm, HandlesNonHardwarePatterns) {
+  // spmm_24 is restricted to the shapes cuSparseLt accepts; the CPU fast
+  // path has no such constraint. Check 2:8 against a dense reference.
+  Rng rng(29);
+  const NmPattern pattern{2, 8};
+  const NmMatrix a = NmMatrix::from_dense_magnitude(
+      random_half_matrix(8, 32, rng), pattern);
+  const HalfMatrix b = random_half_matrix(32, 12, rng);
+  const FloatMatrix c = spmm_nm(a, b);
+  const HalfMatrix ad = a.to_dense();
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t n = 0; n < 12; ++n) {
+      float ref = 0.0f;
+      for (std::size_t k = 0; k < 32; ++k)
+        ref += ad(r, k).to_float() * b(k, n).to_float();
+      EXPECT_NEAR(c(r, n), ref, 1e-3f + 1e-3f * std::fabs(ref));
+    }
+}
+
+TEST(SpmmNm, ScratchPoolExecutionStaysBitIdentical) {
+  // spmm_vnm with a caller-owned scratch pool (the serving plan path)
+  // must not perturb results; repeated executions reuse pooled buffers.
+  Rng rng(31);
+  const VnmMatrix a = random_vnm(32, 80, {8, 2, 8}, 33);
+  const HalfMatrix b = random_half_matrix(80, 70, rng);
+  const SpmmConfig cfg = select_config({8, 2, 8}, 32, 80, 70);
+  const FloatMatrix plain = spmm_vnm(a, b, cfg);
+  SpmmScratchPool scratch;
+  for (int round = 0; round < 3; ++round) {
+    const FloatMatrix pooled = spmm_vnm(a, b, cfg, nullptr, &scratch);
+    for (std::size_t i = 0; i < plain.size(); ++i)
+      ASSERT_EQ(pooled.flat()[i], plain.flat()[i]) << round << ' ' << i;
+  }
+  EXPECT_GE(scratch.created(), 1u);
 }
 
 TEST(HalfBulk, HalfToFloatMatchesScalarExhaustively) {

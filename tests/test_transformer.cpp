@@ -5,7 +5,9 @@
 #include <cmath>
 
 #include "baselines/gemm.hpp"
+#include "baselines/spmm_24.hpp"
 #include "common/rng.hpp"
+#include "spatha/plan.hpp"
 #include "transformer/config.hpp"
 #include "transformer/encoder.hpp"
 #include "transformer/ops.hpp"
@@ -296,6 +298,173 @@ TEST(Attention, DynamicNmComposesWithCausalMask) {
   const HalfMatrix y2 = mha.forward(x);
   for (std::size_t f = 0; f < 16; ++f)
     EXPECT_EQ(y1(f, 0).bits(), y2(f, 0).bits());  // causality preserved
+}
+
+TEST(Attention, DynamicNmContextBitIdenticalToSpmm24Route) {
+  // The dynamic-score context matmul now runs through the register-
+  // blocked spatha::spmm_nm; reproduce the replaced spmm_24 route by
+  // hand and require bit identity of the full attention output.
+  Rng rng(51);
+  MultiHeadAttention mha(16, 2, rng);
+  mha.set_dynamic_score_sparsity(NmPattern{2, 4});
+  Rng data_rng(52);
+  const HalfMatrix x = random_half_matrix(16, 8, data_rng);
+  const HalfMatrix y = mha.forward(x);
+
+  // Reference: identical weights, scores pruned the same way, context
+  // through the scalar baseline kernel.
+  Rng rng2(51);
+  MultiHeadAttention ref_mha(16, 2, rng2);
+  const std::size_t dh = 8;
+  const float scale = 1.0f / std::sqrt(float(dh));
+  const HalfMatrix q = ref_mha.wq().forward(x);
+  const HalfMatrix k = ref_mha.wk().forward(x);
+  const HalfMatrix v = ref_mha.wv().forward(x);
+  HalfMatrix context(16, 8);
+  for (std::size_t h = 0; h < 2; ++h) {
+    HalfMatrix qh(dh, 8), kh(dh, 8), vh(dh, 8);
+    for (std::size_t d = 0; d < dh; ++d)
+      for (std::size_t t = 0; t < 8; ++t) {
+        qh(d, t) = q(h * dh + d, t);
+        kh(d, t) = k(h * dh + d, t);
+        vh(d, t) = v(h * dh + d, t);
+      }
+    FloatMatrix scores = attention_scores(qh, kh, scale);
+    softmax_rows(scores);
+    // Re-prune exactly as the layer does: top-2 of 4, renormalized.
+    HalfMatrix pruned(8, 8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      for (std::size_t g = 0; g < 2; ++g) {
+        std::size_t best = g * 4;
+        for (std::size_t c = 1; c < 4; ++c)
+          if (scores(i, g * 4 + c) > scores(i, best)) best = g * 4 + c;
+        std::size_t second = best == g * 4 ? g * 4 + 1 : g * 4;
+        for (std::size_t c = 0; c < 4; ++c)
+          if (g * 4 + c != best && scores(i, g * 4 + c) > scores(i, second))
+            second = g * 4 + c;
+        pruned(i, best) = half_t(scores(i, best));
+        pruned(i, second) = half_t(scores(i, second));
+      }
+      float sum = 0.0f;
+      for (std::size_t c = 0; c < 8; ++c) sum += pruned(i, c).to_float();
+      if (sum > 0.0f)
+        for (std::size_t c = 0; c < 8; ++c)
+          if (!pruned(i, c).is_zero())
+            pruned(i, c) = half_t(pruned(i, c).to_float() / sum);
+    }
+    const NmMatrix p_nm = NmMatrix::compress(pruned, {2, 4});
+    const FloatMatrix ctx_t = spmm_24(p_nm, transpose(vh));
+    for (std::size_t d = 0; d < dh; ++d)
+      for (std::size_t i = 0; i < 8; ++i)
+        context(h * dh + d, i) = half_t(ctx_t(i, d));
+  }
+  const HalfMatrix ref = ref_mha.wo().forward(context);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_EQ(y.flat()[i].bits(), ref.flat()[i].bits()) << i;
+}
+
+TEST(Attention, BatchedForwardBitIdenticalPerSequence) {
+  Rng rng(53);
+  MultiHeadAttention mha(32, 4, rng);
+  Rng data_rng(54);
+  const HalfMatrix a = random_half_matrix(32, 4, data_rng);
+  const HalfMatrix b = random_half_matrix(32, 8, data_rng);
+  const HalfMatrix ya = mha.forward(a);
+  const HalfMatrix yb = mha.forward(b);
+
+  // Pack a and b along the token axis.
+  HalfMatrix packed(32, 12);
+  for (std::size_t r = 0; r < 32; ++r) {
+    for (std::size_t t = 0; t < 4; ++t) packed(r, t) = a(r, t);
+    for (std::size_t t = 0; t < 8; ++t) packed(r, 4 + t) = b(r, t);
+  }
+  const std::size_t ends[] = {4, 12};
+  const HalfMatrix y = mha.forward_batched(packed, ends);
+  for (std::size_t r = 0; r < 32; ++r) {
+    for (std::size_t t = 0; t < 4; ++t)
+      ASSERT_EQ(y(r, t).bits(), ya(r, t).bits());
+    for (std::size_t t = 0; t < 8; ++t)
+      ASSERT_EQ(y(r, 4 + t).bits(), yb(r, t).bits());
+  }
+}
+
+TEST(Attention, ZeroTokenForwardReturnsEmpty) {
+  // Pre-batched behavior preserved: a dense MHA over an empty activation
+  // returns an empty (hidden x 0) result instead of throwing.
+  Rng rng(60);
+  MultiHeadAttention mha(16, 2, rng);
+  const HalfMatrix y = mha.forward(HalfMatrix(16, 0));
+  EXPECT_EQ(y.rows(), 16u);
+  EXPECT_EQ(y.cols(), 0u);
+}
+
+TEST(Attention, BatchedForwardValidatesSequenceEnds) {
+  Rng rng(55);
+  MultiHeadAttention mha(16, 2, rng);
+  const HalfMatrix x = random_half_matrix(16, 8, rng);
+  const std::size_t short_ends[] = {4};         // does not cover x
+  const std::size_t unsorted[] = {6, 4, 8};     // not increasing
+  const std::size_t leading_empty[] = {0, 8};   // empty first sequence
+  EXPECT_THROW(mha.forward_batched(x, short_ends), Error);
+  EXPECT_THROW(mha.forward_batched(x, unsorted), Error);
+  EXPECT_THROW(mha.forward_batched(x, leading_empty), Error);
+}
+
+TEST(Encoder, BatchedForwardBitIdenticalPerSequence) {
+  // Full stack (sparse weights + causal + dynamic attention): packing
+  // sequences must not change any request's bits — the property the
+  // serving engine's correctness rests on.
+  Rng rng(56);
+  ModelConfig cfg{.name = "tiny", .layers = 2, .hidden = 32, .heads = 4,
+                  .ffn_hidden = 64, .seq_len = 8, .causal = true};
+  Encoder enc(cfg, rng);
+  enc.sparsify({8, 2, 4});
+  enc.set_dynamic_score_sparsity(NmPattern{2, 4});
+
+  Rng data_rng(57);
+  const HalfMatrix a = random_half_matrix(32, 8, data_rng);
+  const HalfMatrix b = random_half_matrix(32, 4, data_rng);
+  const HalfMatrix c = random_half_matrix(32, 12, data_rng);
+  const HalfMatrix ya = enc.forward(a);
+  const HalfMatrix yb = enc.forward(b);
+  const HalfMatrix yc = enc.forward(c);
+
+  HalfMatrix packed(32, 24);
+  for (std::size_t r = 0; r < 32; ++r) {
+    for (std::size_t t = 0; t < 8; ++t) packed(r, t) = a(r, t);
+    for (std::size_t t = 0; t < 4; ++t) packed(r, 8 + t) = b(r, t);
+    for (std::size_t t = 0; t < 12; ++t) packed(r, 12 + t) = c(r, t);
+  }
+  const std::size_t ends[] = {8, 12, 24};
+  const HalfMatrix y = enc.forward_batched(packed, ends);
+  for (std::size_t r = 0; r < 32; ++r) {
+    for (std::size_t t = 0; t < 8; ++t)
+      ASSERT_EQ(y(r, t).bits(), ya(r, t).bits());
+    for (std::size_t t = 0; t < 4; ++t)
+      ASSERT_EQ(y(r, 8 + t).bits(), yb(r, t).bits());
+    for (std::size_t t = 0; t < 12; ++t)
+      ASSERT_EQ(y(r, 12 + t).bits(), yc(r, t).bits());
+  }
+}
+
+TEST(Linear, PlanCacheRouteBitIdenticalAndHits) {
+  Rng rng(58);
+  Linear lin = Linear::random(32, 64, rng);
+  lin.sparsify({8, 2, 8});
+  const HalfMatrix x = random_half_matrix(64, 8, rng);
+  const HalfMatrix direct = lin.forward(x);
+
+  spatha::PlanCache cache(4);
+  lin.set_plan_cache(&cache);
+  for (int round = 0; round < 3; ++round) {
+    const HalfMatrix cached = lin.forward(x);
+    for (std::size_t i = 0; i < direct.size(); ++i)
+      ASSERT_EQ(cached.flat()[i].bits(), direct.flat()[i].bits());
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
+  lin.set_plan_cache(nullptr);
+  EXPECT_NO_THROW(lin.forward(x));
 }
 
 TEST(Config, GptModelsAreCausal) {

@@ -40,8 +40,9 @@ TEST(VnmMatrix, KeptValuesComeFromDense) {
   const HalfMatrix pruned = v.to_dense();
   for (std::size_t r = 0; r < dense.rows(); ++r)
     for (std::size_t c = 0; c < dense.cols(); ++c)
-      if (!pruned(r, c).is_zero())
+      if (!pruned(r, c).is_zero()) {
         EXPECT_EQ(pruned(r, c).bits(), dense(r, c).bits());
+      }
 }
 
 TEST(VnmMatrix, ColumnLocSortedUniqueWithinGroup) {
@@ -56,7 +57,9 @@ TEST(VnmMatrix, ColumnLocSortedUniqueWithinGroup) {
       for (std::size_t s = 0; s < cfg.selected_cols(); ++s) {
         const std::uint8_t c = v.column_loc(br, g, s);
         EXPECT_LT(c, cfg.m);
-        if (s > 0) EXPECT_GT(c, prev);
+        if (s > 0) {
+          EXPECT_GT(c, prev);
+        }
         prev = c;
         seen.insert(c);
       }
@@ -79,8 +82,9 @@ TEST(VnmMatrix, NonzerosConfinedToSelectedColumns) {
         for (std::size_t dc = 0; dc < cfg.m; ++dc) {
           const std::size_t r = br * cfg.v + dr;
           const std::size_t c = g * cfg.m + dc;
-          if (!pruned(r, c).is_zero())
+          if (!pruned(r, c).is_zero()) {
             EXPECT_TRUE(selected.count(c)) << "(" << r << ',' << c << ")";
+          }
         }
     }
 }

@@ -32,8 +32,9 @@ TEST(Banded, NonzerosStayInBand) {
   const HalfMatrix m = banded(64, 64, hb, rng);
   for (std::size_t r = 0; r < 64; ++r)
     for (std::size_t c = 0; c < 64; ++c)
-      if (!m(r, c).is_zero())
+      if (!m(r, c).is_zero()) {
         EXPECT_LE(std::abs(int(c) - int(r)), int(hb) + 1);
+      }
   EXPECT_GT(density(m), 0.0);
 }
 
@@ -42,8 +43,9 @@ TEST(Banded, RectangularBandFollowsDiagonalSlope) {
   const HalfMatrix m = banded(32, 64, 2, rng);  // slope 2
   for (std::size_t r = 0; r < 32; ++r)
     for (std::size_t c = 0; c < 64; ++c)
-      if (!m(r, c).is_zero())
+      if (!m(r, c).is_zero()) {
         EXPECT_LE(std::abs(int(c) - 2 * int(r)), 4);
+      }
 }
 
 TEST(PowerLaw, AlphaZeroIsBalanced) {

@@ -24,6 +24,10 @@
 //       so select_config dispatches the tuned configs transparently.
 //   venomtool model <R> <K> <C> <V> <N> <M>
 //       modeled kernel times and speedup vs cuBLAS for one problem
+//   venomtool serve-bench [requests] [tokens] [batch_tokens] [hidden] [layers]
+//       serving throughput: dynamic batching through the InferenceEngine
+//       vs a sequential one-request-at-a-time loop over the same pruned
+//       encoder; prints req/s, tok/s, p50/p99 latency, and the speedup
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -36,7 +40,9 @@
 #include "gpumodel/autotune.hpp"
 #include "io/serialize.hpp"
 #include "pruning/policies.hpp"
+#include "serving/bench_harness.hpp"
 #include "spatha/spmm.hpp"
+#include "transformer/config.hpp"
 
 namespace {
 
@@ -53,7 +59,9 @@ int usage() {
                "  venomtool energy <pruned.mat> <dense.mat>\n"
                "  venomtool autotune <R> <K> <C> <V> <N> <M>\n"
                "  venomtool tune <R> <K> <C> <V> <N> <M> [cache.json]\n"
-               "  venomtool model <R> <K> <C> <V> <N> <M>\n");
+               "  venomtool model <R> <K> <C> <V> <N> <M>\n"
+               "  venomtool serve-bench [requests] [tokens] [batch_tokens]"
+               " [hidden] [layers]\n");
   return 2;
 }
 
@@ -121,6 +129,24 @@ int cmd_info(const std::vector<std::string>& args) {
                   m.rows(), m.cols(), m.config().v, m.config().n,
                   m.config().m, m.config().sparsity() * 100.0, m.nnz(),
                   m.compressed_bytes());
+      return 0;
+    }
+    case io::FileKind::kNmMatrix: {
+      const NmMatrix m = io::load_nm_matrix(args[0]);
+      std::printf("N:M matrix  %zux%zu  pattern %zu:%zu  (%.0f%% sparse)  "
+                  "nnz %zu  %zu bytes\n",
+                  m.rows(), m.cols(), m.pattern().n, m.pattern().m,
+                  m.pattern().sparsity() * 100.0, m.nnz(),
+                  m.compressed_bytes());
+      return 0;
+    }
+    case io::FileKind::kCsrMatrix: {
+      const CsrMatrix m = io::load_csr_matrix(args[0]);
+      std::printf("CSR matrix  %zux%zu  nnz %zu (density %.3f)\n", m.rows(),
+                  m.cols(), m.nnz(),
+                  m.rows() * m.cols() == 0
+                      ? 0.0
+                      : double(m.nnz()) / double(m.rows() * m.cols()));
       return 0;
     }
     case io::FileKind::kTuningCache: {
@@ -225,6 +251,49 @@ int cmd_tune(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve_bench(const std::vector<std::string>& args) {
+  if (args.size() > 5) return usage();
+  serving::BenchSetup setup;
+  setup.requests = args.size() > 0 ? to_size(args[0]) : 64;
+  setup.tokens = args.size() > 1 ? to_size(args[1]) : 4;
+  setup.max_batch_tokens = args.size() > 2 ? to_size(args[2]) : 256;
+  const std::size_t hidden = args.size() > 3 ? to_size(args[3]) : 256;
+  const std::size_t layers = args.size() > 4 ? to_size(args[4]) : 2;
+  setup.model = transformer::ModelConfig{.name = "serve-bench",
+                                         .layers = layers, .hidden = hidden,
+                                         .heads = 4,
+                                         .ffn_hidden = 2 * hidden,
+                                         .seq_len = setup.tokens};
+  setup.max_batch_requests = setup.requests;
+
+  std::printf("serve-bench: %zu requests x %zu tokens, hidden %zu, %zu "
+              "layers, %zu:%zu:%zu weights, batch budget %zu tokens\n",
+              setup.requests, setup.tokens, hidden, layers, setup.format.v,
+              setup.format.n, setup.format.m, setup.max_batch_tokens);
+
+  // The measurement is shared with bench_serving (the CI-gated bench) so
+  // the two surfaces report comparable numbers by construction.
+  const serving::BenchComparison r = serving::run_serving_comparison(setup);
+  if (!r.bit_identical) {
+    std::fprintf(stderr, "FAIL: batched outputs differ from the "
+                         "sequential forward\n");
+    return 1;
+  }
+
+  std::printf("  sequential : %8.1f req/s  %8.0f tok/s\n",
+              r.sequential_rps(), r.sequential_rps() * double(setup.tokens));
+  std::printf("  batched    : %8.1f req/s  %8.0f tok/s   p50 %.3f ms  "
+              "p99 %.3f ms\n",
+              r.batched_rps(), r.batched_rps() * double(setup.tokens),
+              r.stats.p50_ms, r.stats.p99_ms);
+  std::printf("  speedup    : %.2fx  (avg batch %.1f tokens, %zu batches, "
+              "plan cache %zu hits / %zu misses)\n",
+              r.speedup(), r.stats.avg_batch_tokens, r.stats.batches,
+              r.stats.plan_cache_hits, r.stats.plan_cache_misses);
+  std::printf("  per-request outputs bit-identical to sequential: yes\n");
+  return 0;
+}
+
 int cmd_model(const std::vector<std::string>& args) {
   if (args.size() != 6) return usage();
   const auto& dev = gpumodel::rtx3090();
@@ -260,6 +329,7 @@ int main(int argc, char** argv) {
     if (cmd == "autotune") return cmd_autotune(args);
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "model") return cmd_model(args);
+    if (cmd == "serve-bench") return cmd_serve_bench(args);
   } catch (const venom::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
