@@ -17,6 +17,7 @@
 #include "common/cpu_features.hpp"
 #include "common/rng.hpp"
 #include "gpumodel/autotune.hpp"
+#include "ops/ops.hpp"
 #include "spatha/spmm.hpp"
 
 namespace {
@@ -59,10 +60,12 @@ int main() {
       return 1;
     }
 
-    // The heuristic config must agree with the reference bit-for-bit too.
+    // The heuristic config must agree with the reference bit-for-bit
+    // too (explicit config through the ops dispatcher).
+    ops::MatmulArgs margs = ops::MatmulArgs::make(a, b);
+    margs.config = &tuned.heuristic.config;
     const bool parity =
-        bit_identical(spatha::spmm_vnm(a, b, tuned.heuristic.config),
-                      spatha::spmm_vnm_reference(a, b));
+        bit_identical(ops::matmul(margs), spatha::spmm_vnm_reference(a, b));
     if (!parity) ++failures;
     // (best >= heuristic holds by construction — the heuristic is in the
     // measured set — so there is no slower-than-heuristic gate here.)
@@ -85,7 +88,9 @@ int main() {
     // of the retained seed scalar path over this kernel's.
     const double seed_s = bench::seconds_per_call(
         [&] {
-          volatile float sink = spatha::spmm_vnm_scalar(a, b).flat()[0];
+          const ops::ScopedBackend forced("vnm-scalar");
+          volatile float sink =
+              ops::matmul(ops::MatmulArgs::make(a, b)).flat()[0];
           (void)sink;
         },
         0.05);

@@ -7,11 +7,10 @@
 // scaled-down instance before the sweep (the real CPU kernels run there).
 #include <cstdio>
 
-#include "baselines/gemm.hpp"
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "gpumodel/kernel_models.hpp"
-#include "spatha/spmm.hpp"
+#include "ops/ops.hpp"
 #include "tensor/matrix.hpp"
 
 using namespace venom;
@@ -27,8 +26,10 @@ void verify_kernels() {
   const HalfMatrix dense = random_half_matrix(256, 640, rng, 0.05f);
   const VnmMatrix a = VnmMatrix::from_dense_magnitude(dense, fmt);
   const HalfMatrix b = random_half_matrix(640, 64, rng, 0.05f);
+  const HalfMatrix a_dense = a.to_dense();
   const float err =
-      rel_fro_error(spatha::spmm_vnm(a, b), gemm_dense(a.to_dense(), b));
+      rel_fro_error(ops::matmul(ops::MatmulArgs::make(a, b)),
+                    ops::matmul(ops::MatmulArgs::make(a_dense, b)));
   std::printf("kernel verification (256x640x64, 128:2:10): rel err = %.2e %s\n",
               double(err), err < 1e-5f ? "[ok]" : "[FAIL]");
 }

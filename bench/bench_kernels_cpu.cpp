@@ -12,11 +12,9 @@
 #include <cstdio>
 
 #include "baselines/gemm.hpp"
-#include "baselines/spmm_24.hpp"
-#include "baselines/spmm_csr.hpp"
-#include "baselines/spmm_cvse.hpp"
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "ops/ops.hpp"
 #include "pruning/policies.hpp"
 #include "spatha/spmm.hpp"
 
@@ -41,7 +39,8 @@ HalfMatrix activations() {
 void BM_DenseGemm(benchmark::State& state) {
   const HalfMatrix a = weight();
   const HalfMatrix b = activations();
-  for (auto _ : state) benchmark::DoNotOptimize(gemm_dense(a, b));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ops::matmul(ops::MatmulArgs::make(a, b)));
   state.SetItemsProcessed(state.iterations());
   state.counters["flops"] = gemm_flops(kR, kK, kC);
 }
@@ -52,7 +51,8 @@ void BM_SpathaVnm(benchmark::State& state) {
   const VnmConfig cfg{64, 2, m};
   const VnmMatrix a = VnmMatrix::from_dense_magnitude(weight(), cfg);
   const HalfMatrix b = activations();
-  for (auto _ : state) benchmark::DoNotOptimize(spatha::spmm_vnm(a, b));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ops::matmul(ops::MatmulArgs::make(a, b)));
   state.SetLabel("64:2:" + std::to_string(m) + " (" +
                  std::to_string(int(cfg.sparsity() * 100)) + "% sparse)");
 }
@@ -66,8 +66,10 @@ void BM_SpathaVnmScalar(benchmark::State& state) {
   const VnmConfig cfg{64, 2, m};
   const VnmMatrix a = VnmMatrix::from_dense_magnitude(weight(), cfg);
   const HalfMatrix b = activations();
+  // Dispatch would pick vnm-fast; pin the backend this bench measures.
+  const ops::ScopedBackend forced("vnm-scalar");
   for (auto _ : state)
-    benchmark::DoNotOptimize(spatha::spmm_vnm_scalar(a, b));
+    benchmark::DoNotOptimize(ops::matmul(ops::MatmulArgs::make(a, b)));
   state.SetLabel("64:2:" + std::to_string(m) + " seed scalar path");
 }
 BENCHMARK(BM_SpathaVnmScalar)->Arg(8)->Arg(16)
@@ -76,7 +78,11 @@ BENCHMARK(BM_SpathaVnmScalar)->Arg(8)->Arg(16)
 void BM_Spmm24(benchmark::State& state) {
   const NmMatrix a = NmMatrix::from_dense_magnitude(weight(), {2, 4});
   const HalfMatrix b = activations();
-  for (auto _ : state) benchmark::DoNotOptimize(spmm_24(a, b));
+  // Dispatch would pick the register-blocked nm backend; pin the 2:4
+  // baseline this bench measures.
+  const ops::ScopedBackend forced("spmm-24");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ops::matmul(ops::MatmulArgs::make(a, b)));
   state.SetLabel("2:4 (cuSparseLt-style)");
 }
 BENCHMARK(BM_Spmm24)->Unit(benchmark::kMillisecond);
@@ -86,7 +92,8 @@ void BM_SpmmCsr(benchmark::State& state) {
   const CsrMatrix a =
       CsrMatrix::from_dense(pruning::prune_unstructured(weight(), sparsity));
   const HalfMatrix b = activations();
-  for (auto _ : state) benchmark::DoNotOptimize(spmm_csr(a, b));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ops::matmul(ops::MatmulArgs::make(a, b)));
   state.SetLabel(std::to_string(state.range(0)) + "% unstructured (Sputnik-style)");
 }
 BENCHMARK(BM_SpmmCsr)->Arg(50)->Arg(75)->Arg(90)->Arg(95)
@@ -97,7 +104,8 @@ void BM_SpmmCvse(benchmark::State& state) {
   const CvseMatrix a =
       CvseMatrix::from_dense_magnitude(weight(), 8, 1.0 - sparsity);
   const HalfMatrix b = activations();
-  for (auto _ : state) benchmark::DoNotOptimize(spmm_cvse(a, b));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ops::matmul(ops::MatmulArgs::make(a, b)));
   state.SetLabel(std::to_string(state.range(0)) + "% vw_8 (CLASP-style)");
 }
 BENCHMARK(BM_SpmmCvse)->Arg(50)->Arg(75)->Arg(90)
@@ -124,10 +132,13 @@ void write_speedup_json() {
   for (const VnmConfig cfg : {VnmConfig{64, 2, 8}, VnmConfig{128, 2, 16}}) {
     const VnmMatrix a = VnmMatrix::from_dense_magnitude(weight(), cfg);
     const double flops = spatha::spmm_flops(a, kC);
-    const double fast_s =
-        seconds_per_call([&] { benchmark::DoNotOptimize(spatha::spmm_vnm(a, b)); });
-    const double seed_s = seconds_per_call(
-        [&] { benchmark::DoNotOptimize(spatha::spmm_vnm_scalar(a, b)); });
+    const ops::MatmulArgs margs = ops::MatmulArgs::make(a, b);
+    const double fast_s = seconds_per_call(
+        [&] { benchmark::DoNotOptimize(ops::matmul(margs)); });
+    const double seed_s = seconds_per_call([&] {
+      const ops::ScopedBackend forced("vnm-scalar");
+      benchmark::DoNotOptimize(ops::matmul(margs));
+    });
     const std::string shape = "R" + std::to_string(kR) + "xK" +
                               std::to_string(kK) + "xC" + std::to_string(kC) +
                               " " + std::to_string(cfg.v) + ":" +

@@ -14,14 +14,12 @@
 
 #include <functional>
 
-#include "baselines/gemm.hpp"
-#include "baselines/spmm_csr.hpp"
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "format/csr.hpp"
 #include "format/vnm.hpp"
+#include "ops/ops.hpp"
 #include "pruning/policies.hpp"
-#include "spatha/spmm.hpp"
 #include "workloads/generators.hpp"
 
 using namespace venom;
@@ -69,8 +67,12 @@ int main() {
     const CsrMatrix csr = CsrMatrix::from_dense(w.a);
     const VnmMatrix vnm = VnmMatrix::from_dense_magnitude(w.a, cfg);
 
-    const double t_csr = time_of([&] { spmm_csr(csr, b); });
-    const double t_spatha = time_of([&] { spatha::spmm_vnm(vnm, b); });
+    // Both products go through ops dispatch: the format alone routes
+    // each to its kernel family (csr vs vnm-fast).
+    const double t_csr =
+        time_of([&] { ops::matmul(ops::MatmulArgs::make(csr, b)); });
+    const double t_spatha =
+        time_of([&] { ops::matmul(ops::MatmulArgs::make(vnm, b)); });
 
     bench::cell(w.name);
     bench::cell(row_imbalance(w.a), "%.3f");

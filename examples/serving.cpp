@@ -1,19 +1,23 @@
 // Serving walkthrough: batched sparse-transformer inference with the
-// InferenceEngine.
+// InferenceEngine, built on the venom::ops execution context.
 //
 //   $ ./example_serving
 //
 // Walks through the serving layer end to end:
 //   1. build a small encoder and prune every linear weight to V:N:M,
-//   2. hand it to an InferenceEngine (dynamic batcher + plan cache),
-//   3. submit concurrent requests and await their futures,
-//   4. verify a request's output is bit-identical to an unbatched
-//      forward, and read the engine's serving statistics.
+//   2. attach an ops::ExecContext (pool + plan cache + tuning cache +
+//      kernel scratch) and take a reference forward through it,
+//   3. hand the encoder to an InferenceEngine — the engine owns its own
+//      ExecContext that every layer dispatches through,
+//   4. submit concurrent requests and await their futures,
+//   5. verify a request's output is bit-identical to an unbatched
+//      forward, and read the engine's serving + context statistics.
 #include <cstdio>
 #include <future>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "ops/ops.hpp"
 #include "serving/engine.hpp"
 #include "transformer/config.hpp"
 #include "transformer/encoder.hpp"
@@ -30,23 +34,33 @@ int main() {
   transformer::Encoder encoder(model, rng);
   encoder.sparsify({64, 2, 8});
 
-  // Keep a reference output to demonstrate bit-identity later. (The
-  // engine takes ownership of the encoder below, so compute this first.)
+  // 2. A caller-owned execution context: the thread pool, plan cache,
+  //    tuning cache, and kernel scratch every dispatch below shares.
+  //    (Without one, forwards use ops::ExecContext::global().) Keep a
+  //    reference output to demonstrate bit-identity later — the engine
+  //    takes ownership of the encoder below, so compute this first.
+  ops::ExecContext ctx;
+  encoder.set_exec_context(&ctx);
   Rng data_rng(100);
   const HalfMatrix probe = random_half_matrix(model.hidden, 8, data_rng);
   const HalfMatrix probe_ref = encoder.forward(probe);
+  std::printf("reference forward: plan cache %zu misses (one per pruned "
+              "weight), %zu hits\n",
+              ctx.plan_cache().misses(), ctx.plan_cache().hits());
+  encoder.set_exec_context(nullptr);  // the engine attaches its own
 
-  // 2. The engine owns the encoder. The batcher coalesces queued
-  //    requests into forward passes of up to 64 tokens, waiting at most
-  //    2 ms for stragglers; the plan cache reuses kernel configurations
-  //    and packed-panel scratch across batches.
+  // 3. The engine owns the encoder (and a private ExecContext for it).
+  //    The batcher coalesces queued requests into forward passes of up
+  //    to 64 tokens, waiting at most 2 ms for stragglers; the context's
+  //    plan cache reuses kernel configurations and packed-panel scratch
+  //    across batches.
   serving::ServingConfig cfg;
   cfg.batching.max_batch_tokens = 64;
   cfg.batching.max_batch_requests = 16;
   cfg.batching.max_wait = std::chrono::milliseconds(2);
   serving::InferenceEngine engine(std::move(encoder), cfg);
 
-  // 3. Submit a burst of requests with ragged lengths (4..16 tokens).
+  // 4. Submit a burst of requests with ragged lengths (4..16 tokens).
   //    submit() is thread-safe; here one thread queues them all and the
   //    batcher packs them along the token axis.
   std::vector<std::future<HalfMatrix>> futures;
@@ -65,8 +79,9 @@ int main() {
     std::printf("served request: %zux%zu output\n", y.rows(), y.cols());
   }
 
-  // 4. Batching must not change results: the probe's served output is
-  //    bit-identical to the unbatched forward computed above.
+  // 5. Batching must not change results: the probe's served output is
+  //    bit-identical to the unbatched forward computed above (even
+  //    though the two passes ran through different ExecContexts).
   const HalfMatrix probe_served = engine.submit(probe).get();
   bool identical = probe_served.rows() == probe_ref.rows() &&
                    probe_served.cols() == probe_ref.cols();
@@ -84,5 +99,8 @@ int main() {
               "misses; peak arena %zu bytes\n",
               stats.p50_ms, stats.p99_ms, stats.plan_cache_hits,
               stats.plan_cache_misses, stats.peak_arena_bytes);
+  std::printf("engine context: plan cache holds %zu plans (capacity %zu)\n",
+              engine.context().plan_cache().size(),
+              engine.context().plan_cache().capacity());
   return identical ? 0 : 1;
 }

@@ -1,0 +1,244 @@
+// Built-in matmul backends: every kernel family in the repository
+// registered behind the unified venom::ops dispatch.
+//
+// Priorities encode the pre-ops hand-picked kernel choice so dispatch is
+// selection-identical to the code it replaced: the production paths
+// (vnm-fast, nm, cvse, csr, dense-gemm) outrank the oracle and fidelity
+// paths (vnm-scalar, vnm-mma, spmm-24), which remain reachable through
+// VENOM_BACKEND / ops::force_backend for parity tests and A/B benches.
+#include <sstream>
+
+#include "baselines/gemm.hpp"
+#include "baselines/spmm_24.hpp"
+#include "baselines/spmm_csr.hpp"
+#include "baselines/spmm_cvse.hpp"
+#include "common/error.hpp"
+#include "ops/matmul.hpp"
+#include "spatha/epilogue.hpp"
+#include "spatha/plan.hpp"
+#include "spatha/spmm.hpp"
+
+namespace venom::ops {
+
+namespace {
+
+/// The production Spatha V:N:M pipeline (packed float panels +
+/// register-blocked micro-kernel), with the three dispatch tiers the
+/// former call sites hand-coded: explicit config (benches/ablations),
+/// plan cache (serving, via MatmulArgs::vnm_shared), and
+/// tuning-cache-aware direct execution.
+class VnmFastBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "vnm-fast"; }
+  std::string describe() const override {
+    return "Spatha V:N:M SpMM, packed float panels + register-blocked "
+           "micro-kernel (production)";
+  }
+  int priority() const override { return 100; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.format == OperandFormat::kVnm;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    if (args.config != nullptr)
+      return spatha::spmm_vnm(*args.vnm, *args.b, *args.config, &ctx.pool(),
+                              &ctx.scratch());
+    if (args.vnm_shared != nullptr)
+      return plan(args, ctx)->execute(*args.b, &ctx.pool());
+    return spatha::spmm_vnm(*args.vnm, *args.b, select(args, ctx),
+                            &ctx.pool(), &ctx.scratch());
+  }
+  HalfMatrix run_fused(const MatmulArgs& args,
+                       const spatha::Epilogue& epilogue,
+                       ExecContext& ctx) const override {
+    if (args.config != nullptr)
+      return spatha::spmm_vnm_fused(*args.vnm, *args.b, epilogue,
+                                    *args.config, &ctx.pool(),
+                                    &ctx.scratch());
+    if (args.vnm_shared != nullptr)
+      return plan(args, ctx)->execute_fused(*args.b, epilogue, &ctx.pool());
+    return spatha::spmm_vnm_fused(*args.vnm, *args.b, epilogue,
+                                  select(args, ctx), &ctx.pool(),
+                                  &ctx.scratch());
+  }
+
+ private:
+  static spatha::SpmmConfig select(const MatmulArgs& args,
+                                   const ExecContext& ctx) {
+    return ctx.select_config(args.vnm->config(), args.vnm->rows(),
+                             args.vnm->cols(), args.b->cols());
+  }
+  /// Serving tier: the caller pre-hashed its immutable operand, so the
+  /// context's PlanCache can reuse plans (and their warm packed-panel
+  /// scratch pools) without an O(nnz) fingerprint per call. The common
+  /// hit path is one cache probe; config selection (tuning-cache lookup
+  /// + heuristic) runs only when a plan is actually built, with the
+  /// context's choice — so a private tuning cache is honored on this
+  /// tier too.
+  static std::shared_ptr<const spatha::SpmmPlan> plan(const MatmulArgs& args,
+                                                      ExecContext& ctx) {
+    const spatha::SpmmProblem problem{.rows = args.vnm->rows(),
+                                      .cols = args.vnm->cols(),
+                                      .b_cols = args.b->cols(),
+                                      .format = args.vnm->config()};
+    if (auto cached = ctx.plan_cache().find(problem, args.vnm_fingerprint))
+      return cached;
+    const spatha::SpmmConfig cfg = select(args, ctx);
+    return ctx.plan_cache().get_or_build(problem, args.vnm_shared,
+                                         args.vnm_fingerprint, &cfg);
+  }
+};
+
+/// The seed's element-at-a-time V:N:M loop — perf baseline and
+/// bit-exactness oracle for vnm-fast.
+class VnmScalarBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "vnm-scalar"; }
+  std::string describe() const override {
+    return "seed scalar V:N:M SpMM (oracle / perf baseline)";
+  }
+  int priority() const override { return 10; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.format == OperandFormat::kVnm;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    const spatha::SpmmConfig cfg =
+        args.config != nullptr
+            ? *args.config
+            : ctx.select_config(args.vnm->config(), args.vnm->rows(),
+                                args.vnm->cols(), args.b->cols());
+    return spatha::spmm_vnm_scalar(*args.vnm, *args.b, cfg, &ctx.pool());
+  }
+};
+
+/// Stage 2 through genuine m16n8k32 mma.sp via the SPTC simulator — the
+/// fidelity path proving the Fig. 4 V:N:M mapping is exact.
+class VnmMmaBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "vnm-mma"; }
+  std::string describe() const override {
+    return "V:N:M SpMM through the SPTC mma.sp simulator (fidelity)";
+  }
+  int priority() const override { return 20; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    // The mma.sp preconditions (see spmm_vnm_mma): 2:4-mapped format,
+    // 16 | V, gathered K divisible by 32, 8 | C.
+    return desc.format == OperandFormat::kVnm && desc.vnm.n == 2 &&
+           desc.vnm.selected_cols() == 4 && desc.vnm.v % 16 == 0 &&
+           desc.vnm.m != 0 && (desc.cols / desc.vnm.m) * 4 % 32 == 0 &&
+           desc.b_cols % 8 == 0;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    return spatha::spmm_vnm_mma(*args.vnm, *args.b, &ctx.pool());
+  }
+};
+
+/// Row-wise N:M fast path (DFSS-style dynamic attention kernel): any
+/// N:M pattern, register-blocked, bit-identical to spmm-24 on the
+/// hardware patterns.
+class NmBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "nm"; }
+  std::string describe() const override {
+    return "row-wise N:M SpMM, register-blocked (dynamic attention fast "
+           "path)";
+  }
+  int priority() const override { return 100; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.format == OperandFormat::kNm;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    return spatha::spmm_nm(*args.nm, *args.b, &ctx.pool());
+  }
+};
+
+/// The cuSparseLt stand-in: scalar traversal restricted to the hardware
+/// 2:4 / 1:2 patterns. Below NmBackend so default dispatch takes the
+/// register-blocked path (bit-identical results).
+class Spmm24Backend final : public Matmul {
+ public:
+  std::string_view name() const override { return "spmm-24"; }
+  std::string describe() const override {
+    return "2:4 / 1:2 N:M SpMM baseline (cuSparseLt stand-in)";
+  }
+  int priority() const override { return 50; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.format == OperandFormat::kNm &&
+           ((desc.nm.n == 2 && desc.nm.m == 4) ||
+            (desc.nm.n == 1 && desc.nm.m == 2));
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    return spmm_24(*args.nm, *args.b, &ctx.pool());
+  }
+};
+
+/// Column-vector-sparse SpMM (CLASP / vectorSparse stand-in).
+class CvseBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "cvse"; }
+  std::string describe() const override {
+    return "column-vector-sparse SpMM (CLASP stand-in)";
+  }
+  int priority() const override { return 100; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.format == OperandFormat::kCvse;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    return spmm_cvse(*args.cvse, *args.b, &ctx.pool());
+  }
+};
+
+/// Unstructured CSR SpMM (Sputnik stand-in).
+class CsrBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "csr"; }
+  std::string describe() const override {
+    return "unstructured CSR SpMM (Sputnik stand-in)";
+  }
+  int priority() const override { return 100; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.format == OperandFormat::kCsr;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    return spmm_csr(*args.csr, *args.b, &ctx.pool());
+  }
+};
+
+/// Dense fp16 GEMM (cuBLAS stand-in) — the fallback every dense Linear
+/// routes through.
+class DenseGemmBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "dense-gemm"; }
+  std::string describe() const override {
+    return "dense fp16 GEMM, fp32 accumulation (cuBLAS stand-in)";
+  }
+  int priority() const override { return 100; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.format == OperandFormat::kDense;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    return gemm_dense(*args.dense, *args.b, &ctx.pool());
+  }
+};
+
+}  // namespace
+
+void register_builtin_backends(BackendRegistry& registry) {
+  registry.add(std::make_unique<VnmFastBackend>());
+  registry.add(std::make_unique<VnmScalarBackend>());
+  registry.add(std::make_unique<VnmMmaBackend>());
+  registry.add(std::make_unique<NmBackend>());
+  registry.add(std::make_unique<Spmm24Backend>());
+  registry.add(std::make_unique<CvseBackend>());
+  registry.add(std::make_unique<CsrBackend>());
+  registry.add(std::make_unique<DenseGemmBackend>());
+}
+
+}  // namespace venom::ops

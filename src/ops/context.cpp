@@ -1,0 +1,42 @@
+#include "ops/context.hpp"
+
+namespace venom::ops {
+
+ExecContext::ExecContext(ExecContextOptions opts)
+    : opts_(std::move(opts)), plan_cache_(opts_.plan_cache_capacity) {
+  if (opts_.threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(opts_.threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &ThreadPool::global();
+  }
+}
+
+const spatha::TuningCache& ExecContext::tuning() const {
+  if (opts_.tuning_cache_path.empty()) return spatha::TuningCache::global();
+  std::call_once(tuning_once_,
+                 [this] { own_tuning_.try_load(opts_.tuning_cache_path); });
+  return own_tuning_;
+}
+
+spatha::SpmmConfig ExecContext::select_config(const VnmConfig& fmt,
+                                              std::size_t rows,
+                                              std::size_t cols,
+                                              std::size_t b_cols) const {
+  // One shared policy with spatha::select_config (lookup -> validate ->
+  // degrade to heuristic), differing only in which cache is consulted.
+  return spatha::select_config(tuning(), fmt, rows, cols, b_cols);
+}
+
+std::optional<spatha::SpmmConfig> ExecContext::tuned_config(
+    const VnmConfig& fmt, std::size_t rows, std::size_t cols,
+    std::size_t b_cols) const {
+  return tuning().lookup(fmt, rows, cols, b_cols);
+}
+
+ExecContext& ExecContext::global() {
+  static ExecContext ctx;
+  return ctx;
+}
+
+}  // namespace venom::ops

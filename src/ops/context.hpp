@@ -1,0 +1,102 @@
+// Execution context for the venom::ops operator layer.
+//
+// Before this layer existed every call site threaded ThreadPool::global(),
+// a PlanCache, the $VENOM_TUNE_CACHE tuning cache, and SpmmScratchPools by
+// hand through optional pointer parameters. An ExecContext bundles those
+// four concerns into one object that a caller owns for the lifetime of a
+// workload:
+//
+//   * the thread pool the kernels parallelize on (shared process-wide
+//     pool by default, or a private pool when `threads` is set),
+//   * a PlanCache reusing kernel plans — config selection, compressed
+//     operand bookkeeping, warm packed-panel scratch — across calls,
+//   * the empirical tuning cache consulted for kernel configurations
+//     (the process-wide $VENOM_TUNE_CACHE cache by default, or a private
+//     cache loaded from `tuning_cache_path`),
+//   * a scratch pool recycling the kernels' packed fp16->float B panels
+//     and accumulator tiles across dispatches that bypass the plan cache.
+//
+// ExecContext::global() is the process default used when a caller does
+// not supply one (tools, examples, tests); the serving engine owns a
+// private context per engine so its cache capacity and statistics are
+// isolated from unrelated work.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "spatha/config.hpp"
+#include "spatha/plan.hpp"
+#include "spatha/spmm.hpp"
+#include "spatha/tuning_cache.hpp"
+
+namespace venom::ops {
+
+/// Construction knobs for an ExecContext.
+struct ExecContextOptions {
+  /// Worker threads of a private pool; 0 shares the process-wide pool
+  /// (the right default — private pools are for isolating workloads).
+  std::size_t threads = 0;
+  std::size_t plan_cache_capacity = 64;
+  /// JSON tuning cache for kernel-config selection. Empty uses the
+  /// process-wide cache (lazily loaded from $VENOM_TUNE_CACHE); a path
+  /// loads a private cache (missing/corrupt files degrade to the
+  /// heuristic, matching TuningCache::try_load).
+  std::string tuning_cache_path;
+};
+
+/// Owns the execution resources one workload's operator dispatches share.
+/// Thread-safe for concurrent run() calls: the plan cache, tuning cache,
+/// and scratch pool are internally synchronized, and the pool is shared
+/// by design.
+class ExecContext {
+ public:
+  ExecContext() : ExecContext(ExecContextOptions{}) {}
+  explicit ExecContext(ExecContextOptions opts);
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  ThreadPool& pool() const { return *pool_; }
+  spatha::PlanCache& plan_cache() const { return plan_cache_; }
+  spatha::SpmmScratchPool& scratch() const { return scratch_; }
+  const ExecContextOptions& options() const { return opts_; }
+
+  /// Kernel configuration for a V:N:M problem: the context's tuning
+  /// cache entry when one exists for this build's CPU features, else the
+  /// shape heuristic. With default options this is exactly
+  /// spatha::select_config, so dispatch through a context is bit- and
+  /// config-identical to the pre-ops direct kernel calls.
+  spatha::SpmmConfig select_config(const VnmConfig& fmt, std::size_t rows,
+                                   std::size_t cols,
+                                   std::size_t b_cols) const;
+
+  /// The tuned entry alone (no heuristic fallback) — lets tooling report
+  /// what the tuning cache contributes vs the heuristic.
+  std::optional<spatha::SpmmConfig> tuned_config(const VnmConfig& fmt,
+                                                 std::size_t rows,
+                                                 std::size_t cols,
+                                                 std::size_t b_cols) const;
+
+  /// Process-wide default context (lazily constructed; default options).
+  static ExecContext& global();
+
+ private:
+  /// The context's tuning cache: the private one when a path was given
+  /// (loaded on first use), else TuningCache::global().
+  const spatha::TuningCache& tuning() const;
+
+  ExecContextOptions opts_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // only when opts_.threads > 0
+  ThreadPool* pool_ = nullptr;
+  mutable spatha::PlanCache plan_cache_;
+  mutable spatha::SpmmScratchPool scratch_;
+  mutable std::once_flag tuning_once_;
+  mutable spatha::TuningCache own_tuning_;
+};
+
+}  // namespace venom::ops

@@ -1,0 +1,28 @@
+// Cross-layer per-op-class timing sink.
+//
+// Filled by Linear / attention forward passes and aggregated by the
+// serving engine and the Fig. 15 breakdown bench (GEMMs / softmax /
+// attention matmuls / others). Lives in the ops layer because it is a
+// cross-cutting profiling concern: every operator fills it, so no single
+// layer (least of all Linear) should own its definition.
+#pragma once
+
+namespace venom::ops {
+
+/// Per-op-class timing sink (seconds).
+struct TimingBreakdown {
+  double gemm_s = 0;
+  double softmax_s = 0;
+  double attn_matmul_s = 0;
+  double other_s = 0;
+  double total() const { return gemm_s + softmax_s + attn_matmul_s + other_s; }
+  TimingBreakdown& operator+=(const TimingBreakdown& o) {
+    gemm_s += o.gemm_s;
+    softmax_s += o.softmax_s;
+    attn_matmul_s += o.attn_matmul_s;
+    other_s += o.other_s;
+    return *this;
+  }
+};
+
+}  // namespace venom::ops

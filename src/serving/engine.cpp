@@ -12,13 +12,18 @@ namespace venom::serving {
 InferenceEngine::InferenceEngine(transformer::Encoder encoder,
                                  ServingConfig cfg)
     : encoder_(std::move(encoder)), cfg_(cfg),
-      plan_cache_(cfg.plan_cache_capacity), batcher_(cfg.batching),
+      ctx_(ops::ExecContextOptions{.threads = 0,
+                                   .plan_cache_capacity =
+                                       cfg.plan_cache_capacity,
+                                   .tuning_cache_path = {}}),
+      batcher_(cfg.batching),
       latency_ms_(std::max<std::size_t>(1, cfg.latency_window), 0.0) {
   VENOM_CHECK_MSG(cfg_.workers >= 1, "engine needs at least one worker");
-  // Every sparse Linear in the stack now shares one plan cache: kernel
-  // configs are selected once per layer shape x batch width, and the
-  // plans' scratch pools keep the packed B panels warm across batches.
-  encoder_.set_plan_cache(&plan_cache_);
+  // Every layer in the stack dispatches through the engine's execution
+  // context: kernel configs are selected once per layer shape x batch
+  // width via the shared plan cache, and the plans' scratch pools keep
+  // the packed B panels warm across batches.
+  encoder_.set_exec_context(&ctx_);
   workers_.reserve(cfg_.workers);
   for (std::size_t i = 0; i < cfg_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -180,8 +185,8 @@ ServingStats InferenceEngine::stats() const {
         batches_ == 0 ? 0.0 : double(tokens_) / double(batches_);
     window.assign(latency_ms_.begin(), latency_ms_.begin() + latency_count_);
   }
-  s.plan_cache_hits = plan_cache_.hits();
-  s.plan_cache_misses = plan_cache_.misses();
+  s.plan_cache_hits = ctx_.plan_cache().hits();
+  s.plan_cache_misses = ctx_.plan_cache().misses();
   std::sort(window.begin(), window.end());
   s.p50_ms = percentile_sorted(window, 0.50);
   s.p99_ms = percentile_sorted(window, 0.99);

@@ -10,9 +10,11 @@
 // outputs are bit-identical to unbatched forward() calls.
 //
 // Steady-state hot path:
-//   * a shared spatha::PlanCache reuses kernel plans (tuned SpmmConfig
-//     selection, compressed-operand bookkeeping) and their scratch pools
-//     (packed fp16->float B panels) across batches,
+//   * the engine owns an ops::ExecContext — the thread pool, the
+//     PlanCache reusing kernel plans (tuned SpmmConfig selection,
+//     compressed-operand bookkeeping) and their scratch pools (packed
+//     fp16->float B panels), and the tuning cache — that every layer of
+//     the encoder dispatches through,
 //   * each worker owns a ScratchArena (segment tables) and a reusable
 //     staging matrix whose buffers settle at their high-water size,
 // so after warmup the engine's batching layer performs no allocation
@@ -26,8 +28,8 @@
 #include <vector>
 
 #include "common/arena.hpp"
+#include "ops/context.hpp"
 #include "serving/batcher.hpp"
-#include "spatha/plan.hpp"
 #include "tensor/matrix.hpp"
 #include "transformer/encoder.hpp"
 
@@ -91,6 +93,12 @@ class InferenceEngine {
   const transformer::Encoder& encoder() const { return encoder_; }
   const ServingConfig& config() const { return cfg_; }
 
+  /// The engine's execution context (pool, plan cache, tuning cache,
+  /// kernel scratch) — every encoder layer dispatches through it.
+  /// Exposed for diagnostics; safe to share with other dispatch work.
+  ops::ExecContext& context() { return ctx_; }
+  const ops::ExecContext& context() const { return ctx_; }
+
  private:
   /// Per-worker reusable buffers (never shared, so unsynchronized).
   struct WorkerState {
@@ -108,7 +116,7 @@ class InferenceEngine {
 
   transformer::Encoder encoder_;
   ServingConfig cfg_;
-  spatha::PlanCache plan_cache_;
+  ops::ExecContext ctx_;
   DynamicBatcher batcher_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> next_id_{1};

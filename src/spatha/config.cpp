@@ -40,8 +40,13 @@ void validate(const SpmmConfig& cfg, const VnmConfig& fmt, std::size_t rows,
 
 SpmmConfig select_config(const VnmConfig& fmt, std::size_t rows,
                          std::size_t cols, std::size_t b_cols) {
-  const auto tuned =
-      TuningCache::global().lookup(fmt, rows, cols, b_cols);
+  return select_config(TuningCache::global(), fmt, rows, cols, b_cols);
+}
+
+SpmmConfig select_config(const TuningCache& cache, const VnmConfig& fmt,
+                         std::size_t rows, std::size_t cols,
+                         std::size_t b_cols) {
+  const auto tuned = cache.lookup(fmt, rows, cols, b_cols);
   if (tuned.has_value()) {
     // The cache file is hand-editable: an entry that no longer validates
     // (wrong divisibility, out-of-range pipeline depth) degrades to the

@@ -72,6 +72,16 @@ void validate(const SpmmConfig& cfg, const VnmConfig& fmt, std::size_t rows,
 SpmmConfig select_config(const VnmConfig& fmt, std::size_t rows,
                          std::size_t cols, std::size_t b_cols);
 
+class TuningCache;
+
+/// Same selection policy against an explicit tuning cache (a tuned entry
+/// that no longer validates degrades to the heuristic). The overload
+/// above and ops::ExecContext both route through this, so the
+/// hand-editable-cache degradation rules live in exactly one place.
+SpmmConfig select_config(const TuningCache& cache, const VnmConfig& fmt,
+                         std::size_t rows, std::size_t cols,
+                         std::size_t b_cols);
+
 /// The fixed shape-driven heuristic (the pre-tuning behaviour): picks
 /// tile sizes that divide the problem and balance panel footprint against
 /// parallelism. Also the baseline autotune_measured compares against.

@@ -8,8 +8,6 @@
 
 namespace venom::spatha {
 
-namespace {
-
 float apply_activation(Activation act, float v) {
   switch (act) {
     case Activation::kNone:
@@ -24,6 +22,8 @@ float apply_activation(Activation act, float v) {
   }
   return v;
 }
+
+namespace {
 
 /// Shared stage-1/2 body: accumulates the V x [c0,c1) tile of block row
 /// `br` into s.acc through the packed float-panel micro-kernel.

@@ -28,6 +28,11 @@ struct Epilogue {
   Activation activation = Activation::kNone;
 };
 
+/// The epilogue's scalar activation (float domain). Exposed so the ops
+/// layer's generic fused path applies exactly the arithmetic the fused
+/// Spatha stage 3 does — keeping the two bit-identical by construction.
+float apply_activation(Activation act, float v);
+
 /// C_half = act(A_vnm * B + bias), computed tile-by-tile with the
 /// epilogue fused into the write-back stage. `scratch` as in spmm_vnm:
 /// a pool owned by the caller keeps the packed panels warm across calls.

@@ -25,7 +25,7 @@ SpmmPlan SpmmPlan::from_compressed(const SpmmProblem& problem,
 SpmmPlan SpmmPlan::from_compressed(
     const SpmmProblem& problem,
     std::shared_ptr<const VnmMatrix> compressed,
-    std::shared_ptr<SpmmScratchPool> scratch) {
+    std::shared_ptr<SpmmScratchPool> scratch, const SpmmConfig* config) {
   VENOM_CHECK_MSG(compressed != nullptr, "null compressed operand");
   VENOM_CHECK_MSG(compressed->rows() == problem.rows &&
                       compressed->cols() == problem.cols &&
@@ -33,8 +33,10 @@ SpmmPlan SpmmPlan::from_compressed(
                   "compressed operand does not match the problem");
   SpmmPlan plan;
   plan.problem_ = problem;
-  plan.config_ = select_config(problem.format, problem.rows, problem.cols,
-                               problem.b_cols);
+  plan.config_ = config != nullptr
+                     ? *config
+                     : select_config(problem.format, problem.rows,
+                                     problem.cols, problem.b_cols);
   plan.weight_ = std::move(compressed);
   plan.scratch_ = scratch != nullptr ? std::move(scratch)
                                      : std::make_shared<SpmmScratchPool>();
@@ -97,17 +99,30 @@ PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {
   VENOM_CHECK_MSG(capacity_ >= 1, "cache capacity must be positive");
 }
 
-std::shared_ptr<const SpmmPlan> PlanCache::find_locked(const Key& key) {
+std::shared_ptr<const SpmmPlan> PlanCache::touch_locked(const Key& key) {
   const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  ++hits_;
+  if (it == entries_.end()) return nullptr;
   lru_.erase(it->second.second);
   lru_.push_front(key);
   it->second.second = lru_.begin();
   return it->second.first;
+}
+
+std::shared_ptr<const SpmmPlan> PlanCache::find_locked(const Key& key) {
+  auto plan = touch_locked(key);
+  if (plan == nullptr)
+    ++misses_;
+  else
+    ++hits_;
+  return plan;
+}
+
+std::shared_ptr<const SpmmPlan> PlanCache::find(const SpmmProblem& problem,
+                                                std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto plan = touch_locked({problem, fingerprint});
+  if (plan != nullptr) ++hits_;
+  return plan;
 }
 
 std::shared_ptr<const SpmmPlan> PlanCache::insert_locked(
@@ -177,7 +192,7 @@ std::shared_ptr<SpmmScratchPool> PlanCache::scratch_pool_for(
 
 std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
     const SpmmProblem& problem, std::shared_ptr<const VnmMatrix> compressed,
-    std::uint64_t fingerprint) {
+    std::uint64_t fingerprint, const SpmmConfig* config) {
   const Key key{problem, fingerprint};
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -189,7 +204,7 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
   auto scratch = scratch_pool_for(
       {fingerprint, {problem.rows, problem.cols}});
   auto plan = std::make_shared<const SpmmPlan>(SpmmPlan::from_compressed(
-      problem, std::move(compressed), std::move(scratch)));
+      problem, std::move(compressed), std::move(scratch), config));
   std::lock_guard<std::mutex> lock(mutex_);
   return insert_locked(key, std::move(plan));
 }

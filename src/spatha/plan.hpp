@@ -60,10 +60,14 @@ class SpmmPlan {
   /// `scratch`, when supplied, replaces the plan's own pool — the
   /// SpmmScratch buffers are width-agnostic capacity, so plans for the
   /// same weight can share one pool and stay warm across widths.
+  /// `config`, when non-null, pins the kernel configuration instead of
+  /// consulting the process-wide select_config — an ops::ExecContext
+  /// with a private tuning cache passes its own choice through here.
   static SpmmPlan from_compressed(
       const SpmmProblem& problem,
       std::shared_ptr<const VnmMatrix> compressed,
-      std::shared_ptr<SpmmScratchPool> scratch = nullptr);
+      std::shared_ptr<SpmmScratchPool> scratch = nullptr,
+      const SpmmConfig* config = nullptr);
 
   /// C = A * B. B must be cols x b_cols as declared in the problem.
   FloatMatrix execute(const HalfMatrix& b, ThreadPool* pool = nullptr) const;
@@ -122,11 +126,21 @@ class PlanCache {
   /// one per batch width under dynamic batching — aliases the same copy
   /// instead of duplicating O(nnz) storage. The fingerprint must be
   /// weight_fingerprint(*compressed) — a stale one silently aliases
-  /// cache entries.
+  /// cache entries. `config` as in SpmmPlan::from_compressed: non-null
+  /// pins the built plan's kernel configuration (cache hits keep the
+  /// config they were built with — a PlanCache is owned by one
+  /// ExecContext, so a key never sees two different selections).
   std::shared_ptr<const SpmmPlan> get_or_build(
       const SpmmProblem& problem,
       std::shared_ptr<const VnmMatrix> compressed,
-      std::uint64_t fingerprint);
+      std::uint64_t fingerprint, const SpmmConfig* config = nullptr);
+
+  /// Probe without building: LRU-touches and counts a hit when the plan
+  /// is cached; nullptr (and no miss counted — the get_or_build that
+  /// typically follows counts it) otherwise. Lets the serving hot path
+  /// defer config selection to actual plan builds.
+  std::shared_ptr<const SpmmPlan> find(const SpmmProblem& problem,
+                                       std::uint64_t fingerprint);
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
@@ -142,7 +156,9 @@ class PlanCache {
   using WeightKey = std::pair<std::uint64_t, std::pair<std::size_t,
                                                        std::size_t>>;
 
-  /// Lookup + LRU touch under the lock; nullptr on miss.
+  /// Lookup + LRU touch under the lock, no counter updates.
+  std::shared_ptr<const SpmmPlan> touch_locked(const Key& key);
+  /// touch_locked plus hit/miss accounting; nullptr on miss.
   std::shared_ptr<const SpmmPlan> find_locked(const Key& key);
   /// Inserts `plan` (first insert wins on a racing key) and evicts LRU.
   std::shared_ptr<const SpmmPlan> insert_locked(

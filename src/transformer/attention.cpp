@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "spatha/spmm.hpp"
+#include "ops/ops.hpp"
 #include "transformer/ops.hpp"
 
 namespace venom::transformer {
@@ -163,12 +163,14 @@ HalfMatrix MultiHeadAttention::forward_batched(
       t0 = std::chrono::steady_clock::now();
       HalfMatrix ctx;
       if (score_pattern_.has_value()) {
-        // Dynamic N:M attention: context^T = P_nm * V^T through the
-        // register-blocked sparse fast path (bit-identical to the
-        // spmm_24 baseline).
+        // Dynamic N:M attention: context^T = P_nm * V^T dispatched
+        // through the ops layer, which selects the register-blocked N:M
+        // fast path (bit-identical to the spmm_24 baseline).
         const NmMatrix p_nm = prune_probabilities(scores, *score_pattern_);
         const HalfMatrix vt = transpose(vh);
-        const FloatMatrix ctx_t = spatha::spmm_nm(p_nm, vt);
+        const FloatMatrix ctx_t = ops::matmul(
+            ops::MatmulArgs::make(p_nm, vt),
+            ctx_ != nullptr ? *ctx_ : ops::ExecContext::global());
         ctx = HalfMatrix(vh.rows(), scores.rows());
         for (std::size_t d = 0; d < vh.rows(); ++d)
           for (std::size_t i = 0; i < scores.rows(); ++i)

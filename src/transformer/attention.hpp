@@ -39,13 +39,14 @@ class MultiHeadAttention {
   /// Sparsifies all four projection weights to V:N:M.
   void sparsify(VnmConfig cfg);
 
-  /// Attaches a shared plan cache to all four projections (see
-  /// Linear::set_plan_cache).
-  void set_plan_cache(spatha::PlanCache* cache) {
-    wq_.set_plan_cache(cache);
-    wk_.set_plan_cache(cache);
-    wv_.set_plan_cache(cache);
-    wo_.set_plan_cache(cache);
+  /// Attaches a shared execution context to all four projections and to
+  /// the dynamic-attention SpMM dispatch (see Linear::set_exec_context).
+  void set_exec_context(ops::ExecContext* ctx) {
+    ctx_ = ctx;
+    wq_.set_exec_context(ctx);
+    wk_.set_exec_context(ctx);
+    wv_.set_exec_context(ctx);
+    wo_.set_exec_context(ctx);
   }
 
   /// Enables (or, with nullopt, disables) dynamic N:M pruning of the
@@ -82,6 +83,7 @@ class MultiHeadAttention {
   std::size_t heads_ = 0;
   bool causal_ = false;
   std::optional<NmPattern> score_pattern_;
+  ops::ExecContext* ctx_ = nullptr;  // not owned; nullptr = global()
   Linear wq_, wk_, wv_, wo_;
 };
 

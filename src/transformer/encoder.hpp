@@ -26,12 +26,12 @@ class EncoderLayer {
     mha_.set_dynamic_score_sparsity(pattern);
   }
 
-  /// Attaches a shared plan cache to all six linear layers (see
-  /// Linear::set_plan_cache).
-  void set_plan_cache(spatha::PlanCache* cache) {
-    mha_.set_plan_cache(cache);
-    ffn_in_.set_plan_cache(cache);
-    ffn_out_.set_plan_cache(cache);
+  /// Attaches a shared execution context to all six linear layers and
+  /// the attention dispatch (see Linear::set_exec_context).
+  void set_exec_context(ops::ExecContext* ctx) {
+    mha_.set_exec_context(ctx);
+    ffn_in_.set_exec_context(ctx);
+    ffn_out_.set_exec_context(ctx);
   }
 
   HalfMatrix forward(const HalfMatrix& x,
@@ -69,9 +69,9 @@ class Encoder {
     for (auto& layer : layers_) layer.set_dynamic_score_sparsity(pattern);
   }
 
-  /// Attaches a shared plan cache to every linear layer in the stack.
-  void set_plan_cache(spatha::PlanCache* cache) {
-    for (auto& layer : layers_) layer.set_plan_cache(cache);
+  /// Attaches a shared execution context to every layer in the stack.
+  void set_exec_context(ops::ExecContext* ctx) {
+    for (auto& layer : layers_) layer.set_exec_context(ctx);
   }
 
   HalfMatrix forward(const HalfMatrix& x,

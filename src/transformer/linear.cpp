@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "baselines/gemm.hpp"
+#include "ops/ops.hpp"
 #include "spatha/epilogue.hpp"
 #include "spatha/plan.hpp"
 #include "spatha/spmm.hpp"
@@ -45,38 +46,24 @@ HalfMatrix Linear::forward(const HalfMatrix& x,
   VENOM_CHECK_MSG(x.rows() == in_, "Linear expects " << in_ << " features, got "
                                                      << x.rows());
   const auto t0 = std::chrono::steady_clock::now();
-  if (sparse_ != nullptr) {
-    // Sparse path: Spatha with the bias fused into the write-back stage.
-    spatha::Epilogue epilogue;
-    epilogue.bias = bias_;
-    HalfMatrix y;
-    if (plan_cache_ != nullptr) {
-      // Serving path: the shared cache reuses the plan (config selection,
-      // kernel scratch with its packed B panels) across calls. The plan's
-      // config comes from the same select_config the direct dispatch
-      // uses, so results are bit-identical either way.
-      const spatha::SpmmProblem problem{.rows = out_, .cols = in_,
-                                        .b_cols = x.cols(),
-                                        .format = sparse_->config()};
-      const auto plan =
-          plan_cache_->get_or_build(problem, sparse_, sparse_fingerprint_);
-      y = plan->execute_fused(x, epilogue);
-    } else {
-      y = spatha::spmm_vnm_fused(*sparse_, x, epilogue);
-    }
-    if (timing != nullptr) timing->gemm_s += seconds_since(t0);
-    return y;
-  }
-  FloatMatrix acc = gemm_dense(weight_, x);
-  // Fused write-back: bias in float, then one bulk fp16 conversion per
-  // row (mirrors the sparse path's fused epilogue).
-  HalfMatrix y(acc.rows(), acc.cols());
-  for (std::size_t r = 0; r < acc.rows(); ++r) {
-    float* arow = &acc(r, 0);
-    const float bias = bias_[r];
-    for (std::size_t n = 0; n < acc.cols(); ++n) arow[n] += bias;
-    float_to_half_n(arow, &y(r, 0), acc.cols());
-  }
+  ops::ExecContext& ctx = ctx_ != nullptr ? *ctx_ : ops::ExecContext::global();
+  // Bias fused into the write-back stage of whichever backend dispatch
+  // selects: the Spatha V:N:M backend for a sparsified weight, the
+  // dense GEMM backend otherwise. The plan-cache tier (pre-hashed
+  // shared operand -> cached plan + warm packed-panel scratch) engages
+  // only when a context was attached: a context-less forward must not
+  // pin this layer's weight in the process-global cache beyond its
+  // lifetime. The fused epilogue is bit-identical to a separate
+  // bias+convert pass by construction, so all tiers agree bitwise.
+  spatha::Epilogue epilogue;
+  epilogue.bias = bias_;
+  const ops::MatmulArgs args =
+      sparse_ != nullptr
+          ? (ctx_ != nullptr
+                 ? ops::MatmulArgs::make(sparse_, sparse_fingerprint_, x)
+                 : ops::MatmulArgs::make(*sparse_, x))
+          : ops::MatmulArgs::make(weight_, x);
+  HalfMatrix y = ops::matmul_fused(args, epilogue, ctx);
   if (timing != nullptr) timing->gemm_s += seconds_since(t0);
   return y;
 }
@@ -88,17 +75,23 @@ Linear::Grads Linear::backward(const HalfMatrix& x,
                   "backward shapes: x " << x.rows() << 'x' << x.cols()
                                         << ", grad_y " << grad_y.rows() << 'x'
                                         << grad_y.cols());
+  ops::ExecContext& ctx = ctx_ != nullptr ? *ctx_ : ops::ExecContext::global();
   Grads g;
   const HalfMatrix grad_y_half = to_half(grad_y);
 
-  // dL/dx = W^T dL/dy — through the transposed sparse kernel when pruned.
+  // dL/dx = W^T dL/dy — through the transposed sparse kernel when pruned
+  // (no registry family covers the transposed product yet, so this one
+  // call stays direct).
+  const HalfMatrix wt = sparse_ == nullptr ? transpose(weight_) : HalfMatrix();
   g.input = sparse_ != nullptr
-                ? spatha::spmm_vnm_transposed(*sparse_, grad_y_half)
-                : gemm_dense(transpose(weight_), grad_y_half);
+                ? spatha::spmm_vnm_transposed(*sparse_, grad_y_half,
+                                              &ctx.pool())
+                : ops::matmul(ops::MatmulArgs::make(wt, grad_y_half), ctx);
 
   // dL/dW = dL/dy x^T (dense: gradients flow to every coordinate; STen
   // keeps dense weight grads so the sparsifier can re-select later).
-  g.weight = gemm_dense(grad_y_half, transpose(x));
+  const HalfMatrix xt = transpose(x);
+  g.weight = ops::matmul(ops::MatmulArgs::make(grad_y_half, xt), ctx);
 
   // dL/db = row sums of dL/dy.
   g.bias.assign(out_, 0.0f);

@@ -2,9 +2,12 @@
 //
 // This is the CPU analogue of the paper's STen integration (Listing 1):
 // a dense nn.Linear is replaced by an Spmm module holding the VNMTensor
-// (values / columns / metadata) and dispatching to Spatha. Calling
-// sparsify() converts the dense weight into a VnmMatrix; forward() then
-// routes through spatha::spmm_vnm instead of the dense GEMM.
+// (values / columns / metadata). Calling sparsify() converts the dense
+// weight into a VnmMatrix; forward() routes both weight states through
+// the venom::ops dispatcher (ops::matmul_fused), which selects the
+// Spatha V:N:M backend for sparse weights and the dense GEMM backend
+// otherwise — Linear no longer picks kernels or threads pools/caches by
+// hand.
 #pragma once
 
 #include <cstdint>
@@ -12,30 +15,18 @@
 #include <vector>
 
 #include "format/vnm.hpp"
+#include "ops/timing.hpp"
 #include "tensor/matrix.hpp"
 
-namespace venom::spatha {
-class PlanCache;
+namespace venom::ops {
+class ExecContext;
 }
 
 namespace venom::transformer {
 
-/// Per-op-class timing sink (seconds). Filled by forward passes so the
-/// Fig. 15 breakdown (GEMMs / softmax / matmul / others) can be measured.
-struct TimingBreakdown {
-  double gemm_s = 0;
-  double softmax_s = 0;
-  double attn_matmul_s = 0;
-  double other_s = 0;
-  double total() const { return gemm_s + softmax_s + attn_matmul_s + other_s; }
-  TimingBreakdown& operator+=(const TimingBreakdown& o) {
-    gemm_s += o.gemm_s;
-    softmax_s += o.softmax_s;
-    attn_matmul_s += o.attn_matmul_s;
-    other_s += o.other_s;
-    return *this;
-  }
-};
+/// Compatibility alias: the timing sink moved to the ops layer (it is a
+/// cross-layer concern attention and serving fill too).
+using TimingBreakdown = ops::TimingBreakdown;
 
 /// y(out x tokens) = W(out x in) * x(in x tokens) + bias.
 class Linear {
@@ -48,17 +39,19 @@ class Linear {
   static Linear random(std::size_t out, std::size_t in, Rng& rng);
 
   /// Converts the weight to the V:N:M format (magnitude pruning). After
-  /// this call forward() uses Spatha. Throws if shapes do not divide.
+  /// this call forward() dispatches to Spatha. Throws if shapes do not
+  /// divide.
   void sparsify(VnmConfig cfg);
 
-  /// Routes sparse forwards through a shared plan cache: the kernel
-  /// configuration is selected once per (shape, weight) and the plan's
-  /// scratch pool recycles the packed B panels across calls — the serving
-  /// engine attaches its cache to every layer of the encoder it owns.
-  /// nullptr detaches. The cache must outlive the layer's forwards; it
-  /// may be shared across threads (PlanCache is thread-safe).
-  void set_plan_cache(spatha::PlanCache* cache) { plan_cache_ = cache; }
-  spatha::PlanCache* plan_cache() const { return plan_cache_; }
+  /// Routes forwards through `ctx` — its thread pool, plan cache (kernel
+  /// configs selected once per shape x weight, packed-panel scratch kept
+  /// warm across calls), and tuning cache. nullptr (the default) uses
+  /// ops::ExecContext::global(). The context must outlive the layer's
+  /// forwards; it may be shared across threads (its caches are
+  /// thread-safe) — the serving engine attaches its own context to every
+  /// layer of the encoder it owns.
+  void set_exec_context(ops::ExecContext* ctx) { ctx_ = ctx; }
+  ops::ExecContext* exec_context() const { return ctx_; }
 
   bool is_sparse() const { return sparse_ != nullptr; }
   std::size_t out_features() const { return out_; }
@@ -100,7 +93,7 @@ class Linear {
   // weight is immutable afterwards) so plan-cache lookups in the serving
   // hot path skip the per-call O(nnz) fingerprint.
   std::uint64_t sparse_fingerprint_ = 0;
-  spatha::PlanCache* plan_cache_ = nullptr;  // not owned
+  ops::ExecContext* ctx_ = nullptr;  // not owned; nullptr = global()
 };
 
 }  // namespace venom::transformer

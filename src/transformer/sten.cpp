@@ -1,8 +1,7 @@
 #include "transformer/sten.hpp"
 
-#include "baselines/gemm.hpp"
 #include "common/error.hpp"
-#include "spatha/spmm.hpp"
+#include "ops/ops.hpp"
 #include "transformer/ops.hpp"
 
 namespace venom::sten {
@@ -81,9 +80,13 @@ HalfMatrix SpmmModule::forward(const HalfMatrix& input) const {
                   "SpmmModule expects " << weight_.cols()
                                         << " input features, got "
                                         << input.rows());
-  FloatMatrix acc = weight_.is_sparse()
-                        ? spatha::spmm_vnm(weight_.wrapped_tensor(), input)
-                        : gemm_dense(weight_.dense_tensor(), input);
+  // STen's module swap in miniature: the same ops::matmul dispatch call
+  // serves both states — the registry routes the V:N:M wrapper to Spatha
+  // and the dense tensor to the GEMM backend.
+  FloatMatrix acc = ops::matmul(
+      weight_.is_sparse()
+          ? ops::MatmulArgs::make(weight_.wrapped_tensor(), input)
+          : ops::MatmulArgs::make(weight_.dense_tensor(), input));
   if (!bias_.empty()) transformer::add_bias(acc, bias_);
   return to_half(acc);
 }

@@ -1,0 +1,23 @@
+// 20-line smoke consumer: prune a weight to V:N:M and dispatch the SpMM
+// through the installed package's venom::ops API.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "ops/ops.hpp"
+
+int main() {
+  using namespace venom;
+  Rng rng(7);
+  const HalfMatrix w = random_half_matrix(32, 64, rng);
+  const HalfMatrix x = random_half_matrix(64, 8, rng);
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(w, {8, 2, 8});
+
+  ops::ExecContext ctx;
+  const FloatMatrix y = ops::matmul(ops::MatmulArgs::make(sparse, x), ctx);
+  const auto& backend =
+      ops::BackendRegistry::instance().select(
+          ops::MatmulArgs::make(sparse, x).desc());
+  std::printf("consumer ok: %zux%zu via %s\n", y.rows(), y.cols(),
+              std::string(backend.name()).c_str());
+  return y.rows() == 32 && y.cols() == 8 ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 #include "baselines/gemm.hpp"
 #include "baselines/spmm_24.hpp"
 #include "common/rng.hpp"
+#include "ops/ops.hpp"
 #include "spatha/plan.hpp"
 #include "transformer/config.hpp"
 #include "transformer/encoder.hpp"
@@ -447,23 +448,23 @@ TEST(Encoder, BatchedForwardBitIdenticalPerSequence) {
   }
 }
 
-TEST(Linear, PlanCacheRouteBitIdenticalAndHits) {
+TEST(Linear, ExecContextRouteBitIdenticalAndCachesPlans) {
   Rng rng(58);
   Linear lin = Linear::random(32, 64, rng);
   lin.sparsify({8, 2, 8});
   const HalfMatrix x = random_half_matrix(64, 8, rng);
-  const HalfMatrix direct = lin.forward(x);
+  const HalfMatrix direct = lin.forward(x);  // ExecContext::global()
 
-  spatha::PlanCache cache(4);
-  lin.set_plan_cache(&cache);
+  ops::ExecContext ctx;
+  lin.set_exec_context(&ctx);
   for (int round = 0; round < 3; ++round) {
     const HalfMatrix cached = lin.forward(x);
     for (std::size_t i = 0; i < direct.size(); ++i)
       ASSERT_EQ(cached.flat()[i].bits(), direct.flat()[i].bits());
   }
-  EXPECT_EQ(cache.misses(), 1u);
-  EXPECT_EQ(cache.hits(), 2u);
-  lin.set_plan_cache(nullptr);
+  EXPECT_EQ(ctx.plan_cache().misses(), 1u);
+  EXPECT_EQ(ctx.plan_cache().hits(), 2u);
+  lin.set_exec_context(nullptr);
   EXPECT_NO_THROW(lin.forward(x));
 }
 

@@ -24,6 +24,10 @@
 //       so select_config dispatches the tuned configs transparently.
 //   venomtool model <R> <K> <C> <V> <N> <M>
 //       modeled kernel times and speedup vs cuBLAS for one problem
+//   venomtool backends [R K C V N M]
+//       list the registered venom::ops matmul backends; with a shape,
+//       print which backend dispatch would select for that RxKxC V:N:M
+//       problem and the kernel config with and without the tuning cache
 //   venomtool serve-bench [requests] [tokens] [batch_tokens] [hidden] [layers]
 //       serving throughput: dynamic batching through the InferenceEngine
 //       vs a sequential one-request-at-a-time loop over the same pruned
@@ -39,6 +43,7 @@
 #include "format/vnm.hpp"
 #include "gpumodel/autotune.hpp"
 #include "io/serialize.hpp"
+#include "ops/ops.hpp"
 #include "pruning/policies.hpp"
 #include "serving/bench_harness.hpp"
 #include "spatha/spmm.hpp"
@@ -60,6 +65,7 @@ int usage() {
                "  venomtool autotune <R> <K> <C> <V> <N> <M>\n"
                "  venomtool tune <R> <K> <C> <V> <N> <M> [cache.json]\n"
                "  venomtool model <R> <K> <C> <V> <N> <M>\n"
+               "  venomtool backends [R K C V N M]\n"
                "  venomtool serve-bench [requests] [tokens] [batch_tokens]"
                " [hidden] [layers]\n");
   return 2;
@@ -172,11 +178,79 @@ int cmd_spmm(const std::vector<std::string>& args) {
   if (args.size() != 3) return usage();
   const VnmMatrix a = io::load_vnm_matrix(args[0]);
   const HalfMatrix b = io::load_half_matrix(args[1]);
-  const FloatMatrix c = spatha::spmm_vnm(a, b);
+  // Dispatched through the ops registry (honors VENOM_BACKEND), so the
+  // CLI exercises the same selection path the library layers use. One
+  // selection serves both the run and the printed name.
+  const ops::MatmulArgs margs = ops::MatmulArgs::make(a, b);
+  const ops::Matmul& backend =
+      ops::BackendRegistry::instance().select(margs.desc());
+  const FloatMatrix c = backend.run(margs, ops::ExecContext::global());
   io::save(c, args[2]);
-  std::printf("spmm %zux%zu (%zu:%zu:%zu) * %zux%zu -> %s\n", a.rows(),
-              a.cols(), a.config().v, a.config().n, a.config().m, b.rows(),
-              b.cols(), args[2].c_str());
+  std::printf("spmm %zux%zu (%zu:%zu:%zu) * %zux%zu -> %s [backend %s]\n",
+              a.rows(), a.cols(), a.config().v, a.config().n, a.config().m,
+              b.rows(), b.cols(), args[2].c_str(),
+              std::string(backend.name()).c_str());
+  return 0;
+}
+
+int cmd_backends(const std::vector<std::string>& args) {
+  if (!args.empty() && args.size() != 6) return usage();
+  const auto& registry = ops::BackendRegistry::instance();
+
+  std::printf("registered matmul backends (features: %s):\n",
+              cpu_feature_string().c_str());
+  for (const ops::Matmul* b : registry.backends())
+    std::printf("  %-12s prio %3d  %s\n", std::string(b->name()).c_str(),
+                b->priority(), b->describe().c_str());
+
+  if (args.empty()) return 0;
+
+  const std::size_t r = to_size(args[0]);
+  const std::size_t k = to_size(args[1]);
+  const std::size_t c = to_size(args[2]);
+  const VnmConfig fmt{to_size(args[3]), to_size(args[4]), to_size(args[5])};
+
+  ops::MatmulDesc desc;
+  desc.rows = r;
+  desc.cols = k;
+  desc.b_cols = c;
+  desc.format = ops::OperandFormat::kVnm;
+  desc.vnm = fmt;
+
+  const auto sel = registry.select_explained(desc);
+  std::printf("\ndispatch for %zux%zux%zu at %zu:%zu:%zu:\n", r, k, c, fmt.v,
+              fmt.n, fmt.m);
+  if (!sel.forced_ignored.empty())
+    std::printf("  (override '%s' ignored: unknown backend or unsupported "
+                "problem)\n",
+                sel.forced_ignored.c_str());
+  std::printf("  selected backend : %s\n",
+              std::string(sel.backend->name()).c_str());
+  std::printf("  eligible         :");
+  for (const ops::Matmul* b : registry.backends())
+    if (b->supports(desc, cpu_feature_string()))
+      std::printf(" %s", std::string(b->name()).c_str());
+  std::printf("\n");
+
+  const auto& ctx = ops::ExecContext::global();
+  const auto tuned = ctx.tuned_config(fmt, r, k, c);
+  const auto heuristic = spatha::select_config_heuristic(fmt, r, k, c);
+  if (tuned.has_value()) {
+    // Print what dispatch would actually run: a cache entry that no
+    // longer validates is degraded to the heuristic there, so report
+    // that instead of the dead entry.
+    const auto effective = ctx.select_config(fmt, r, k, c);
+    if (effective == *tuned)
+      std::printf("  config (tuned)   : %s\n", tuned->describe().c_str());
+    else
+      std::printf("  config (tuned)   : cache entry invalid for this "
+                  "problem (%s), dispatch degrades to heuristic\n",
+                  tuned->describe().c_str());
+  } else {
+    std::printf("  config (tuned)   : no tuning-cache entry ($VENOM_TUNE_"
+                "CACHE), falling back to heuristic\n");
+  }
+  std::printf("  config (heuristic): %s\n", heuristic.describe().c_str());
   return 0;
 }
 
@@ -329,6 +403,7 @@ int main(int argc, char** argv) {
     if (cmd == "autotune") return cmd_autotune(args);
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "model") return cmd_model(args);
+    if (cmd == "backends") return cmd_backends(args);
     if (cmd == "serve-bench") return cmd_serve_bench(args);
   } catch (const venom::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
