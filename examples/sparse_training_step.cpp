@@ -6,12 +6,15 @@
 //
 //   forward   y = W_vnm x + b            (Spatha SpMM, fused bias)
 //   loss      L = 1/2 ||y - t||^2
-//   backward  dL/dx = W^T dL/dy          (transposed Spatha SpMM)
-//             dL/dW = dL/dy x^T, masked to the V:N:M pattern
-//   update    SGD on the surviving weights only
+//   backward  dL/dx = W^T dL/dy          (transposed SpMM, ops::matmul_t)
+//             dL/dW = dL/dy x^T           sampled at the surviving
+//                                         pattern (masked SDDMM)
+//   update    Linear::apply_gradients — SGD on the surviving weights
 //
 // The loss decreases while the weight matrix stays exactly in the
-// V:N:M format throughout (re-verified every step).
+// V:N:M format throughout (re-verified every step). For the full
+// prune -> convert -> fine-tune driver see pruning::finetune_linear and
+// `venomtool finetune-bench`.
 #include <cstdio>
 
 #include <cmath>
@@ -59,26 +62,18 @@ int main() {
       std::printf("  step %3d   loss %10.4f\n", step,
                   loss / double(batch));
 
-    // Backward: input grad via the transposed sparse kernel; weight grad
-    // masked so pruned coordinates never resurrect.
+    // Backward: input grad via the transposed sparse kernel, weight grad
+    // via the masked SDDMM — pruned coordinates are never even computed,
+    // so updates cannot resurrect dead weights.
     Linear::Grads grads = student.backward(x, grad_y);
-    student.mask_gradient_to_pattern(grads.weight);
+    for (auto& g : grads.weight.flat()) g /= float(batch);
+    for (auto& g : grads.bias) g /= float(batch);
 
-    // SGD step on the surviving weights, then re-compress. (A production
-    // trainer updates the compressed values in place; re-compressing the
-    // masked dense form is the equivalent readable formulation.)
-    HalfMatrix w = student.sparse_weight().to_dense();
-    for (std::size_t o = 0; o < out; ++o)
-      for (std::size_t i = 0; i < in; ++i)
-        if (!w(o, i).is_zero())
-          w(o, i) = half_t(w(o, i).to_float() -
-                           lr * grads.weight(o, i) / float(batch));
-    VENOM_CHECK(VnmMatrix::conforms(w, cfg));  // pattern never breaks
-    std::vector<float> b(student.bias().begin(), student.bias().end());
-    for (std::size_t o = 0; o < out; ++o)
-      b[o] -= lr * grads.bias[o] / float(batch);
-    student = Linear(std::move(w), std::move(b));
-    student.sparsify(cfg);  // values unchanged; re-derives the structures
+    // Projected SGD step on the surviving weights; the layer recompresses
+    // in place under its fixed pattern.
+    student.apply_gradients(grads, lr);
+    VENOM_CHECK(VnmMatrix::conforms(student.sparse_weight().to_dense(),
+                                    cfg));  // pattern never breaks
   }
 
   std::printf(

@@ -1,0 +1,30 @@
+// FNV-1a 64-bit hashing, shared by every hashing site in the tree
+// (weight fingerprints, Rng::seeded label streams, the golden-fixture
+// checksums in tests). One definition of the offset basis / prime pair:
+// a divergent copy would silently fork hash streams the plan cache and
+// the checked-in fixture checksums depend on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace venom {
+
+/// Incremental FNV-1a 64. `mix` folds one 64-bit word per round (the
+/// fingerprint variant); `bytes` folds a buffer byte-wise (the classic
+/// formulation — what Rng::seeded and file checksums use).
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void mix(std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  }
+
+  void bytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) mix(p[i]);
+  }
+};
+
+}  // namespace venom

@@ -8,6 +8,9 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string_view>
+
+#include "common/fnv.hpp"
 
 namespace venom {
 
@@ -32,6 +35,17 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {
     return std::numeric_limits<result_type>::max();
+  }
+
+  /// Deterministic generator derived from a human-readable label (and an
+  /// optional stream index): FNV-1a over the label, mixed with the
+  /// index. The shared place magic seed integers used to be scattered —
+  /// surfaces say what a stream is for (`Rng::seeded("serving-trace",
+  /// i)`) and reproduce bit-identically everywhere the label matches.
+  static Rng seeded(std::string_view label, std::uint64_t index = 0) {
+    Fnv1a f;
+    f.bytes(label.data(), label.size());
+    return Rng(f.h ^ 0x9e3779b97f4a7c15ull * (index + 1));
   }
 
   result_type operator()() {

@@ -16,6 +16,7 @@
 #include "ops/matmul.hpp"
 #include "spatha/epilogue.hpp"
 #include "spatha/plan.hpp"
+#include "spatha/sddmm.hpp"
 #include "spatha/spmm.hpp"
 
 namespace venom::ops {
@@ -37,7 +38,7 @@ class VnmFastBackend final : public Matmul {
   int priority() const override { return 100; }
   bool supports(const MatmulDesc& desc,
                 const std::string& /*cpu_features*/) const override {
-    return desc.format == OperandFormat::kVnm;
+    return desc.kind == OpKind::kMatmul && desc.format == OperandFormat::kVnm;
   }
   FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
     if (args.config != nullptr)
@@ -100,7 +101,7 @@ class VnmScalarBackend final : public Matmul {
   int priority() const override { return 10; }
   bool supports(const MatmulDesc& desc,
                 const std::string& /*cpu_features*/) const override {
-    return desc.format == OperandFormat::kVnm;
+    return desc.kind == OpKind::kMatmul && desc.format == OperandFormat::kVnm;
   }
   FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
     const spatha::SpmmConfig cfg =
@@ -125,7 +126,8 @@ class VnmMmaBackend final : public Matmul {
                 const std::string& /*cpu_features*/) const override {
     // The mma.sp preconditions (see spmm_vnm_mma): 2:4-mapped format,
     // 16 | V, gathered K divisible by 32, 8 | C.
-    return desc.format == OperandFormat::kVnm && desc.vnm.n == 2 &&
+    return desc.kind == OpKind::kMatmul &&
+           desc.format == OperandFormat::kVnm && desc.vnm.n == 2 &&
            desc.vnm.selected_cols() == 4 && desc.vnm.v % 16 == 0 &&
            desc.vnm.m != 0 && (desc.cols / desc.vnm.m) * 4 % 32 == 0 &&
            desc.b_cols % 8 == 0;
@@ -148,7 +150,7 @@ class NmBackend final : public Matmul {
   int priority() const override { return 100; }
   bool supports(const MatmulDesc& desc,
                 const std::string& /*cpu_features*/) const override {
-    return desc.format == OperandFormat::kNm;
+    return desc.kind == OpKind::kMatmul && desc.format == OperandFormat::kNm;
   }
   FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
     return spatha::spmm_nm(*args.nm, *args.b, &ctx.pool());
@@ -167,7 +169,8 @@ class Spmm24Backend final : public Matmul {
   int priority() const override { return 50; }
   bool supports(const MatmulDesc& desc,
                 const std::string& /*cpu_features*/) const override {
-    return desc.format == OperandFormat::kNm &&
+    return desc.kind == OpKind::kMatmul &&
+           desc.format == OperandFormat::kNm &&
            ((desc.nm.n == 2 && desc.nm.m == 4) ||
             (desc.nm.n == 1 && desc.nm.m == 2));
   }
@@ -186,7 +189,7 @@ class CvseBackend final : public Matmul {
   int priority() const override { return 100; }
   bool supports(const MatmulDesc& desc,
                 const std::string& /*cpu_features*/) const override {
-    return desc.format == OperandFormat::kCvse;
+    return desc.kind == OpKind::kMatmul && desc.format == OperandFormat::kCvse;
   }
   FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
     return spmm_cvse(*args.cvse, *args.b, &ctx.pool());
@@ -203,7 +206,7 @@ class CsrBackend final : public Matmul {
   int priority() const override { return 100; }
   bool supports(const MatmulDesc& desc,
                 const std::string& /*cpu_features*/) const override {
-    return desc.format == OperandFormat::kCsr;
+    return desc.kind == OpKind::kMatmul && desc.format == OperandFormat::kCsr;
   }
   FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
     return spmm_csr(*args.csr, *args.b, &ctx.pool());
@@ -221,10 +224,149 @@ class DenseGemmBackend final : public Matmul {
   int priority() const override { return 100; }
   bool supports(const MatmulDesc& desc,
                 const std::string& /*cpu_features*/) const override {
-    return desc.format == OperandFormat::kDense;
+    return desc.kind == OpKind::kMatmul && desc.format == OperandFormat::kDense;
   }
   FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
     return gemm_dense(*args.dense, *args.b, &ctx.pool());
+  }
+};
+
+// ------------------------------------------------------- backward kinds
+//
+// The training ops (input-gradient transposed SpMM, weight-gradient
+// SDDMM) register as their own OpKinds, each with a production path and
+// a scalar oracle reachable through the same override machinery the
+// forward families use (VENOM_BACKEND / ops::ScopedBackend).
+
+/// dL/dX = Aᵀ * B over a V:N:M left operand: the scatter kernel with
+/// per-task partial reduction. Tuning-cache aware through the context
+/// (the forward problem's tuned chunk grain carries over).
+class VnmTransposedBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "vnm-t"; }
+  std::string describe() const override {
+    return "transposed V:N:M SpMM, per-task partial scatter "
+           "(input-gradient, production)";
+  }
+  int priority() const override { return 100; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.kind == OpKind::kMatmulTransposed &&
+           desc.format == OperandFormat::kVnm;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    const spatha::SpmmConfig cfg =
+        args.config != nullptr
+            ? *args.config
+            : ctx.select_config(args.vnm->config(), args.vnm->rows(),
+                                args.vnm->cols(), args.b->cols());
+    return spatha::spmm_vnm_transposed(*args.vnm, *args.b, cfg, &ctx.pool());
+  }
+};
+
+/// Single-threaded ascending-row scatter: the transposed oracle.
+class VnmTransposedScalarBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "vnm-t-scalar"; }
+  std::string describe() const override {
+    return "naive transposed V:N:M SpMM (oracle)";
+  }
+  int priority() const override { return 10; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.kind == OpKind::kMatmulTransposed &&
+           desc.format == OperandFormat::kVnm;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    (void)ctx;
+    return spatha::spmm_vnm_transposed_scalar(
+        *args.vnm, *args.b,
+        args.config != nullptr ? args.config->column_loc
+                               : spatha::ColumnLocMode::kEnabled);
+  }
+};
+
+/// Dense transposed GEMM: explicit transpose then the dense kernel —
+/// what the dense Linear backward hand-coded before this kind existed
+/// (bit-identical to that sequence by construction).
+class DenseTransposedBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "dense-gemm-t"; }
+  std::string describe() const override {
+    return "dense transposed GEMM (explicit transpose + dense-gemm)";
+  }
+  int priority() const override { return 100; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.kind == OpKind::kMatmulTransposed &&
+           desc.format == OperandFormat::kDense;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    return gemm_dense(transpose(*args.dense), *args.b, &ctx.pool());
+  }
+};
+
+/// Masked weight-gradient SDDMM over the V:N:M structure: the packed
+/// column-panel + lane-blocked dot pipeline, with the context's tuning
+/// cache supplying the chunk grain and its scratch pool recycling the
+/// panels across calls.
+class SddmmBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "sddmm"; }
+  std::string describe() const override {
+    return "V:N:M SDDMM, packed column panels + lane-blocked dots "
+           "(weight-gradient, production)";
+  }
+  int priority() const override { return 100; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.kind == OpKind::kSddmm &&
+           desc.format == OperandFormat::kVnm;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    (void)args;
+    (void)ctx;
+    VENOM_CHECK_MSG(false, "SDDMM backends run through run_sddmm()");
+    return {};
+  }
+  VnmMatrix run_sddmm(const MatmulArgs& args,
+                      ExecContext& ctx) const override {
+    const spatha::SpmmConfig cfg =
+        args.config != nullptr
+            ? *args.config
+            : ctx.select_config(args.vnm->config(), args.vnm->rows(),
+                                args.vnm->cols(), args.dense->cols());
+    return spatha::sddmm_vnm(*args.vnm, *args.dense, *args.b, cfg,
+                             &ctx.pool(), &ctx.scratch());
+  }
+};
+
+/// Naive single-accumulator SDDMM: the gradient checks' oracle.
+class SddmmScalarBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "sddmm-scalar"; }
+  std::string describe() const override {
+    return "naive V:N:M SDDMM (oracle)";
+  }
+  int priority() const override { return 10; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.kind == OpKind::kSddmm &&
+           desc.format == OperandFormat::kVnm;
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    (void)args;
+    (void)ctx;
+    VENOM_CHECK_MSG(false, "SDDMM backends run through run_sddmm()");
+    return {};
+  }
+  VnmMatrix run_sddmm(const MatmulArgs& args,
+                      ExecContext& ctx) const override {
+    (void)ctx;
+    return spatha::sddmm_vnm_scalar(
+        *args.vnm, *args.dense, *args.b,
+        args.config != nullptr ? args.config->column_loc
+                               : spatha::ColumnLocMode::kEnabled);
   }
 };
 
@@ -239,6 +381,11 @@ void register_builtin_backends(BackendRegistry& registry) {
   registry.add(std::make_unique<CvseBackend>());
   registry.add(std::make_unique<CsrBackend>());
   registry.add(std::make_unique<DenseGemmBackend>());
+  registry.add(std::make_unique<VnmTransposedBackend>());
+  registry.add(std::make_unique<VnmTransposedScalarBackend>());
+  registry.add(std::make_unique<DenseTransposedBackend>());
+  registry.add(std::make_unique<SddmmBackend>());
+  registry.add(std::make_unique<SddmmScalarBackend>());
 }
 
 }  // namespace venom::ops

@@ -1,0 +1,123 @@
+#include "pruning/finetune.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "ops/context.hpp"
+
+namespace venom::pruning {
+
+namespace {
+
+/// Mean squared error per token plus its gradient: L = 1/(2T) Σ (y−t)²,
+/// dL/dy = (y − t)/T. Loss accumulates in double so the reported curve
+/// is stable to summation order.
+double mse_and_grad(const HalfMatrix& y, const FloatMatrix& t,
+                    FloatMatrix* grad) {
+  VENOM_CHECK(y.rows() == t.rows() && y.cols() == t.cols());
+  const float inv_tokens = 1.0f / float(t.cols());
+  double loss = 0.0;
+  for (std::size_t r = 0; r < y.rows(); ++r)
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      const float d = y(r, c).to_float() - t(r, c);
+      loss += 0.5 * double(d) * double(d);
+      if (grad != nullptr) (*grad)(r, c) = d * inv_tokens;
+    }
+  return loss * double(inv_tokens);
+}
+
+}  // namespace
+
+SparseFinetuneReport finetune_linear(transformer::Linear& student,
+                                     const workloads::RegressionTask& task,
+                                     const SparseFinetuneConfig& cfg,
+                                     ops::ExecContext* ctx) {
+  VENOM_CHECK_MSG(student.in_features() == task.inputs.rows() &&
+                      student.out_features() == task.targets.rows(),
+                  "student shape does not match the regression task");
+  if (ctx != nullptr) student.set_exec_context(ctx);
+
+  SparseFinetuneReport report;
+  report.dense_loss = mse_and_grad(student.forward(task.inputs), task.targets,
+                                   nullptr);
+
+  // Magnitude-prune + V:N:M convert: from here on every forward runs the
+  // Spatha SpMM and every backward the transposed SpMM + masked SDDMM.
+  student.sparsify(cfg.format);
+  const std::size_t out = student.out_features();
+  const std::size_t tokens = task.inputs.cols();
+  FloatMatrix grad_y(out, tokens);
+  double current =
+      mse_and_grad(student.forward(task.inputs), task.targets, &grad_y);
+  report.post_prune_loss = current;
+  report.curve.push_back(current);
+
+  float lr = cfg.lr;
+  // The gradient is a pure function of (student, grad_y): a rejected
+  // trial step changes neither, so it is only recomputed after an
+  // accepted one — a backtracking plateau costs loss evaluations, not
+  // redundant sparse backward passes.
+  transformer::Linear::Grads grads = student.backward(task.inputs, grad_y);
+  for (std::size_t s = 0; s < cfg.steps; ++s) {
+    // Projected trial step with backtracking: a step that fails to
+    // decrease the full-batch loss is rolled back and the rate halved,
+    // so the loop is monotone (and still fully deterministic).
+    transformer::Linear trial = student;
+    trial.apply_gradients(grads, lr);
+    FloatMatrix trial_grad(out, tokens);
+    const double next =
+        mse_and_grad(trial.forward(task.inputs), task.targets, &trial_grad);
+    if (next < current) {
+      student = std::move(trial);
+      grad_y = std::move(trial_grad);
+      current = next;
+      if (s + 1 < cfg.steps) grads = student.backward(task.inputs, grad_y);
+    } else {
+      lr *= 0.5f;
+      if (lr < 1e-8f) break;
+    }
+    report.curve.push_back(current);
+  }
+  report.final_loss = current;
+  return report;
+}
+
+SparseFinetuneReport finetune_encoder(transformer::Encoder& enc,
+                                      const HalfMatrix& inputs,
+                                      const FloatMatrix& targets,
+                                      const SparseFinetuneConfig& cfg) {
+  SparseFinetuneReport report;
+  report.dense_loss =
+      mse_and_grad(enc.forward(inputs), targets, nullptr);
+
+  enc.sparsify(cfg.format);
+  FloatMatrix grad_out(targets.rows(), targets.cols());
+  double current = mse_and_grad(enc.forward(inputs), targets, &grad_out);
+  report.post_prune_loss = current;
+  report.curve.push_back(current);
+
+  std::vector<transformer::EncoderLayerGrads> grads;
+  float lr = cfg.lr;
+  enc.backward(inputs, grad_out, &grads);
+  for (std::size_t s = 0; s < cfg.steps; ++s) {
+    transformer::Encoder trial = enc;
+    trial.apply_gradients(grads, lr);
+    FloatMatrix trial_grad(targets.rows(), targets.cols());
+    const double next =
+        mse_and_grad(trial.forward(inputs), targets, &trial_grad);
+    if (next < current) {
+      enc = std::move(trial);
+      grad_out = std::move(trial_grad);
+      current = next;
+      if (s + 1 < cfg.steps) enc.backward(inputs, grad_out, &grads);
+    } else {
+      lr *= 0.5f;
+      if (lr < 1e-8f) break;
+    }
+    report.curve.push_back(current);
+  }
+  report.final_loss = current;
+  return report;
+}
+
+}  // namespace venom::pruning

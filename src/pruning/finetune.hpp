@@ -5,13 +5,31 @@
 // constrained optimum, but for non-quadratic losses real descent is
 // needed — this is what gives the structure-decay scheduler its edge.
 //
-// Model concept: `double loss(const FloatMatrix&)` and
-// `FloatMatrix gradient(const FloatMatrix&)`.
+// Two surfaces:
+//
+//   fine_tune            the original weight-matrix-level loop over an
+//                        abstract Model concept (`double loss(const
+//                        FloatMatrix&)` / `FloatMatrix gradient(...)`).
+//
+//   finetune_linear /    the end-to-end sparse-training loop of §9a:
+//   finetune_encoder     magnitude-prune -> V:N:M convert -> SGD steps
+//                        where every forward runs the Spatha SpMM and
+//                        every backward runs the transposed SpMM (input
+//                        gradient) and the masked SDDMM (weight
+//                        gradient) through the venom::ops registry.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "tensor/matrix.hpp"
+#include "transformer/encoder.hpp"
+#include "transformer/linear.hpp"
+#include "workloads/generators.hpp"
+
+namespace venom::ops {
+class ExecContext;
+}
 
 namespace venom::pruning {
 
@@ -43,5 +61,44 @@ double fine_tune(const Model& model, FloatMatrix& w, std::size_t steps = 100,
   }
   return current;
 }
+
+/// Knobs of the sparse fine-tuning loops.
+struct SparseFinetuneConfig {
+  VnmConfig format{8, 2, 8};  ///< pruning target
+  std::size_t steps = 60;     ///< SGD steps (full-batch, deterministic)
+  float lr = 0.5f;            ///< initial step size (halved on backtrack)
+};
+
+/// Loss trajectory of one fine-tuning run. Losses are the mean squared
+/// error per token: L = 1/(2 T) * sum (y - t)^2.
+struct SparseFinetuneReport {
+  double dense_loss = 0.0;       ///< before pruning
+  double post_prune_loss = 0.0;  ///< right after magnitude prune + convert
+  double final_loss = 0.0;       ///< after the SGD steps
+  std::vector<double> curve;     ///< loss per step (curve[0] = post-prune)
+
+  /// Fraction of the post-prune loss removed by fine-tuning (1 = fully
+  /// recovered). The acceptance bar for the demo is >= 0.5.
+  double recovery() const {
+    return post_prune_loss > 0.0 ? 1.0 - final_loss / post_prune_loss : 1.0;
+  }
+};
+
+/// Magnitude-prunes `student` to cfg.format, then runs cfg.steps of
+/// full-batch projected SGD against the regression task, with every
+/// forward/backward dispatched through the sparse kernels. Deterministic
+/// for fixed inputs. `ctx` routes the dispatches (nullptr = global).
+SparseFinetuneReport finetune_linear(transformer::Linear& student,
+                                     const workloads::RegressionTask& task,
+                                     const SparseFinetuneConfig& cfg,
+                                     ops::ExecContext* ctx = nullptr);
+
+/// The encoder-level variant: prunes every linear weight of `enc` to
+/// cfg.format and fine-tunes it to reproduce `targets` (typically the
+/// dense encoder's own outputs — recovery as distillation) on `inputs`.
+SparseFinetuneReport finetune_encoder(transformer::Encoder& enc,
+                                      const HalfMatrix& inputs,
+                                      const FloatMatrix& targets,
+                                      const SparseFinetuneConfig& cfg);
 
 }  // namespace venom::pruning

@@ -14,7 +14,7 @@ namespace venom::serving {
 namespace {
 
 transformer::Encoder pruned_encoder(const BenchSetup& setup) {
-  Rng rng(42);
+  Rng rng = Rng::seeded("serving-model");
   transformer::Encoder enc(setup.model, rng);
   enc.sparsify(setup.format);
   return enc;
@@ -26,7 +26,7 @@ BenchComparison run_serving_comparison(const BenchSetup& setup) {
   std::vector<HalfMatrix> trace;
   trace.reserve(setup.requests);
   for (std::size_t i = 0; i < setup.requests; ++i) {
-    Rng rng(1000 + i);
+    Rng rng = Rng::seeded("serving-trace", i);
     trace.push_back(
         random_half_matrix(setup.model.hidden, setup.tokens, rng, 0.5f));
   }

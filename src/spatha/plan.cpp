@@ -1,5 +1,7 @@
 #include "spatha/plan.hpp"
 
+#include "common/fnv.hpp"
+
 #include "common/error.hpp"
 #include "spatha/spmm.hpp"
 
@@ -61,18 +63,6 @@ HalfMatrix SpmmPlan::execute_fused(const HalfMatrix& b,
   return spmm_vnm_fused(*weight_, b, epilogue, config_, pool,
                         scratch_.get());
 }
-
-namespace {
-
-struct Fnv1a {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  void mix(std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ull;
-  }
-};
-
-}  // namespace
 
 std::uint64_t weight_fingerprint(const HalfMatrix& m) {
   Fnv1a f;

@@ -3,12 +3,13 @@
 #include <vector>
 
 #include "common/error.hpp"
-#include "spatha/config.hpp"
 
 namespace venom::spatha {
 
-VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
-                    const HalfMatrix& b, ThreadPool* pool) {
+namespace {
+
+void check_shapes(const VnmMatrix& structure, const HalfMatrix& a,
+                  const HalfMatrix& b) {
   VENOM_CHECK_MSG(a.rows() == structure.rows(),
                   "A has " << a.rows() << " rows, structure has "
                            << structure.rows());
@@ -18,6 +19,36 @@ VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
   VENOM_CHECK_MSG(a.cols() == b.rows(), "inner dimensions disagree: "
                                             << a.cols() << " vs "
                                             << b.rows());
+}
+
+/// Lanes of the dot micro-kernel: partial sums the compiler keeps in
+/// vector registers, reduced in ascending lane order at the end — the
+/// SDDMM counterpart of the SpMM kStrip register block (there the strip
+/// runs along output columns; a sampled output is a single scalar, so
+/// the blocking must run along the reduction depth instead).
+constexpr std::size_t kSddmmLanes = 8;
+
+/// Dot of two packed float vectors with kSddmmLanes partial accumulators.
+/// Deterministic (fixed lane assignment + fixed reduction order) but
+/// reassociated relative to a single-accumulator loop.
+inline float lane_dot(const float* x, const float* y, std::size_t n) {
+  float lanes[kSddmmLanes] = {};
+  std::size_t d = 0;
+  for (; d + kSddmmLanes <= n; d += kSddmmLanes)
+    for (std::size_t u = 0; u < kSddmmLanes; ++u)
+      lanes[u] += x[d + u] * y[d + u];
+  for (std::size_t u = 0; d + u < n; ++u) lanes[u] += x[d + u] * y[d + u];
+  float acc = 0.0f;
+  for (std::size_t u = 0; u < kSddmmLanes; ++u) acc += lanes[u];
+  return acc;
+}
+
+}  // namespace
+
+VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
+                    const HalfMatrix& b, const SpmmConfig& cfg,
+                    ThreadPool* pool, SpmmScratchPool* scratch) {
+  check_shapes(structure, a, b);
   if (pool == nullptr) pool = &ThreadPool::global();
 
   const VnmConfig fmt = structure.config();
@@ -25,6 +56,7 @@ VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
   const std::size_t groups = structure.groups_per_row();
   const std::size_t block_rows = structure.block_rows();
   const std::size_t depth = a.cols();
+  const bool fixed = cfg.column_loc == ColumnLocMode::kFixed;
   std::vector<half_t> values(structure.values().size(), half_t(0.0f));
 
   // Bulk-convert both dense operands once; the dot products then run on
@@ -32,24 +64,22 @@ VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
   const FloatMatrix af = to_float(a);
   const FloatMatrix bf = to_float(b);
 
-  // Chunking follows the tuned dispatch config for this shape (keyed by
-  // the structure's R x K and the dot-product depth): a tuned chunk_grain
-  // applies to the SDDMM's block-row partition too, heuristic 0 (= pool
-  // default) otherwise.
-  const std::size_t grain =
-      select_config(fmt, structure.rows(), structure.cols(), depth)
-          .chunk_grain;
-
   // One iteration per block row: the <= 4 selected B columns of each
-  // group are gathered into contiguous float scratch once and reused by
+  // group are gathered into a contiguous float panel once and reused by
   // all V rows of the block (the paper's column-loc reuse, transposed).
+  // Under kFixed the panel holds columns g*M + 0..sel-1, so a value's
+  // m-index addresses the same panel row either way.
   pool->parallel_for_chunks(block_rows, [&](std::size_t b0, std::size_t b1) {
-    std::vector<float> cols_f(sel * depth);
+    detail::ScratchLease scratch_lease;
+    detail::SpmmScratch& s = scratch_lease.bind(scratch);
+    s.panel.resize(sel * depth);
     for (std::size_t br = b0; br < b1; ++br) {
       for (std::size_t g = 0; g < groups; ++g) {
-        for (std::size_t s = 0; s < sel; ++s) {
-          const std::size_t col = g * fmt.m + structure.column_loc(br, g, s);
-          float* dst = &cols_f[s * depth];
+        for (std::size_t sidx = 0; sidx < sel; ++sidx) {
+          const std::size_t col =
+              g * fmt.m +
+              (fixed ? sidx : structure.column_loc(br, g, sidx));
+          float* dst = &s.panel[sidx * depth];
           for (std::size_t d = 0; d < depth; ++d) dst[d] = bf(d, col);
         }
         for (std::size_t dr = 0; dr < fmt.v; ++dr) {
@@ -60,16 +90,52 @@ VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
             // position information worth sampling; keep them zero.
             if (structure.value(r, g, j).is_zero()) continue;
             const float* bcol =
-                &cols_f[structure.m_index(r, g, j) * depth];
-            float acc = 0.0f;
-            for (std::size_t d = 0; d < depth; ++d) acc += arow[d] * bcol[d];
-            values[(r * groups + g) * fmt.n + j] = half_t(acc);
+                &s.panel[structure.m_index(r, g, j) * depth];
+            values[(r * groups + g) * fmt.n + j] =
+                half_t(lane_dot(arow, bcol, depth));
           }
         }
       }
     }
-  }, grain);
+  }, cfg.chunk_grain);
 
+  return VnmMatrix::from_parts(fmt, structure.rows(), structure.cols(),
+                               std::move(values), structure.m_indices(),
+                               structure.column_locs());
+}
+
+VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
+                    const HalfMatrix& b, ThreadPool* pool) {
+  return sddmm_vnm(structure, a, b,
+                   select_config(structure.config(), structure.rows(),
+                                 structure.cols(), a.cols()),
+                   pool);
+}
+
+VnmMatrix sddmm_vnm_scalar(const VnmMatrix& structure, const HalfMatrix& a,
+                           const HalfMatrix& b, ColumnLocMode mode) {
+  check_shapes(structure, a, b);
+  const VnmConfig fmt = structure.config();
+  const std::size_t groups = structure.groups_per_row();
+  const std::size_t depth = a.cols();
+  const bool fixed = mode == ColumnLocMode::kFixed;
+  std::vector<half_t> values(structure.values().size(), half_t(0.0f));
+
+  for (std::size_t r = 0; r < structure.rows(); ++r) {
+    const std::size_t br = r / fmt.v;
+    for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t j = 0; j < fmt.n; ++j) {
+        if (structure.value(r, g, j).is_zero()) continue;
+        const std::uint8_t midx = structure.m_index(r, g, j);
+        const std::size_t col =
+            g * fmt.m + (fixed ? midx : structure.column_loc(br, g, midx));
+        float acc = 0.0f;
+        for (std::size_t d = 0; d < depth; ++d)
+          acc += a(r, d).to_float() * b(d, col).to_float();
+        values[(r * groups + g) * fmt.n + j] = half_t(acc);
+      }
+    }
+  }
   return VnmMatrix::from_parts(fmt, structure.rows(), structure.cols(),
                                std::move(values), structure.m_indices(),
                                structure.column_locs());

@@ -11,18 +11,61 @@
 // with SpMM. The output reuses the structure (m-indices, column-loc) of
 // `structure` with freshly computed values, so it feeds straight back
 // into spmm_vnm.
+//
+// Two implementations:
+//
+//   sddmm_vnm         production path: bulk fp16->float conversion of
+//                     both dense operands, per-group gather of the
+//                     selected B columns into a packed float panel
+//                     (reused by all V rows of the block — the PR-1
+//                     panel machinery transposed), and a lane-blocked
+//                     dot micro-kernel (kSddmmLanes partial sums reduced
+//                     in fixed order). Deterministic, but the lane
+//                     reassociation means it is numerically — not bit- —
+//                     identical to the scalar oracle.
+//
+//   sddmm_vnm_scalar  naive single-threaded traversal with one fp32
+//                     accumulator per output in ascending-depth order:
+//                     the parity oracle and the reference the gradient
+//                     checks validate against.
 #pragma once
 
 #include "common/thread_pool.hpp"
 #include "format/vnm.hpp"
+#include "spatha/config.hpp"
+#include "spatha/spmm.hpp"
 #include "tensor/matrix.hpp"
 
 namespace venom::spatha {
 
 /// out = (A * B) sampled at structure's nonzero positions.
 /// A is rows x depth, B is depth x cols (matching structure's shape).
-/// Zero-valued slots of `structure` (padding) stay zero.
+/// Zero-valued slots of `structure` (padding) stay zero. `cfg` supplies
+/// the chunk grain for the block-row partition and the ColumnLocMode
+/// (kFixed samples column g*M + m_index, the Fig. 9 ablation's selector
+/// mapping, so the op stays the exact adjoint of the kFixed forward).
+/// `scratch`, when non-null, recycles the packed column panels across
+/// calls (see SpmmScratchPool).
+VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
+                    const HalfMatrix& b, const SpmmConfig& cfg,
+                    ThreadPool* pool = nullptr,
+                    SpmmScratchPool* scratch = nullptr);
+
+/// Convenience overload: tuned/heuristic config via select_config (keyed
+/// by the structure's R x K and the dot-product depth).
 VnmMatrix sddmm_vnm(const VnmMatrix& structure, const HalfMatrix& a,
                     const HalfMatrix& b, ThreadPool* pool = nullptr);
+
+/// Naive oracle: single fp32 accumulator per sampled output, ascending
+/// depth, no pool.
+VnmMatrix sddmm_vnm_scalar(const VnmMatrix& structure, const HalfMatrix& a,
+                           const HalfMatrix& b,
+                           ColumnLocMode mode = ColumnLocMode::kEnabled);
+
+/// Useful FLOPs of the sampled product: 2 * nnz * depth.
+inline double sddmm_flops(const VnmMatrix& structure, std::size_t depth) {
+  return 2.0 * static_cast<double>(structure.nnz()) *
+         static_cast<double>(depth);
+}
 
 }  // namespace venom::spatha

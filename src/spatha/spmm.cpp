@@ -212,7 +212,7 @@ FloatMatrix spmm_vnm_mma(const VnmMatrix& a, const HalfMatrix& b,
 }
 
 FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
-                                ThreadPool* pool) {
+                                const SpmmConfig& cfg, ThreadPool* pool) {
   VENOM_CHECK_MSG(a.rows() == b.rows(),
                   "transposed SpMM shape mismatch: A is " << a.rows() << 'x'
                       << a.cols() << ", B is " << b.rows() << 'x'
@@ -223,6 +223,7 @@ FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
   const std::size_t groups = a.groups_per_row();
   const std::size_t block_rows = a.block_rows();
   const std::size_t width = b.cols();
+  const bool fixed = cfg.column_loc == ColumnLocMode::kFixed;
 
   // Convert B to float once up front: every row is re-read by each of its
   // nonzeros, so the bulk conversion amortizes across groups * N FMAs.
@@ -231,10 +232,15 @@ FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
   // Each task owns a contiguous range of block rows and scatters into a
   // private K x C accumulator; partials are reduced afterwards. Memory
   // is bounded by capping the task count (the CUDA kernel would instead
-  // stage per-CTA partials in SMEM and atomically merge).
-  const std::size_t tasks =
+  // stage per-CTA partials in SMEM and atomically merge); a tuned chunk
+  // grain lower-bounds the block rows per task, trading parallelism for
+  // fewer K x C partials on small problems.
+  std::size_t tasks =
       std::min<std::size_t>(block_rows, std::max<std::size_t>(
                                             1, pool->size()));
+  if (cfg.chunk_grain > 0)
+    tasks = std::min(tasks,
+                     (block_rows + cfg.chunk_grain - 1) / cfg.chunk_grain);
   const std::size_t per_task = (block_rows + tasks - 1) / tasks;
   std::vector<FloatMatrix> partials(tasks);
 
@@ -257,7 +263,8 @@ FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
           const std::size_t g = k / fmt.n;
           vals[cnt] = avals[k].to_float();
           rows[cnt] = static_cast<std::uint32_t>(
-              g * fmt.m + a.column_loc(br, g, midx[k]));
+              g * fmt.m +
+              (fixed ? midx[k] : a.column_loc(br, g, midx[k])));
           ++cnt;
         }
         const float* brow = &bf(r, 0);
@@ -275,6 +282,40 @@ FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
   for (std::size_t t = 1; t < tasks; ++t)
     for (std::size_t i = 0; i < c.size(); ++i)
       c.flat()[i] += partials[t].flat()[i];
+  return c;
+}
+
+FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
+                                ThreadPool* pool) {
+  return spmm_vnm_transposed(
+      a, b, select_config(a.config(), a.rows(), a.cols(), b.cols()), pool);
+}
+
+FloatMatrix spmm_vnm_transposed_scalar(const VnmMatrix& a,
+                                       const HalfMatrix& b,
+                                       ColumnLocMode mode) {
+  VENOM_CHECK_MSG(a.rows() == b.rows(),
+                  "transposed SpMM shape mismatch: A is " << a.rows() << 'x'
+                      << a.cols() << ", B is " << b.rows() << 'x'
+                      << b.cols());
+  const VnmConfig fmt = a.config();
+  const std::size_t groups = a.groups_per_row();
+  const bool fixed = mode == ColumnLocMode::kFixed;
+  FloatMatrix c(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const std::size_t br = r / fmt.v;
+    for (std::size_t g = 0; g < groups; ++g)
+      for (std::size_t j = 0; j < fmt.n; ++j) {
+        const half_t v = a.value(r, g, j);
+        if (v.is_zero()) continue;
+        const std::uint8_t midx = a.m_index(r, g, j);
+        const std::size_t row =
+            g * fmt.m + (fixed ? midx : a.column_loc(br, g, midx));
+        const float av = v.to_float();
+        for (std::size_t n = 0; n < b.cols(); ++n)
+          c(row, n) += av * b(r, n).to_float();
+      }
+  }
   return c;
 }
 

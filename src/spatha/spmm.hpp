@@ -130,9 +130,27 @@ FloatMatrix spmm_nm(const NmMatrix& a, const HalfMatrix& b,
 /// sparse W, dL/dx = W^T dL/dy. The kernel keeps the forward traversal
 /// order (coalesced reads of A) and scatters each nonzero's contribution
 /// into the K-indexed output; tasks partition over block rows with
-/// per-task private output accumulated at the end (no atomics).
+/// per-task private output accumulated at the end (no atomics). `cfg`
+/// supplies the ColumnLocMode (kFixed scatters to row g*M + m_index, so
+/// the op stays the exact adjoint of the kFixed forward) and a chunk
+/// grain that lower-bounds the block rows per task. The per-task partial
+/// reduction makes the result numerically (not bit-) identical to the
+/// scalar oracle, and dependent on the task count — deterministic for a
+/// fixed pool.
+FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
+                                const SpmmConfig& cfg,
+                                ThreadPool* pool = nullptr);
+
+/// Convenience overload with the tuned/heuristic configuration (keyed by
+/// the forward problem R x K x C, so a tuned forward entry's chunk grain
+/// carries over to its backward).
 FloatMatrix spmm_vnm_transposed(const VnmMatrix& a, const HalfMatrix& b,
                                 ThreadPool* pool = nullptr);
+
+/// Naive oracle: single-threaded scatter in ascending row order.
+FloatMatrix spmm_vnm_transposed_scalar(
+    const VnmMatrix& a, const HalfMatrix& b,
+    ColumnLocMode mode = ColumnLocMode::kEnabled);
 
 /// Useful FLOPs of the sparse product: 2 * nnz * C.
 inline double spmm_flops(const VnmMatrix& a, std::size_t b_cols) {

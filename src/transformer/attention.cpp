@@ -189,4 +189,143 @@ HalfMatrix MultiHeadAttention::forward_batched(
   return wo_.forward(context, timing);
 }
 
+FloatMatrix MultiHeadAttention::backward(const HalfMatrix& x,
+                                         const FloatMatrix& grad_out,
+                                         MhaGrads* grads) const {
+  const std::size_t end = x.cols();
+  return backward_batched(x, std::span<const std::size_t>(&end, 1), grad_out,
+                          grads);
+}
+
+FloatMatrix MultiHeadAttention::backward_batched(
+    const HalfMatrix& x, std::span<const std::size_t> seq_ends,
+    const FloatMatrix& grad_out, MhaGrads* grads) const {
+  VENOM_CHECK(x.rows() == hidden_);
+  VENOM_CHECK(grad_out.rows() == hidden_ && grad_out.cols() == x.cols());
+  VENOM_CHECK_MSG(!seq_ends.empty() && seq_ends.back() == x.cols(),
+                  "sequence ends must cover all " << x.cols() << " tokens");
+  VENOM_CHECK_MSG(!score_pattern_.has_value(),
+                  "dynamic N:M attention has no backward (the top-N "
+                  "selection is not differentiable)");
+  const std::size_t dh = hidden_ / heads_;
+  const float scale = 1.0f / std::sqrt(float(dh));
+  MhaGrads local;
+  MhaGrads& g = grads != nullptr ? *grads : local;
+
+  // Recompute the projections (activation recomputation), then the
+  // per-(head, sequence) probability matrices and the packed context —
+  // the context is wo's forward input, which its backward needs.
+  const HalfMatrix q = wq_.forward(x);
+  const HalfMatrix k = wk_.forward(x);
+  const HalfMatrix v = wv_.forward(x);
+
+  std::vector<FloatMatrix> probs;  // one per (head, sequence), pass order
+  probs.reserve(heads_ * seq_ends.size());
+  HalfMatrix context(hidden_, x.cols());
+  for (std::size_t h = 0; h < heads_; ++h) {
+    std::size_t s0 = 0;
+    for (const std::size_t s1 : seq_ends) {
+      const HalfMatrix qh = slice_head(q, h, dh, s0, s1);
+      const HalfMatrix kh = slice_head(k, h, dh, s0, s1);
+      const HalfMatrix vh = slice_head(v, h, dh, s0, s1);
+      FloatMatrix scores = attention_scores(qh, kh, scale);
+      if (causal_)
+        for (std::size_t i = 0; i < scores.rows(); ++i)
+          for (std::size_t j = i + 1; j < scores.cols(); ++j)
+            scores(i, j) = -1e30f;
+      softmax_rows(scores);
+      const HalfMatrix ctx = attention_context(scores, vh);
+      for (std::size_t d = 0; d < dh; ++d)
+        for (std::size_t t = s0; t < s1; ++t)
+          context(h * dh + d, t) = ctx(d, t - s0);
+      probs.push_back(std::move(scores));
+      s0 = s1;
+    }
+  }
+
+  // Output projection backward: grad_context flows into the per-head
+  // attention backward below.
+  g.wo = wo_.backward(context, grad_out);
+  const FloatMatrix& grad_context = g.wo.input;
+
+  FloatMatrix grad_q(hidden_, x.cols());
+  FloatMatrix grad_k(hidden_, x.cols());
+  FloatMatrix grad_v(hidden_, x.cols());
+  std::size_t pi = 0;
+  for (std::size_t h = 0; h < heads_; ++h) {
+    std::size_t s0 = 0;
+    for (const std::size_t s1 : seq_ends) {
+      const std::size_t ts = s1 - s0;
+      const HalfMatrix qh = slice_head(q, h, dh, s0, s1);
+      const HalfMatrix kh = slice_head(k, h, dh, s0, s1);
+      const HalfMatrix vh = slice_head(v, h, dh, s0, s1);
+      const FloatMatrix& p = probs[pi++];
+
+      // ctx(d, i) = sum_j P(i, j) V(d, j):
+      //   dL/dP(i, j) = sum_d gctx(d, i) V(d, j)
+      //   dL/dV(d, j) = sum_i gctx(d, i) P(i, j)
+      FloatMatrix grad_p(ts, ts);
+      for (std::size_t i = 0; i < ts; ++i)
+        for (std::size_t j = 0; j < ts; ++j) {
+          float acc = 0.0f;
+          for (std::size_t d = 0; d < dh; ++d)
+            acc += grad_context(h * dh + d, s0 + i) * vh(d, j).to_float();
+          grad_p(i, j) = acc;
+        }
+      for (std::size_t d = 0; d < dh; ++d)
+        for (std::size_t j = 0; j < ts; ++j) {
+          float acc = 0.0f;
+          for (std::size_t i = 0; i < ts; ++i)
+            acc += grad_context(h * dh + d, s0 + i) * p(i, j);
+          grad_v(h * dh + d, s0 + j) += acc;
+        }
+
+      // Softmax backward per query row: dS = P ⊙ (dP − <dP, P>). Masked
+      // (causal) entries carry P = 0, so their gradient vanishes without
+      // special-casing.
+      FloatMatrix grad_s(ts, ts);
+      for (std::size_t i = 0; i < ts; ++i) {
+        float dot = 0.0f;
+        for (std::size_t j = 0; j < ts; ++j) dot += grad_p(i, j) * p(i, j);
+        for (std::size_t j = 0; j < ts; ++j)
+          grad_s(i, j) = p(i, j) * (grad_p(i, j) - dot);
+      }
+
+      // scores(i, j) = scale * sum_d q(d, i) k(d, j):
+      //   dL/dq(d, i) = scale * sum_j dS(i, j) k(d, j)
+      //   dL/dk(d, j) = scale * sum_i dS(i, j) q(d, i)
+      for (std::size_t d = 0; d < dh; ++d)
+        for (std::size_t i = 0; i < ts; ++i) {
+          float acc = 0.0f;
+          for (std::size_t j = 0; j < ts; ++j)
+            acc += grad_s(i, j) * kh(d, j).to_float();
+          grad_q(h * dh + d, s0 + i) += scale * acc;
+        }
+      for (std::size_t d = 0; d < dh; ++d)
+        for (std::size_t j = 0; j < ts; ++j) {
+          float acc = 0.0f;
+          for (std::size_t i = 0; i < ts; ++i)
+            acc += grad_s(i, j) * qh(d, i).to_float();
+          grad_k(h * dh + d, s0 + j) += scale * acc;
+        }
+      s0 = s1;
+    }
+  }
+
+  // Projection backwards (sparse ops when the projections are pruned);
+  // the input gradient sums the three branches that consume x.
+  g.wq = wq_.backward(x, grad_q);
+  g.wk = wk_.backward(x, grad_k);
+  g.wv = wv_.backward(x, grad_v);
+  FloatMatrix grad_x = add(add(g.wq.input, g.wk.input), g.wv.input);
+  return grad_x;
+}
+
+void MultiHeadAttention::apply_gradients(const MhaGrads& g, float lr) {
+  wq_.apply_gradients(g.wq, lr);
+  wk_.apply_gradients(g.wk, lr);
+  wv_.apply_gradients(g.wv, lr);
+  wo_.apply_gradients(g.wo, lr);
+}
+
 }  // namespace venom::transformer

@@ -27,6 +27,11 @@
 
 namespace venom::transformer {
 
+/// Parameter gradients of one attention block (the four projections).
+struct MhaGrads {
+  Linear::Grads wq, wk, wv, wo;
+};
+
 /// Multi-head self-attention over (hidden x tokens) activations.
 class MultiHeadAttention {
  public:
@@ -69,6 +74,23 @@ class MultiHeadAttention {
   HalfMatrix forward_batched(const HalfMatrix& x,
                              std::span<const std::size_t> seq_ends,
                              TimingBreakdown* timing = nullptr) const;
+
+  /// Backward pass: recomputes the forward intermediates (activation
+  /// recomputation — no state is kept between passes), then
+  /// differentiates context/softmax/scores per (head, sequence) and
+  /// routes all four projection backwards through Linear::backward (the
+  /// sparse ops when projections are pruned). Returns dL/dx; fills
+  /// `grads` when non-null. Dynamic score sparsity has no backward —
+  /// throws if enabled.
+  FloatMatrix backward(const HalfMatrix& x, const FloatMatrix& grad_out,
+                       MhaGrads* grads = nullptr) const;
+  FloatMatrix backward_batched(const HalfMatrix& x,
+                               std::span<const std::size_t> seq_ends,
+                               const FloatMatrix& grad_out,
+                               MhaGrads* grads = nullptr) const;
+
+  /// SGD step over all four projections (see Linear::apply_gradients).
+  void apply_gradients(const MhaGrads& g, float lr);
 
   std::size_t hidden() const { return hidden_; }
   std::size_t heads() const { return heads_; }

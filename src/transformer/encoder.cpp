@@ -61,6 +61,64 @@ HalfMatrix EncoderLayer::forward_batched(const HalfMatrix& x,
   return out;
 }
 
+FloatMatrix EncoderLayer::backward(const HalfMatrix& x,
+                                   const FloatMatrix& grad_out,
+                                   EncoderLayerGrads* grads) const {
+  const std::size_t end = x.cols();
+  return backward_batched(x, std::span<const std::size_t>(&end, 1), grad_out,
+                          grads);
+}
+
+FloatMatrix EncoderLayer::backward_batched(
+    const HalfMatrix& x, std::span<const std::size_t> seq_ends,
+    const FloatMatrix& grad_out, EncoderLayerGrads* grads) const {
+  VENOM_CHECK(grad_out.rows() == hidden_ && grad_out.cols() == x.cols());
+  EncoderLayerGrads local;
+  EncoderLayerGrads& g = grads != nullptr ? *grads : local;
+  g.ln1_gamma.assign(hidden_, 0.0f);
+  g.ln1_beta.assign(hidden_, 0.0f);
+  g.ln2_gamma.assign(hidden_, 0.0f);
+  g.ln2_beta.assign(hidden_, 0.0f);
+
+  // Recompute the forward intermediates (activation recomputation).
+  const HalfMatrix attn = mha_.forward_batched(x, seq_ends);
+  const HalfMatrix s1 = add(x, attn);
+  const HalfMatrix h = layer_norm(s1, ln1_gamma_, ln1_beta_);
+  const HalfMatrix ff1 = ffn_in_.forward(h);
+  const HalfMatrix act = gelu(ff1);
+  const HalfMatrix ff2 = ffn_out_.forward(act);
+  const HalfMatrix s2 = add(h, ff2);
+
+  // out = LN2(h + ff2): the residual feeds d_s2 both into the FFN
+  // backward and straight through to h.
+  const FloatMatrix d_s2 =
+      layer_norm_backward(s2, ln2_gamma_, grad_out, g.ln2_gamma, g.ln2_beta);
+  g.ffn_out = ffn_out_.backward(act, d_s2);
+  const FloatMatrix d_ff1 = gelu_backward(ff1, g.ffn_out.input);
+  g.ffn_in = ffn_in_.backward(h, d_ff1);
+  const FloatMatrix d_h = add(d_s2, g.ffn_in.input);
+
+  // h = LN1(x + attn): same residual split around the attention block.
+  const FloatMatrix d_s1 =
+      layer_norm_backward(s1, ln1_gamma_, d_h, g.ln1_gamma, g.ln1_beta);
+  const FloatMatrix d_x_attn =
+      mha_.backward_batched(x, seq_ends, d_s1, &g.mha);
+  return add(d_s1, d_x_attn);
+}
+
+void EncoderLayer::apply_gradients(const EncoderLayerGrads& g, float lr) {
+  mha_.apply_gradients(g.mha, lr);
+  ffn_in_.apply_gradients(g.ffn_in, lr);
+  ffn_out_.apply_gradients(g.ffn_out, lr);
+  VENOM_CHECK(g.ln1_gamma.size() == hidden_ && g.ln2_gamma.size() == hidden_);
+  for (std::size_t f = 0; f < hidden_; ++f) {
+    ln1_gamma_[f] -= lr * g.ln1_gamma[f];
+    ln1_beta_[f] -= lr * g.ln1_beta[f];
+    ln2_gamma_[f] -= lr * g.ln2_gamma[f];
+    ln2_beta_[f] -= lr * g.ln2_beta[f];
+  }
+}
+
 Encoder::Encoder(const ModelConfig& cfg, Rng& rng, std::size_t layer_count)
     : cfg_(cfg) {
   const std::size_t n = layer_count == 0 ? cfg.layers : layer_count;
@@ -86,6 +144,35 @@ HalfMatrix Encoder::forward_batched(const HalfMatrix& x,
   for (const auto& layer : layers_)
     h = layer.forward_batched(h, seq_ends, timing);
   return h;
+}
+
+FloatMatrix Encoder::backward(const HalfMatrix& x, const FloatMatrix& grad_out,
+                              std::vector<EncoderLayerGrads>* grads) const {
+  // Recover each layer's input by re-running the forward chain (the
+  // memory-lean recomputation strategy; each layer recomputes its own
+  // internals again in backward()).
+  std::vector<HalfMatrix> inputs;
+  inputs.reserve(layers_.size());
+  HalfMatrix h = x;
+  for (const auto& layer : layers_) {
+    inputs.push_back(h);
+    h = layer.forward(h);
+  }
+  std::vector<EncoderLayerGrads> local;
+  std::vector<EncoderLayerGrads>& g = grads != nullptr ? *grads : local;
+  g.clear();
+  g.resize(layers_.size());
+  FloatMatrix d = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;)
+    d = layers_[i].backward(inputs[i], d, &g[i]);
+  return d;
+}
+
+void Encoder::apply_gradients(const std::vector<EncoderLayerGrads>& grads,
+                              float lr) {
+  VENOM_CHECK(grads.size() == layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    layers_[i].apply_gradients(grads[i], lr);
 }
 
 }  // namespace venom::transformer

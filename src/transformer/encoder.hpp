@@ -12,6 +12,13 @@
 
 namespace venom::transformer {
 
+/// Parameter gradients of one encoder layer.
+struct EncoderLayerGrads {
+  MhaGrads mha;
+  Linear::Grads ffn_in, ffn_out;
+  std::vector<float> ln1_gamma, ln1_beta, ln2_gamma, ln2_beta;
+};
+
 /// One encoder layer (MHA + FFN + two LayerNorms).
 class EncoderLayer {
  public:
@@ -43,6 +50,21 @@ class EncoderLayer {
   HalfMatrix forward_batched(const HalfMatrix& x,
                              std::span<const std::size_t> seq_ends,
                              TimingBreakdown* timing = nullptr) const;
+
+  /// Backward pass given the layer's forward input and upstream dL/dout.
+  /// Recomputes the forward intermediates, differentiates both LayerNorm
+  /// / residual / GELU stages, and routes the six linear backwards
+  /// through Linear::backward (sparse ops when pruned). Returns dL/dx;
+  /// fills `grads` when non-null.
+  FloatMatrix backward(const HalfMatrix& x, const FloatMatrix& grad_out,
+                       EncoderLayerGrads* grads = nullptr) const;
+  FloatMatrix backward_batched(const HalfMatrix& x,
+                               std::span<const std::size_t> seq_ends,
+                               const FloatMatrix& grad_out,
+                               EncoderLayerGrads* grads = nullptr) const;
+
+  /// SGD step over the six linear layers and both LayerNorm affines.
+  void apply_gradients(const EncoderLayerGrads& g, float lr);
 
   MultiHeadAttention& attention() { return mha_; }
   const MultiHeadAttention& attention() const { return mha_; }
@@ -83,6 +105,16 @@ class Encoder {
   HalfMatrix forward_batched(const HalfMatrix& x,
                              std::span<const std::size_t> seq_ends,
                              TimingBreakdown* timing = nullptr) const;
+
+  /// Backward through the whole stack: re-runs the forward to recover
+  /// each layer's input, then chains EncoderLayer::backward in reverse.
+  /// `grads`, when non-null, is resized to layer_count() (grads[i] holds
+  /// layer i's parameter gradients). Returns dL/dx.
+  FloatMatrix backward(const HalfMatrix& x, const FloatMatrix& grad_out,
+                       std::vector<EncoderLayerGrads>* grads = nullptr) const;
+
+  /// SGD step over every layer (grads as produced by backward()).
+  void apply_gradients(const std::vector<EncoderLayerGrads>& grads, float lr);
 
   std::size_t layer_count() const { return layers_.size(); }
   EncoderLayer& layer(std::size_t i) { return layers_[i]; }

@@ -78,20 +78,32 @@ Linear::Grads Linear::backward(const HalfMatrix& x,
   ops::ExecContext& ctx = ctx_ != nullptr ? *ctx_ : ops::ExecContext::global();
   Grads g;
   const HalfMatrix grad_y_half = to_half(grad_y);
-
-  // dL/dx = W^T dL/dy — through the transposed sparse kernel when pruned
-  // (no registry family covers the transposed product yet, so this one
-  // call stays direct).
-  const HalfMatrix wt = sparse_ == nullptr ? transpose(weight_) : HalfMatrix();
-  g.input = sparse_ != nullptr
-                ? spatha::spmm_vnm_transposed(*sparse_, grad_y_half,
-                                              &ctx.pool())
-                : ops::matmul(ops::MatmulArgs::make(wt, grad_y_half), ctx);
-
-  // dL/dW = dL/dy x^T (dense: gradients flow to every coordinate; STen
-  // keeps dense weight grads so the sparsifier can re-select later).
   const HalfMatrix xt = transpose(x);
-  g.weight = ops::matmul(ops::MatmulArgs::make(grad_y_half, xt), ctx);
+
+  // dL/dx = W^T dL/dy — the kMatmulTransposed registry family: the
+  // scatter-based V:N:M kernel for a pruned weight, the explicit
+  // transpose + dense GEMM otherwise.
+  g.input = ops::matmul_transposed(
+      sparse_ != nullptr
+          ? ops::MatmulArgs::make_transposed(*sparse_, grad_y_half)
+          : ops::MatmulArgs::make_transposed(weight_, grad_y_half),
+      ctx);
+
+  if (sparse_ != nullptr) {
+    // dL/dW = dL/dy x^T sampled at the surviving pattern (the kSddmm
+    // family): pruned coordinates are never computed, so the gradient is
+    // masked by construction and updates cannot resurrect dead weights.
+    g.weight_vnm = std::make_shared<const VnmMatrix>(ops::sddmm(
+        ops::MatmulArgs::make_sddmm(*sparse_, grad_y_half, xt), ctx));
+    const HalfMatrix dense_grad = g.weight_vnm->to_dense();
+    g.weight = FloatMatrix(out_, in_);
+    for (std::size_t i = 0; i < dense_grad.size(); ++i)
+      g.weight.flat()[i] = dense_grad.flat()[i].to_float();
+  } else {
+    // Dense: gradients flow to every coordinate; STen keeps dense weight
+    // grads so the sparsifier can re-select later.
+    g.weight = ops::matmul(ops::MatmulArgs::make(grad_y_half, xt), ctx);
+  }
 
   // dL/db = row sums of dL/dy.
   g.bias.assign(out_, 0.0f);
@@ -99,6 +111,33 @@ Linear::Grads Linear::backward(const HalfMatrix& x,
     for (std::size_t t = 0; t < grad_y.cols(); ++t)
       g.bias[o] += grad_y(o, t);
   return g;
+}
+
+void Linear::apply_gradients(const Grads& g, float lr) {
+  VENOM_CHECK_MSG(g.weight.rows() == out_ && g.weight.cols() == in_ &&
+                      g.bias.size() == out_,
+                  "gradient shapes do not match a " << out_ << 'x' << in_
+                                                    << " layer");
+  if (sparse_ != nullptr) {
+    // Projected step: only surviving coordinates move, then the weight
+    // recompresses under its fixed pattern (still conforming — a pruned
+    // zero stays zero, and a surviving value stepping to exact zero only
+    // tightens the pattern).
+    HalfMatrix w = sparse_->to_dense();
+    for (std::size_t r = 0; r < out_; ++r)
+      for (std::size_t c = 0; c < in_; ++c)
+        if (!w(r, c).is_zero())
+          w(r, c) = half_t(w(r, c).to_float() - lr * g.weight(r, c));
+    const VnmConfig cfg = sparse_->config();
+    weight_ = w;
+    sparse_ = std::make_shared<const VnmMatrix>(VnmMatrix::compress(w, cfg));
+    sparse_fingerprint_ = spatha::weight_fingerprint(*sparse_);
+  } else {
+    for (std::size_t i = 0; i < weight_.size(); ++i)
+      weight_.flat()[i] = half_t(weight_.flat()[i].to_float() -
+                                 lr * g.weight.flat()[i]);
+  }
+  for (std::size_t o = 0; o < out_; ++o) bias_[o] -= lr * g.bias[o];
 }
 
 void Linear::mask_gradient_to_pattern(FloatMatrix& grad_weight) const {

@@ -63,21 +63,36 @@ class Linear {
   /// Forward pass; if `timing` is non-null, the GEMM time is added.
   HalfMatrix forward(const HalfMatrix& x, TimingBreakdown* timing = nullptr) const;
 
-  /// Gradients of a linear layer (the sparse-training path of §9a: the
-  /// sparse weight's backward for the input runs through the transposed
-  /// V:N:M SpMM; the weight gradient is dense, as in STen's default).
+  /// Gradients of a linear layer (the sparse-training path of §9a). For
+  /// a sparse weight, backward() dispatches both halves through the
+  /// venom::ops registry: the input gradient through the transposed
+  /// V:N:M SpMM (ops::matmul_transposed) and the weight gradient through
+  /// the masked SDDMM (ops::sddmm), so only the surviving pattern's
+  /// coordinates are ever computed — `weight` is then the dense
+  /// expansion of `weight_vnm` (zero at pruned positions).
   struct Grads {
     FloatMatrix input;        ///< dL/dx (in x tokens)
-    FloatMatrix weight;       ///< dL/dW (out x in, dense)
+    FloatMatrix weight;       ///< dL/dW (out x in; masked when sparse)
     std::vector<float> bias;  ///< dL/db (out)
+    /// Compressed dL/dW sharing the weight's structure (sparse layers
+    /// only) — feeds straight into a compressed-domain optimizer.
+    std::shared_ptr<const VnmMatrix> weight_vnm;
   };
 
   /// Backward pass for y = W x + b given dL/dy and the forward input.
   Grads backward(const HalfMatrix& x, const FloatMatrix& grad_y) const;
 
+  /// One SGD step: w -= lr * dL/dW, b -= lr * dL/db. Sparse layers
+  /// update only the surviving coordinates and recompress in place (the
+  /// pattern is fixed by sparsify(); the plan-cache fingerprint
+  /// refreshes so stale plans cannot alias the updated weight).
+  void apply_gradients(const Grads& g, float lr);
+
   /// Zeroes the entries of a weight gradient that the sparse pattern
   /// pruned, so updates cannot resurrect dead weights (masked training).
-  /// No-op while the layer is dense.
+  /// No-op while the layer is dense. (backward() already returns masked
+  /// gradients for sparse layers; this remains for externally computed
+  /// dense gradients.)
   void mask_gradient_to_pattern(FloatMatrix& grad_weight) const;
 
  private:

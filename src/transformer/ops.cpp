@@ -82,6 +82,75 @@ FloatMatrix attention_scores(const HalfMatrix& qh, const HalfMatrix& kh,
   return scores;
 }
 
+FloatMatrix add(const FloatMatrix& x, const FloatMatrix& y) {
+  VENOM_CHECK(x.rows() == y.rows() && x.cols() == y.cols());
+  FloatMatrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out.flat()[i] = x.flat()[i] + y.flat()[i];
+  return out;
+}
+
+FloatMatrix layer_norm_backward(const HalfMatrix& x,
+                                std::span<const float> gamma,
+                                const FloatMatrix& grad_y,
+                                std::span<float> dgamma,
+                                std::span<float> dbeta, float eps) {
+  const std::size_t features = x.rows();
+  VENOM_CHECK(gamma.size() == features && dgamma.size() == features &&
+              dbeta.size() == features);
+  VENOM_CHECK(grad_y.rows() == features && grad_y.cols() == x.cols());
+  FloatMatrix dx(features, x.cols());
+  const float inv_f = 1.0f / float(features);
+  std::vector<float> xhat(features), dyh(features);
+  for (std::size_t t = 0; t < x.cols(); ++t) {
+    // Recompute the per-token statistics exactly as the forward does.
+    float mean = 0.0f;
+    for (std::size_t f = 0; f < features; ++f) mean += x(f, t).to_float();
+    mean *= inv_f;
+    float var = 0.0f;
+    for (std::size_t f = 0; f < features; ++f) {
+      const float d = x(f, t).to_float() - mean;
+      var += d * d;
+    }
+    var *= inv_f;
+    const float inv = 1.0f / std::sqrt(var + eps);
+
+    // dL/dxhat = dL/dy * gamma; then the two projection terms that make
+    // the normalization's Jacobian: subtract the mean of dL/dxhat and
+    // the xhat-weighted mean along the feature axis.
+    float mean_dyh = 0.0f, mean_dyh_xhat = 0.0f;
+    for (std::size_t f = 0; f < features; ++f) {
+      xhat[f] = (x(f, t).to_float() - mean) * inv;
+      dyh[f] = grad_y(f, t) * gamma[f];
+      dgamma[f] += grad_y(f, t) * xhat[f];
+      dbeta[f] += grad_y(f, t);
+      mean_dyh += dyh[f];
+      mean_dyh_xhat += dyh[f] * xhat[f];
+    }
+    mean_dyh *= inv_f;
+    mean_dyh_xhat *= inv_f;
+    for (std::size_t f = 0; f < features; ++f)
+      dx(f, t) = inv * (dyh[f] - mean_dyh - xhat[f] * mean_dyh_xhat);
+  }
+  return dx;
+}
+
+FloatMatrix gelu_backward(const HalfMatrix& x, const FloatMatrix& grad_y) {
+  VENOM_CHECK(grad_y.rows() == x.rows() && grad_y.cols() == x.cols());
+  FloatMatrix dx(x.rows(), x.cols());
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  constexpr float kCubic = 0.044715f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x.flat()[i].to_float();
+    const float u = kSqrt2OverPi * (v + kCubic * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kSqrt2OverPi * (1.0f + 3.0f * kCubic * v * v);
+    const float d = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    dx.flat()[i] = grad_y.flat()[i] * d;
+  }
+  return dx;
+}
+
 HalfMatrix attention_context(const FloatMatrix& p, const HalfMatrix& vh) {
   VENOM_CHECK(p.cols() == vh.cols());
   HalfMatrix ctx(vh.rows(), p.rows());

@@ -33,4 +33,26 @@ FloatMatrix attention_scores(const HalfMatrix& qh, const HalfMatrix& kh,
 /// context(dh x Tq) = Vh * P^T, with P(Tq x Tk) probabilities, Vh(dh x Tk).
 HalfMatrix attention_context(const FloatMatrix& p, const HalfMatrix& vh);
 
+// ------------------------------------------------------------- backward
+//
+// Gradients of the elementwise / normalization operators above, for the
+// sparse-training loop (fp32 gradient domain; the forward's fp16
+// rounding is treated as identity, the standard mixed-precision
+// convention).
+
+/// x + y element-wise over fp32 gradients.
+FloatMatrix add(const FloatMatrix& x, const FloatMatrix& y);
+
+/// Backward of layer_norm over the *pre-normalization* input `x`: given
+/// upstream dL/dy, returns dL/dx and accumulates dL/dgamma and dL/dbeta
+/// (both size = features; callers zero them first).
+FloatMatrix layer_norm_backward(const HalfMatrix& x,
+                                std::span<const float> gamma,
+                                const FloatMatrix& grad_y,
+                                std::span<float> dgamma,
+                                std::span<float> dbeta, float eps = 1e-5f);
+
+/// Backward of the tanh-approximated GELU: dL/dx = dL/dy * gelu'(x).
+FloatMatrix gelu_backward(const HalfMatrix& x, const FloatMatrix& grad_y);
+
 }  // namespace venom::transformer

@@ -92,4 +92,38 @@ double row_imbalance(const HalfMatrix& m) {
   return std::sqrt(var) / mean;
 }
 
+RegressionTask regression_task(std::size_t out, std::size_t in,
+                               std::size_t tokens, Rng& rng,
+                               float input_sigma) {
+  RegressionTask task;
+  // Transformer-like teacher: N(0, 1/in) values on a ~35%-dense support
+  // with ~10% outlier columns scaled 4x — the compressible, column-
+  // skewed structure trained BERT weights exhibit (and what makes both
+  // the V:N:M column selection and the fine-tune recovery meaningful: an
+  // incompressible i.i.d. gaussian teacher has no structure a 75%-sparse
+  // student could recover).
+  const float sigma_w = 1.0f / std::sqrt(float(in));
+  task.teacher = HalfMatrix(out, in);
+  std::vector<bool> outlier(in);
+  for (std::size_t c = 0; c < in; ++c) outlier[c] = rng.uniform() < 0.1f;
+  for (std::size_t r = 0; r < out; ++r)
+    for (std::size_t c = 0; c < in; ++c) {
+      const float v = sigma_w * rng.normal() * (outlier[c] ? 4.0f : 1.0f);
+      task.teacher(r, c) = rng.uniform() < 0.35f ? half_t(v) : half_t(0.0f);
+    }
+
+  task.inputs = random_half_matrix(in, tokens, rng, input_sigma);
+
+  // fp32 targets: the dense product of the fp16 teacher and inputs.
+  task.targets = FloatMatrix(out, tokens);
+  for (std::size_t r = 0; r < out; ++r)
+    for (std::size_t t = 0; t < tokens; ++t) {
+      float acc = 0.0f;
+      for (std::size_t c = 0; c < in; ++c)
+        acc += task.teacher(r, c).to_float() * task.inputs(c, t).to_float();
+      task.targets(r, t) = acc;
+    }
+  return task;
+}
+
 }  // namespace venom::workloads

@@ -45,4 +45,20 @@ HalfMatrix block_structured(std::size_t rows, std::size_t cols,
 /// sparsity; this is the measurement the robustness bench reports.
 double row_imbalance(const HalfMatrix& m);
 
+/// Synthetic linear-regression episode for the fine-tuning loop (§9a):
+/// a fixed transformer-like teacher weight (gaussian with scaled outlier
+/// columns — the structure the pruning policies are designed around),
+/// gaussian input activations, and fp32 targets t = W x. The student
+/// fits the teacher under a V:N:M constraint; the full batch is fixed,
+/// so losses and gradients are deterministic functions of the rng state.
+struct RegressionTask {
+  HalfMatrix teacher;   ///< out x in
+  HalfMatrix inputs;    ///< in x tokens
+  FloatMatrix targets;  ///< out x tokens (fp32 teacher outputs)
+};
+
+RegressionTask regression_task(std::size_t out, std::size_t in,
+                               std::size_t tokens, Rng& rng,
+                               float input_sigma = 0.5f);
+
 }  // namespace venom::workloads

@@ -15,7 +15,9 @@
 #include "format/cvse.hpp"
 #include "pruning/policies.hpp"
 #include "spatha/epilogue.hpp"
+#include "spatha/sddmm.hpp"
 #include "spatha/spmm.hpp"
+#include "transformer/linear.hpp"
 
 namespace venom {
 namespace {
@@ -169,6 +171,265 @@ TEST_P(EnergyLawFuzz, SelectionFreedomOrdersEnergy) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, EnergyLawFuzz, ::testing::Range(0, 8));
+
+// --------------------------------------------------- gradient checks
+//
+// The backward kernels are validated two ways per fuzzed problem:
+// (1) parity of the fast paths against their scalar oracles, and
+// (2) finite differences: the transposed SpMM and the SDDMM must be the
+//     exact adjoints of the *forward* spmm_vnm — under both
+//     ColumnLocModes, since kFixed changes which dense coordinates every
+//     nonzero touches. All FD deltas are computed from the actually-
+//     rounded fp16 operands, so fp16 quantization cannot masquerade as
+//     gradient error; the acceptance tolerance is 1e-2 relative.
+
+double inner_cs(const FloatMatrix& a, const FloatMatrix& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += double(a.flat()[i]) * double(b.flat()[i]);
+  return acc;
+}
+
+double grad_rel_err(double fd, double an) {
+  return std::fabs(fd - an) / std::max({std::fabs(fd), std::fabs(an), 1e-4});
+}
+
+class GradFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradFuzz, TransposedMatchesScalarOracleBothModes) {
+  const FuzzCase fc = FuzzCase::draw(8000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  // B here plays dL/dy: shape (rows x any width).
+  Rng rng(8100 + std::size_t(GetParam()));
+  const HalfMatrix gy = random_half_matrix(fc.rows, 1 + rng.uniform_index(24),
+                                           rng, 0.1f);
+  for (const spatha::ColumnLocMode mode :
+       {spatha::ColumnLocMode::kEnabled, spatha::ColumnLocMode::kFixed}) {
+    spatha::SpmmConfig cfg = spatha::select_config_heuristic(
+        fc.cfg, fc.rows, fc.cols, gy.cols());
+    cfg.column_loc = mode;
+    const FloatMatrix fast =
+        spatha::spmm_vnm_transposed(sparse, gy, cfg);
+    const FloatMatrix oracle =
+        spatha::spmm_vnm_transposed_scalar(sparse, gy, mode);
+    EXPECT_LT(rel_fro_error(fast, oracle), 1e-5f)
+        << "mode=" << int(mode);
+  }
+}
+
+TEST_P(GradFuzz, SddmmMatchesScalarOracleBothModes) {
+  const FuzzCase fc = FuzzCase::draw(9000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  Rng rng(9100 + std::size_t(GetParam()));
+  const std::size_t depth = 1 + rng.uniform_index(24);
+  const HalfMatrix a = random_half_matrix(fc.rows, depth, rng, 0.1f);
+  const HalfMatrix b = random_half_matrix(depth, fc.cols, rng, 0.1f);
+  for (const spatha::ColumnLocMode mode :
+       {spatha::ColumnLocMode::kEnabled, spatha::ColumnLocMode::kFixed}) {
+    spatha::SpmmConfig cfg =
+        spatha::select_config_heuristic(fc.cfg, fc.rows, fc.cols, depth);
+    cfg.column_loc = mode;
+    cfg.chunk_grain = 1 + rng.uniform_index(3);  // exercise the partition
+    const VnmMatrix fast = spatha::sddmm_vnm(sparse, a, b, cfg);
+    const VnmMatrix oracle = spatha::sddmm_vnm_scalar(sparse, a, b, mode);
+    ASSERT_EQ(fast.values().size(), oracle.values().size());
+    for (std::size_t i = 0; i < fast.values().size(); ++i) {
+      const float o = oracle.values()[i].to_float();
+      EXPECT_NEAR(fast.values()[i].to_float(), o,
+                  0.005f + 0.01f * std::fabs(o))
+          << "mode=" << int(mode) << " i=" << i;
+    }
+  }
+}
+
+TEST_P(GradFuzz, TransposedIsAdjointOfForwardBothModes) {
+  // f(B) = <S, spmm_vnm(A, B, mode)>  =>  df/dB = spmm_vnm_t(A, S, mode).
+  const FuzzCase fc = FuzzCase::draw(10000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  Rng rng(10100 + std::size_t(GetParam()));
+  const HalfMatrix s = random_half_matrix(fc.rows, fc.b_cols, rng, 0.1f);
+  FloatMatrix s_f = to_float(s);
+
+  for (const spatha::ColumnLocMode mode :
+       {spatha::ColumnLocMode::kEnabled, spatha::ColumnLocMode::kFixed}) {
+    spatha::SpmmConfig cfg = spatha::select_config_heuristic(
+        fc.cfg, fc.rows, fc.cols, fc.b_cols);
+    cfg.column_loc = mode;
+    const FloatMatrix grad_b =
+        spatha::spmm_vnm_transposed(sparse, s, cfg);
+
+    // Directional FD from the actually-rounded fp16 perturbations.
+    HalfMatrix b_plus(fc.cols, fc.b_cols), b_minus(fc.cols, fc.b_cols);
+    FloatMatrix delta(fc.cols, fc.b_cols);
+    const float h = 0.02f;
+    for (std::size_t i = 0; i < fc.b.size(); ++i) {
+      const float v = fc.b.flat()[i].to_float();
+      const float d = rng.normal();
+      b_plus.flat()[i] = half_t(v + h * d);
+      b_minus.flat()[i] = half_t(v - h * d);
+      delta.flat()[i] =
+          b_plus.flat()[i].to_float() - b_minus.flat()[i].to_float();
+    }
+    const double fd =
+        inner_cs(s_f, spatha::spmm_vnm(sparse, b_plus, cfg)) -
+        inner_cs(s_f, spatha::spmm_vnm(sparse, b_minus, cfg));
+    const double an = inner_cs(grad_b, delta);
+    EXPECT_LT(grad_rel_err(fd, an), 1e-2) << "mode=" << int(mode);
+  }
+}
+
+TEST_P(GradFuzz, SddmmIsAdjointOfForwardValuesBothModes) {
+  // f(vals) = <S, spmm_vnm(A(vals), B, mode)>  =>
+  //   df/dvals = sddmm_vnm(A, S, B^T, mode) slot by slot.
+  const FuzzCase fc = FuzzCase::draw(11000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  Rng rng(11100 + std::size_t(GetParam()));
+  const HalfMatrix s = random_half_matrix(fc.rows, fc.b_cols, rng, 0.1f);
+  const FloatMatrix s_f = to_float(s);
+  const HalfMatrix bt = transpose(fc.b);
+
+  for (const spatha::ColumnLocMode mode :
+       {spatha::ColumnLocMode::kEnabled, spatha::ColumnLocMode::kFixed}) {
+    spatha::SpmmConfig cfg = spatha::select_config_heuristic(
+        fc.cfg, fc.rows, fc.cols, fc.b_cols);
+    cfg.column_loc = mode;
+    const VnmMatrix grad_vals = spatha::sddmm_vnm(sparse, s, bt, cfg);
+
+    // Perturb the compressed values directly (zero slots are padding —
+    // the kernels skip them, so they stay untouched).
+    std::vector<half_t> vp = sparse.values(), vm = sparse.values();
+    std::vector<float> delta(vp.size(), 0.0f);
+    const float h = 0.02f;
+    for (std::size_t i = 0; i < vp.size(); ++i) {
+      if (vp[i].is_zero()) continue;
+      const float v = vp[i].to_float();
+      const float d = rng.normal();
+      vp[i] = half_t(v + h * d);
+      vm[i] = half_t(v - h * d);
+      // A perturbed value landing on exact zero would change the
+      // kernels' skip set; nudge it off zero.
+      if (vp[i].is_zero()) vp[i] = half_t(v + 2.0f * h * std::fabs(d) + h);
+      if (vm[i].is_zero()) vm[i] = half_t(v - 2.0f * h * std::fabs(d) - h);
+      delta[i] = vp[i].to_float() - vm[i].to_float();
+    }
+    const VnmMatrix a_plus = VnmMatrix::from_parts(
+        fc.cfg, fc.rows, fc.cols, vp, sparse.m_indices(),
+        sparse.column_locs());
+    const VnmMatrix a_minus = VnmMatrix::from_parts(
+        fc.cfg, fc.rows, fc.cols, vm, sparse.m_indices(),
+        sparse.column_locs());
+    const double fd =
+        inner_cs(s_f, spatha::spmm_vnm(a_plus, fc.b, cfg)) -
+        inner_cs(s_f, spatha::spmm_vnm(a_minus, fc.b, cfg));
+    double an = 0.0;
+    for (std::size_t i = 0; i < delta.size(); ++i)
+      an += double(grad_vals.values()[i].to_float()) * double(delta[i]);
+    EXPECT_LT(grad_rel_err(fd, an), 1e-2) << "mode=" << int(mode);
+  }
+}
+
+TEST_P(GradFuzz, LinearBackwardFiniteDifference) {
+  // Dense and sparse Linear::backward against directional FD of the
+  // half-precision forward, over the fuzzed ragged geometry.
+  const FuzzCase fc = FuzzCase::draw(12000 + std::size_t(GetParam()));
+  Rng rng(12100 + std::size_t(GetParam()));
+  const std::size_t tokens = 1 + rng.uniform_index(16);
+  const HalfMatrix x = random_half_matrix(fc.cols, tokens, rng, 0.5f);
+  FloatMatrix t(fc.rows, tokens);
+  for (auto& v : t.flat()) v = 0.1f * rng.normal();
+
+  std::vector<float> bias(fc.rows);
+  for (auto& v : bias) v = 0.1f * rng.normal();
+
+  for (const bool sparse : {false, true}) {
+    transformer::Linear layer(fc.dense, bias);
+    if (sparse) layer.sparsify(fc.cfg);
+
+    const auto loss = [&](const HalfMatrix& xx) {
+      const HalfMatrix y = layer.forward(xx);
+      double acc = 0.0;
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        const double d =
+            double(y.flat()[i].to_float()) - double(t.flat()[i]);
+        acc += 0.5 * d * d;
+      }
+      return acc;
+    };
+    const HalfMatrix y = layer.forward(x);
+    FloatMatrix gy(fc.rows, tokens);
+    for (std::size_t i = 0; i < gy.size(); ++i)
+      gy.flat()[i] = y.flat()[i].to_float() - t.flat()[i];
+    const transformer::Linear::Grads g = layer.backward(x, gy);
+
+    // Directional FD aggregated over several directions (RMS of the
+    // disagreement over the RMS analytic derivative): a single direction
+    // can land where the derivative nearly cancels, turning the fp16
+    // noise floor into an arbitrary relative error. The loss is
+    // quadratic in x and W, so central differences carry no curvature
+    // error and a generous step safely drowns the rounding noise.
+    const float h = 0.1f;
+    const int dirs = 4;
+
+    double num_x = 0.0, den_x = 0.0;
+    for (int k = 0; k < dirs; ++k) {
+      HalfMatrix xp(fc.cols, tokens), xm(fc.cols, tokens);
+      FloatMatrix dx(fc.cols, tokens);
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const float v = x.flat()[i].to_float();
+        const float d = rng.normal();
+        xp.flat()[i] = half_t(v + h * d);
+        xm.flat()[i] = half_t(v - h * d);
+        dx.flat()[i] = xp.flat()[i].to_float() - xm.flat()[i].to_float();
+      }
+      const double fd_x = loss(xp) - loss(xm);
+      const double an_x = inner_cs(g.input, dx);
+      num_x += (fd_x - an_x) * (fd_x - an_x);
+      den_x += an_x * an_x;
+    }
+    EXPECT_LT(std::sqrt(num_x / std::max(den_x, 1e-12)), 1e-2)
+        << "sparse=" << sparse << " (input)";
+
+    // Weight directions (surviving coordinates only when sparse).
+    const auto loss_of = [&](const transformer::Linear& l) {
+      const HalfMatrix yy = l.forward(x);
+      double acc = 0.0;
+      for (std::size_t i = 0; i < yy.size(); ++i) {
+        const double d =
+            double(yy.flat()[i].to_float()) - double(t.flat()[i]);
+        acc += 0.5 * d * d;
+      }
+      return acc;
+    };
+    const HalfMatrix w0 =
+        sparse ? layer.sparse_weight().to_dense() : layer.dense_weight();
+    double num_w = 0.0, den_w = 0.0;
+    for (int k = 0; k < dirs; ++k) {
+      HalfMatrix wp = w0, wm = w0;
+      FloatMatrix dw(fc.rows, fc.cols);
+      for (std::size_t i = 0; i < w0.size(); ++i) {
+        if (sparse && w0.flat()[i].is_zero()) continue;
+        const float v = w0.flat()[i].to_float();
+        const float d = rng.normal();
+        wp.flat()[i] = half_t(v + h * d);
+        wm.flat()[i] = half_t(v - h * d);
+        dw.flat()[i] = wp.flat()[i].to_float() - wm.flat()[i].to_float();
+      }
+      transformer::Linear lp(wp, bias), lm(wm, bias);
+      if (sparse) {
+        lp.sparsify(fc.cfg);
+        lm.sparsify(fc.cfg);
+      }
+      const double fd_w = loss_of(lp) - loss_of(lm);
+      const double an_w = inner_cs(g.weight, dw);
+      num_w += (fd_w - an_w) * (fd_w - an_w);
+      den_w += an_w * an_w;
+    }
+    EXPECT_LT(std::sqrt(num_w / std::max(den_w, 1e-12)), 1e-2)
+        << "sparse=" << sparse << " (weight)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, GradFuzz, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace venom

@@ -72,6 +72,55 @@ TEST(Sddmm, ShapeChecks) {
   EXPECT_THROW(sddmm_vnm(s, HalfMatrix(8, 4), HalfMatrix(5, 16)), Error);
 }
 
+TEST(Sddmm, FastMatchesScalarOracleWithScratchPool) {
+  // The production path (packed column panels + lane-blocked dots, with
+  // a caller-owned scratch pool and a tuned-style chunk grain) agrees
+  // with the naive oracle on a ragged shape; repeated calls through the
+  // same pool reuse the panel buffers.
+  Rng rng(10);
+  const VnmConfig fmt{8, 2, 10};
+  const VnmMatrix s = random_structure(24, 50, fmt, 11);
+  const HalfMatrix a = random_half_matrix(24, 17, rng);
+  const HalfMatrix b = random_half_matrix(17, 50, rng);
+  SpmmConfig cfg = select_config_heuristic(fmt, 24, 50, 17);
+  cfg.chunk_grain = 2;
+
+  SpmmScratchPool pool_scratch;
+  const VnmMatrix oracle = sddmm_vnm_scalar(s, a, b);
+  for (int call = 0; call < 3; ++call) {
+    const VnmMatrix fast = sddmm_vnm(s, a, b, cfg, nullptr, &pool_scratch);
+    ASSERT_EQ(fast.values().size(), oracle.values().size());
+    for (std::size_t i = 0; i < fast.values().size(); ++i)
+      EXPECT_NEAR(fast.values()[i].to_float(), oracle.values()[i].to_float(),
+                  0.005f + 0.01f * std::fabs(oracle.values()[i].to_float()))
+          << "call " << call << " i " << i;
+  }
+}
+
+TEST(Sddmm, FixedModeSamplesSelectorColumns) {
+  // Under ColumnLocMode::kFixed a nonzero with m-index j samples dense
+  // column g*M + j (the Fig. 9 ablation's selector mapping), ignoring
+  // the column-loc table — the exact adjoint of the kFixed forward.
+  Rng rng(12);
+  const VnmConfig fmt{4, 2, 8};
+  const VnmMatrix s = random_structure(8, 16, fmt, 13);
+  const HalfMatrix a = random_half_matrix(8, 6, rng);
+  const HalfMatrix b = random_half_matrix(6, 16, rng);
+
+  const VnmMatrix out = sddmm_vnm_scalar(s, a, b, ColumnLocMode::kFixed);
+  const FloatMatrix full = gemm_dense(a, b);
+  const std::size_t groups = s.groups_per_row();
+  for (std::size_t r = 0; r < s.rows(); ++r)
+    for (std::size_t g = 0; g < groups; ++g)
+      for (std::size_t j = 0; j < fmt.n; ++j) {
+        if (s.value(r, g, j).is_zero()) continue;
+        const std::size_t col = g * fmt.m + s.m_index(r, g, j);
+        EXPECT_NEAR(out.value(r, g, j).to_float(), full(r, col),
+                    0.01f + 0.02f * std::fabs(full(r, col)))
+            << r << ',' << g << ',' << j;
+      }
+}
+
 TEST(Sddmm, AttentionGradientUseCase) {
   // Sparse-attention backward: dL/dscores = (dL/dctx)^T V sampled at the
   // kept probability positions. Verify the sampled gradient matches the

@@ -32,6 +32,13 @@
 //       serving throughput: dynamic batching through the InferenceEngine
 //       vs a sequential one-request-at-a-time loop over the same pruned
 //       encoder; prints req/s, tok/s, p50/p99 latency, and the speedup
+//   venomtool finetune-bench [out] [in] [tokens] [steps] [V N M]
+//       sparse fine-tuning demo: a random student layer is magnitude-
+//       pruned to V:N:M and fine-tuned against a synthetic regression
+//       task with every forward/backward on the sparse kernels (SpMM /
+//       transposed SpMM / masked SDDMM). Prints the loss curve and the
+//       recovery fraction; exits nonzero below the recovery bar
+//       (VENOM_FINETUNE_RECOVERY_BAR, default 0.5)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -44,6 +51,7 @@
 #include "gpumodel/autotune.hpp"
 #include "io/serialize.hpp"
 #include "ops/ops.hpp"
+#include "pruning/finetune.hpp"
 #include "pruning/policies.hpp"
 #include "serving/bench_harness.hpp"
 #include "spatha/spmm.hpp"
@@ -67,7 +75,9 @@ int usage() {
                "  venomtool model <R> <K> <C> <V> <N> <M>\n"
                "  venomtool backends [R K C V N M]\n"
                "  venomtool serve-bench [requests] [tokens] [batch_tokens]"
-               " [hidden] [layers]\n");
+               " [hidden] [layers]\n"
+               "  venomtool finetune-bench [out] [in] [tokens] [steps]"
+               " [V N M]\n");
   return 2;
 }
 
@@ -368,6 +378,52 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_finetune_bench(const std::vector<std::string>& args) {
+  if (args.size() > 7 || args.size() == 5 || args.size() == 6)
+    return usage();
+  const std::size_t out = args.size() > 0 ? to_size(args[0]) : 64;
+  const std::size_t in = args.size() > 1 ? to_size(args[1]) : 128;
+  const std::size_t tokens = args.size() > 2 ? to_size(args[2]) : 256;
+  pruning::SparseFinetuneConfig cfg;
+  cfg.steps = args.size() > 3 ? to_size(args[3]) : 60;
+  if (args.size() == 7)
+    cfg.format = VnmConfig{to_size(args[4]), to_size(args[5]),
+                           to_size(args[6])};
+
+  Rng task_rng = Rng::seeded("finetune-task");
+  const workloads::RegressionTask task =
+      workloads::regression_task(out, in, tokens, task_rng);
+  Rng student_rng = Rng::seeded("finetune-student");
+  transformer::Linear student =
+      transformer::Linear::random(out, in, student_rng);
+
+  std::printf("finetune-bench: %zux%zu student, %zu tokens, %zu:%zu:%zu "
+              "(%.0f%% sparse), %zu SGD steps\n",
+              out, in, tokens, cfg.format.v, cfg.format.n, cfg.format.m,
+              cfg.format.sparsity() * 100.0, cfg.steps);
+  const pruning::SparseFinetuneReport r =
+      pruning::finetune_linear(student, task, cfg);
+
+  std::printf("  dense loss      : %10.6f\n", r.dense_loss);
+  std::printf("  post-prune loss : %10.6f\n", r.post_prune_loss);
+  for (std::size_t s = 0; s < r.curve.size();
+       s += std::max<std::size_t>(1, r.curve.size() / 8))
+    std::printf("    step %3zu      : %10.6f\n", s, r.curve[s]);
+  std::printf("  final loss      : %10.6f\n", r.final_loss);
+  std::printf("  recovery        : %.1f%% of the post-prune loss removed\n",
+              r.recovery() * 100.0);
+
+  double bar = 0.5;
+  if (const char* env = std::getenv("VENOM_FINETUNE_RECOVERY_BAR"))
+    bar = std::atof(env);
+  if (r.recovery() < bar) {
+    std::fprintf(stderr, "FAIL: recovery %.3f below the %.3f bar\n",
+                 r.recovery(), bar);
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_model(const std::vector<std::string>& args) {
   if (args.size() != 6) return usage();
   const auto& dev = gpumodel::rtx3090();
@@ -405,6 +461,7 @@ int main(int argc, char** argv) {
     if (cmd == "model") return cmd_model(args);
     if (cmd == "backends") return cmd_backends(args);
     if (cmd == "serve-bench") return cmd_serve_bench(args);
+    if (cmd == "finetune-bench") return cmd_finetune_bench(args);
   } catch (const venom::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
