@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "ops/ops.hpp"
 #include "pruning/policies.hpp"
+#include "quant/quantized_vnm.hpp"
 #include "spatha/spmm.hpp"
 
 namespace {
@@ -74,6 +75,35 @@ void BM_SpathaVnmScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_SpathaVnmScalar)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
+
+void BM_SpathaVnmInt8(benchmark::State& state) {
+  // Pre-quantized weight through the dispatch layer: measures the packed
+  // int8 panel pipeline (int32 accumulate, scale epilogue), not the
+  // one-time quantization cost.
+  const std::size_t m = std::size_t(state.range(0));
+  const VnmConfig cfg{64, 2, m};
+  const auto a = std::make_shared<const quant::QuantizedVnmMatrix>(
+      quant::QuantizedVnmMatrix::quantize(
+          VnmMatrix::from_dense_magnitude(weight(), cfg)));
+  const HalfMatrix b = activations();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ops::matmul(ops::MatmulArgs::make(a, b)));
+  state.SetLabel("64:2:" + std::to_string(m) + " int8");
+}
+BENCHMARK(BM_SpathaVnmInt8)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_SpathaVnmFp8(benchmark::State& state) {
+  const std::size_t m = std::size_t(state.range(0));
+  const VnmConfig cfg{64, 2, m};
+  const auto a = std::make_shared<const quant::Fp8VnmMatrix>(
+      quant::Fp8VnmMatrix::quantize(
+          VnmMatrix::from_dense_magnitude(weight(), cfg), Fp8Format::kE4M3));
+  const HalfMatrix b = activations();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ops::matmul(ops::MatmulArgs::make(a, b)));
+  state.SetLabel("64:2:" + std::to_string(m) + " fp8-e4m3");
+}
+BENCHMARK(BM_SpathaVnmFp8)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 
 void BM_Spmm24(benchmark::State& state) {
   const NmMatrix a = NmMatrix::from_dense_magnitude(weight(), {2, 4});
@@ -150,6 +180,29 @@ void write_speedup_json() {
     std::printf("  %-24s %7.2f GFLOP/s  (seed %5.2f GFLOP/s, speedup %.2fx)\n",
                 shape.c_str(), flops / fast_s * 1e-9, flops / seed_s * 1e-9,
                 seed_s / fast_s);
+
+    // Reduced-precision rows on the same shape: pre-quantized weights
+    // through the dispatch layer, ratios against the same seed run so
+    // they compare directly with the fp16 rows above.
+    const auto qa = std::make_shared<const quant::QuantizedVnmMatrix>(
+        quant::QuantizedVnmMatrix::quantize(a));
+    const ops::MatmulArgs qargs = ops::MatmulArgs::make(qa, b);
+    const double i8_s = seconds_per_call(
+        [&] { benchmark::DoNotOptimize(ops::matmul(qargs)); });
+    records.push_back({"spmm_vnm_i8", shape, flops / i8_s * 1e-9,
+                       seed_s / i8_s});
+    std::printf("  %-24s %7.2f GFLOP/s  (%.2fx over fp16 fast)\n",
+                (shape + " int8").c_str(), flops / i8_s * 1e-9, fast_s / i8_s);
+
+    const auto fa = std::make_shared<const quant::Fp8VnmMatrix>(
+        quant::Fp8VnmMatrix::quantize(a, Fp8Format::kE4M3));
+    const ops::MatmulArgs fargs = ops::MatmulArgs::make(fa, b);
+    const double f8_s = seconds_per_call(
+        [&] { benchmark::DoNotOptimize(ops::matmul(fargs)); });
+    records.push_back({"spmm_vnm_fp8", shape, flops / f8_s * 1e-9,
+                       seed_s / f8_s});
+    std::printf("  %-24s %7.2f GFLOP/s  (%.2fx over fp16 fast)\n",
+                (shape + " fp8").c_str(), flops / f8_s * 1e-9, fast_s / f8_s);
   }
   // Merge (not overwrite) so bench_autotune's tuned-vs-heuristic records
   // survive a re-run of this harness and vice versa.

@@ -21,6 +21,8 @@ constexpr char kMagicFloat[4] = {'M', 'A', 'T', 'F'};
 constexpr char kMagicVnm[4] = {'V', 'N', 'M', '1'};
 constexpr char kMagicNm[4] = {'N', 'M', 'F', '1'};
 constexpr char kMagicCsr[4] = {'C', 'S', 'R', '1'};
+constexpr char kMagicQuantVnm[4] = {'Q', 'V', 'N', '1'};
+constexpr char kMagicFp8Vnm[4] = {'F', 'V', 'N', '1'};
 
 class Writer {
  public:
@@ -103,6 +105,9 @@ FileKind probe(const std::string& path) {
   if (std::memcmp(magic, kMagicVnm, 4) == 0) return FileKind::kVnmMatrix;
   if (std::memcmp(magic, kMagicNm, 4) == 0) return FileKind::kNmMatrix;
   if (std::memcmp(magic, kMagicCsr, 4) == 0) return FileKind::kCsrMatrix;
+  if (std::memcmp(magic, kMagicQuantVnm, 4) == 0)
+    return FileKind::kQuantVnmMatrix;
+  if (std::memcmp(magic, kMagicFp8Vnm, 4) == 0) return FileKind::kFp8VnmMatrix;
   if (magic[0] == '{') return FileKind::kTuningCache;
   return FileKind::kUnknown;
 }
@@ -177,6 +182,38 @@ void save(const CsrMatrix& m, const std::string& path) {
   w.finish(path);
 }
 
+void save(const quant::QuantizedVnmMatrix& m, const std::string& path) {
+  Writer w(path);
+  w.magic(kMagicQuantVnm);
+  w.u32(kVersion);
+  w.u64(m.config().v);
+  w.u64(m.config().n);
+  w.u64(m.config().m);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  w.raw(m.values().data(), m.values().size());
+  w.raw(m.m_indices().data(), m.m_indices().size());
+  w.raw(m.column_locs().data(), m.column_locs().size());
+  w.raw(m.row_scales().data(), m.row_scales().size());
+  w.finish(path);
+}
+
+void save(const quant::Fp8VnmMatrix& m, const std::string& path) {
+  Writer w(path);
+  w.magic(kMagicFp8Vnm);
+  w.u32(kVersion);
+  w.u64(m.config().v);
+  w.u64(m.config().n);
+  w.u64(m.config().m);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  w.u64(m.format() == Fp8Format::kE5M2 ? 0 : 1);
+  w.raw(m.values().data(), m.values().size());
+  w.raw(m.m_indices().data(), m.m_indices().size());
+  w.raw(m.column_locs().data(), m.column_locs().size());
+  w.finish(path);
+}
+
 HalfMatrix load_half_matrix(const std::string& path) {
   Reader r(path);
   r.expect_magic(kMagicHalf);
@@ -225,6 +262,57 @@ VnmMatrix load_vnm_matrix(const std::string& path) {
       r.raw<std::uint8_t>((rows / cfg.v) * groups * cfg.selected_cols());
   return VnmMatrix::from_parts(cfg, rows, cols, std::move(values),
                                std::move(m_indices), std::move(column_loc));
+}
+
+quant::QuantizedVnmMatrix load_quant_vnm_matrix(const std::string& path) {
+  Reader r(path);
+  r.expect_magic(kMagicQuantVnm);
+  VENOM_CHECK_MSG(r.u32() == kVersion, "unsupported version in " << path);
+  VnmConfig cfg;
+  cfg.v = r.u64();
+  cfg.n = r.u64();
+  cfg.m = r.u64();
+  const std::size_t rows = r.u64();
+  const std::size_t cols = r.u64();
+  VENOM_CHECK_MSG(cfg.m >= 2 && cols % cfg.m == 0 && cfg.v >= 1 &&
+                      rows % cfg.v == 0,
+                  "invalid QVN metadata in " << path);
+  const std::size_t groups = cols / cfg.m;
+  auto values = r.raw<std::int8_t>(rows * groups * cfg.n);
+  auto m_indices = r.raw<std::uint8_t>(values.size());
+  auto column_loc =
+      r.raw<std::uint8_t>((rows / cfg.v) * groups * cfg.selected_cols());
+  auto scales = r.raw<float>(rows);
+  return quant::QuantizedVnmMatrix::from_parts(
+      cfg, rows, cols, std::move(values), std::move(m_indices),
+      std::move(column_loc), std::move(scales));
+}
+
+quant::Fp8VnmMatrix load_fp8_vnm_matrix(const std::string& path) {
+  Reader r(path);
+  r.expect_magic(kMagicFp8Vnm);
+  VENOM_CHECK_MSG(r.u32() == kVersion, "unsupported version in " << path);
+  VnmConfig cfg;
+  cfg.v = r.u64();
+  cfg.n = r.u64();
+  cfg.m = r.u64();
+  const std::size_t rows = r.u64();
+  const std::size_t cols = r.u64();
+  const std::uint64_t format_code = r.u64();
+  VENOM_CHECK_MSG(cfg.m >= 2 && cols % cfg.m == 0 && cfg.v >= 1 &&
+                      rows % cfg.v == 0 && format_code <= 1,
+                  "invalid FVN metadata in " << path);
+  const Fp8Format format =
+      format_code == 0 ? Fp8Format::kE5M2 : Fp8Format::kE4M3;
+  const std::size_t groups = cols / cfg.m;
+  auto values = r.raw<std::uint8_t>(rows * groups * cfg.n);
+  auto m_indices = r.raw<std::uint8_t>(values.size());
+  auto column_loc =
+      r.raw<std::uint8_t>((rows / cfg.v) * groups * cfg.selected_cols());
+  return quant::Fp8VnmMatrix::from_parts(cfg, rows, cols, format,
+                                         std::move(values),
+                                         std::move(m_indices),
+                                         std::move(column_loc));
 }
 
 NmMatrix load_nm_matrix(const std::string& path) {

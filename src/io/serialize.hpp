@@ -6,7 +6,8 @@
 // pre-compressed V:N:M weights to deployment.
 //
 //   MATH — HalfMatrix      MATF — FloatMatrix      VNM1 — VnmMatrix
-//   NMF1 — NmMatrix        CSR1 — CsrMatrix
+//   NMF1 — NmMatrix        CSR1 — CsrMatrix        QVN1 — QuantizedVnmMatrix
+//   FVN1 — Fp8VnmMatrix
 //
 // The empirical tuning cache is the one human-readable artefact: a JSON
 // document (see save_tuning_cache below) so tuned kernel configurations
@@ -18,6 +19,7 @@
 #include "format/csr.hpp"
 #include "format/nm.hpp"
 #include "format/vnm.hpp"
+#include "quant/quantized_vnm.hpp"
 #include "spatha/tuning_cache.hpp"
 #include "tensor/matrix.hpp"
 
@@ -31,6 +33,8 @@ enum class FileKind {
   kVnmMatrix,
   kNmMatrix,
   kCsrMatrix,
+  kQuantVnmMatrix,
+  kFp8VnmMatrix,
   kTuningCache,
   kUnknown
 };
@@ -43,6 +47,8 @@ void save(const FloatMatrix& m, const std::string& path);
 void save(const VnmMatrix& m, const std::string& path);
 void save(const NmMatrix& m, const std::string& path);
 void save(const CsrMatrix& m, const std::string& path);
+void save(const quant::QuantizedVnmMatrix& m, const std::string& path);
+void save(const quant::Fp8VnmMatrix& m, const std::string& path);
 
 /// Loaders throw venom::Error on missing files, bad magic, truncated
 /// payloads, or invalid format metadata.
@@ -51,6 +57,8 @@ FloatMatrix load_float_matrix(const std::string& path);
 VnmMatrix load_vnm_matrix(const std::string& path);
 NmMatrix load_nm_matrix(const std::string& path);
 CsrMatrix load_csr_matrix(const std::string& path);
+quant::QuantizedVnmMatrix load_quant_vnm_matrix(const std::string& path);
+quant::Fp8VnmMatrix load_fp8_vnm_matrix(const std::string& path);
 
 /// Writes the tuning cache as a JSON document:
 ///

@@ -14,6 +14,7 @@
 #include "baselines/spmm_cvse.hpp"
 #include "common/error.hpp"
 #include "ops/matmul.hpp"
+#include "quant/quantized_vnm.hpp"
 #include "spatha/epilogue.hpp"
 #include "spatha/plan.hpp"
 #include "spatha/sddmm.hpp"
@@ -38,7 +39,8 @@ class VnmFastBackend final : public Matmul {
   int priority() const override { return 100; }
   bool supports(const MatmulDesc& desc,
                 const std::string& /*cpu_features*/) const override {
-    return desc.kind == OpKind::kMatmul && desc.format == OperandFormat::kVnm;
+    return desc.kind == OpKind::kMatmul &&
+           desc.format == OperandFormat::kVnm && desc.dtype == Dtype::kF16;
   }
   FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
     if (args.config != nullptr)
@@ -101,7 +103,8 @@ class VnmScalarBackend final : public Matmul {
   int priority() const override { return 10; }
   bool supports(const MatmulDesc& desc,
                 const std::string& /*cpu_features*/) const override {
-    return desc.kind == OpKind::kMatmul && desc.format == OperandFormat::kVnm;
+    return desc.kind == OpKind::kMatmul &&
+           desc.format == OperandFormat::kVnm && desc.dtype == Dtype::kF16;
   }
   FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
     const spatha::SpmmConfig cfg =
@@ -127,7 +130,8 @@ class VnmMmaBackend final : public Matmul {
     // The mma.sp preconditions (see spmm_vnm_mma): 2:4-mapped format,
     // 16 | V, gathered K divisible by 32, 8 | C.
     return desc.kind == OpKind::kMatmul &&
-           desc.format == OperandFormat::kVnm && desc.vnm.n == 2 &&
+           desc.format == OperandFormat::kVnm && desc.dtype == Dtype::kF16 &&
+           desc.vnm.n == 2 &&
            desc.vnm.selected_cols() == 4 && desc.vnm.v % 16 == 0 &&
            desc.vnm.m != 0 && (desc.cols / desc.vnm.m) * 4 % 32 == 0 &&
            desc.b_cols % 8 == 0;
@@ -228,6 +232,156 @@ class DenseGemmBackend final : public Matmul {
   }
   FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
     return gemm_dense(*args.dense, *args.b, &ctx.pool());
+  }
+};
+
+// -------------------------------------------------- quantized datapath
+//
+// The reduced-precision SpMM families (quant/quantized_vnm.hpp). Each
+// backend supports its own dtype AND plain fp16 V:N:M descs: fp16 args
+// quantize on the fly — memoized in the context's QuantCache when the
+// caller supplied a weight fingerprint (the serving tier), fresh
+// otherwise — so `VENOM_BACKEND=vnm-int8` reroutes an entire fp16 model
+// without any call-site change. Priority 40 keeps fp16 dispatch on
+// vnm-fast by default: quantized execution engages only for explicitly
+// quantized args or through an override.
+
+/// Packed int8 panels, int32 accumulation, per-row x per-column scale
+/// dequantization on the epilogue.
+class VnmInt8Backend final : public Matmul {
+ public:
+  std::string_view name() const override { return "vnm-int8"; }
+  std::string describe() const override {
+    return "int8 V:N:M SpMM, packed int8 panels + int32 accumulation "
+           "(quantized production)";
+  }
+  int priority() const override { return 40; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.kind == OpKind::kMatmul &&
+           desc.format == OperandFormat::kVnm &&
+           (desc.dtype == Dtype::kI8 || desc.dtype == Dtype::kF16);
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    if (args.qvnm != nullptr) return execute(*args.qvnm, args, ctx);
+    if (args.vnm_shared != nullptr)
+      return execute(
+          *ctx.quant_cache().get_i8(*args.vnm, args.vnm_fingerprint), args,
+          ctx);
+    return execute(quant::QuantizedVnmMatrix::quantize(*args.vnm), args, ctx);
+  }
+
+ private:
+  static FloatMatrix execute(const quant::QuantizedVnmMatrix& a,
+                             const MatmulArgs& args, ExecContext& ctx) {
+    const spatha::SpmmConfig cfg =
+        args.config != nullptr
+            ? *args.config
+            : ctx.select_config_i8(a.config(), a.rows(), a.cols(),
+                                   args.b->cols());
+    return quant::spmm_vnm_i8(a, *args.b, cfg, &ctx.pool(), &ctx.scratch());
+  }
+};
+
+/// Naive int8 traversal — the bit-exactness oracle for vnm-int8.
+class VnmInt8ScalarBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "vnm-int8-scalar"; }
+  std::string describe() const override {
+    return "naive int8 V:N:M SpMM (oracle)";
+  }
+  int priority() const override { return 10; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.kind == OpKind::kMatmul &&
+           desc.format == OperandFormat::kVnm &&
+           (desc.dtype == Dtype::kI8 || desc.dtype == Dtype::kF16);
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    const spatha::ColumnLocMode mode =
+        args.config != nullptr ? args.config->column_loc
+                               : spatha::ColumnLocMode::kEnabled;
+    if (args.qvnm != nullptr)
+      return quant::spmm_vnm_i8_scalar(*args.qvnm, *args.b, mode);
+    if (args.vnm_shared != nullptr)
+      return quant::spmm_vnm_i8_scalar(
+          *ctx.quant_cache().get_i8(*args.vnm, args.vnm_fingerprint),
+          *args.b, mode);
+    return quant::spmm_vnm_i8_scalar(
+        quant::QuantizedVnmMatrix::quantize(*args.vnm), *args.b, mode);
+  }
+};
+
+/// fp8-stored weights, float panels, fp32 accumulation. On-the-fly
+/// quantization of fp16 args uses E4M3 (the higher-precision layout —
+/// the right trade for weights; E5M2 arrives via explicit args).
+class VnmFp8Backend final : public Matmul {
+ public:
+  std::string_view name() const override { return "vnm-fp8"; }
+  std::string describe() const override {
+    return "fp8 (e5m2/e4m3) V:N:M SpMM, float panels + fp32 accumulation "
+           "(quantized production)";
+  }
+  int priority() const override { return 40; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.kind == OpKind::kMatmul &&
+           desc.format == OperandFormat::kVnm &&
+           (desc.dtype == Dtype::kF8E5M2 || desc.dtype == Dtype::kF8E4M3 ||
+            desc.dtype == Dtype::kF16);
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    if (args.f8vnm != nullptr) return execute(*args.f8vnm, args, ctx);
+    if (args.vnm_shared != nullptr)
+      return execute(*ctx.quant_cache().get_fp8(*args.vnm,
+                                                args.vnm_fingerprint,
+                                                Fp8Format::kE4M3),
+                     args, ctx);
+    return execute(quant::Fp8VnmMatrix::quantize(*args.vnm, Fp8Format::kE4M3),
+                   args, ctx);
+  }
+
+ private:
+  static FloatMatrix execute(const quant::Fp8VnmMatrix& a,
+                             const MatmulArgs& args, ExecContext& ctx) {
+    const spatha::SpmmConfig cfg =
+        args.config != nullptr
+            ? *args.config
+            : ctx.select_config(a.config(), a.rows(), a.cols(),
+                                args.b->cols());
+    return quant::spmm_vnm_fp8(a, *args.b, cfg, &ctx.pool(), &ctx.scratch());
+  }
+};
+
+/// Naive fp8 traversal — the bit-exactness oracle for vnm-fp8.
+class VnmFp8ScalarBackend final : public Matmul {
+ public:
+  std::string_view name() const override { return "vnm-fp8-scalar"; }
+  std::string describe() const override {
+    return "naive fp8 V:N:M SpMM (oracle)";
+  }
+  int priority() const override { return 10; }
+  bool supports(const MatmulDesc& desc,
+                const std::string& /*cpu_features*/) const override {
+    return desc.kind == OpKind::kMatmul &&
+           desc.format == OperandFormat::kVnm &&
+           (desc.dtype == Dtype::kF8E5M2 || desc.dtype == Dtype::kF8E4M3 ||
+            desc.dtype == Dtype::kF16);
+  }
+  FloatMatrix run(const MatmulArgs& args, ExecContext& ctx) const override {
+    const spatha::ColumnLocMode mode =
+        args.config != nullptr ? args.config->column_loc
+                               : spatha::ColumnLocMode::kEnabled;
+    if (args.f8vnm != nullptr)
+      return quant::spmm_vnm_fp8_scalar(*args.f8vnm, *args.b, mode);
+    if (args.vnm_shared != nullptr)
+      return quant::spmm_vnm_fp8_scalar(
+          *ctx.quant_cache().get_fp8(*args.vnm, args.vnm_fingerprint,
+                                     Fp8Format::kE4M3),
+          *args.b, mode);
+    return quant::spmm_vnm_fp8_scalar(
+        quant::Fp8VnmMatrix::quantize(*args.vnm, Fp8Format::kE4M3), *args.b,
+        mode);
   }
 };
 
@@ -376,6 +530,10 @@ void register_builtin_backends(BackendRegistry& registry) {
   registry.add(std::make_unique<VnmFastBackend>());
   registry.add(std::make_unique<VnmScalarBackend>());
   registry.add(std::make_unique<VnmMmaBackend>());
+  registry.add(std::make_unique<VnmInt8Backend>());
+  registry.add(std::make_unique<VnmInt8ScalarBackend>());
+  registry.add(std::make_unique<VnmFp8Backend>());
+  registry.add(std::make_unique<VnmFp8ScalarBackend>());
   registry.add(std::make_unique<NmBackend>());
   registry.add(std::make_unique<Spmm24Backend>());
   registry.add(std::make_unique<CvseBackend>());

@@ -3,7 +3,9 @@
 namespace venom::ops {
 
 ExecContext::ExecContext(ExecContextOptions opts)
-    : opts_(std::move(opts)), plan_cache_(opts_.plan_cache_capacity) {
+    : opts_(std::move(opts)),
+      plan_cache_(opts_.plan_cache_capacity),
+      quant_cache_(opts_.quant_cache_capacity) {
   if (opts_.threads > 0) {
     owned_pool_ = std::make_unique<ThreadPool>(opts_.threads);
     pool_ = owned_pool_.get();
@@ -26,6 +28,13 @@ spatha::SpmmConfig ExecContext::select_config(const VnmConfig& fmt,
   // One shared policy with spatha::select_config (lookup -> validate ->
   // degrade to heuristic), differing only in which cache is consulted.
   return spatha::select_config(tuning(), fmt, rows, cols, b_cols);
+}
+
+spatha::SpmmConfig ExecContext::select_config_i8(const VnmConfig& fmt,
+                                                 std::size_t rows,
+                                                 std::size_t cols,
+                                                 std::size_t b_cols) const {
+  return spatha::select_config_i8(tuning(), fmt, rows, cols, b_cols);
 }
 
 std::optional<spatha::SpmmConfig> ExecContext::tuned_config(

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "ops/quant_cache.hpp"
 #include "spatha/config.hpp"
 #include "spatha/plan.hpp"
 #include "spatha/spmm.hpp"
@@ -42,6 +43,11 @@ struct ExecContextOptions {
   /// (the right default — private pools are for isolating workloads).
   std::size_t threads = 0;
   std::size_t plan_cache_capacity = 64;
+  /// Capacity of the quantized-weight cache (ops/quant_cache.hpp): how
+  /// many distinct weights keep their int8/fp8 image warm when the
+  /// quantized backends run over fp16 args. 0 disables memoization
+  /// (every dispatch re-quantizes).
+  std::size_t quant_cache_capacity = 16;
   /// JSON tuning cache for kernel-config selection. Empty uses the
   /// process-wide cache (lazily loaded from $VENOM_TUNE_CACHE); a path
   /// loads a private cache (missing/corrupt files degrade to the
@@ -63,6 +69,7 @@ class ExecContext {
 
   ThreadPool& pool() const { return *pool_; }
   spatha::PlanCache& plan_cache() const { return plan_cache_; }
+  QuantCache& quant_cache() const { return quant_cache_; }
   spatha::SpmmScratchPool& scratch() const { return scratch_; }
   const ExecContextOptions& options() const { return opts_; }
 
@@ -74,6 +81,13 @@ class ExecContext {
   spatha::SpmmConfig select_config(const VnmConfig& fmt, std::size_t rows,
                                    std::size_t cols,
                                    std::size_t b_cols) const;
+
+  /// Kernel configuration for the int8 datapath: the context's
+  /// "+i8"-tagged tuning entry when one exists, else the
+  /// reduced-precision heuristic (spatha::select_config_i8).
+  spatha::SpmmConfig select_config_i8(const VnmConfig& fmt, std::size_t rows,
+                                      std::size_t cols,
+                                      std::size_t b_cols) const;
 
   /// The tuned entry alone (no heuristic fallback) — lets tooling report
   /// what the tuning cache contributes vs the heuristic.
@@ -94,6 +108,7 @@ class ExecContext {
   std::unique_ptr<ThreadPool> owned_pool_;  // only when opts_.threads > 0
   ThreadPool* pool_ = nullptr;
   mutable spatha::PlanCache plan_cache_;
+  mutable QuantCache quant_cache_;
   mutable spatha::SpmmScratchPool scratch_;
   mutable std::once_flag tuning_once_;
   mutable spatha::TuningCache own_tuning_;

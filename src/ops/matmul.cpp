@@ -31,6 +31,16 @@ const char* to_string(OpKind k) {
   return "?";
 }
 
+const char* to_string(Dtype d) {
+  switch (d) {
+    case Dtype::kF16: return "f16";
+    case Dtype::kI8: return "int8";
+    case Dtype::kF8E5M2: return "f8-e5m2";
+    case Dtype::kF8E4M3: return "f8-e4m3";
+  }
+  return "?";
+}
+
 MatmulArgs MatmulArgs::make(const HalfMatrix& a, const HalfMatrix& b) {
   MatmulArgs args;
   args.dense = &a;
@@ -76,6 +86,40 @@ MatmulArgs MatmulArgs::make(std::shared_ptr<const VnmMatrix> a,
   return args;
 }
 
+MatmulArgs MatmulArgs::make(const quant::QuantizedVnmMatrix& a,
+                            const HalfMatrix& b) {
+  MatmulArgs args;
+  args.qvnm = &a;
+  args.b = &b;
+  return args;
+}
+
+MatmulArgs MatmulArgs::make(const quant::Fp8VnmMatrix& a,
+                            const HalfMatrix& b) {
+  MatmulArgs args;
+  args.f8vnm = &a;
+  args.b = &b;
+  return args;
+}
+
+MatmulArgs MatmulArgs::make(std::shared_ptr<const quant::QuantizedVnmMatrix> a,
+                            const HalfMatrix& b) {
+  MatmulArgs args;
+  args.qvnm_shared = std::move(a);
+  args.qvnm = args.qvnm_shared.get();
+  args.b = &b;
+  return args;
+}
+
+MatmulArgs MatmulArgs::make(std::shared_ptr<const quant::Fp8VnmMatrix> a,
+                            const HalfMatrix& b) {
+  MatmulArgs args;
+  args.f8vnm_shared = std::move(a);
+  args.f8vnm = args.f8vnm_shared.get();
+  args.b = &b;
+  return args;
+}
+
 MatmulArgs MatmulArgs::make_transposed(const VnmMatrix& a,
                                        const HalfMatrix& b) {
   MatmulArgs args = make(a, b);
@@ -115,7 +159,20 @@ MatmulDesc MatmulArgs::desc() const {
     d.depth = dense->cols();
     return d;
   }
-  if (vnm != nullptr) {
+  if (qvnm != nullptr) {
+    d.format = OperandFormat::kVnm;
+    d.dtype = Dtype::kI8;
+    d.rows = qvnm->rows();
+    d.cols = qvnm->cols();
+    d.vnm = qvnm->config();
+  } else if (f8vnm != nullptr) {
+    d.format = OperandFormat::kVnm;
+    d.dtype = f8vnm->format() == Fp8Format::kE5M2 ? Dtype::kF8E5M2
+                                                  : Dtype::kF8E4M3;
+    d.rows = f8vnm->rows();
+    d.cols = f8vnm->cols();
+    d.vnm = f8vnm->config();
+  } else if (vnm != nullptr) {
     d.format = OperandFormat::kVnm;
     d.rows = vnm->rows();
     d.cols = vnm->cols();

@@ -32,6 +32,7 @@
 #include "format/nm.hpp"
 #include "format/vnm.hpp"
 #include "ops/context.hpp"
+#include "quant/quantized_vnm.hpp"
 #include "spatha/config.hpp"
 #include "spatha/epilogue.hpp"
 #include "tensor/matrix.hpp"
@@ -51,6 +52,15 @@ enum class OpKind : std::uint8_t { kMatmul, kMatmulTransposed, kSddmm };
 
 const char* to_string(OpKind k);
 
+/// Storage precision of the left operand's values. kF16 is the default
+/// fp16 datapath; the reduced-precision dtypes route to the quantized
+/// backends (vnm-int8 / vnm-fp8), which also accept kF16 descs and
+/// quantize on the fly — so `VENOM_BACKEND=vnm-int8` reroutes an
+/// ordinary fp16 V:N:M product without the caller changing its args.
+enum class Dtype : std::uint8_t { kF16, kI8, kF8E5M2, kF8E4M3 };
+
+const char* to_string(Dtype d);
+
 /// Shape + format summary of a product — what supports() and backend
 /// selection look at (no operand data access).
 struct MatmulDesc {
@@ -60,6 +70,7 @@ struct MatmulDesc {
   std::size_t depth = 0;   ///< SDDMM reduction depth (kind == kSddmm)
   OpKind kind = OpKind::kMatmul;
   OperandFormat format = OperandFormat::kDense;
+  Dtype dtype = Dtype::kF16;  ///< left-operand value precision
   VnmConfig vnm;  ///< valid when format == kVnm
   NmPattern nm;   ///< valid when format == kNm
 };
@@ -76,6 +87,8 @@ struct MatmulArgs {
   const NmMatrix* nm = nullptr;
   const CvseMatrix* cvse = nullptr;
   const CsrMatrix* csr = nullptr;
+  const quant::QuantizedVnmMatrix* qvnm = nullptr;
+  const quant::Fp8VnmMatrix* f8vnm = nullptr;
   const HalfMatrix* b = nullptr;
 
   /// Optional explicit kernel configuration for V:N:M backends (benches
@@ -92,6 +105,12 @@ struct MatmulArgs {
   std::shared_ptr<const VnmMatrix> vnm_shared;
   std::uint64_t vnm_fingerprint = 0;
 
+  /// Shared handles keeping caller-owned quantized operands alive (the
+  /// quantized analogues of vnm_shared; transformer::Linear's
+  /// quantized-weight mode supplies these).
+  std::shared_ptr<const quant::QuantizedVnmMatrix> qvnm_shared;
+  std::shared_ptr<const quant::Fp8VnmMatrix> f8vnm_shared;
+
   static MatmulArgs make(const HalfMatrix& a, const HalfMatrix& b);
   static MatmulArgs make(const VnmMatrix& a, const HalfMatrix& b);
   static MatmulArgs make(const NmMatrix& a, const HalfMatrix& b);
@@ -100,6 +119,17 @@ struct MatmulArgs {
   /// Plan-cache-friendly V:N:M form (see vnm_shared).
   static MatmulArgs make(std::shared_ptr<const VnmMatrix> a,
                          std::uint64_t fingerprint, const HalfMatrix& b);
+
+  /// Pre-quantized left operands: desc().dtype reports the reduced
+  /// precision and dispatch selects the matching quantized backend.
+  static MatmulArgs make(const quant::QuantizedVnmMatrix& a,
+                         const HalfMatrix& b);
+  static MatmulArgs make(const quant::Fp8VnmMatrix& a, const HalfMatrix& b);
+  /// Shared-handle forms (the quantized vnm_shared analogues).
+  static MatmulArgs make(std::shared_ptr<const quant::QuantizedVnmMatrix> a,
+                         const HalfMatrix& b);
+  static MatmulArgs make(std::shared_ptr<const quant::Fp8VnmMatrix> a,
+                         const HalfMatrix& b);
 
   /// Transposed product C(K x C) = Aᵀ(K x R) * B(R x C): the
   /// input-gradient of a (sparse or dense) linear layer.

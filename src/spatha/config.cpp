@@ -85,4 +85,44 @@ SpmmConfig select_config_heuristic(const VnmConfig& fmt, std::size_t rows,
   return cfg;
 }
 
+SpmmConfig select_config_i8(const VnmConfig& fmt, std::size_t rows,
+                            std::size_t cols, std::size_t b_cols) {
+  return select_config_i8(TuningCache::global(), fmt, rows, cols, b_cols);
+}
+
+SpmmConfig select_config_i8(const TuningCache& cache, const VnmConfig& fmt,
+                            std::size_t rows, std::size_t cols,
+                            std::size_t b_cols) {
+  const auto tuned = cache.lookup_i8(fmt, rows, cols, b_cols);
+  if (tuned.has_value()) {
+    try {
+      validate(*tuned, fmt, rows, cols, b_cols);
+      return *tuned;
+    } catch (const Error&) {
+    }
+  }
+  return select_config_heuristic_i8(fmt, rows, cols, b_cols);
+}
+
+SpmmConfig select_config_heuristic_i8(const VnmConfig& fmt, std::size_t rows,
+                                      std::size_t cols, std::size_t b_cols) {
+  SpmmConfig cfg = select_config_heuristic(fmt, rows, cols, b_cols);
+  // Wide C tiles: the per-panel fixed costs (the byte-interleave pack,
+  // the B quantization) amortize over columns, and the int32 accumulator
+  // tile stays cache-resident up to V x 128.
+  cfg.block_c = std::min<std::size_t>(128, b_cols);
+  cfg.warp_c = cfg.block_c;
+  // K panel: the quad panel is re-streamed once per 16-column strip by
+  // the vpdpbusd loop, so cap it at an L1-sized budget — each group
+  // packs to exactly 4 * BSc bytes regardless of sel, so 32 groups at
+  // BSc=128 is 16 KiB. A sweep over the Table-1 shape is flat from a
+  // few groups up to this cap and falls off beyond it.
+  const std::size_t groups_budget =
+      std::max<std::size_t>(1, (16u << 10) / (4 * cfg.block_c));
+  cfg.block_k = std::min(cols, std::max(fmt.m, groups_budget * fmt.m));
+  cfg.warp_k = std::min<std::size_t>(64, cfg.block_k);
+  cfg.batch_size = cols / cfg.block_k >= 4 ? 3 : 2;
+  return cfg;
+}
+
 }  // namespace venom::spatha

@@ -88,4 +88,23 @@ SpmmConfig select_config(const TuningCache& cache, const VnmConfig& fmt,
 SpmmConfig select_config_heuristic(const VnmConfig& fmt, std::size_t rows,
                                    std::size_t cols, std::size_t b_cols);
 
+/// Configuration choice for the int8 datapath (quant::spmm_vnm_i8): the
+/// "+i8"-tagged tuning-cache entry when one exists, else the
+/// reduced-precision heuristic. Separate from select_config because the
+/// integer quad micro-kernel's optimum differs structurally from the
+/// fp16 one (see select_config_heuristic_i8).
+SpmmConfig select_config_i8(const VnmConfig& fmt, std::size_t rows,
+                            std::size_t cols, std::size_t b_cols);
+SpmmConfig select_config_i8(const TuningCache& cache, const VnmConfig& fmt,
+                            std::size_t rows, std::size_t cols,
+                            std::size_t b_cols);
+
+/// Shape heuristic for the int8 quad kernel: tiny K panels (a handful of
+/// M-groups — the quad-interleaved panel re-streams once per column
+/// strip, so it must stay L1-resident) and C tiles twice the fp16 width
+/// (the per-panel pack and per-row slot-scatter costs amortize over
+/// columns).
+SpmmConfig select_config_heuristic_i8(const VnmConfig& fmt, std::size_t rows,
+                                      std::size_t cols, std::size_t b_cols);
+
 }  // namespace venom::spatha

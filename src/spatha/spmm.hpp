@@ -51,6 +51,16 @@ struct SpmmScratch {
   std::vector<float> acc;             // V x width fp32 accumulator tile
   std::vector<float> a_vals;          // hoisted nonzero values of one row
   std::vector<std::uint32_t> a_offs;  // matching panel-row float offsets
+  // Reduced-precision datapath (quant/quantized_vnm.hpp): the gathered
+  // image of quantized B — widened to int16 for the vpmaddwd micro-kernel
+  // (half of `panel`) or quad-interleaved biased-u8 for the VNNI
+  // vpdpbusd micro-kernel (a quarter) — its int32 accumulator tile, and
+  // the hoisted A-side codes of one row (packed dwords + padded bytes).
+  std::vector<std::int16_t> panel_i16;
+  std::vector<std::uint8_t> panel_u8;
+  std::vector<std::int32_t> acc_i32;
+  std::vector<std::int32_t> a_ints;
+  std::vector<std::int32_t> a_sums;
 };
 
 }  // namespace detail

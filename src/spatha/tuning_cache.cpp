@@ -21,6 +21,13 @@ TuningKey make_tuning_key(const VnmConfig& fmt, std::size_t rows,
   return key;
 }
 
+TuningKey make_tuning_key_i8(const VnmConfig& fmt, std::size_t rows,
+                             std::size_t cols, std::size_t b_cols) {
+  TuningKey key = make_tuning_key(fmt, rows, cols, b_cols);
+  key.features += "+i8";
+  return key;
+}
+
 TuningCache::TuningCache(TuningCache&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mutex_);
   map_ = std::move(other.map_);
@@ -49,6 +56,16 @@ std::optional<SpmmConfig> TuningCache::lookup(const VnmConfig& fmt,
   // feature string allocates) when there is nothing to find.
   if (empty()) return std::nullopt;
   const auto entry = find(make_tuning_key(fmt, rows, cols, b_cols));
+  if (!entry.has_value()) return std::nullopt;
+  return entry->config;
+}
+
+std::optional<SpmmConfig> TuningCache::lookup_i8(const VnmConfig& fmt,
+                                                 std::size_t rows,
+                                                 std::size_t cols,
+                                                 std::size_t b_cols) const {
+  if (empty()) return std::nullopt;
+  const auto entry = find(make_tuning_key_i8(fmt, rows, cols, b_cols));
   if (!entry.has_value()) return std::nullopt;
   return entry->config;
 }

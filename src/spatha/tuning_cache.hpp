@@ -47,6 +47,14 @@ struct TuningKey {
 TuningKey make_tuning_key(const VnmConfig& fmt, std::size_t rows,
                           std::size_t cols, std::size_t b_cols);
 
+/// Key for the same problem executed through the int8 datapath
+/// (quant::spmm_vnm_i8). The integer micro-kernel wants very different
+/// tiles than the fp16 one — small L1-resident quad panels, wide C
+/// tiles — so its entries live under a "+i8"-suffixed feature tag in the
+/// same cache/file rather than shadowing the fp16 entry for the shape.
+TuningKey make_tuning_key_i8(const VnmConfig& fmt, std::size_t rows,
+                             std::size_t cols, std::size_t b_cols);
+
 /// One measured result. The heuristic throughput is stored alongside so
 /// tooling can report the tuning gain without re-measuring.
 struct TuningEntry {
@@ -72,6 +80,11 @@ class TuningCache {
   std::optional<SpmmConfig> lookup(const VnmConfig& fmt, std::size_t rows,
                                    std::size_t cols,
                                    std::size_t b_cols) const;
+
+  /// Same lookup under the int8-datapath key (make_tuning_key_i8).
+  std::optional<SpmmConfig> lookup_i8(const VnmConfig& fmt, std::size_t rows,
+                                      std::size_t cols,
+                                      std::size_t b_cols) const;
 
   /// Inserts or replaces the entry for `key`.
   void put(const TuningKey& key, const TuningEntry& entry);

@@ -54,6 +54,16 @@ class MultiHeadAttention {
     wo_.set_exec_context(ctx);
   }
 
+  /// Switches all four projection weights to the given storage precision
+  /// (see Linear::set_weight_dtype; requires sparsified projections for
+  /// the reduced dtypes).
+  void set_weight_dtype(ops::Dtype dtype) {
+    wq_.set_weight_dtype(dtype);
+    wk_.set_weight_dtype(dtype);
+    wv_.set_weight_dtype(dtype);
+    wo_.set_weight_dtype(dtype);
+  }
+
   /// Enables (or, with nullopt, disables) dynamic N:M pruning of the
   /// attention probabilities. Only the hardware patterns 2:4 and 1:2 are
   /// accepted (they are what mma.sp executes); the sequence length must

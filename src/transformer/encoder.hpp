@@ -41,6 +41,14 @@ class EncoderLayer {
     ffn_out_.set_exec_context(ctx);
   }
 
+  /// Switches all six linear weights to the given storage precision (see
+  /// Linear::set_weight_dtype).
+  void set_weight_dtype(ops::Dtype dtype) {
+    mha_.set_weight_dtype(dtype);
+    ffn_in_.set_weight_dtype(dtype);
+    ffn_out_.set_weight_dtype(dtype);
+  }
+
   HalfMatrix forward(const HalfMatrix& x,
                      TimingBreakdown* timing = nullptr) const;
 
@@ -94,6 +102,12 @@ class Encoder {
   /// Attaches a shared execution context to every layer in the stack.
   void set_exec_context(ops::ExecContext* ctx) {
     for (auto& layer : layers_) layer.set_exec_context(ctx);
+  }
+
+  /// Runs the whole stack at the given weight precision (quantizes every
+  /// sparsified linear layer's weight; see Linear::set_weight_dtype).
+  void set_weight_dtype(ops::Dtype dtype) {
+    for (auto& layer : layers_) layer.set_weight_dtype(dtype);
   }
 
   HalfMatrix forward(const HalfMatrix& x,

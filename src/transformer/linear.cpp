@@ -39,6 +39,38 @@ void Linear::sparsify(VnmConfig cfg) {
   sparse_ = std::make_shared<const VnmMatrix>(
       VnmMatrix::from_dense_magnitude(weight_, cfg));
   sparse_fingerprint_ = spatha::weight_fingerprint(*sparse_);
+  requantize();
+}
+
+void Linear::set_weight_dtype(ops::Dtype dtype) {
+  if (dtype != ops::Dtype::kF16)
+    VENOM_CHECK_MSG(sparse_ != nullptr,
+                    "quantized weights require a sparsified layer (call "
+                    "sparsify() before set_weight_dtype)");
+  weight_dtype_ = dtype;
+  requantize();
+}
+
+void Linear::requantize() {
+  qweight_.reset();
+  f8weight_.reset();
+  if (sparse_ == nullptr) return;
+  switch (weight_dtype_) {
+    case ops::Dtype::kF16:
+      break;
+    case ops::Dtype::kI8:
+      qweight_ = std::make_shared<const quant::QuantizedVnmMatrix>(
+          quant::QuantizedVnmMatrix::quantize(*sparse_));
+      break;
+    case ops::Dtype::kF8E5M2:
+      f8weight_ = std::make_shared<const quant::Fp8VnmMatrix>(
+          quant::Fp8VnmMatrix::quantize(*sparse_, Fp8Format::kE5M2));
+      break;
+    case ops::Dtype::kF8E4M3:
+      f8weight_ = std::make_shared<const quant::Fp8VnmMatrix>(
+          quant::Fp8VnmMatrix::quantize(*sparse_, Fp8Format::kE4M3));
+      break;
+  }
 }
 
 HalfMatrix Linear::forward(const HalfMatrix& x,
@@ -57,12 +89,21 @@ HalfMatrix Linear::forward(const HalfMatrix& x,
   // bias+convert pass by construction, so all tiers agree bitwise.
   spatha::Epilogue epilogue;
   epilogue.bias = bias_;
-  const ops::MatmulArgs args =
-      sparse_ != nullptr
-          ? (ctx_ != nullptr
-                 ? ops::MatmulArgs::make(sparse_, sparse_fingerprint_, x)
-                 : ops::MatmulArgs::make(*sparse_, x))
-          : ops::MatmulArgs::make(weight_, x);
+  ops::MatmulArgs args;
+  if (qweight_ != nullptr) {
+    // Quantized-weight mode: the layer-owned int8/fp8 image rides its
+    // shared handle, and dispatch selects the quantized backend off the
+    // desc's dtype.
+    args = ops::MatmulArgs::make(qweight_, x);
+  } else if (f8weight_ != nullptr) {
+    args = ops::MatmulArgs::make(f8weight_, x);
+  } else if (sparse_ != nullptr) {
+    args = ctx_ != nullptr
+               ? ops::MatmulArgs::make(sparse_, sparse_fingerprint_, x)
+               : ops::MatmulArgs::make(*sparse_, x);
+  } else {
+    args = ops::MatmulArgs::make(weight_, x);
+  }
   HalfMatrix y = ops::matmul_fused(args, epilogue, ctx);
   if (timing != nullptr) timing->gemm_s += seconds_since(t0);
   return y;
@@ -132,6 +173,7 @@ void Linear::apply_gradients(const Grads& g, float lr) {
     weight_ = w;
     sparse_ = std::make_shared<const VnmMatrix>(VnmMatrix::compress(w, cfg));
     sparse_fingerprint_ = spatha::weight_fingerprint(*sparse_);
+    requantize();
   } else {
     for (std::size_t i = 0; i < weight_.size(); ++i)
       weight_.flat()[i] = half_t(weight_.flat()[i].to_float() -

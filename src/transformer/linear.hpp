@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "format/vnm.hpp"
+#include "ops/matmul.hpp"
 #include "ops/timing.hpp"
+#include "quant/quantized_vnm.hpp"
 #include "tensor/matrix.hpp"
 
 namespace venom::ops {
@@ -52,6 +54,24 @@ class Linear {
   /// layer of the encoder it owns.
   void set_exec_context(ops::ExecContext* ctx) { ctx_ = ctx; }
   ops::ExecContext* exec_context() const { return ctx_; }
+
+  /// Switches the storage precision of the sparse weight: kF16 restores
+  /// the fp16 datapath; kI8 / kF8E5M2 / kF8E4M3 quantize the compressed
+  /// weight eagerly (the layer owns the image — a context-less forward
+  /// never pins the global quant cache) and route forward() through the
+  /// matching quantized backend. Requires a sparsified layer for the
+  /// reduced dtypes; throws venom::Error otherwise. Training keeps fp16
+  /// masters: backward() differentiates the fp16 weight, and
+  /// apply_gradients() / sparsify() re-quantize after each update.
+  void set_weight_dtype(ops::Dtype dtype);
+  ops::Dtype weight_dtype() const { return weight_dtype_; }
+
+  /// The current quantized image (nullptr unless the matching dtype is
+  /// set) — size/scale introspection for tools and tests.
+  const quant::QuantizedVnmMatrix* int8_weight() const {
+    return qweight_.get();
+  }
+  const quant::Fp8VnmMatrix* fp8_weight() const { return f8weight_.get(); }
 
   bool is_sparse() const { return sparse_ != nullptr; }
   std::size_t out_features() const { return out_; }
@@ -96,6 +116,10 @@ class Linear {
   void mask_gradient_to_pattern(FloatMatrix& grad_weight) const;
 
  private:
+  /// Rebuilds the quantized weight image for the current dtype (no-op in
+  /// kF16). Called wherever the compressed weight changes.
+  void requantize();
+
   std::size_t out_ = 0;
   std::size_t in_ = 0;
   HalfMatrix weight_;
@@ -108,6 +132,11 @@ class Linear {
   // weight is immutable afterwards) so plan-cache lookups in the serving
   // hot path skip the per-call O(nnz) fingerprint.
   std::uint64_t sparse_fingerprint_ = 0;
+  // Reduced-precision weight images; at most one is set, matching
+  // weight_dtype_. Shared so MatmulArgs can alias them across calls.
+  ops::Dtype weight_dtype_ = ops::Dtype::kF16;
+  std::shared_ptr<const quant::QuantizedVnmMatrix> qweight_;
+  std::shared_ptr<const quant::Fp8VnmMatrix> f8weight_;
   ops::ExecContext* ctx_ = nullptr;  // not owned; nullptr = global()
 };
 

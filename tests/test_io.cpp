@@ -189,6 +189,79 @@ TEST_F(IoTest, FromPartsValidatesIndexRanges) {
                Error);
 }
 
+TEST_F(IoTest, QuantVnmRoundTrip) {
+  Rng rng(31);
+  const VnmMatrix m = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(32, 40, rng), {16, 2, 10});
+  const quant::QuantizedVnmMatrix q = quant::QuantizedVnmMatrix::quantize(m);
+  save(q, path("m.qvnm"));
+  EXPECT_EQ(probe(path("m.qvnm")), FileKind::kQuantVnmMatrix);
+  const quant::QuantizedVnmMatrix back =
+      load_quant_vnm_matrix(path("m.qvnm"));
+  EXPECT_EQ(back.config(), q.config());
+  EXPECT_EQ(back.rows(), q.rows());
+  EXPECT_EQ(back.cols(), q.cols());
+  EXPECT_EQ(back.values(), q.values());
+  EXPECT_EQ(back.m_indices(), q.m_indices());
+  EXPECT_EQ(back.column_locs(), q.column_locs());
+  EXPECT_EQ(back.row_scales(), q.row_scales());
+}
+
+TEST_F(IoTest, Fp8VnmRoundTripBothFormats) {
+  Rng rng(32);
+  const VnmMatrix m = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(16, 32, rng), {8, 2, 8});
+  for (const Fp8Format fmt : {Fp8Format::kE5M2, Fp8Format::kE4M3}) {
+    const quant::Fp8VnmMatrix q = quant::Fp8VnmMatrix::quantize(m, fmt);
+    save(q, path("m.fvnm"));
+    EXPECT_EQ(probe(path("m.fvnm")), FileKind::kFp8VnmMatrix);
+    const quant::Fp8VnmMatrix back = load_fp8_vnm_matrix(path("m.fvnm"));
+    EXPECT_EQ(back.format(), fmt);
+    EXPECT_EQ(back.values(), q.values());
+    EXPECT_EQ(back.m_indices(), q.m_indices());
+    EXPECT_EQ(back.column_locs(), q.column_locs());
+    EXPECT_TRUE(back.dequantize().to_dense() == q.dequantize().to_dense());
+  }
+}
+
+TEST_F(IoTest, CorruptQuantVnmMetadataThrows) {
+  Rng rng(33);
+  const VnmMatrix m = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(16, 16, rng), {8, 2, 8});
+  save(quant::QuantizedVnmMatrix::quantize(m), path("m.qvnm"));
+  // Flip M (offset: 4 magic + 4 version + 8 v + 8 n = 24) so it no
+  // longer divides cols — the loader must reject, not misparse.
+  std::fstream f(path("m.qvnm"),
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(24);
+  const std::uint64_t bad_m = 7;
+  f.write(reinterpret_cast<const char*>(&bad_m), sizeof(bad_m));
+  f.close();
+  EXPECT_THROW(load_quant_vnm_matrix(path("m.qvnm")), Error);
+}
+
+TEST_F(IoTest, CorruptFp8FormatCodeThrows) {
+  Rng rng(34);
+  const VnmMatrix m = VnmMatrix::from_dense_magnitude(
+      random_half_matrix(16, 16, rng), {8, 2, 8});
+  save(quant::Fp8VnmMatrix::quantize(m, Fp8Format::kE5M2), path("m.fvnm"));
+  // The format code lives after cols: 8 header + 5 u64 fields = 48.
+  std::fstream f(path("m.fvnm"),
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(48);
+  const std::uint64_t bad_code = 7;
+  f.write(reinterpret_cast<const char*>(&bad_code), sizeof(bad_code));
+  f.close();
+  EXPECT_THROW(load_fp8_vnm_matrix(path("m.fvnm")), Error);
+}
+
+TEST_F(IoTest, QuantLoadersRejectWrongMagic) {
+  Rng rng(35);
+  save(random_half_matrix(4, 4, rng), path("m.mat"));
+  EXPECT_THROW(load_quant_vnm_matrix(path("m.mat")), Error);
+  EXPECT_THROW(load_fp8_vnm_matrix(path("m.mat")), Error);
+}
+
 TEST_F(IoTest, OverwriteIsClean) {
   Rng rng(7);
   save(random_half_matrix(8, 8, rng), path("m.mat"));
@@ -273,6 +346,49 @@ TEST_F(IoTest, GoldenCsrFixtureLocksFormat) {
 
   save(m, path("rewrite.csr"));
   EXPECT_TRUE(same_bytes(p, path("rewrite.csr")));
+}
+
+TEST_F(IoTest, GoldenQuantVnmFixtureLocksFormat) {
+  const std::string p = fixture("golden_4_2_8.qvnm");
+  EXPECT_EQ(fnv1a_file(p), 0xcaf8b8f771897a48ull)
+      << "on-disk QVN1 container bytes changed";
+
+  const quant::QuantizedVnmMatrix m = load_quant_vnm_matrix(p);
+  EXPECT_EQ(m.rows(), 8u);
+  EXPECT_EQ(m.cols(), 16u);
+  EXPECT_EQ(m.config(), (VnmConfig{4, 2, 8}));
+  // Semantic pin: the fixture is quantize() of the "golden-qvnm" stream,
+  // so a checksum pass with a different quantizer cannot slip through.
+  Rng rng = Rng::seeded("golden-qvnm");
+  const quant::QuantizedVnmMatrix expect = quant::QuantizedVnmMatrix::quantize(
+      VnmMatrix::from_dense_magnitude(random_half_matrix(8, 16, rng, 0.1f),
+                                      {4, 2, 8}));
+  EXPECT_EQ(m.values(), expect.values());
+  EXPECT_EQ(m.row_scales(), expect.row_scales());
+
+  save(m, path("rewrite.qvnm"));
+  EXPECT_TRUE(same_bytes(p, path("rewrite.qvnm")));
+}
+
+TEST_F(IoTest, GoldenFp8VnmFixtureLocksFormat) {
+  const std::string p = fixture("golden_2_2_10_e4m3.fvnm");
+  EXPECT_EQ(fnv1a_file(p), 0x1040bec504d90e88ull)
+      << "on-disk FVN1 container bytes changed";
+
+  const quant::Fp8VnmMatrix m = load_fp8_vnm_matrix(p);
+  EXPECT_EQ(m.rows(), 6u);
+  EXPECT_EQ(m.cols(), 20u);
+  EXPECT_EQ(m.config(), (VnmConfig{2, 2, 10}));
+  EXPECT_EQ(m.format(), Fp8Format::kE4M3);
+  Rng rng = Rng::seeded("golden-fvnm");
+  const quant::Fp8VnmMatrix expect = quant::Fp8VnmMatrix::quantize(
+      VnmMatrix::from_dense_magnitude(random_half_matrix(6, 20, rng, 0.1f),
+                                      {2, 2, 10}),
+      Fp8Format::kE4M3);
+  EXPECT_EQ(m.values(), expect.values());
+
+  save(m, path("rewrite.fvnm"));
+  EXPECT_TRUE(same_bytes(p, path("rewrite.fvnm")));
 }
 
 }  // namespace

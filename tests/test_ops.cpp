@@ -134,12 +134,20 @@ TEST(OpsDispatch, VnmBackendsMatchReferenceAcrossRaggedShapes) {
     for (const Matmul* backend : BackendRegistry::instance().backends()) {
       if (!backend->supports(desc, cpu_feature_string())) continue;
       const FloatMatrix got = backend->run(args, ctx);
-      if (backend->name() == "vnm-mma") {
+      const std::string name(backend->name());
+      if (name == "vnm-mma") {
         // The mma.sp fidelity path accumulates in tile order, so it is
         // numerically (not bit-) identical.
-        EXPECT_LT(rel_fro_error(got, ref), 1e-5f) << backend->name();
+        EXPECT_LT(rel_fro_error(got, ref), 1e-5f) << name;
+      } else if (name.rfind("vnm-int8", 0) == 0) {
+        // Quantized backends accept fp16 descs (on-the-fly quantization)
+        // and are approximate by design; their exactness contract is
+        // fast-vs-scalar bit identity, covered in test_quant.
+        EXPECT_LT(rel_fro_error(got, ref), 0.05f) << name;
+      } else if (name.rfind("vnm-fp8", 0) == 0) {
+        EXPECT_LT(rel_fro_error(got, ref), 0.1f) << name;
       } else {
-        EXPECT_EQ(got, ref) << backend->name();
+        EXPECT_EQ(got, ref) << name;
       }
     }
     seed += 7;

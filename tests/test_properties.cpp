@@ -14,6 +14,7 @@
 #include "format/csr.hpp"
 #include "format/cvse.hpp"
 #include "pruning/policies.hpp"
+#include "quant/quantized_vnm.hpp"
 #include "spatha/epilogue.hpp"
 #include "spatha/sddmm.hpp"
 #include "spatha/spmm.hpp"
@@ -430,6 +431,150 @@ TEST_P(GradFuzz, LinearBackwardFiniteDifference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, GradFuzz, ::testing::Range(0, 10));
+
+// ----------------------------------------------------- quantization
+//
+// The int8/fp8 containers share the V:N:M structure verbatim, so the
+// laws here are about the values only: symmetric int8 round-trips
+// within half a row scale, fp8 decode is exact (the loss happened at
+// encode time), zero rows stay exactly zero with a zero scale, and the
+// largest magnitude in every row saturates to the +-127 codes. Kernel
+// parity (fast == scalar, bit for bit) rides the same fuzzed geometry
+// as the gradient checks above.
+
+using quant::Fp8VnmMatrix;
+using quant::QuantizedVnmMatrix;
+using quant::spmm_vnm_fp8;
+using quant::spmm_vnm_fp8_scalar;
+using quant::spmm_vnm_i8;
+using quant::spmm_vnm_i8_scalar;
+
+class QuantFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantFuzz, Int8RoundTripBoundedByHalfScale) {
+  const FuzzCase fc = FuzzCase::draw(13000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(sparse);
+  const VnmMatrix back = q.dequantize();
+
+  // Structure is shared untouched.
+  EXPECT_EQ(back.m_indices(), sparse.m_indices());
+  EXPECT_EQ(back.column_locs(), sparse.column_locs());
+  ASSERT_EQ(back.values().size(), sparse.values().size());
+
+  for (std::size_t r = 0; r < sparse.rows(); ++r) {
+    const float scale = q.row_scale(r);
+    const std::size_t per_row = sparse.values().size() / sparse.rows();
+    for (std::size_t i = 0; i < per_row; ++i) {
+      const float orig = sparse.values()[r * per_row + i].to_float();
+      const float dq = back.values()[r * per_row + i].to_float();
+      // Half a quantization step, plus the fp16 rounding of the
+      // dequantized product (one ulp at that magnitude).
+      const float tol = 0.5f * scale + 2e-3f * std::fabs(orig) + 1e-7f;
+      EXPECT_NEAR(dq, orig, tol) << "r=" << r << " i=" << i;
+      // Exact zeros survive quantization exactly (structure law: the
+      // kernels' skip set must not change).
+      if (orig == 0.0f) {
+        EXPECT_EQ(dq, 0.0f);
+      }
+    }
+  }
+}
+
+TEST_P(QuantFuzz, Int8ZeroRowsGetZeroScaleAndStayZero) {
+  FuzzCase fc = FuzzCase::draw(14000 + std::size_t(GetParam()));
+  // Kill a deterministic subset of rows entirely.
+  for (std::size_t r = 0; r < fc.rows; r += 2)
+    for (std::size_t c = 0; c < fc.cols; ++c) fc.dense(r, c) = half_t(0.0f);
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(sparse);
+  const std::size_t per_row = q.values().size() / fc.rows;
+  for (std::size_t r = 0; r < fc.rows; r += 2) {
+    EXPECT_EQ(q.row_scale(r), 0.0f) << "r=" << r;
+    for (std::size_t i = 0; i < per_row; ++i)
+      EXPECT_EQ(q.values()[r * per_row + i], 0) << "r=" << r;
+  }
+  // And the round trip keeps them zero.
+  const VnmMatrix back = q.dequantize();
+  for (std::size_t r = 0; r < fc.rows; r += 2)
+    for (std::size_t i = 0; i < per_row; ++i)
+      EXPECT_TRUE(back.values()[r * per_row + i].is_zero());
+}
+
+TEST_P(QuantFuzz, Int8RowMaximaSaturateToFullCode) {
+  const FuzzCase fc = FuzzCase::draw(15000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(sparse);
+  const std::size_t per_row = sparse.values().size() / sparse.rows();
+  for (std::size_t r = 0; r < sparse.rows(); ++r) {
+    float max_abs = 0.0f;
+    int max_code = 0;
+    for (std::size_t i = 0; i < per_row; ++i) {
+      const float v =
+          std::fabs(sparse.values()[r * per_row + i].to_float());
+      max_abs = std::max(max_abs, v);
+      max_code = std::max<int>(
+          max_code, std::abs(int(q.values()[r * per_row + i])));
+    }
+    if (max_abs == 0.0f) continue;
+    // The row maximum maps to the extreme code, and nothing overflows
+    // past it: the symmetric scheme never emits -128.
+    EXPECT_EQ(max_code, 127) << "r=" << r;
+  }
+}
+
+TEST_P(QuantFuzz, Fp8DecodeThenEncodeIsIdentity) {
+  const FuzzCase fc = FuzzCase::draw(16000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  for (const Fp8Format fmt : {Fp8Format::kE5M2, Fp8Format::kE4M3}) {
+    const Fp8VnmMatrix q = Fp8VnmMatrix::quantize(sparse, fmt);
+    // dequantize() is exact, so re-encoding reproduces the codes.
+    const Fp8VnmMatrix again = Fp8VnmMatrix::quantize(q.dequantize(), fmt);
+    EXPECT_EQ(again.values(), q.values())
+        << "format=" << to_string(fmt);
+  }
+}
+
+TEST_P(QuantFuzz, KernelParityInt8BothModes) {
+  const FuzzCase fc = FuzzCase::draw(17000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(sparse);
+  for (const spatha::ColumnLocMode mode :
+       {spatha::ColumnLocMode::kEnabled, spatha::ColumnLocMode::kFixed}) {
+    spatha::SpmmConfig cfg = spatha::select_config_heuristic(
+        fc.cfg, fc.rows, fc.cols, fc.b_cols);
+    cfg.column_loc = mode;
+    const FloatMatrix fast = spmm_vnm_i8(q, fc.b, cfg);
+    const FloatMatrix oracle = spmm_vnm_i8_scalar(q, fc.b, mode);
+    ASSERT_EQ(fast.size(), oracle.size());
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      ASSERT_EQ(fast.flat()[i], oracle.flat()[i])
+          << "mode=" << int(mode) << " i=" << i;
+  }
+}
+
+TEST_P(QuantFuzz, KernelParityFp8BothModesBothFormats) {
+  const FuzzCase fc = FuzzCase::draw(18000 + std::size_t(GetParam()));
+  const VnmMatrix sparse = VnmMatrix::from_dense_magnitude(fc.dense, fc.cfg);
+  for (const Fp8Format fmt : {Fp8Format::kE5M2, Fp8Format::kE4M3}) {
+    const Fp8VnmMatrix q = Fp8VnmMatrix::quantize(sparse, fmt);
+    for (const spatha::ColumnLocMode mode :
+         {spatha::ColumnLocMode::kEnabled, spatha::ColumnLocMode::kFixed}) {
+      spatha::SpmmConfig cfg = spatha::select_config_heuristic(
+          fc.cfg, fc.rows, fc.cols, fc.b_cols);
+      cfg.column_loc = mode;
+      const FloatMatrix fast = spmm_vnm_fp8(q, fc.b, cfg);
+      const FloatMatrix oracle = spmm_vnm_fp8_scalar(q, fc.b, mode);
+      ASSERT_EQ(fast.size(), oracle.size());
+      for (std::size_t i = 0; i < fast.size(); ++i)
+        ASSERT_EQ(fast.flat()[i], oracle.flat()[i])
+            << "format=" << to_string(fmt) << " mode=" << int(mode)
+            << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, QuantFuzz, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace venom

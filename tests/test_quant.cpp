@@ -1,13 +1,23 @@
-// Tests for the int8-quantized V:N:M path.
+// Tests for the int8/fp8-quantized V:N:M datapath: container round
+// trips, fast-vs-scalar bit identity across ragged shapes and both
+// ColumnLocModes, registry dispatch (dtype descs, VENOM_BACKEND
+// rerouting, the ExecContext quant cache), and quantize->serve parity
+// of a whole encoder.
 #include "quant/quantized_vnm.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "baselines/gemm.hpp"
+#include "common/cpu_features.hpp"
 #include "common/rng.hpp"
+#include "ops/context.hpp"
+#include "ops/ops.hpp"
+#include "spatha/plan.hpp"
 #include "spatha/spmm.hpp"
+#include "transformer/encoder.hpp"
 
 namespace venom::quant {
 namespace {
@@ -107,6 +117,372 @@ TEST(Footprint, Int8HalvesValueBytes) {
   const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
   // values shrink 2x; scales add 4 bytes/row.
   EXPECT_LT(q.compressed_bytes(), fp16.compressed_bytes());
+}
+
+TEST(Footprint, Fp8HalvesValueBytesExactly) {
+  const VnmMatrix fp16 = random_vnm(64, 128, {16, 2, 8}, 8);
+  const Fp8VnmMatrix q = Fp8VnmMatrix::quantize(fp16, Fp8Format::kE4M3);
+  // fp8 carries no scales: exactly nnz bytes saved vs the fp16 image.
+  EXPECT_EQ(q.compressed_bytes(), fp16.compressed_bytes() - fp16.nnz());
+}
+
+// ------------------------------------------------------------- parity
+//
+// The exactness contract of the quantized datapath: each fast kernel is
+// bit-identical to its scalar oracle on every shape and mode. For int8
+// this holds because int32 accumulation is exact and both sides share
+// the B-quantization helper and the dequantization expression; for fp8
+// because the fast strips accumulate each output element in the
+// oracle's ascending (group, j) order.
+
+struct RaggedCase {
+  std::size_t rows, cols, b_cols;
+  VnmConfig fmt;
+};
+
+constexpr RaggedCase kRaggedCases[] = {
+    {16, 32, 7, {4, 2, 8}},    {32, 40, 13, {8, 2, 10}},
+    {8, 64, 70, {8, 2, 16}},   {64, 30, 5, {2, 1, 5}},
+    {12, 56, 33, {4, 2, 7}},   {30, 64, 17, {10, 2, 8}},
+};
+
+TEST(SpmmI8, FastMatchesScalarOnRaggedShapesBothModes) {
+  std::uint64_t seed = 40;
+  for (const RaggedCase& c : kRaggedCases) {
+    const VnmMatrix fp16 = random_vnm(c.rows, c.cols, c.fmt, seed);
+    const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+    Rng rng(seed + 1);
+    const HalfMatrix b = random_half_matrix(c.cols, c.b_cols, rng);
+    for (const spatha::ColumnLocMode mode :
+         {spatha::ColumnLocMode::kEnabled, spatha::ColumnLocMode::kFixed}) {
+      spatha::SpmmConfig cfg =
+          spatha::select_config(c.fmt, c.rows, c.cols, c.b_cols);
+      cfg.column_loc = mode;
+      cfg.chunk_grain = 1 + seed % 3;  // exercise the chunk partition
+      const FloatMatrix fast = spmm_vnm_i8(q, b, cfg);
+      const FloatMatrix scalar = spmm_vnm_i8_scalar(q, b, mode);
+      EXPECT_EQ(fast, scalar) << "mode=" << int(mode) << " rows=" << c.rows;
+    }
+    seed += 3;
+  }
+}
+
+TEST(SpmmI8, BitIdenticalAcrossRuns) {
+  const VnmMatrix fp16 = random_vnm(32, 64, {8, 2, 8}, 50);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+  Rng rng(51);
+  const HalfMatrix b = random_half_matrix(64, 24, rng);
+  const FloatMatrix first = spmm_vnm_i8(q, b);
+  const FloatMatrix second = spmm_vnm_i8(q, b);
+  EXPECT_EQ(first, second);
+}
+
+TEST(SpmmFp8, FastMatchesScalarOnRaggedShapesBothModesBothFormats) {
+  std::uint64_t seed = 60;
+  for (const RaggedCase& c : kRaggedCases) {
+    const VnmMatrix fp16 = random_vnm(c.rows, c.cols, c.fmt, seed);
+    Rng rng(seed + 1);
+    const HalfMatrix b = random_half_matrix(c.cols, c.b_cols, rng);
+    for (const Fp8Format format : {Fp8Format::kE5M2, Fp8Format::kE4M3}) {
+      const Fp8VnmMatrix q = Fp8VnmMatrix::quantize(fp16, format);
+      for (const spatha::ColumnLocMode mode :
+           {spatha::ColumnLocMode::kEnabled,
+            spatha::ColumnLocMode::kFixed}) {
+        spatha::SpmmConfig cfg =
+            spatha::select_config(c.fmt, c.rows, c.cols, c.b_cols);
+        cfg.column_loc = mode;
+        const FloatMatrix fast = spmm_vnm_fp8(q, b, cfg);
+        const FloatMatrix scalar = spmm_vnm_fp8_scalar(q, b, mode);
+        EXPECT_EQ(fast, scalar)
+            << to_string(format) << " mode=" << int(mode);
+      }
+    }
+    seed += 3;
+  }
+}
+
+TEST(SpmmFp8, CloseToFp16Kernel) {
+  Rng rng(70);
+  const VnmMatrix fp16 = random_vnm(32, 64, {8, 2, 8}, 71);
+  const HalfMatrix b = random_half_matrix(64, 16, rng);
+  const FloatMatrix c_fp = spatha::spmm_vnm(fp16, b);
+  // Half-ulp relative storage error: 2^-4 per value for E4M3, 2^-3 for
+  // E5M2.
+  const Fp8VnmMatrix q4 = Fp8VnmMatrix::quantize(fp16, Fp8Format::kE4M3);
+  EXPECT_LT(rel_fro_error(spmm_vnm_fp8(q4, b), c_fp), 0.05f);
+  const Fp8VnmMatrix q5 = Fp8VnmMatrix::quantize(fp16, Fp8Format::kE5M2);
+  EXPECT_LT(rel_fro_error(spmm_vnm_fp8(q5, b), c_fp), 0.1f);
+}
+
+TEST(Fp8Vnm, DequantizeIsLossless) {
+  // Every fp8 value is exactly representable in fp16, so decode back to
+  // the fp16 container loses nothing relative to the fp8 image.
+  const VnmMatrix fp16 = random_vnm(16, 32, {4, 2, 8}, 80);
+  for (const Fp8Format format : {Fp8Format::kE5M2, Fp8Format::kE4M3}) {
+    const Fp8VnmMatrix q = Fp8VnmMatrix::quantize(fp16, format);
+    const VnmMatrix back = q.dequantize();
+    for (std::size_t r = 0; r < q.rows(); ++r)
+      for (std::size_t g = 0; g < q.groups_per_row(); ++g)
+        for (std::size_t j = 0; j < q.config().n; ++j)
+          EXPECT_EQ(back.value(r, g, j).to_float(), q.value(r, g, j));
+    // Structure is shared verbatim.
+    EXPECT_EQ(back.m_indices(), fp16.m_indices());
+    EXPECT_EQ(back.column_locs(), fp16.column_locs());
+  }
+}
+
+TEST(FromParts, ValidatesQuantizedStructures) {
+  const VnmConfig cfg{2, 2, 8};
+  std::vector<std::int8_t> values(2 * 1 * 2, 1);
+  std::vector<std::uint8_t> m_indices(values.size(), 0);
+  std::vector<std::uint8_t> column_loc(1 * 1 * 4, 0);
+  std::vector<float> scales(2, 0.5f);
+  EXPECT_NO_THROW(QuantizedVnmMatrix::from_parts(cfg, 2, 8, values,
+                                                 m_indices, column_loc,
+                                                 scales));
+  auto bad_idx = m_indices;
+  bad_idx[0] = 4;  // selector out of the 4 selected columns
+  EXPECT_THROW(QuantizedVnmMatrix::from_parts(cfg, 2, 8, values, bad_idx,
+                                              column_loc, scales),
+               Error);
+  auto bad_loc = column_loc;
+  bad_loc[0] = 8;  // column offset out of M
+  EXPECT_THROW(QuantizedVnmMatrix::from_parts(cfg, 2, 8, values, m_indices,
+                                              bad_loc, scales),
+               Error);
+  auto bad_scales = scales;
+  bad_scales[0] = -1.0f;  // scales must be finite and non-negative
+  EXPECT_THROW(QuantizedVnmMatrix::from_parts(cfg, 2, 8, values, m_indices,
+                                              column_loc, bad_scales),
+               Error);
+  EXPECT_THROW(QuantizedVnmMatrix::from_parts(cfg, 2, 8, values, m_indices,
+                                              column_loc, {0.5f}),
+               Error);  // wrong scale count
+
+  std::vector<std::uint8_t> f8_values(values.size(), 0x3c);
+  EXPECT_NO_THROW(Fp8VnmMatrix::from_parts(cfg, 2, 8, Fp8Format::kE5M2,
+                                           f8_values, m_indices,
+                                           column_loc));
+  EXPECT_THROW(Fp8VnmMatrix::from_parts(cfg, 2, 8, Fp8Format::kE5M2,
+                                        f8_values, bad_idx, column_loc),
+               Error);
+  EXPECT_THROW(Fp8VnmMatrix::from_parts(cfg, 2, 8, Fp8Format::kE4M3, {},
+                                        m_indices, column_loc),
+               Error);
+}
+
+// ----------------------------------------------------------- dispatch
+
+TEST(QuantDispatch, QuantizedArgsSelectQuantizedBackends) {
+  const VnmMatrix fp16 = random_vnm(16, 32, {4, 2, 8}, 90);
+  Rng rng(91);
+  const HalfMatrix b = random_half_matrix(32, 8, rng);
+
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+  const ops::MatmulArgs qargs = ops::MatmulArgs::make(q, b);
+  EXPECT_EQ(qargs.desc().dtype, ops::Dtype::kI8);
+  EXPECT_EQ(ops::BackendRegistry::instance().select(qargs.desc()).name(),
+            "vnm-int8");
+
+  const Fp8VnmMatrix f8 = Fp8VnmMatrix::quantize(fp16, Fp8Format::kE5M2);
+  const ops::MatmulArgs fargs = ops::MatmulArgs::make(f8, b);
+  EXPECT_EQ(fargs.desc().dtype, ops::Dtype::kF8E5M2);
+  EXPECT_EQ(ops::BackendRegistry::instance().select(fargs.desc()).name(),
+            "vnm-fp8");
+
+  // Forced scalar oracles agree bitwise with the production backends.
+  const FloatMatrix fast = ops::matmul(qargs);
+  {
+    const ops::ScopedBackend forced("vnm-int8-scalar");
+    EXPECT_EQ(ops::matmul(qargs), fast);
+  }
+  const FloatMatrix f8_fast = ops::matmul(fargs);
+  {
+    const ops::ScopedBackend forced("vnm-fp8-scalar");
+    EXPECT_EQ(ops::matmul(fargs), f8_fast);
+  }
+}
+
+TEST(QuantDispatch, ForcedBackendQuantizesFp16ArgsOnTheFly) {
+  // VENOM_BACKEND=vnm-int8 (here the RAII equivalent) reroutes plain
+  // fp16 V:N:M args through the quantized datapath: the backend
+  // quantizes the weight on the fly, matching the explicit int8 product
+  // bit for bit.
+  const VnmMatrix fp16 = random_vnm(16, 32, {4, 2, 8}, 95);
+  Rng rng(96);
+  const HalfMatrix b = random_half_matrix(32, 8, rng);
+  const ops::MatmulArgs args = ops::MatmulArgs::make(fp16, b);
+  EXPECT_EQ(args.desc().dtype, ops::Dtype::kF16);
+
+  const FloatMatrix expect_i8 =
+      spmm_vnm_i8(QuantizedVnmMatrix::quantize(fp16), b);
+  {
+    const ops::ScopedBackend forced("vnm-int8");
+    EXPECT_EQ(ops::matmul(args), expect_i8);
+  }
+  const FloatMatrix expect_f8 =
+      spmm_vnm_fp8(Fp8VnmMatrix::quantize(fp16, Fp8Format::kE4M3), b);
+  {
+    const ops::ScopedBackend forced("vnm-fp8");
+    EXPECT_EQ(ops::matmul(args), expect_f8);
+  }
+}
+
+TEST(QuantDispatch, Fp16BackendsRejectQuantizedDescs) {
+  // A quantized desc must never fall through to an fp16 kernel.
+  const VnmMatrix fp16 = random_vnm(16, 32, {4, 2, 8}, 97);
+  Rng rng(98);
+  const HalfMatrix b = random_half_matrix(32, 8, rng);
+  const ops::MatmulDesc desc =
+      ops::MatmulArgs::make(QuantizedVnmMatrix::quantize(fp16), b).desc();
+  for (const char* name : {"vnm-fast", "vnm-scalar", "vnm-mma"}) {
+    const ops::Matmul* backend = ops::BackendRegistry::instance().find(name);
+    ASSERT_NE(backend, nullptr) << name;
+    EXPECT_FALSE(backend->supports(desc, cpu_feature_string())) << name;
+  }
+}
+
+TEST(QuantCache, MemoizesByFingerprintAndDtype) {
+  auto fp16 = std::make_shared<const VnmMatrix>(
+      random_vnm(16, 32, {4, 2, 8}, 100));
+  const std::uint64_t fp = spatha::weight_fingerprint(*fp16);
+  ops::QuantCache cache(4);
+
+  const auto first = cache.get_i8(*fp16, fp);
+  const auto second = cache.get_i8(*fp16, fp);
+  EXPECT_EQ(first.get(), second.get());  // same image, not a copy
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Each fp8 format is its own key.
+  const auto e5 = cache.get_fp8(*fp16, fp, Fp8Format::kE5M2);
+  const auto e4 = cache.get_fp8(*fp16, fp, Fp8Format::kE4M3);
+  EXPECT_NE(e5->values(), e4->values());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.get_fp8(*fp16, fp, Fp8Format::kE5M2).get(), e5.get());
+}
+
+TEST(QuantCache, EvictsLeastRecentlyUsed) {
+  ops::QuantCache cache(1);
+  const VnmMatrix a = random_vnm(8, 16, {4, 2, 8}, 101);
+  const VnmMatrix b = random_vnm(8, 16, {4, 2, 8}, 102);
+  cache.get_i8(a, spatha::weight_fingerprint(a));
+  cache.get_i8(b, spatha::weight_fingerprint(b));
+  EXPECT_EQ(cache.size(), 1u);
+  // `a` was evicted: fetching it again is a miss.
+  cache.get_i8(a, spatha::weight_fingerprint(a));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(QuantCache, DispatchReusesTheContextCache) {
+  // Fingerprinted fp16 args through a forced quantized backend hit the
+  // ExecContext-owned cache from the second dispatch on.
+  ops::ExecContext ctx;
+  auto fp16 = std::make_shared<const VnmMatrix>(
+      random_vnm(16, 32, {4, 2, 8}, 105));
+  const std::uint64_t fp = spatha::weight_fingerprint(*fp16);
+  Rng rng(106);
+  const HalfMatrix b = random_half_matrix(32, 8, rng);
+  const ops::MatmulArgs args = ops::MatmulArgs::make(fp16, fp, b);
+
+  const ops::ScopedBackend forced("vnm-int8");
+  const FloatMatrix first = ops::matmul(args, ctx);
+  const FloatMatrix second = ops::matmul(args, ctx);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(ctx.quant_cache().stats().misses, 1u);
+  EXPECT_EQ(ctx.quant_cache().stats().hits, 1u);
+}
+
+// ---------------------------------------------------- transformer mode
+
+TEST(LinearQuant, RequiresSparsifiedLayer) {
+  Rng rng(110);
+  transformer::Linear layer = transformer::Linear::random(16, 32, rng);
+  EXPECT_THROW(layer.set_weight_dtype(ops::Dtype::kI8), Error);
+  layer.sparsify({4, 2, 8});
+  EXPECT_NO_THROW(layer.set_weight_dtype(ops::Dtype::kI8));
+  EXPECT_EQ(layer.weight_dtype(), ops::Dtype::kI8);
+  ASSERT_NE(layer.int8_weight(), nullptr);
+  EXPECT_EQ(layer.fp8_weight(), nullptr);
+}
+
+TEST(LinearQuant, QuantizedForwardCloseToFp16AndRestorable) {
+  Rng rng(111);
+  transformer::Linear layer = transformer::Linear::random(32, 64, rng);
+  layer.sparsify({8, 2, 8});
+  const HalfMatrix x = random_half_matrix(64, 12, rng, 0.5f);
+  const HalfMatrix y_fp16 = layer.forward(x);
+
+  layer.set_weight_dtype(ops::Dtype::kI8);
+  const HalfMatrix y_i8 = layer.forward(x);
+  EXPECT_LT(rel_fro_error(to_float(y_i8), to_float(y_fp16)), 0.05f);
+  // Quantized-weight serving is deterministic.
+  EXPECT_TRUE(layer.forward(x) == y_i8);
+
+  layer.set_weight_dtype(ops::Dtype::kF8E4M3);
+  ASSERT_NE(layer.fp8_weight(), nullptr);
+  EXPECT_EQ(layer.int8_weight(), nullptr);
+  EXPECT_LT(rel_fro_error(to_float(layer.forward(x)), to_float(y_fp16)),
+            0.1f);
+
+  // Restoring fp16 is bit-identical to the pre-quantization forward.
+  layer.set_weight_dtype(ops::Dtype::kF16);
+  EXPECT_TRUE(layer.forward(x) == y_fp16);
+}
+
+TEST(EncoderQuant, QuantizeServeParityAgainstFp16) {
+  // The tentpole end-to-end gate: an entire sparsified encoder runs
+  // reduced-precision within the documented bound of its fp16 serve
+  // (int8 <= 5%, fp8-e4m3 <= 10% relative Frobenius), deterministically.
+  Rng rng = Rng::seeded("encoder-quant");
+  const transformer::ModelConfig cfg{.name = "quant", .layers = 2,
+                                     .hidden = 32, .heads = 4,
+                                     .ffn_hidden = 64, .seq_len = 16};
+  transformer::Encoder enc(cfg, rng);
+  enc.sparsify({8, 2, 8});
+  const HalfMatrix x = random_half_matrix(32, 16, rng, 0.5f);
+  const HalfMatrix y_fp16 = enc.forward(x);
+
+  enc.set_weight_dtype(ops::Dtype::kI8);
+  const HalfMatrix y_i8 = enc.forward(x);
+  EXPECT_LT(rel_fro_error(to_float(y_i8), to_float(y_fp16)), 0.05f);
+  EXPECT_TRUE(enc.forward(x) == y_i8);  // bit-identical across runs
+
+  enc.set_weight_dtype(ops::Dtype::kF8E4M3);
+  const HalfMatrix y_f8 = enc.forward(x);
+  EXPECT_LT(rel_fro_error(to_float(y_f8), to_float(y_fp16)), 0.1f);
+  EXPECT_TRUE(enc.forward(x) == y_f8);
+
+  enc.set_weight_dtype(ops::Dtype::kF16);
+  EXPECT_TRUE(enc.forward(x) == y_fp16);
+}
+
+TEST(LinearQuant, TrainingKeepsFp16MastersAndRequantizes) {
+  // apply_gradients() updates the fp16 master and refreshes the int8
+  // image, so serving after a step uses the stepped weight.
+  Rng rng(115);
+  transformer::Linear layer = transformer::Linear::random(16, 32, rng);
+  layer.sparsify({4, 2, 8});
+  layer.set_weight_dtype(ops::Dtype::kI8);
+  const HalfMatrix x = random_half_matrix(32, 8, rng, 0.5f);
+  const HalfMatrix y_before = layer.forward(x);
+
+  FloatMatrix gy(16, 8);
+  for (auto& v : gy.flat()) v = 0.1f * rng.normal();
+  const transformer::Linear::Grads g = layer.backward(x, gy);
+  layer.apply_gradients(g, 0.1f);
+
+  // The image tracked the update (the forward changed), and it matches a
+  // fresh quantization of the stepped sparse weight.
+  const HalfMatrix y_after = layer.forward(x);
+  EXPECT_FALSE(y_after == y_before);
+  ASSERT_NE(layer.int8_weight(), nullptr);
+  const QuantizedVnmMatrix fresh =
+      QuantizedVnmMatrix::quantize(layer.sparse_weight());
+  EXPECT_EQ(layer.int8_weight()->values(), fresh.values());
+  EXPECT_EQ(layer.int8_weight()->row_scales(), fresh.row_scales());
 }
 
 }  // namespace

@@ -7,10 +7,15 @@
 //       magnitude-prune + compress to V:N:M
 //   venomtool decompress <in.vnm> <out.mat>
 //       expand a compressed matrix back to dense
+//   venomtool quantize <in.vnm> <out> <int8|e5m2|e4m3>
+//       re-encode a compressed V:N:M matrix at reduced precision (QVN1 /
+//       FVN1 containers), print the size and scale statistics, and
+//       round-trip-check the written file
 //   venomtool info <file>
 //       describe any container (shape, format, density, footprint)
-//   venomtool spmm <a.vnm> <b.mat> <out.matf>
-//       C = A_vnm * B through Spatha (fp32 output container)
+//   venomtool spmm <a.vnm|a.qvnm|a.fvnm> <b.mat> <out.matf>
+//       C = A_vnm * B through Spatha (fp32 output container); A may be
+//       fp16 or a `quantize` artefact — dispatch follows its dtype
 //   venomtool energy <pruned.mat> <dense.mat>
 //       Fig. 11 energy metric of a pruned matrix vs its dense origin
 //   venomtool autotune <R> <K> <C> <V> <N> <M>
@@ -24,10 +29,11 @@
 //       so select_config dispatches the tuned configs transparently.
 //   venomtool model <R> <K> <C> <V> <N> <M>
 //       modeled kernel times and speedup vs cuBLAS for one problem
-//   venomtool backends [R K C V N M]
+//   venomtool backends [R K C V N M [dtype]]
 //       list the registered venom::ops matmul backends; with a shape,
 //       print which backend dispatch would select for that RxKxC V:N:M
 //       problem and the kernel config with and without the tuning cache
+//       (dtype f16|int8|e5m2|e4m3 selects the datapath, default f16)
 //   venomtool serve-bench [requests] [tokens] [batch_tokens] [hidden] [layers]
 //       serving throughput: dynamic batching through the InferenceEngine
 //       vs a sequential one-request-at-a-time loop over the same pruned
@@ -39,6 +45,8 @@
 //       transposed SpMM / masked SDDMM). Prints the loss curve and the
 //       recovery fraction; exits nonzero below the recovery bar
 //       (VENOM_FINETUNE_RECOVERY_BAR, default 0.5)
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -67,13 +75,14 @@ int usage() {
                "  venomtool gen <rows> <cols> <out.mat> [seed] [sigma]\n"
                "  venomtool compress <in.mat> <out.vnm> <V> <N> <M>\n"
                "  venomtool decompress <in.vnm> <out.mat>\n"
+               "  venomtool quantize <in.vnm> <out> <int8|e5m2|e4m3>\n"
                "  venomtool info <file>\n"
-               "  venomtool spmm <a.vnm> <b.mat> <out.matf>\n"
+               "  venomtool spmm <a.vnm|a.qvnm|a.fvnm> <b.mat> <out.matf>\n"
                "  venomtool energy <pruned.mat> <dense.mat>\n"
                "  venomtool autotune <R> <K> <C> <V> <N> <M>\n"
                "  venomtool tune <R> <K> <C> <V> <N> <M> [cache.json]\n"
                "  venomtool model <R> <K> <C> <V> <N> <M>\n"
-               "  venomtool backends [R K C V N M]\n"
+               "  venomtool backends [R K C V N M [dtype]]\n"
                "  venomtool serve-bench [requests] [tokens] [batch_tokens]"
                " [hidden] [layers]\n"
                "  venomtool finetune-bench [out] [in] [tokens] [steps]"
@@ -124,6 +133,78 @@ int cmd_decompress(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_quantize(const std::vector<std::string>& args) {
+  if (args.size() != 3) return usage();
+  const VnmMatrix fp16 = io::load_vnm_matrix(args[0]);
+  const std::string& dtype = args[2];
+  const std::size_t fp16_bytes = fp16.compressed_bytes();
+
+  // Quantization error of the written image, relative to the largest
+  // fp16 magnitude (symmetric int8 bounds this by scale/2 per element).
+  const auto report_error = [&](const VnmMatrix& deq) {
+    float max_abs = 0.0f, max_err = 0.0f;
+    for (std::size_t i = 0; i < fp16.values().size(); ++i)
+      max_abs = std::max(max_abs, std::fabs(fp16.values()[i].to_float()));
+    for (std::size_t i = 0; i < fp16.values().size(); ++i)
+      max_err = std::max(max_err,
+                         std::fabs(deq.values()[i].to_float() -
+                                   fp16.values()[i].to_float()));
+    std::printf("  max abs error    : %.6g (%.4f%% of max |value| %.6g)\n",
+                max_err, max_abs > 0 ? 100.0 * max_err / max_abs : 0.0,
+                max_abs);
+  };
+
+  if (dtype == "int8") {
+    const auto q = quant::QuantizedVnmMatrix::quantize(fp16);
+    io::save(q, args[1]);
+    float smin = 0.0f, smax = 0.0f;
+    double ssum = 0.0;
+    for (std::size_t r = 0; r < q.rows(); ++r) {
+      const float s = q.row_scale(r);
+      smin = r == 0 ? s : std::min(smin, s);
+      smax = std::max(smax, s);
+      ssum += s;
+    }
+    std::printf("quantized %zux%zu %zu:%zu:%zu to int8: %zu -> %zu bytes "
+                "(%.2fx)\n",
+                q.rows(), q.cols(), q.config().v, q.config().n, q.config().m,
+                fp16_bytes, q.compressed_bytes(),
+                double(fp16_bytes) / double(q.compressed_bytes()));
+    std::printf("  row scales       : min %.6g  max %.6g  mean %.6g\n", smin,
+                smax, q.rows() > 0 ? ssum / double(q.rows()) : 0.0);
+    report_error(q.dequantize());
+    // Round-trip check: the written container must reload to the exact
+    // in-memory structures.
+    const auto back = io::load_quant_vnm_matrix(args[1]);
+    const bool ok = back.values() == q.values() &&
+                    back.m_indices() == q.m_indices() &&
+                    back.column_locs() == q.column_locs() &&
+                    back.row_scales() == q.row_scales();
+    std::printf("  round trip       : %s\n", ok ? "ok" : "MISMATCH");
+    return ok ? 0 : 1;
+  }
+  if (dtype == "e5m2" || dtype == "e4m3") {
+    const Fp8Format format =
+        dtype == "e5m2" ? Fp8Format::kE5M2 : Fp8Format::kE4M3;
+    const auto q = quant::Fp8VnmMatrix::quantize(fp16, format);
+    io::save(q, args[1]);
+    std::printf("quantized %zux%zu %zu:%zu:%zu to fp8 %s: %zu -> %zu bytes "
+                "(%.2fx)\n",
+                q.rows(), q.cols(), q.config().v, q.config().n, q.config().m,
+                to_string(format), fp16_bytes, q.compressed_bytes(),
+                double(fp16_bytes) / double(q.compressed_bytes()));
+    report_error(q.dequantize());
+    const auto back = io::load_fp8_vnm_matrix(args[1]);
+    const bool ok = back.format() == q.format() &&
+                    back.values() == q.values() &&
+                    back.m_indices() == q.m_indices() &&
+                    back.column_locs() == q.column_locs();
+    std::printf("  round trip       : %s\n", ok ? "ok" : "MISMATCH");
+    return ok ? 0 : 1;
+  }
+  return usage();
+}
+
 int cmd_info(const std::vector<std::string>& args) {
   if (args.size() != 1) return usage();
   switch (io::probe(args[0])) {
@@ -165,6 +246,30 @@ int cmd_info(const std::vector<std::string>& args) {
                       : double(m.nnz()) / double(m.rows() * m.cols()));
       return 0;
     }
+    case io::FileKind::kQuantVnmMatrix: {
+      const quant::QuantizedVnmMatrix m = io::load_quant_vnm_matrix(args[0]);
+      float smin = 0.0f, smax = 0.0f;
+      for (std::size_t r = 0; r < m.rows(); ++r) {
+        const float s = m.row_scale(r);
+        smin = r == 0 ? s : std::min(smin, s);
+        smax = std::max(smax, s);
+      }
+      std::printf("int8 V:N:M matrix  %zux%zu  format %zu:%zu:%zu  (%.0f%% "
+                  "sparse)  nnz %zu  %zu bytes  row scales [%.6g, %.6g]\n",
+                  m.rows(), m.cols(), m.config().v, m.config().n,
+                  m.config().m, m.config().sparsity() * 100.0, m.nnz(),
+                  m.compressed_bytes(), smin, smax);
+      return 0;
+    }
+    case io::FileKind::kFp8VnmMatrix: {
+      const quant::Fp8VnmMatrix m = io::load_fp8_vnm_matrix(args[0]);
+      std::printf("fp8 %s V:N:M matrix  %zux%zu  format %zu:%zu:%zu  "
+                  "(%.0f%% sparse)  nnz %zu  %zu bytes\n",
+                  to_string(m.format()), m.rows(), m.cols(), m.config().v,
+                  m.config().n, m.config().m, m.config().sparsity() * 100.0,
+                  m.nnz(), m.compressed_bytes());
+      return 0;
+    }
     case io::FileKind::kTuningCache: {
       const spatha::TuningCache cache = io::load_tuning_cache(args[0]);
       std::printf("tuning cache  %zu entr%s\n", cache.size(),
@@ -186,25 +291,42 @@ int cmd_info(const std::vector<std::string>& args) {
 
 int cmd_spmm(const std::vector<std::string>& args) {
   if (args.size() != 3) return usage();
-  const VnmMatrix a = io::load_vnm_matrix(args[0]);
   const HalfMatrix b = io::load_half_matrix(args[1]);
-  // Dispatched through the ops registry (honors VENOM_BACKEND), so the
-  // CLI exercises the same selection path the library layers use. One
-  // selection serves both the run and the printed name.
-  const ops::MatmulArgs margs = ops::MatmulArgs::make(a, b);
-  const ops::Matmul& backend =
-      ops::BackendRegistry::instance().select(margs.desc());
+  // The A operand may be any compressed V:N:M container — fp16 (VNM1)
+  // or a `venomtool quantize` artefact (QVN1 / FVN1); the magic picks
+  // the loader and desc().dtype routes dispatch to the matching
+  // datapath. Dispatched through the ops registry (honors
+  // VENOM_BACKEND), so the CLI exercises the same selection path the
+  // library layers use. One selection serves both the run and the
+  // printed name.
+  VnmMatrix a_fp16;
+  quant::QuantizedVnmMatrix a_i8;
+  quant::Fp8VnmMatrix a_f8;
+  ops::MatmulArgs margs;
+  const io::FileKind kind = io::probe(args[0]);
+  if (kind == io::FileKind::kQuantVnmMatrix) {
+    a_i8 = io::load_quant_vnm_matrix(args[0]);
+    margs = ops::MatmulArgs::make(a_i8, b);
+  } else if (kind == io::FileKind::kFp8VnmMatrix) {
+    a_f8 = io::load_fp8_vnm_matrix(args[0]);
+    margs = ops::MatmulArgs::make(a_f8, b);
+  } else {
+    a_fp16 = io::load_vnm_matrix(args[0]);
+    margs = ops::MatmulArgs::make(a_fp16, b);
+  }
+  const ops::MatmulDesc desc = margs.desc();
+  const ops::Matmul& backend = ops::BackendRegistry::instance().select(desc);
   const FloatMatrix c = backend.run(margs, ops::ExecContext::global());
   io::save(c, args[2]);
-  std::printf("spmm %zux%zu (%zu:%zu:%zu) * %zux%zu -> %s [backend %s]\n",
-              a.rows(), a.cols(), a.config().v, a.config().n, a.config().m,
-              b.rows(), b.cols(), args[2].c_str(),
-              std::string(backend.name()).c_str());
+  std::printf("spmm %zux%zu (%zu:%zu:%zu, %s) * %zux%zu -> %s [backend %s]\n",
+              desc.rows, desc.cols, desc.vnm.v, desc.vnm.n, desc.vnm.m,
+              std::string(to_string(desc.dtype)).c_str(), b.rows(), b.cols(),
+              args[2].c_str(), std::string(backend.name()).c_str());
   return 0;
 }
 
 int cmd_backends(const std::vector<std::string>& args) {
-  if (!args.empty() && args.size() != 6) return usage();
+  if (!args.empty() && args.size() != 6 && args.size() != 7) return usage();
   const auto& registry = ops::BackendRegistry::instance();
 
   std::printf("registered matmul backends (features: %s):\n",
@@ -219,6 +341,14 @@ int cmd_backends(const std::vector<std::string>& args) {
   const std::size_t k = to_size(args[1]);
   const std::size_t c = to_size(args[2]);
   const VnmConfig fmt{to_size(args[3]), to_size(args[4]), to_size(args[5])};
+  ops::Dtype dtype = ops::Dtype::kF16;
+  if (args.size() == 7) {
+    if (args[6] == "f16") dtype = ops::Dtype::kF16;
+    else if (args[6] == "int8") dtype = ops::Dtype::kI8;
+    else if (args[6] == "e5m2") dtype = ops::Dtype::kF8E5M2;
+    else if (args[6] == "e4m3") dtype = ops::Dtype::kF8E4M3;
+    else return usage();
+  }
 
   ops::MatmulDesc desc;
   desc.rows = r;
@@ -226,10 +356,11 @@ int cmd_backends(const std::vector<std::string>& args) {
   desc.b_cols = c;
   desc.format = ops::OperandFormat::kVnm;
   desc.vnm = fmt;
+  desc.dtype = dtype;
 
   const auto sel = registry.select_explained(desc);
-  std::printf("\ndispatch for %zux%zux%zu at %zu:%zu:%zu:\n", r, k, c, fmt.v,
-              fmt.n, fmt.m);
+  std::printf("\ndispatch for %zux%zux%zu at %zu:%zu:%zu (%s):\n", r, k, c,
+              fmt.v, fmt.n, fmt.m, std::string(to_string(dtype)).c_str());
   if (!sel.forced_ignored.empty())
     std::printf("  (override '%s' ignored: unknown backend or unsupported "
                 "problem)\n",
@@ -453,6 +584,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "compress") return cmd_compress(args);
     if (cmd == "decompress") return cmd_decompress(args);
+    if (cmd == "quantize") return cmd_quantize(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "spmm") return cmd_spmm(args);
     if (cmd == "energy") return cmd_energy(args);
