@@ -1,0 +1,162 @@
+// Scaled-serving load bench: an EngineGroup of N replicas under a 2x
+// Poisson overload burst.
+//
+// The question this answers is not "how fast is a batch" (bench_serving)
+// but "what happens when more work arrives than the group can serve".
+// The correct production answer — the one ROADMAP item 2 asks for — is:
+// admitted requests keep a bounded p99 because the admission controller
+// sheds the excess with explicit AdmissionError rejections, instead of
+// an unbounded queue dragging every request's latency to infinity. The
+// measurement lives in serving::run_serving_load — shared with
+// `venomtool route-bench` so the CLI probe and the CI gate can never
+// drift — which also bit-checks every admitted output against a direct
+// Encoder::forward on an independently built reference encoder.
+//
+// Goodput (admitted completions/s) and admitted-p99 are merged into
+// BENCH_kernels.json; the baseline holds presence-gated sentinel rows
+// for them, so the perf gate fails if the load bench stops reporting.
+//
+// Usage: bench_serving_load [replicas] [requests] [overload] [queue_tokens]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "serving/bench_harness.hpp"
+#include "transformer/config.hpp"
+
+namespace {
+
+using namespace venom;
+
+transformer::ModelConfig bench_model() {
+  // Same BERT-tiny-ish stack as bench_serving: SpMM-dominated, CI-sized.
+  return transformer::ModelConfig{.name = "bert-tiny", .layers = 2,
+                                  .hidden = 256, .heads = 4,
+                                  .ffn_hidden = 512, .seq_len = 128};
+}
+
+double env_double(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) return std::strtod(env, nullptr);
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serving::LoadSetup setup;
+  setup.model = bench_model();
+  setup.replicas = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4;
+  setup.requests = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 192;
+  setup.overload = argc > 3 ? std::strtod(argv[3], nullptr) : 2.0;
+  setup.max_queued_tokens =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 512;
+
+  char shape[128];
+  std::snprintf(shape, sizeof(shape),
+                "%s h%zuL%zu r%zu reqs%zu tok%zu-%zu ov%.1f qb%zu",
+                setup.model.name.c_str(), setup.model.hidden,
+                setup.model.layers, setup.replicas, setup.requests,
+                setup.min_tokens, setup.max_tokens, setup.overload,
+                setup.max_queued_tokens);
+  bench::banner("Scaled serving: EngineGroup under Poisson overload",
+                shape);
+
+  // Watchdog: the load bench's worst failure mode is a future that never
+  // resolves (a worker wedged across shutdown, a dropped promise). Turn
+  // a hang into a loud nonzero exit instead of a stuck CI job.
+  std::atomic<bool> finished{false};
+  const double timeout_s = env_double("VENOM_LOAD_TIMEOUT_S", 300.0);
+  std::thread([&finished, timeout_s] {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(timeout_s));
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (finished.load()) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (!finished.load()) {
+      std::fprintf(stderr, "FAIL: load bench hung past %.0fs watchdog\n",
+                   timeout_s);
+      std::_Exit(2);
+    }
+  }).detach();
+
+  const serving::LoadReport r = serving::run_serving_load(setup);
+  finished.store(true);
+
+  if (!r.bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a routed output differs from the direct forward\n");
+    return 1;
+  }
+  if (r.failed != 0) {
+    std::fprintf(stderr, "FAIL: %zu admitted requests failed\n", r.failed);
+    return 1;
+  }
+
+  bench::header({"metric", "value"});
+  bench::cell("capacity");
+  bench::cell(r.capacity_rps, "%.1f req/s");
+  bench::endrow();
+  bench::cell("offered");
+  bench::cell(r.offered_rps, "%.1f req/s");
+  bench::endrow();
+  bench::cell("goodput");
+  bench::cell(r.goodput_rps, "%.1f req/s");
+  bench::endrow();
+  bench::cell("admitted");
+  bench::cell(double(r.admitted), "%.0f");
+  bench::endrow();
+  bench::cell("shed");
+  bench::cell(double(r.rejected_queue + r.rejected_rate), "%.0f");
+  bench::endrow();
+  bench::cell("p50");
+  bench::cell(r.p50_ms, "%.3f ms");
+  bench::endrow();
+  bench::cell("p99");
+  bench::cell(r.p99_ms, "%.3f ms");
+  bench::endrow();
+  std::printf("\nadmitted outputs bit-identical to direct forward: yes\n");
+  std::printf("replica batches:");
+  for (const auto& s : r.stats.replicas)
+    std::printf(" %zu", s.batches);
+  std::printf("\n");
+
+  bench::merge_bench_json(
+      "BENCH_kernels.json",
+      {{"serving_load_goodput", shape, r.goodput_rps, 1.0, "req_per_s"},
+       {"serving_load_p99", shape, r.p99_ms, 1.0, "ms"}});
+  std::printf("merged 2 serving-load records into BENCH_kernels.json\n");
+
+  // Acceptance bars, env-overridable like the perf gate's tolerances:
+  //   * the admitted requests' p99 must stay bounded — the admission
+  //     queue bound caps how long an admitted request can wait, so a
+  //     blown bar means shedding stopped protecting latency;
+  //   * a 2x overload must actually shed — zero rejections means the
+  //     burst never exceeded capacity and the run proved nothing.
+  // The default bar is ~4x the queue-bound-implied delay on this bench's
+  // reference machine, leaving headroom for slower CI runners (whose
+  // queue delay scales inversely with their token throughput).
+  const double p99_bar = env_double("VENOM_LOAD_P99_BAR_MS", 1000.0);
+  if (r.p99_ms > p99_bar) {
+    std::fprintf(stderr, "FAIL: admitted p99 %.1f ms > %.0f ms bar\n",
+                 r.p99_ms, p99_bar);
+    return 1;
+  }
+  const double require_shed = env_double("VENOM_LOAD_REQUIRE_SHED", 1.0);
+  if (require_shed != 0.0 && setup.overload >= 1.5 &&
+      r.rejected_queue + r.rejected_rate == 0) {
+    std::fprintf(stderr,
+                 "FAIL: %.1fx overload shed nothing — offered load never "
+                 "exceeded capacity\n",
+                 setup.overload);
+    return 1;
+  }
+  std::printf("admitted p99 %.1f ms <= %.0f ms bar, %zu requests shed "
+              "with AdmissionError: PASS\n",
+              r.p99_ms, p99_bar, r.rejected_queue + r.rejected_rate);
+  return 0;
+}

@@ -114,4 +114,17 @@ class ExecContext {
   mutable spatha::TuningCache own_tuning_;
 };
 
+/// Context-resolution rule for layers whose weights can be shared
+/// (read-only) across several execution contexts: the per-call override
+/// wins, then the context attached to the layer, then the process-wide
+/// default. Replicated serving passes a replica-private context per
+/// forward call over one const encoder, so N replicas never contend on
+/// one plan cache while sharing every weight byte.
+inline ExecContext& resolve(ExecContext* preferred,
+                            ExecContext* fallback = nullptr) {
+  if (preferred != nullptr) return *preferred;
+  if (fallback != nullptr) return *fallback;
+  return ExecContext::global();
+}
+
 }  // namespace venom::ops

@@ -1,0 +1,86 @@
+#include "serving/admission.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace venom::serving {
+
+const char* to_string(AdmissionReason reason) {
+  switch (reason) {
+    case AdmissionReason::kRateLimited: return "rate-limited";
+    case AdmissionReason::kQueueFull: return "queue-full";
+    case AdmissionReason::kDeadlineExceeded: return "deadline-exceeded";
+    case AdmissionReason::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionPolicy policy)
+    : policy_(std::move(policy)) {}
+
+void AdmissionController::admit(const std::string& tenant,
+                                std::size_t tokens) {
+  const TenantPolicy& limit = policy_.limit_for(tenant);
+  const auto now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // Global bound first: it protects every tenant's latency, so a full
+  // queue rejects even a rate-compliant request.
+  if ((policy_.max_queued_tokens != 0 &&
+       inflight_tokens_ + tokens > policy_.max_queued_tokens) ||
+      (policy_.max_queued_requests != 0 &&
+       inflight_requests_ + 1 > policy_.max_queued_requests)) {
+    ++rejected_queue_;
+    std::ostringstream os;
+    os << "admission: queue full (" << inflight_requests_ << " requests / "
+       << inflight_tokens_ << " tokens in flight; bounds "
+       << policy_.max_queued_requests << " / " << policy_.max_queued_tokens
+       << ") — retry later";
+    throw AdmissionError(AdmissionReason::kQueueFull, os.str());
+  }
+
+  if (limit.tokens_per_s > 0.0) {
+    Bucket& bucket = buckets_[tenant];
+    if (bucket.last == Clock::time_point{}) {
+      bucket.level = limit.burst_tokens;  // a fresh tenant starts full
+    } else {
+      const double dt = std::chrono::duration<double>(now - bucket.last).count();
+      bucket.level = std::min(limit.burst_tokens,
+                              bucket.level + dt * limit.tokens_per_s);
+    }
+    bucket.last = now;
+    if (bucket.level < double(tokens)) {
+      ++rejected_rate_;
+      std::ostringstream os;
+      os << "admission: tenant '" << tenant << "' over budget (" << tokens
+         << " tokens requested, " << bucket.level << " available; rate "
+         << limit.tokens_per_s << " tok/s, burst " << limit.burst_tokens
+         << ")";
+      throw AdmissionError(AdmissionReason::kRateLimited, os.str());
+    }
+    bucket.level -= double(tokens);
+  }
+
+  inflight_tokens_ += tokens;
+  inflight_requests_ += 1;
+  ++admitted_;
+}
+
+void AdmissionController::release(std::size_t tokens) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  inflight_tokens_ -= std::min(inflight_tokens_, tokens);
+  if (inflight_requests_ > 0) --inflight_requests_;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionStats s;
+  s.admitted = admitted_;
+  s.rejected_rate = rejected_rate_;
+  s.rejected_queue = rejected_queue_;
+  s.inflight_tokens = inflight_tokens_;
+  s.inflight_requests = inflight_requests_;
+  return s;
+}
+
+}  // namespace venom::serving

@@ -1,0 +1,123 @@
+// Per-tenant admission control for the scaled serving layer.
+//
+// A production front end sheds load it cannot serve instead of queueing
+// it forever: an unbounded queue under overload means every request
+// eventually times out (congestion collapse), while a bounded queue with
+// explicit rejection keeps the admitted requests' latency bounded. The
+// AdmissionController enforces two limits at submit time:
+//
+//   * per-tenant token buckets — each tenant accrues `tokens_per_s`
+//     admission tokens up to a `burst_tokens` cap, and a request costs
+//     its sequence length; a tenant over budget is rejected with
+//     AdmissionError(kRateLimited) without touching other tenants,
+//   * a global in-flight bound — tokens/requests admitted but not yet
+//     completed; overflow is rejected with AdmissionError(kQueueFull).
+//
+// Rejection is always a typed exception thrown from submit() — never a
+// silently dropped future and never an unbounded blocking wait.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+#include "serving/request.hpp"
+
+namespace venom::serving {
+
+/// Why a request was refused or shed.
+enum class AdmissionReason {
+  kRateLimited,       ///< the tenant's token bucket is empty
+  kQueueFull,         ///< the global in-flight bound is reached
+  kDeadlineExceeded,  ///< still queued past the request's deadline
+  kShutdown,          ///< the engine/group no longer accepts work
+};
+
+const char* to_string(AdmissionReason reason);
+
+/// Typed rejection: thrown by submit() for shed load (and delivered
+/// through the future for deadline sheds). Catch venom::Error to treat
+/// all failures alike, or AdmissionError to branch on the reason.
+class AdmissionError : public Error {
+ public:
+  AdmissionError(AdmissionReason reason, const std::string& what)
+      : Error(what), reason_(reason) {}
+  AdmissionReason reason() const { return reason_; }
+
+ private:
+  AdmissionReason reason_;
+};
+
+/// One tenant's token bucket: `tokens_per_s` sustained admission rate
+/// with bursts up to `burst_tokens`. A zero rate means unlimited.
+struct TenantPolicy {
+  double tokens_per_s = 0.0;
+  double burst_tokens = 0.0;
+};
+
+/// Admission knobs for an engine group.
+struct AdmissionPolicy {
+  /// Applied to tenants without an explicit entry (unlimited by default).
+  TenantPolicy default_limit;
+  /// Per-tenant overrides, keyed by Request::tenant.
+  std::map<std::string, TenantPolicy> tenants{};
+  /// Global bound on admitted-but-uncompleted tokens (0 = unbounded).
+  std::size_t max_queued_tokens = 4096;
+  /// Global bound on admitted-but-uncompleted requests (0 = unbounded).
+  std::size_t max_queued_requests = 1024;
+
+  const TenantPolicy& limit_for(const std::string& tenant) const {
+    const auto it = tenants.find(tenant);
+    return it != tenants.end() ? it->second : default_limit;
+  }
+};
+
+/// Monotonic admission counters plus the live in-flight gauges.
+struct AdmissionStats {
+  std::size_t admitted = 0;
+  std::size_t rejected_rate = 0;   ///< kRateLimited rejections
+  std::size_t rejected_queue = 0;  ///< kQueueFull rejections
+  std::size_t inflight_tokens = 0;
+  std::size_t inflight_requests = 0;
+};
+
+/// Thread-safe admission gate: token buckets per tenant plus the global
+/// in-flight budget. admit() throws AdmissionError on rejection; every
+/// admitted request must be balanced by exactly one release() when it
+/// leaves the system (the router wires this through PendingRequest's
+/// on_done hook, so sheds and failures release too).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionPolicy policy);
+
+  /// Charges `tokens` against the tenant's bucket and the global bound.
+  /// Throws AdmissionError (kRateLimited / kQueueFull) on rejection — in
+  /// which case nothing was charged.
+  void admit(const std::string& tenant, std::size_t tokens);
+
+  /// Returns one admitted request's tokens to the global budget.
+  void release(std::size_t tokens);
+
+  AdmissionStats stats() const;
+  const AdmissionPolicy& policy() const { return policy_; }
+
+ private:
+  struct Bucket {
+    double level = 0.0;
+    Clock::time_point last{};
+  };
+
+  AdmissionPolicy policy_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Bucket> buckets_;
+  std::size_t inflight_tokens_ = 0;
+  std::size_t inflight_requests_ = 0;
+  std::size_t admitted_ = 0;
+  std::size_t rejected_rate_ = 0;
+  std::size_t rejected_queue_ = 0;
+};
+
+}  // namespace venom::serving

@@ -1,6 +1,9 @@
 #include "serving/batcher.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "serving/admission.hpp"
 
 namespace venom::serving {
 
@@ -12,47 +15,104 @@ DynamicBatcher::DynamicBatcher(BatchPolicy policy) : policy_(policy) {
 }
 
 bool DynamicBatcher::submit(PendingRequest& req) {
-  // push moves from req only on success: a refused request stays intact
-  // with its promise, as batcher.hpp documents.
-  return queue_.push(std::move(req));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;  // req stays intact with its promise
+    // Priority insertion: ahead of strictly lower priorities, behind
+    // equal ones (FIFO within a band). The common all-zero case is a
+    // plain push_back.
+    auto pos = queue_.end();
+    while (pos != queue_.begin() &&
+           std::prev(pos)->request.priority < req.request.priority)
+      --pos;
+    queued_tokens_ += req.tokens();
+    queue_.insert(pos, std::move(req));
+  }
+  cv_.notify_one();
+  return true;
 }
 
-void DynamicBatcher::close() { queue_.close(); }
+void DynamicBatcher::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void DynamicBatcher::shed_expired_locked(Clock::time_point now) {
+  while (!queue_.empty()) {
+    PendingRequest& front = queue_.front();
+    if (!front.request.deadline.has_value() ||
+        *front.request.deadline >= now)
+      return;
+    PendingRequest expired = pop_front_locked();
+    ++shed_;
+    fail(expired,
+         std::make_exception_ptr(AdmissionError(
+             AdmissionReason::kDeadlineExceeded,
+             "request deadline lapsed while queued (shed, not executed)")));
+  }
+}
+
+PendingRequest DynamicBatcher::pop_front_locked() {
+  PendingRequest req = std::move(queue_.front());
+  queue_.pop_front();
+  queued_tokens_ -= std::min(queued_tokens_, req.tokens());
+  return req;
+}
 
 bool DynamicBatcher::next_batch(std::vector<PendingRequest>& out) {
   out.clear();
-  std::lock_guard<std::mutex> lock(collect_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
 
-  // Seed the batch: the carried-over request from the previous
-  // collection, or a blocking wait for fresh work.
-  PendingRequest first;
-  if (carry_.has_value()) {
-    first = std::move(*carry_);
-    carry_.reset();
-  } else if (!queue_.pop(first)) {
-    return false;  // closed and drained
+  // Seed the batch: wait (on the cv, mutex released) for work or close.
+  for (;;) {
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    shed_expired_locked(Clock::now());
+    if (!queue_.empty()) break;
+    if (closed_) return false;  // closed and drained
   }
+  PendingRequest first = pop_front_locked();
   std::size_t tokens = first.tokens();
   out.push_back(std::move(first));
 
-  // Greedy fill until the budget is met or the flush timer expires. The
+  // Continuous top-up: keep admitting queued AND newly arriving requests
+  // into the forming batch until the budget or the flush timer hits. The
   // deadline is absolute from the moment the batch opened, so a trickle
   // of small requests cannot stall the first one indefinitely.
-  const auto deadline = std::chrono::steady_clock::now() + policy_.max_wait;
+  const auto flush_at = Clock::now() + policy_.max_wait;
   while (out.size() < policy_.max_batch_requests &&
          tokens < policy_.max_batch_tokens) {
-    PendingRequest next;
-    bool timed_out = false;
-    if (!queue_.pop_until(next, deadline, timed_out))
-      break;  // flush: timer expired, or closed and drained
-    if (tokens + next.tokens() > policy_.max_batch_tokens) {
-      carry_.emplace(std::move(next));  // never split a request
-      break;
+    shed_expired_locked(Clock::now());
+    if (queue_.empty()) {
+      if (closed_) break;  // no more arrivals, ever
+      if (cv_.wait_until(lock, flush_at) == std::cv_status::timeout)
+        break;  // flush: the timer expired
+      continue;  // woken by a submit or close — re-examine the queue
     }
+    if (tokens + queue_.front().tokens() > policy_.max_batch_tokens)
+      break;  // never split a request; it stays at the head
+    PendingRequest next = pop_front_locked();
     tokens += next.tokens();
     out.push_back(std::move(next));
   }
   return true;
+}
+
+std::size_t DynamicBatcher::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t DynamicBatcher::queued_tokens() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_tokens_;
+}
+
+std::size_t DynamicBatcher::shed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
 }
 
 }  // namespace venom::serving

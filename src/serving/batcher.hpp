@@ -1,25 +1,36 @@
-// Dynamic request batching (the serving analogue of Fig. 15's model-level
-// claim: V:N:M pays off per *deployed model*, not per kernel).
+// Dynamic request batching with continuous top-up (the serving analogue
+// of Fig. 15's model-level claim: V:N:M pays off per *deployed model*,
+// not per kernel).
 //
 // Requests are independent sequences of hidden-dim token columns. The
 // batcher coalesces queued requests into one token-packed forward pass
 // under two knobs: a token budget per batch (max_batch_tokens bounds the
 // SpMM's C extent and the batch's memory) and a flush timer (max_wait
-// bounds the latency a lone request pays waiting for company). A request
-// that would overflow the budget is carried into the next batch, so
-// batches never split a request; a request bigger than the whole budget
-// runs as a batch of one.
+// bounds the latency a lone request pays waiting for company). Batching
+// is *continuous*: a forming batch keeps topping up from newly arrived
+// requests until the budget fills or the flush timer expires — a late
+// arrival joins the batch that is already forming instead of waiting for
+// the next one. A request that would overflow the budget stays at the
+// queue head for the next batch, so batches never split a request; a
+// request bigger than the whole budget runs as a batch of one.
+//
+// Concurrency: one mutex guards the queue and one condition variable
+// carries every wake-up (new work, close). Workers blocked anywhere in
+// next_batch() — seeding or topping up — always wait on that cv with the
+// mutex released, so close() wakes all of them promptly. (The previous
+// design serialized collectors behind a second mutex held across a
+// blocking pop; a worker stuck on that mutex could not be woken by
+// close() — the bug this rewrite removes.)
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
-#include <future>
+#include <deque>
 #include <mutex>
-#include <optional>
 #include <vector>
 
-#include "serving/queue.hpp"
-#include "tensor/matrix.hpp"
+#include "serving/request.hpp"
 
 namespace venom::serving {
 
@@ -30,47 +41,53 @@ struct BatchPolicy {
   std::chrono::microseconds max_wait{2000};  ///< flush timer for partial batches
 };
 
-/// One queued inference request: input activations (hidden x tokens) and
-/// the promise its output is delivered through.
-struct PendingRequest {
-  std::uint64_t id = 0;
-  HalfMatrix input;
-  std::promise<HalfMatrix> result;
-  std::chrono::steady_clock::time_point enqueued{};
-
-  std::size_t tokens() const { return input.cols(); }
-};
-
 /// Coalesces a thread-safe request queue into token-budgeted batches.
 class DynamicBatcher {
  public:
   explicit DynamicBatcher(BatchPolicy policy);
 
   /// Enqueues a request; false once close()d (the request is returned to
-  /// the caller untouched so its promise can be failed).
+  /// the caller untouched so its promise can be failed). Higher-priority
+  /// requests are inserted ahead of lower-priority ones (FIFO within a
+  /// priority band).
   bool submit(PendingRequest& req);
 
-  /// Refuses further submissions; next_batch() keeps returning batches
-  /// until the queue is drained, then false.
+  /// Refuses further submissions and wakes every worker blocked in
+  /// next_batch(); next_batch() keeps returning batches until the queue
+  /// is drained, then false.
   void close();
 
   /// Blocks for the next batch. `out` is cleared and filled with 1..max
   /// requests whose token counts sum within the policy budget (except a
-  /// single oversized request, which forms its own batch). Returns false
-  /// only after close() with everything drained — the worker-loop exit.
+  /// single oversized request, which forms its own batch). While the
+  /// budget has room and the flush timer has not expired, newly
+  /// submitted requests join the forming batch (continuous batching).
+  /// Requests whose deadline lapsed while queued are shed here: failed
+  /// with AdmissionError(kDeadlineExceeded), never executed, never
+  /// silently dropped. Returns false only after close() with everything
+  /// drained — the worker-loop exit.
   bool next_batch(std::vector<PendingRequest>& out);
 
-  std::size_t queued() const { return queue_.size(); }
+  std::size_t queued() const;
+  /// Token sum of the queued (not yet batched) requests.
+  std::size_t queued_tokens() const;
+  /// Requests shed for a lapsed deadline (monotonic).
+  std::size_t shed() const;
   const BatchPolicy& policy() const { return policy_; }
 
  private:
+  /// Fails every expired request at the queue head. Caller holds mutex_.
+  void shed_expired_locked(Clock::time_point now);
+  /// Pops the queue head into `out`. Caller holds mutex_.
+  PendingRequest pop_front_locked();
+
   BatchPolicy policy_;
-  BlockingQueue<PendingRequest> queue_;
-  // Collection is serialized: concurrent workers take turns forming
-  // batches (formation is trivially cheap next to executing one) and the
-  // carried-over request is handed to whichever worker collects next.
-  std::mutex collect_mutex_;
-  std::optional<PendingRequest> carry_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  std::size_t queued_tokens_ = 0;
+  std::size_t shed_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace venom::serving

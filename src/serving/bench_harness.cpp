@@ -1,7 +1,10 @@
 #include "serving/bench_harness.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
+#include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -13,11 +16,19 @@ namespace venom::serving {
 
 namespace {
 
-transformer::Encoder pruned_encoder(const BenchSetup& setup) {
+transformer::Encoder pruned_encoder(const transformer::ModelConfig& model,
+                                    const VnmConfig& format) {
   Rng rng = Rng::seeded("serving-model");
-  transformer::Encoder enc(setup.model, rng);
-  enc.sparsify(setup.format);
+  transformer::Encoder enc(model, rng);
+  enc.sparsify(format);
   return enc;
+}
+
+bool same_bits(const HalfMatrix& a, const HalfMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t e = 0; e < a.size(); ++e)
+    if (a.flat()[e].bits() != b.flat()[e].bits()) return false;
+  return true;
 }
 
 }  // namespace
@@ -31,12 +42,12 @@ BenchComparison run_serving_comparison(const BenchSetup& setup) {
         random_half_matrix(setup.model.hidden, setup.tokens, rng, 0.5f));
   }
 
-  transformer::Encoder seq_enc = pruned_encoder(setup);
-  InferenceEngine engine(
-      pruned_encoder(setup),
-      {.batching = {.max_batch_tokens = setup.max_batch_tokens,
-                    .max_batch_requests = setup.max_batch_requests,
-                    .max_wait = setup.max_wait}});
+  transformer::Encoder seq_enc = pruned_encoder(setup.model, setup.format);
+  Options opts;
+  opts.batching.max_batch_tokens = setup.max_batch_tokens;
+  opts.batching.max_batch_requests = setup.max_batch_requests;
+  opts.batching.max_wait = setup.max_wait;
+  InferenceEngine engine(pruned_encoder(setup.model, setup.format), opts);
 
   // Per-request forward durations from the timed pass: the sequential
   // path's "latency" is each request's own forward time, so its p50/p99
@@ -55,12 +66,16 @@ BenchComparison run_serving_comparison(const BenchSetup& setup) {
     }
   };
   const auto run_batched = [&](std::vector<HalfMatrix>* out) {
-    std::vector<std::future<HalfMatrix>> futs;
+    std::vector<std::future<Response>> futs;
     futs.reserve(trace.size());
-    for (const HalfMatrix& x : trace) futs.push_back(engine.submit(x));
+    for (const HalfMatrix& x : trace) {
+      Request req;
+      req.input = x;  // the trace is reused across passes — copy
+      futs.push_back(engine.submit(std::move(req)));
+    }
     for (std::size_t i = 0; i < futs.size(); ++i) {
-      HalfMatrix y = futs[i].get();
-      if (out != nullptr) (*out)[i] = std::move(y);
+      Response resp = futs[i].get();
+      if (out != nullptr) (*out)[i] = std::move(resp.output);
     }
   };
 
@@ -74,14 +89,8 @@ BenchComparison run_serving_comparison(const BenchSetup& setup) {
   run_sequential(&seq_out);
   run_batched(&eng_out);
   result.bit_identical = true;
-  for (std::size_t i = 0; i < trace.size() && result.bit_identical; ++i) {
-    result.bit_identical = seq_out[i].rows() == eng_out[i].rows() &&
-                           seq_out[i].cols() == eng_out[i].cols();
-    for (std::size_t e = 0;
-         result.bit_identical && e < seq_out[i].size(); ++e)
-      result.bit_identical =
-          seq_out[i].flat()[e].bits() == eng_out[i].flat()[e].bits();
-  }
+  for (std::size_t i = 0; i < trace.size() && result.bit_identical; ++i)
+    result.bit_identical = same_bits(seq_out[i], eng_out[i]);
 
   // Timed passes run against a warm engine; dropping the warmup-pass
   // samples keeps the reported percentiles steady-state.
@@ -96,6 +105,157 @@ BenchComparison run_serving_comparison(const BenchSetup& setup) {
   result.sequential_p50_ms = 1e3 * percentile_sorted(seq_latencies_s, 0.50);
   result.sequential_p99_ms = 1e3 * percentile_sorted(seq_latencies_s, 0.99);
   return result;
+}
+
+LoadReport run_serving_load(const LoadSetup& setup) {
+  // Zipf-skewed request lengths over [min_tokens, max_tokens]: weight of
+  // the k-th shortest length is (k+1)^-skew, so traffic is mostly short
+  // requests with a heavy tail of long ones — the ragged mix that makes
+  // least-queued-tokens routing earn its keep over round-robin.
+  const std::size_t span = setup.max_tokens - setup.min_tokens + 1;
+  std::vector<double> cumulative(span);
+  double total_weight = 0.0;
+  for (std::size_t k = 0; k < span; ++k) {
+    total_weight += std::pow(double(k + 1), -setup.length_skew);
+    cumulative[k] = total_weight;
+  }
+  Rng len_rng = Rng::seeded("serving-load-lengths", setup.seed);
+  const auto draw_tokens = [&] {
+    const double u = double(len_rng.uniform()) * total_weight;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    return setup.min_tokens +
+           std::size_t(std::distance(cumulative.begin(), it));
+  };
+
+  // Deterministic trace: request i's length and contents depend only on
+  // the seed, never on timing.
+  std::vector<HalfMatrix> trace;
+  trace.reserve(setup.requests);
+  for (std::size_t i = 0; i < setup.requests; ++i) {
+    Rng rng = Rng::seeded("serving-load-trace", setup.seed * 100003 + i);
+    trace.push_back(
+        random_half_matrix(setup.model.hidden, draw_tokens(), rng, 0.5f));
+  }
+
+  // One encoder, shared const across the replicas; an independent
+  // reference instance from the same seed for the bit-identity check.
+  transformer::Encoder ref_enc = pruned_encoder(setup.model, setup.format);
+  Options opts;
+  opts.batching.max_batch_tokens = setup.max_batch_tokens;
+  opts.batching.max_wait = setup.max_wait;
+  opts.workers = setup.workers;
+  opts.replicas = setup.replicas;
+  opts.admission.max_queued_tokens = setup.max_queued_tokens;
+  EngineGroup group(pruned_encoder(setup.model, setup.format), opts);
+
+  LoadReport report;
+  report.offered = setup.requests;
+
+  // Closed-loop calibration (doubles as warmup): submit a burst through
+  // the group, wait for all of it, and take completions/second as the
+  // capacity estimate the overload rate is expressed against.
+  {
+    const std::size_t n = std::max<std::size_t>(1, setup.calibration_requests);
+    const auto t0 = Clock::now();
+    std::vector<std::future<Response>> futs;
+    futs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Request req;
+      req.input = trace[i % trace.size()];
+      req.tenant = "calibration";
+      try {
+        futs.push_back(group.submit(std::move(req)));
+      } catch (const AdmissionError&) {
+        // Queue-full during calibration just means the burst outran the
+        // bound; the capacity estimate uses what was admitted.
+      }
+      // Pace the burst against the admission bound: drain ahead of the
+      // queue limit so calibration measures throughput, not shedding.
+      if (futs.size() >= 2 * setup.replicas &&
+          futs.size() % setup.replicas == 0)
+        futs[futs.size() - 2 * setup.replicas].wait();
+    }
+    std::size_t done = 0;
+    for (auto& f : futs) {
+      f.get();
+      ++done;
+    }
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    report.capacity_rps = double(std::max<std::size_t>(1, done)) / s;
+    group.reset_stats();
+  }
+
+  // Open-loop overload phase: Poisson arrivals at overload x capacity.
+  // Open-loop is the point — arrivals do not slow down when the system
+  // backs up, so the admission controller (not client backpressure) is
+  // what keeps the admitted requests' latency bounded.
+  report.offered_rps = setup.overload * report.capacity_rps;
+  Rng arrival_rng = Rng::seeded("serving-load-arrivals", setup.seed);
+  struct Outcome {
+    std::size_t index;
+    std::future<Response> fut;
+  };
+  std::vector<Outcome> admitted;
+  admitted.reserve(setup.requests);
+  const auto start = Clock::now();
+  auto next_arrival = start;
+  for (std::size_t i = 0; i < setup.requests; ++i) {
+    float u = arrival_rng.uniform();
+    if (u < 1e-7f) u = 1e-7f;
+    next_arrival += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(-std::log(double(u)) /
+                                      report.offered_rps));
+    std::this_thread::sleep_until(next_arrival);
+    Request req;
+    req.input = trace[i];
+    req.tenant = "load";
+    try {
+      admitted.push_back(Outcome{i, group.submit(std::move(req))});
+    } catch (const AdmissionError& e) {
+      if (e.reason() == AdmissionReason::kQueueFull)
+        ++report.rejected_queue;
+      else
+        ++report.rejected_rate;
+    }
+  }
+
+  // Collect: every admitted future must resolve (a hang here is the load
+  // bench's failure mode). Client latency is queue+exec — what a caller
+  // holding the future experiences once the batch is timed.
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(admitted.size());
+  std::vector<std::pair<std::size_t, HalfMatrix>> outputs;
+  outputs.reserve(admitted.size());
+  for (Outcome& o : admitted) {
+    try {
+      Response resp = o.fut.get();
+      latencies_ms.push_back(resp.queue_ms + resp.exec_ms);
+      outputs.emplace_back(o.index, std::move(resp.output));
+      ++report.admitted;
+    } catch (const Error&) {
+      ++report.failed;
+    }
+  }
+  report.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Bit-identity after the clock stops (the reference forwards are not
+  // part of the serving run): every admitted output must match a direct
+  // forward() on the independently built reference encoder, whatever
+  // replica served it and whatever batch it rode in.
+  report.bit_identical = true;
+  for (const auto& [index, output] : outputs) {
+    if (!report.bit_identical) break;
+    report.bit_identical = same_bits(output, ref_enc.forward(trace[index]));
+  }
+  report.goodput_rps =
+      report.wall_s > 0.0 ? double(report.admitted) / report.wall_s : 0.0;
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  report.p50_ms = percentile_sorted(latencies_ms, 0.50);
+  report.p99_ms = percentile_sorted(latencies_ms, 0.99);
+  report.stats = group.stats();
+  return report;
 }
 
 }  // namespace venom::serving

@@ -1,17 +1,30 @@
-// Shared harness for the serving throughput comparison, used by both
-// bench_serving (the CI-gated benchmark) and `venomtool serve-bench` (the
-// ad-hoc CLI probe) so the two surfaces measure exactly the same thing:
-// one deterministic request trace, one pruned encoder per path built from
-// the same seed, a timed sequential forward() loop vs the dynamic-batching
-// engine, and an element-wise bit-identity check of every request's
-// outputs.
+// Shared harnesses for the serving benchmarks, used by the bench/
+// executables (CI-gated) and venomtool's serve-bench / route-bench
+// commands (the ad-hoc CLI probes) so both surfaces measure exactly the
+// same thing.
+//
+// Two harnesses:
+//   * run_serving_comparison — one deterministic request trace, one
+//     pruned encoder per path built from the same seed, a timed
+//     sequential forward() loop vs the dynamic-batching engine, and an
+//     element-wise bit-identity check of every request's outputs.
+//   * run_serving_load — the scaled-serving overload experiment: an
+//     EngineGroup of N replicas under an open-loop Poisson arrival
+//     process offered at a multiple of the group's calibrated capacity,
+//     with Zipf-skewed request lengths and a bounded admission queue.
+//     Reports goodput and client latency percentiles of the admitted
+//     requests, the explicit AdmissionError shed counts, and a
+//     bit-identity check of every admitted output against a direct
+//     forward() on a reference encoder.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 
 #include "format/vnm.hpp"
 #include "serving/engine.hpp"
+#include "serving/router.hpp"
 #include "transformer/config.hpp"
 
 namespace venom::serving {
@@ -51,10 +64,61 @@ struct BenchComparison {
 };
 
 /// Runs the canonical comparison: deterministic trace (request i is seeded
-/// 1000+i), encoder weights seeded 42 and magnitude-pruned to
-/// setup.format for both paths, a correctness pass asserting per-request
-/// bit-identity (doubling as warmup), then timed sequential and batched
-/// passes over the full trace.
+/// "serving-trace"/i), encoder weights seeded "serving-model" and
+/// magnitude-pruned to setup.format for both paths, a correctness pass
+/// asserting per-request bit-identity (doubling as warmup), then timed
+/// sequential and batched passes over the full trace.
 BenchComparison run_serving_comparison(const BenchSetup& setup);
+
+/// The overload experiment's knobs.
+struct LoadSetup {
+  transformer::ModelConfig model;
+  VnmConfig format{64, 2, 8};
+  std::size_t replicas = 4;
+  std::size_t workers = 1;  ///< batch workers per replica
+  std::size_t requests = 192;  ///< offered during the overload phase
+  /// Offered arrival rate as a multiple of the calibrated closed-loop
+  /// capacity — 2.0 is the canonical "2x overload" burst.
+  double overload = 2.0;
+  /// Request lengths are Zipf-skewed over [min_tokens, max_tokens]:
+  /// mostly short, a heavy tail of long ones (exponent length_skew).
+  std::size_t min_tokens = 4;
+  std::size_t max_tokens = 64;
+  double length_skew = 1.1;
+  std::size_t max_batch_tokens = 256;
+  std::chrono::microseconds max_wait{500};
+  /// Global admission bound (tokens admitted but not completed). The
+  /// shedding path under overload: beyond this, submit() throws
+  /// AdmissionError(kQueueFull) instead of queueing unboundedly. Sized
+  /// to the latency target: an admitted request waits at most roughly
+  /// max_queued_tokens / token-throughput, so this bound IS the p99 cap.
+  std::size_t max_queued_tokens = 512;
+  std::size_t calibration_requests = 64;  ///< closed-loop warmup+capacity
+  std::uint64_t seed = 0;  ///< trace stream index (same seed, same trace)
+};
+
+/// Measured outcome of one overload run.
+struct LoadReport {
+  std::size_t offered = 0;
+  std::size_t admitted = 0;
+  std::size_t rejected_queue = 0;  ///< AdmissionError(kQueueFull) at submit
+  std::size_t rejected_rate = 0;   ///< AdmissionError(kRateLimited)
+  std::size_t failed = 0;  ///< admitted but failed (should stay 0)
+  double capacity_rps = 0.0;  ///< closed-loop calibration estimate
+  double offered_rps = 0.0;   ///< the Poisson arrival rate actually used
+  double wall_s = 0.0;        ///< first submit -> last completion
+  double goodput_rps = 0.0;   ///< admitted completions / wall_s
+  double p50_ms = 0.0;  ///< client latency (queue+exec) of admitted reqs
+  double p99_ms = 0.0;
+  bool bit_identical = false;  ///< every admitted output vs direct forward
+  GroupStats stats;
+};
+
+/// Runs the overload experiment: calibrate capacity closed-loop over the
+/// group (doubling as warmup), then offer setup.requests Poisson arrivals
+/// at overload x capacity. Deterministic trace; the wall-clock arrival
+/// jitter is the only nondeterminism, which is why the report separates
+/// counters (exact) from rates (measured).
+LoadReport run_serving_load(const LoadSetup& setup);
 
 }  // namespace venom::serving

@@ -9,53 +9,87 @@
 
 namespace venom::serving {
 
-InferenceEngine::InferenceEngine(transformer::Encoder encoder,
-                                 ServingConfig cfg)
-    : encoder_(std::move(encoder)), cfg_(cfg),
+InferenceEngine::InferenceEngine(transformer::Encoder encoder, Options opts)
+    : InferenceEngine(std::make_shared<const transformer::Encoder>(
+                          std::move(encoder)),
+                      std::move(opts)) {}
+
+InferenceEngine::InferenceEngine(
+    std::shared_ptr<const transformer::Encoder> encoder, Options opts,
+    std::uint32_t replica_id)
+    : encoder_(std::move(encoder)), opts_(std::move(opts)),
+      replica_id_(replica_id),
       ctx_(ops::ExecContextOptions{.threads = 0,
                                    .plan_cache_capacity =
-                                       cfg.plan_cache_capacity,
+                                       opts_.plan_cache_capacity,
                                    .tuning_cache_path = {}}),
-      batcher_(cfg.batching),
-      latency_ms_(std::max<std::size_t>(1, cfg.latency_window), 0.0) {
-  VENOM_CHECK_MSG(cfg_.workers >= 1, "engine needs at least one worker");
-  // Every layer in the stack dispatches through the engine's execution
-  // context: kernel configs are selected once per layer shape x batch
-  // width via the shared plan cache, and the plans' scratch pools keep
-  // the packed B panels warm across batches.
-  encoder_.set_exec_context(&ctx_);
-  workers_.reserve(cfg_.workers);
-  for (std::size_t i = 0; i < cfg_.workers; ++i)
+      batcher_(opts_.batching),
+      latency_ms_(std::max<std::size_t>(1, opts_.latency_window), 0.0) {
+  VENOM_CHECK_MSG(encoder_ != nullptr, "engine needs an encoder");
+  opts_.validate();
+  // The encoder is never mutated: every forward below passes the
+  // engine's private context per call (ops::resolve), so one const
+  // encoder can back any number of replicas. Kernel configs are selected
+  // once per layer shape x batch width via this context's plan cache,
+  // and the plans' scratch pools keep the packed B panels warm across
+  // batches.
+  workers_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
 }
 
 InferenceEngine::~InferenceEngine() { shutdown(); }
 
-std::future<HalfMatrix> InferenceEngine::submit(HalfMatrix input) {
-  VENOM_CHECK_MSG(input.rows() == encoder_.config().hidden,
-                  "request has " << input.rows() << " features, encoder "
-                                 << encoder_.config().hidden);
-  VENOM_CHECK_MSG(input.cols() >= 1, "request has no tokens");
+std::future<Response> InferenceEngine::submit(Request req,
+                                              std::function<void()> on_done) {
+  VENOM_CHECK_MSG(req.input.rows() == encoder_->config().hidden,
+                  "request has " << req.input.rows() << " features, encoder "
+                                 << encoder_->config().hidden);
+  VENOM_CHECK_MSG(req.input.cols() >= 1, "request has no tokens");
   // Reject what forward_batched would reject, here, where the error can
   // be confined to the offending caller — inside a batch it would fail
   // every co-batched request's future.
-  for (std::size_t i = 0; i < encoder_.layer_count(); ++i) {
+  for (std::size_t i = 0; i < encoder_->layer_count(); ++i) {
     const auto pattern =
-        encoder_.layer(i).attention().dynamic_score_sparsity();
+        encoder_->layer(i).attention().dynamic_score_sparsity();
     if (pattern.has_value()) {
-      VENOM_CHECK_MSG(input.cols() % pattern->m == 0,
-                      "request length " << input.cols()
+      VENOM_CHECK_MSG(req.input.cols() % pattern->m == 0,
+                      "request length " << req.input.cols()
                           << " not divisible by the dynamic attention M="
                           << pattern->m);
     }
   }
-  PendingRequest req;
-  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  req.input = std::move(input);
-  req.enqueued = std::chrono::steady_clock::now();
-  std::future<HalfMatrix> fut = req.result.get_future();
-  VENOM_CHECK_MSG(batcher_.submit(req), "engine is shut down");
+  PendingRequest pending;
+  pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.request = std::move(req);
+  pending.enqueued = Clock::now();
+  pending.replica = replica_id_;
+  const std::size_t toks = pending.tokens();
+  load_tokens_.fetch_add(toks, std::memory_order_relaxed);
+  // The load gauge and the caller's hook both ride the one-shot on_done
+  // (request.hpp): delivery, batch failure, and deadline sheds all
+  // settle them exactly once.
+  pending.on_done = [this, toks, hook = std::move(on_done)] {
+    load_tokens_.fetch_sub(toks, std::memory_order_relaxed);
+    if (hook) hook();
+  };
+  std::future<Response> fut = pending.result.get_future();
+  if (!batcher_.submit(pending)) {
+    // Refused: the request came back intact; unwind the gauge (the
+    // caller's hook never armed — submit() throws instead).
+    load_tokens_.fetch_sub(toks, std::memory_order_relaxed);
+    throw AdmissionError(AdmissionReason::kShutdown, "engine is shut down");
+  }
   return fut;
+}
+
+std::future<HalfMatrix> InferenceEngine::submit(HalfMatrix input) {
+  Request req;
+  req.input = std::move(input);
+  std::future<Response> fut = submit(std::move(req));
+  return std::async(std::launch::deferred, [f = std::move(fut)]() mutable {
+    return std::move(f.get().output);
+  });
 }
 
 void InferenceEngine::shutdown() {
@@ -80,7 +114,7 @@ void InferenceEngine::process_batch(std::vector<PendingRequest>& batch,
   std::size_t delivered = 0;
   try {
     ws.arena.reset();
-    const std::size_t hidden = encoder_.config().hidden;
+    const std::size_t hidden = encoder_->config().hidden;
     const std::size_t count = batch.size();
 
     // Segment table: exclusive end column of each request in the packed
@@ -99,51 +133,65 @@ void InferenceEngine::process_batch(std::vector<PendingRequest>& batch,
       half_t* dst = &ws.staging(r, 0);
       std::size_t off = 0;
       for (const PendingRequest& req : batch) {
-        std::memcpy(dst + off, &req.input(r, 0),
+        std::memcpy(dst + off, &req.request.input(r, 0),
                     req.tokens() * sizeof(half_t));
         off += req.tokens();
       }
     }
 
+    const auto exec_start = Clock::now();
     transformer::TimingBreakdown timing;
-    const HalfMatrix y = encoder_.forward_batched(
-        ws.staging, std::span<const std::size_t>(seq_ends, count), &timing);
+    const HalfMatrix y = encoder_->forward_batched(
+        ws.staging, std::span<const std::size_t>(seq_ends, count), &timing,
+        &ctx_);
+    const auto exec_end = Clock::now();
+    const double exec_ms =
+        std::chrono::duration<double, std::milli>(exec_end - exec_start)
+            .count();
 
-    // Split the packed output back into per-request matrices (these
+    // Split the packed output into per-request responses (these
     // allocations are the deliverables — callers own them). Built before
     // the stats are recorded, so an allocation failure here fails the
     // batch without counting any of its requests as completed.
-    std::vector<HalfMatrix> outs;
+    std::vector<Response> outs;
     outs.reserve(count);
     std::size_t off = 0;
     for (const PendingRequest& req : batch) {
-      HalfMatrix out(hidden, req.tokens());
+      Response resp;
+      resp.output = HalfMatrix(hidden, req.tokens());
       for (std::size_t r = 0; r < hidden; ++r)
-        std::memcpy(&out(r, 0), &y(r, off), req.tokens() * sizeof(half_t));
+        std::memcpy(&resp.output(r, 0), &y(r, off),
+                    req.tokens() * sizeof(half_t));
       off += req.tokens();
-      outs.push_back(std::move(out));
+      resp.id = req.id;
+      resp.replica = req.replica;
+      resp.queue_ms = std::chrono::duration<double, std::milli>(
+                          exec_start - req.enqueued)
+                          .count();
+      resp.exec_ms = exec_ms;
+      resp.batch_tokens = total;
+      outs.push_back(std::move(resp));
     }
 
     // Stats before delivery: a caller that has awaited its future must
     // already see the request counted.
-    record_batch(batch, total, timing, std::chrono::steady_clock::now(),
-                 ws);
+    record_batch(batch, total, timing, exec_end, ws);
 
     for (PendingRequest& req : batch) {
-      req.result.set_value(std::move(outs[delivered]));
+      deliver(req, std::move(outs[delivered]));
       ++delivered;
     }
   } catch (...) {
     const auto err = std::current_exception();
     for (std::size_t i = delivered; i < batch.size(); ++i)
-      batch[i].result.set_exception(err);
+      fail(batch[i], err);
   }
 }
 
 void InferenceEngine::record_batch(
     const std::vector<PendingRequest>& batch, std::size_t batch_tokens,
-    const transformer::TimingBreakdown& timing,
-    std::chrono::steady_clock::time_point done, const WorkerState& ws) {
+    const transformer::TimingBreakdown& timing, Clock::time_point done,
+    const WorkerState& ws) {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   requests_ += batch.size();
   batches_ += 1;
@@ -185,6 +233,7 @@ ServingStats InferenceEngine::stats() const {
         batches_ == 0 ? 0.0 : double(tokens_) / double(batches_);
     window.assign(latency_ms_.begin(), latency_ms_.begin() + latency_count_);
   }
+  s.shed = batcher_.shed();
   s.plan_cache_hits = ctx_.plan_cache().hits();
   s.plan_cache_misses = ctx_.plan_cache().misses();
   std::sort(window.begin(), window.end());

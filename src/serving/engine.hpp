@@ -1,57 +1,51 @@
-// Batched sparse-transformer inference engine — the serving layer the
-// ROADMAP's "heavy traffic" north star asks for.
+// Batched sparse-transformer inference engine — one replica of the
+// serving layer (EngineGroup in router.hpp scales it horizontally).
 //
-// An InferenceEngine owns a (typically V:N:M-pruned) Encoder and serves
-// concurrent submit() calls through a dynamic batcher: queued sequences
-// are packed along the token axis into one forward_batched() pass per
-// batch, so every sparse weight is streamed once per batch instead of
-// once per request (the weight-stationary reuse that makes batching pay),
-// while attention stays confined to each request's span — per-request
-// outputs are bit-identical to unbatched forward() calls.
+// An InferenceEngine serves concurrent submit() calls over one (typically
+// V:N:M-pruned) encoder through a dynamic batcher: queued sequences are
+// packed along the token axis into one forward_batched() pass per batch,
+// so every sparse weight is streamed once per batch instead of once per
+// request (the weight-stationary reuse that makes batching pay), while
+// attention stays confined to each request's span — per-request outputs
+// are bit-identical to unbatched forward() calls.
 //
-// Steady-state hot path:
-//   * the engine owns an ops::ExecContext — the thread pool, the
-//     PlanCache reusing kernel plans (tuned SpmmConfig selection,
-//     compressed-operand bookkeeping) and their scratch pools (packed
-//     fp16->float B panels), and the tuning cache — that every layer of
-//     the encoder dispatches through,
-//   * each worker owns a ScratchArena (segment tables) and a reusable
-//     staging matrix whose buffers settle at their high-water size,
-// so after warmup the engine's batching layer performs no allocation
-// beyond the per-request output matrices it hands back to callers.
+// The encoder is held as shared_ptr<const>: an EngineGroup builds N
+// engines over ONE encoder, so replicating the serving capacity does not
+// replicate a single weight byte. Each engine owns a private
+// ops::ExecContext (thread pool handle, PlanCache with tuned SpmmConfig
+// selection and warm packed-panel scratch, tuning cache) passed per
+// forward call — the const-shared forward path added in this PR — so
+// replicas never contend on one plan cache.
+//
+// Steady-state hot path: each worker owns a ScratchArena (segment
+// tables) and a reusable staging matrix whose buffers settle at their
+// high-water size, so after warmup the batching layer performs no
+// allocation beyond the per-request output matrices it hands back.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/arena.hpp"
 #include "ops/context.hpp"
 #include "serving/batcher.hpp"
+#include "serving/options.hpp"
+#include "serving/request.hpp"
 #include "tensor/matrix.hpp"
 #include "transformer/encoder.hpp"
 
 namespace venom::serving {
-
-/// Engine construction knobs.
-struct ServingConfig {
-  BatchPolicy batching;
-  /// Batch-execution workers. One worker already parallelizes inside the
-  /// kernels via the shared ThreadPool; extra workers overlap batch
-  /// assembly/split with compute at the cost of pool contention.
-  std::size_t workers = 1;
-  std::size_t plan_cache_capacity = 64;
-  /// Latency samples retained for the p50/p99 estimate (ring buffer).
-  std::size_t latency_window = 4096;
-};
 
 /// Monotonic serving counters plus latency percentiles over the window.
 struct ServingStats {
   std::size_t requests = 0;  ///< completed requests
   std::size_t batches = 0;   ///< executed forward passes
   std::size_t tokens = 0;    ///< tokens pushed through the encoder
+  std::size_t shed = 0;      ///< requests shed for a lapsed deadline
   double avg_batch_tokens = 0.0;
   double p50_ms = 0.0;  ///< submit-to-completion, over the window
   double p99_ms = 0.0;
@@ -65,17 +59,33 @@ struct ServingStats {
 class InferenceEngine {
  public:
   /// Takes ownership of the encoder (prune/sparsify it before handing it
-  /// over). Workers start immediately.
-  explicit InferenceEngine(transformer::Encoder encoder,
-                           ServingConfig cfg = {});
+  /// over). Workers start immediately. Throws venom::Error on invalid
+  /// options (Options::validate).
+  explicit InferenceEngine(transformer::Encoder encoder, Options opts = {});
+
+  /// Shares a read-only encoder — the replicated-serving constructor. N
+  /// engines over one shared_ptr serve from the same weights while each
+  /// dispatches through its private ExecContext. `replica_id` is echoed
+  /// in every Response this engine delivers.
+  InferenceEngine(std::shared_ptr<const transformer::Encoder> encoder,
+                  Options opts = {}, std::uint32_t replica_id = 0);
   ~InferenceEngine();
 
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  /// Queues one sequence (hidden x tokens) and returns the future of its
-  /// encoder output (same shape). Throws venom::Error on a shape mismatch
-  /// or when the engine is shut down. Safe from any thread.
+  /// Queues one request and returns the future of its Response. Throws
+  /// venom::Error on a shape mismatch and AdmissionError(kShutdown) once
+  /// shut down. `on_done` (optional — the router's hook) fires exactly
+  /// once when the request leaves the system: delivered, failed, or
+  /// shed. Safe from any thread.
+  std::future<Response> submit(Request req,
+                               std::function<void()> on_done = {});
+
+  /// Pre-PR-7 surface: bare matrix in, bare matrix out. One-line shim
+  /// over the Request/Response API (default tenant, no deadline; the
+  /// returned future is deferred — its get() unwraps Response::output).
+  [[deprecated("use submit(serving::Request) -> future<serving::Response>")]]
   std::future<HalfMatrix> submit(HalfMatrix input);
 
   /// Stops accepting requests, lets the workers drain everything already
@@ -90,12 +100,19 @@ class InferenceEngine {
   /// kept: discarding it would un-warm exactly what warmup warmed.
   void reset_stats();
 
-  const transformer::Encoder& encoder() const { return encoder_; }
-  const ServingConfig& config() const { return cfg_; }
+  /// Tokens admitted but not yet completed — the router's routing key
+  /// (least-queued-tokens). Lock-free.
+  std::size_t load_tokens() const {
+    return load_tokens_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t replica_id() const { return replica_id_; }
+
+  const transformer::Encoder& encoder() const { return *encoder_; }
+  const Options& options() const { return opts_; }
 
   /// The engine's execution context (pool, plan cache, tuning cache,
-  /// kernel scratch) — every encoder layer dispatches through it.
-  /// Exposed for diagnostics; safe to share with other dispatch work.
+  /// kernel scratch) — every forward dispatches through it. Exposed for
+  /// diagnostics; safe to share with other dispatch work.
   ops::ExecContext& context() { return ctx_; }
   const ops::ExecContext& context() const { return ctx_; }
 
@@ -111,15 +128,16 @@ class InferenceEngine {
   void record_batch(const std::vector<PendingRequest>& batch,
                     std::size_t batch_tokens,
                     const transformer::TimingBreakdown& timing,
-                    std::chrono::steady_clock::time_point done,
-                    const WorkerState& ws);
+                    Clock::time_point done, const WorkerState& ws);
 
-  transformer::Encoder encoder_;
-  ServingConfig cfg_;
+  std::shared_ptr<const transformer::Encoder> encoder_;
+  Options opts_;
+  std::uint32_t replica_id_ = 0;
   ops::ExecContext ctx_;
   DynamicBatcher batcher_;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> load_tokens_{0};
   std::atomic<bool> shut_down_{false};
 
   mutable std::mutex stats_mutex_;

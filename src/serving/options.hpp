@@ -1,0 +1,69 @@
+// One coherent configuration surface for the serving layer.
+//
+// Before PR 7 the knobs were scattered: BatchPolicy (batcher), a
+// separate ServingConfig (engine), and nothing for the router. Options
+// folds all of them — batching, per-replica engine knobs, replica count,
+// admission policy — into one struct with *validated* construction:
+// validate() rejects zero budgets, zero replicas, and rate limits with
+// no burst capacity by throwing venom::Error at construction time,
+// instead of letting a zero budget hang a worker loop forever.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "serving/admission.hpp"
+#include "serving/batcher.hpp"
+
+namespace venom::serving {
+
+/// Every serving knob: batch formation, per-replica engine resources,
+/// horizontal scale, and admission control. InferenceEngine reads the
+/// first three groups; EngineGroup reads all four.
+struct Options {
+  /// Batch formation (token budget, request cap, flush timer).
+  BatchPolicy batching;
+  /// Batch-execution workers per engine. One worker already parallelizes
+  /// inside the kernels via the shared ThreadPool; extra workers overlap
+  /// batch assembly/split with compute at the cost of pool contention.
+  std::size_t workers = 1;
+  std::size_t plan_cache_capacity = 64;
+  /// Latency samples retained for the p50/p99 estimate (ring buffer).
+  std::size_t latency_window = 4096;
+  /// Engine replicas an EngineGroup routes across (shared const weights,
+  /// private ExecContexts). Ignored by a bare InferenceEngine.
+  std::size_t replicas = 1;
+  /// Per-tenant rate limits and the global in-flight bound. Ignored by a
+  /// bare InferenceEngine (admission is the router's job).
+  AdmissionPolicy admission{};
+
+  /// Throws venom::Error on configurations that could never serve a
+  /// request or would hang instead of failing fast.
+  void validate() const {
+    VENOM_CHECK_MSG(batching.max_batch_tokens >= 1,
+                    "Options: max_batch_tokens must be positive");
+    VENOM_CHECK_MSG(batching.max_batch_requests >= 1,
+                    "Options: max_batch_requests must be positive");
+    VENOM_CHECK_MSG(workers >= 1, "Options: engine needs at least one worker");
+    VENOM_CHECK_MSG(latency_window >= 1,
+                    "Options: latency_window must be positive");
+    VENOM_CHECK_MSG(replicas >= 1, "Options: at least one replica");
+    const auto check_limit = [](const TenantPolicy& limit, const char* who) {
+      VENOM_CHECK_MSG(limit.tokens_per_s >= 0.0 && limit.burst_tokens >= 0.0,
+                      "Options: negative admission budget for " << who);
+      // A positive rate with a zero burst admits nothing, ever — reject
+      // the configuration instead of rejecting every request.
+      VENOM_CHECK_MSG(limit.tokens_per_s == 0.0 || limit.burst_tokens >= 1.0,
+                      "Options: tenant rate limit for "
+                          << who << " has zero burst capacity");
+    };
+    check_limit(admission.default_limit, "the default tenant");
+    for (const auto& [tenant, limit] : admission.tenants)
+      check_limit(limit, tenant.c_str());
+  }
+};
+
+/// Pre-PR-7 name for the engine's construction knobs.
+using ServingConfig [[deprecated("use serving::Options")]] = Options;
+
+}  // namespace venom::serving

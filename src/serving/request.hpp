@@ -1,0 +1,94 @@
+// The serving request/response surface (PR 7's API redesign).
+//
+// The original engine exposed a bare submit(HalfMatrix) -> future<HalfMatrix>
+// — fine for one worker loop, but unable to express who is asking
+// (tenants with rate limits), how urgently (priorities, deadlines), or
+// what happened (which replica served it, how long it queued vs ran).
+// serving::Request / serving::Response carry exactly that, and every
+// serving surface (InferenceEngine, EngineGroup) speaks them; the legacy
+// bare-matrix overload survives only as a deprecated shim.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <optional>
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace venom::serving {
+
+using Clock = std::chrono::steady_clock;
+
+/// One inference request: input activations (hidden x tokens) plus the
+/// serving metadata the router and admission control act on.
+struct Request {
+  HalfMatrix input{};
+  /// Admission-control identity: rate limits are per tenant.
+  std::string tenant = "default";
+  /// Higher priorities are dequeued first (FIFO within a priority).
+  /// Batch composition never changes any request's bits, so priority
+  /// reordering cannot break the bit-identity invariant.
+  int priority = 0;
+  /// If set and the request is still queued past this point, it is shed
+  /// with AdmissionError(kDeadlineExceeded) instead of executed. A batch
+  /// already running is never cancelled.
+  std::optional<Clock::time_point> deadline{};
+};
+
+/// The delivered result and its serving telemetry.
+struct Response {
+  HalfMatrix output;  ///< encoder output, same shape as the input
+  std::uint64_t id = 0;       ///< engine-assigned, unique per engine
+  std::uint32_t replica = 0;  ///< which EngineGroup replica executed it
+  double queue_ms = 0.0;      ///< submit -> batch execution start
+  double exec_ms = 0.0;       ///< the batch's forward wall time
+  std::size_t batch_tokens = 0;  ///< tokens co-batched with this request
+};
+
+/// A queued request inside the serving machinery: the Request, the
+/// promise its Response travels through, and the bookkeeping hooks.
+/// Internal to serving (the batcher and engines pass these around);
+/// callers only ever see Request / future<Response>.
+struct PendingRequest {
+  std::uint64_t id = 0;
+  Request request;
+  std::promise<Response> result;
+  Clock::time_point enqueued{};
+  std::uint32_t replica = 0;
+  /// Invoked exactly once when the request leaves the system (delivered,
+  /// failed, or shed) — the router releases admission tokens here, the
+  /// engine its in-flight load gauge. Chained, never copied.
+  std::function<void()> on_done;
+
+  std::size_t tokens() const { return request.input.cols(); }
+};
+
+/// Delivers the response and fires the completion hook (exactly once).
+/// The hook fires BEFORE the promise is settled: a caller that awaits
+/// the future may immediately submit again, and must then observe the
+/// load gauge decremented and the admission slot released — settling
+/// first would race that resubmission against the hook.
+inline void deliver(PendingRequest& req, Response&& response) {
+  if (req.on_done) {
+    auto done = std::move(req.on_done);
+    req.on_done = nullptr;
+    done();
+  }
+  req.result.set_value(std::move(response));
+}
+
+/// Fails the request and fires the completion hook (exactly once). Hook
+/// before settling, for the same resubmission-race reason as deliver().
+inline void fail(PendingRequest& req, std::exception_ptr err) {
+  if (req.on_done) {
+    auto done = std::move(req.on_done);
+    req.on_done = nullptr;
+    done();
+  }
+  req.result.set_exception(std::move(err));
+}
+
+}  // namespace venom::serving

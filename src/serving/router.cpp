@@ -1,0 +1,87 @@
+#include "serving/router.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace venom::serving {
+
+EngineGroup::EngineGroup(std::shared_ptr<const transformer::Encoder> encoder,
+                         Options opts)
+    : encoder_(std::move(encoder)), opts_(std::move(opts)),
+      admission_(opts_.admission) {
+  VENOM_CHECK_MSG(encoder_ != nullptr, "EngineGroup needs an encoder");
+  opts_.validate();
+  replicas_.reserve(opts_.replicas);
+  for (std::size_t i = 0; i < opts_.replicas; ++i)
+    replicas_.push_back(std::make_unique<InferenceEngine>(
+        encoder_, opts_, static_cast<std::uint32_t>(i)));
+}
+
+EngineGroup::EngineGroup(transformer::Encoder encoder, Options opts)
+    : EngineGroup(std::make_shared<const transformer::Encoder>(
+                      std::move(encoder)),
+                  std::move(opts)) {}
+
+EngineGroup::~EngineGroup() { shutdown(); }
+
+std::future<Response> EngineGroup::submit(Request req) {
+  if (shut_down_.load(std::memory_order_acquire))
+    throw AdmissionError(AdmissionReason::kShutdown,
+                         "engine group is shut down");
+  const std::size_t toks = req.input.cols();
+  // Admission first: a shed request must never touch a replica queue.
+  // Throws AdmissionError (kRateLimited / kQueueFull) — nothing to
+  // unwind yet.
+  admission_.admit(req.tenant, toks);
+  try {
+    // Least-queued-tokens routing: each engine's gauge counts admitted-
+    // but-uncompleted tokens, so the argmin is the replica that will get
+    // to a new request soonest. Ties break to the lowest index, which
+    // keeps a single-replica group trivially deterministic.
+    std::size_t best = 0;
+    std::size_t best_load = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      const std::size_t load = replicas_[i]->load_tokens();
+      if (load < best_load) {
+        best = i;
+        best_load = load;
+      }
+    }
+    // The admission slot rides the engine's one-shot on_done: it is
+    // released when the request leaves the system (delivered, failed, or
+    // deadline-shed), never sooner and never twice.
+    return replicas_[best]->submit(
+        std::move(req), [this, toks] { admission_.release(toks); });
+  } catch (...) {
+    admission_.release(toks);  // never enqueued: the hook never armed
+    throw;
+  }
+}
+
+void EngineGroup::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  for (auto& r : replicas_) r->shutdown();
+}
+
+GroupStats EngineGroup::stats() const {
+  GroupStats g;
+  g.admission = admission_.stats();
+  g.replicas.reserve(replicas_.size());
+  for (const auto& r : replicas_) {
+    ServingStats s = r->stats();
+    g.requests += s.requests;
+    g.batches += s.batches;
+    g.tokens += s.tokens;
+    g.shed += s.shed;
+    g.replicas.push_back(std::move(s));
+  }
+  return g;
+}
+
+void EngineGroup::reset_stats() {
+  for (auto& r : replicas_) r->reset_stats();
+}
+
+}  // namespace venom::serving

@@ -1,0 +1,102 @@
+// Horizontally scaled serving: an EngineGroup fronts N InferenceEngine
+// replicas behind one submit() — ROADMAP item 2's production tier.
+//
+//                         ┌────────────────────┐
+//     Request ──admit──▶  │  EngineGroup       │
+//       (tenant,          │  · AdmissionCtrl   │   token buckets /
+//        priority,        │  · least-queued-   │   global bound
+//        deadline)        │    tokens router   │
+//                         └───┬─────┬─────┬────┘
+//                             ▼     ▼     ▼
+//                          Engine Engine Engine     private ExecContexts,
+//                            0      1     N-1       private batchers
+//                             └─────┴─────┘
+//                        shared_ptr<const Encoder>  one copy of weights
+//
+// Scaling horizontally multiplies batch-execution capacity without
+// multiplying weight memory: replicas share one const encoder (the
+// const-shared forward path) while each owns a private ExecContext —
+// plan cache, packed-panel scratch, tuning state — so they never contend
+// on a cache lock. Routing is least-queued-tokens: each engine exposes
+// its in-flight token gauge and submit() picks the minimum, which
+// equalizes queue depth under ragged request lengths better than
+// round-robin. Admission control runs before routing: over-budget
+// tenants and a full global queue are rejected with a typed
+// AdmissionError at submit() — load is shed by failing fast, never by
+// blocking the caller or growing an unbounded queue.
+//
+// The correctness invariant is inherited from the batcher: per-request
+// outputs are bit-identical whatever replica count, routing order, or
+// batch composition served them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "serving/admission.hpp"
+#include "serving/engine.hpp"
+#include "serving/options.hpp"
+#include "serving/request.hpp"
+#include "transformer/encoder.hpp"
+
+namespace venom::serving {
+
+/// Aggregated group counters plus each replica's own ServingStats.
+struct GroupStats {
+  std::size_t requests = 0;  ///< completed, summed over replicas
+  std::size_t batches = 0;
+  std::size_t tokens = 0;
+  std::size_t shed = 0;  ///< deadline sheds, summed over replicas
+  AdmissionStats admission;
+  std::vector<ServingStats> replicas;
+};
+
+/// Front-end router over N engine replicas sharing one const encoder.
+class EngineGroup {
+ public:
+  /// Shares the encoder across opts.replicas engines. Throws venom::Error
+  /// on invalid options (Options::validate).
+  EngineGroup(std::shared_ptr<const transformer::Encoder> encoder,
+              Options opts = {});
+  /// Takes ownership and shares it (convenience overload).
+  EngineGroup(transformer::Encoder encoder, Options opts = {});
+  ~EngineGroup();
+
+  EngineGroup(const EngineGroup&) = delete;
+  EngineGroup& operator=(const EngineGroup&) = delete;
+
+  /// Admission control, then least-queued-tokens routing. Throws
+  /// AdmissionError (kRateLimited / kQueueFull / kShutdown) when the
+  /// request is shed at the door, venom::Error on a malformed request.
+  /// The returned future fails with AdmissionError(kDeadlineExceeded)
+  /// if the request's deadline lapses while queued.
+  std::future<Response> submit(Request req);
+
+  /// Stops accepting requests and drains every replica. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  GroupStats stats() const;
+  void reset_stats();
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  InferenceEngine& replica(std::size_t i) { return *replicas_[i]; }
+  const InferenceEngine& replica(std::size_t i) const {
+    return *replicas_[i];
+  }
+  const transformer::Encoder& encoder() const { return *encoder_; }
+  const Options& options() const { return opts_; }
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  std::shared_ptr<const transformer::Encoder> encoder_;
+  Options opts_;
+  AdmissionController admission_;
+  std::vector<std::unique_ptr<InferenceEngine>> replicas_;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace venom::serving

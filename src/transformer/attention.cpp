@@ -106,14 +106,16 @@ NmMatrix prune_probabilities(const FloatMatrix& p, NmPattern pattern) {
 }  // namespace
 
 HalfMatrix MultiHeadAttention::forward(const HalfMatrix& x,
-                                       TimingBreakdown* timing) const {
+                                       TimingBreakdown* timing,
+                                       ops::ExecContext* ctx) const {
   const std::size_t end = x.cols();
-  return forward_batched(x, std::span<const std::size_t>(&end, 1), timing);
+  return forward_batched(x, std::span<const std::size_t>(&end, 1), timing,
+                         ctx);
 }
 
 HalfMatrix MultiHeadAttention::forward_batched(
     const HalfMatrix& x, std::span<const std::size_t> seq_ends,
-    TimingBreakdown* timing) const {
+    TimingBreakdown* timing, ops::ExecContext* call_ctx) const {
   VENOM_CHECK(x.rows() == hidden_);
   VENOM_CHECK_MSG(!seq_ends.empty() && seq_ends.back() == x.cols(),
                   "sequence ends must cover all " << x.cols() << " tokens");
@@ -133,9 +135,9 @@ HalfMatrix MultiHeadAttention::forward_batched(
   // (the weight-stationary reuse serving is after). Every output column
   // depends only on its own input column, so per-sequence bits match the
   // unbatched pass.
-  const HalfMatrix q = wq_.forward(x, timing);
-  const HalfMatrix k = wk_.forward(x, timing);
-  const HalfMatrix v = wv_.forward(x, timing);
+  const HalfMatrix q = wq_.forward(x, timing, call_ctx);
+  const HalfMatrix k = wk_.forward(x, timing, call_ctx);
+  const HalfMatrix v = wv_.forward(x, timing, call_ctx);
 
   HalfMatrix context(hidden_, x.cols());
   for (std::size_t h = 0; h < heads_; ++h) {
@@ -168,9 +170,8 @@ HalfMatrix MultiHeadAttention::forward_batched(
         // fast path (bit-identical to the spmm_24 baseline).
         const NmMatrix p_nm = prune_probabilities(scores, *score_pattern_);
         const HalfMatrix vt = transpose(vh);
-        const FloatMatrix ctx_t = ops::matmul(
-            ops::MatmulArgs::make(p_nm, vt),
-            ctx_ != nullptr ? *ctx_ : ops::ExecContext::global());
+        const FloatMatrix ctx_t = ops::matmul(ops::MatmulArgs::make(p_nm, vt),
+                                              ops::resolve(call_ctx, ctx_));
         ctx = HalfMatrix(vh.rows(), scores.rows());
         for (std::size_t d = 0; d < vh.rows(); ++d)
           for (std::size_t i = 0; i < scores.rows(); ++i)
@@ -186,7 +187,7 @@ HalfMatrix MultiHeadAttention::forward_batched(
       s0 = s1;
     }
   }
-  return wo_.forward(context, timing);
+  return wo_.forward(context, timing, call_ctx);
 }
 
 FloatMatrix MultiHeadAttention::backward(const HalfMatrix& x,

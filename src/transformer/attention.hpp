@@ -74,16 +74,19 @@ class MultiHeadAttention {
     return score_pattern_;
   }
 
-  HalfMatrix forward(const HalfMatrix& x,
-                     TimingBreakdown* timing = nullptr) const;
+  HalfMatrix forward(const HalfMatrix& x, TimingBreakdown* timing = nullptr,
+                     ops::ExecContext* ctx = nullptr) const;
 
   /// Batched forward over independent sequences packed along the token
   /// axis. `seq_ends` holds the exclusive end column of each sequence in
   /// ascending order; the last entry must equal x.cols() (so {T} is
   /// exactly forward()). Attention is masked to each [start, end) span.
+  /// `ctx` overrides the attached context for this call (ops::resolve),
+  /// so a const-shared attention block can serve replica-private contexts.
   HalfMatrix forward_batched(const HalfMatrix& x,
                              std::span<const std::size_t> seq_ends,
-                             TimingBreakdown* timing = nullptr) const;
+                             TimingBreakdown* timing = nullptr,
+                             ops::ExecContext* ctx = nullptr) const;
 
   /// Backward pass: recomputes the forward intermediates (activation
   /// recomputation — no state is kept between passes), then

@@ -33,27 +33,30 @@ void EncoderLayer::sparsify(VnmConfig cfg) {
 }
 
 HalfMatrix EncoderLayer::forward(const HalfMatrix& x,
-                                 TimingBreakdown* timing) const {
+                                 TimingBreakdown* timing,
+                                 ops::ExecContext* ctx) const {
   const std::size_t end = x.cols();
-  return forward_batched(x, std::span<const std::size_t>(&end, 1), timing);
+  return forward_batched(x, std::span<const std::size_t>(&end, 1), timing,
+                         ctx);
 }
 
 HalfMatrix EncoderLayer::forward_batched(const HalfMatrix& x,
                                          std::span<const std::size_t> seq_ends,
-                                         TimingBreakdown* timing) const {
-  const HalfMatrix attn = mha_.forward_batched(x, seq_ends, timing);
+                                         TimingBreakdown* timing,
+                                         ops::ExecContext* ctx) const {
+  const HalfMatrix attn = mha_.forward_batched(x, seq_ends, timing, ctx);
 
   auto t0 = std::chrono::steady_clock::now();
   HalfMatrix h = layer_norm(add(x, attn), ln1_gamma_, ln1_beta_);
   if (timing != nullptr) timing->other_s += seconds_since(t0);
 
-  const HalfMatrix ff1 = ffn_in_.forward(h, timing);
+  const HalfMatrix ff1 = ffn_in_.forward(h, timing, ctx);
 
   t0 = std::chrono::steady_clock::now();
   const HalfMatrix act = gelu(ff1);
   if (timing != nullptr) timing->other_s += seconds_since(t0);
 
-  const HalfMatrix ff2 = ffn_out_.forward(act, timing);
+  const HalfMatrix ff2 = ffn_out_.forward(act, timing, ctx);
 
   t0 = std::chrono::steady_clock::now();
   HalfMatrix out = layer_norm(add(h, ff2), ln2_gamma_, ln2_beta_);
@@ -130,19 +133,20 @@ void Encoder::sparsify(VnmConfig cfg) {
   for (auto& layer : layers_) layer.sparsify(cfg);
 }
 
-HalfMatrix Encoder::forward(const HalfMatrix& x,
-                            TimingBreakdown* timing) const {
+HalfMatrix Encoder::forward(const HalfMatrix& x, TimingBreakdown* timing,
+                            ops::ExecContext* ctx) const {
   HalfMatrix h = x;
-  for (const auto& layer : layers_) h = layer.forward(h, timing);
+  for (const auto& layer : layers_) h = layer.forward(h, timing, ctx);
   return h;
 }
 
 HalfMatrix Encoder::forward_batched(const HalfMatrix& x,
                                     std::span<const std::size_t> seq_ends,
-                                    TimingBreakdown* timing) const {
+                                    TimingBreakdown* timing,
+                                    ops::ExecContext* ctx) const {
   HalfMatrix h = x;
   for (const auto& layer : layers_)
-    h = layer.forward_batched(h, seq_ends, timing);
+    h = layer.forward_batched(h, seq_ends, timing, ctx);
   return h;
 }
 

@@ -49,15 +49,17 @@ class EncoderLayer {
     ffn_out_.set_weight_dtype(dtype);
   }
 
-  HalfMatrix forward(const HalfMatrix& x,
-                     TimingBreakdown* timing = nullptr) const;
+  HalfMatrix forward(const HalfMatrix& x, TimingBreakdown* timing = nullptr,
+                     ops::ExecContext* ctx = nullptr) const;
 
   /// Batched forward over sequences packed along the token axis (see
   /// MultiHeadAttention::forward_batched). LayerNorm / FFN / residuals
-  /// are token-wise, so only attention needs the boundaries.
+  /// are token-wise, so only attention needs the boundaries. `ctx`
+  /// overrides the attached context for this call (ops::resolve).
   HalfMatrix forward_batched(const HalfMatrix& x,
                              std::span<const std::size_t> seq_ends,
-                             TimingBreakdown* timing = nullptr) const;
+                             TimingBreakdown* timing = nullptr,
+                             ops::ExecContext* ctx = nullptr) const;
 
   /// Backward pass given the layer's forward input and upstream dL/dout.
   /// Recomputes the forward intermediates, differentiates both LayerNorm
@@ -110,15 +112,19 @@ class Encoder {
     for (auto& layer : layers_) layer.set_weight_dtype(dtype);
   }
 
-  HalfMatrix forward(const HalfMatrix& x,
-                     TimingBreakdown* timing = nullptr) const;
+  HalfMatrix forward(const HalfMatrix& x, TimingBreakdown* timing = nullptr,
+                     ops::ExecContext* ctx = nullptr) const;
 
   /// Batched forward: every layer runs the packed batch with attention
   /// confined to each sequence's span. Per-sequence outputs are
-  /// bit-identical to forward() on that sequence alone.
+  /// bit-identical to forward() on that sequence alone. `ctx` overrides
+  /// the attached context for this call only — a const Encoder shared
+  /// (shared_ptr-held) by N serving replicas stays immutable while each
+  /// replica dispatches through its private ExecContext.
   HalfMatrix forward_batched(const HalfMatrix& x,
                              std::span<const std::size_t> seq_ends,
-                             TimingBreakdown* timing = nullptr) const;
+                             TimingBreakdown* timing = nullptr,
+                             ops::ExecContext* ctx = nullptr) const;
 
   /// Backward through the whole stack: re-runs the forward to recover
   /// each layer's input, then chains EncoderLayer::backward in reverse.

@@ -73,12 +73,13 @@ void Linear::requantize() {
   }
 }
 
-HalfMatrix Linear::forward(const HalfMatrix& x,
-                           TimingBreakdown* timing) const {
+HalfMatrix Linear::forward(const HalfMatrix& x, TimingBreakdown* timing,
+                           ops::ExecContext* ctx_override) const {
   VENOM_CHECK_MSG(x.rows() == in_, "Linear expects " << in_ << " features, got "
                                                      << x.rows());
   const auto t0 = std::chrono::steady_clock::now();
-  ops::ExecContext& ctx = ctx_ != nullptr ? *ctx_ : ops::ExecContext::global();
+  ops::ExecContext& ctx = ops::resolve(ctx_override, ctx_);
+  const bool have_ctx = ctx_override != nullptr || ctx_ != nullptr;
   // Bias fused into the write-back stage of whichever backend dispatch
   // selects: the Spatha V:N:M backend for a sparsified weight, the
   // dense GEMM backend otherwise. The plan-cache tier (pre-hashed
@@ -98,9 +99,8 @@ HalfMatrix Linear::forward(const HalfMatrix& x,
   } else if (f8weight_ != nullptr) {
     args = ops::MatmulArgs::make(f8weight_, x);
   } else if (sparse_ != nullptr) {
-    args = ctx_ != nullptr
-               ? ops::MatmulArgs::make(sparse_, sparse_fingerprint_, x)
-               : ops::MatmulArgs::make(*sparse_, x);
+    args = have_ctx ? ops::MatmulArgs::make(sparse_, sparse_fingerprint_, x)
+                    : ops::MatmulArgs::make(*sparse_, x);
   } else {
     args = ops::MatmulArgs::make(weight_, x);
   }

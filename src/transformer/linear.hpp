@@ -81,7 +81,11 @@ class Linear {
   std::span<const float> bias() const { return bias_; }
 
   /// Forward pass; if `timing` is non-null, the GEMM time is added.
-  HalfMatrix forward(const HalfMatrix& x, TimingBreakdown* timing = nullptr) const;
+  /// `ctx` overrides the attached context for this call only (see
+  /// ops::resolve) — the replicated-serving path, where N engines share
+  /// one const encoder but dispatch through private contexts.
+  HalfMatrix forward(const HalfMatrix& x, TimingBreakdown* timing = nullptr,
+                     ops::ExecContext* ctx = nullptr) const;
 
   /// Gradients of a linear layer (the sparse-training path of §9a). For
   /// a sparse weight, backward() dispatches both halves through the

@@ -74,14 +74,16 @@ TEST(Determinism, BatchedServingIsBitIdentical) {
     transformer::Encoder enc(mc, rng);
     enc.sparsify({8, 2, 8});
     serving::InferenceEngine engine(std::move(enc), {});
-    std::vector<std::future<HalfMatrix>> futs;
+    std::vector<std::future<serving::Response>> futs;
     for (std::size_t i = 0; i < 12; ++i) {
-      Rng req = Rng::seeded("determinism-serving-trace", i);
-      futs.push_back(engine.submit(random_half_matrix(64, 4, req, 0.5f)));
+      Rng rng_i = Rng::seeded("determinism-serving-trace", i);
+      serving::Request req;
+      req.input = random_half_matrix(64, 4, rng_i, 0.5f);
+      futs.push_back(engine.submit(std::move(req)));
     }
     std::vector<HalfMatrix> outs;
     outs.reserve(futs.size());
-    for (auto& f : futs) outs.push_back(f.get());
+    for (auto& f : futs) outs.push_back(std::move(f.get().output));
     return outs;
   };
 

@@ -34,10 +34,19 @@
 //       print which backend dispatch would select for that RxKxC V:N:M
 //       problem and the kernel config with and without the tuning cache
 //       (dtype f16|int8|e5m2|e4m3 selects the datapath, default f16)
-//   venomtool serve-bench [requests] [tokens] [batch_tokens] [hidden] [layers]
+//   venomtool serve-bench [--requests=N] [--tokens=N] [--batch-tokens=N]
+//                         [--hidden=N] [--layers=N]
 //       serving throughput: dynamic batching through the InferenceEngine
 //       vs a sequential one-request-at-a-time loop over the same pruned
 //       encoder; prints req/s, tok/s, p50/p99 latency, and the speedup
+//   venomtool route-bench [--replicas=N] [--requests=N] [--overload=X]
+//                         [--queue-tokens=N] [--workers=N] [--seed=N]
+//       scaled serving probe: an EngineGroup of N replicas (shared const
+//       weights, least-queued-tokens routing, bounded admission) under a
+//       Poisson arrival burst at `overload` x the calibrated capacity;
+//       prints goodput, admitted p50/p99, shed counts, and the per-replica
+//       batch split, and bit-checks every admitted output against a
+//       direct forward
 //   venomtool finetune-bench [out] [in] [tokens] [steps] [V N M]
 //       sparse fine-tuning demo: a random student layer is magnitude-
 //       pruned to V:N:M and fine-tuned against a synthetic regression
@@ -49,6 +58,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -83,8 +94,11 @@ int usage() {
                "  venomtool tune <R> <K> <C> <V> <N> <M> [cache.json]\n"
                "  venomtool model <R> <K> <C> <V> <N> <M>\n"
                "  venomtool backends [R K C V N M [dtype]]\n"
-               "  venomtool serve-bench [requests] [tokens] [batch_tokens]"
-               " [hidden] [layers]\n"
+               "  venomtool serve-bench [--requests=N] [--tokens=N]"
+               " [--batch-tokens=N] [--hidden=N] [--layers=N]\n"
+               "  venomtool route-bench [--replicas=N] [--requests=N]"
+               " [--overload=X] [--queue-tokens=N] [--workers=N]"
+               " [--seed=N]\n"
                "  venomtool finetune-bench [out] [in] [tokens] [steps]"
                " [V N M]\n");
   return 2;
@@ -466,14 +480,59 @@ int cmd_tune(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Shared --key=value flag parser for the serving bench commands, so
+// serve-bench and route-bench expose one flag surface instead of two
+// positional-argument orders to memorize. Unknown flags and malformed
+// arguments are reported (with the offending text) and fail to usage().
+class Flags {
+ public:
+  static bool parse(const std::vector<std::string>& args,
+                    std::initializer_list<const char*> allowed, Flags& out) {
+    for (const std::string& a : args) {
+      const std::size_t eq = a.find('=');
+      if (a.rfind("--", 0) != 0 || eq == std::string::npos || eq < 3) {
+        std::fprintf(stderr, "malformed argument '%s' (expected "
+                             "--key=value)\n", a.c_str());
+        return false;
+      }
+      const std::string key = a.substr(2, eq - 2);
+      if (std::find_if(allowed.begin(), allowed.end(), [&](const char* k) {
+            return key == k;
+          }) == allowed.end()) {
+        std::fprintf(stderr, "unknown flag --%s\n", key.c_str());
+        return false;
+      }
+      out.values_[key] = a.substr(eq + 1);
+    }
+    return true;
+  }
+
+  std::size_t size(const char* key, std::size_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : to_size(it->second);
+  }
+  double num(const char* key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
 int cmd_serve_bench(const std::vector<std::string>& args) {
-  if (args.size() > 5) return usage();
+  Flags flags;
+  if (!Flags::parse(args,
+                    {"requests", "tokens", "batch-tokens", "hidden",
+                     "layers"},
+                    flags))
+    return usage();
   serving::BenchSetup setup;
-  setup.requests = args.size() > 0 ? to_size(args[0]) : 64;
-  setup.tokens = args.size() > 1 ? to_size(args[1]) : 4;
-  setup.max_batch_tokens = args.size() > 2 ? to_size(args[2]) : 256;
-  const std::size_t hidden = args.size() > 3 ? to_size(args[3]) : 256;
-  const std::size_t layers = args.size() > 4 ? to_size(args[4]) : 2;
+  setup.requests = flags.size("requests", 64);
+  setup.tokens = flags.size("tokens", 4);
+  setup.max_batch_tokens = flags.size("batch-tokens", 256);
+  const std::size_t hidden = flags.size("hidden", 256);
+  const std::size_t layers = flags.size("layers", 2);
   setup.model = transformer::ModelConfig{.name = "serve-bench",
                                          .layers = layers, .hidden = hidden,
                                          .heads = 4,
@@ -506,6 +565,59 @@ int cmd_serve_bench(const std::vector<std::string>& args) {
               r.speedup(), r.stats.avg_batch_tokens, r.stats.batches,
               r.stats.plan_cache_hits, r.stats.plan_cache_misses);
   std::printf("  per-request outputs bit-identical to sequential: yes\n");
+  return 0;
+}
+
+int cmd_route_bench(const std::vector<std::string>& args) {
+  Flags flags;
+  if (!Flags::parse(args,
+                    {"replicas", "requests", "overload", "queue-tokens",
+                     "workers", "seed"},
+                    flags))
+    return usage();
+  serving::LoadSetup setup;
+  setup.model = transformer::ModelConfig{.name = "route-bench", .layers = 2,
+                                         .hidden = 256, .heads = 4,
+                                         .ffn_hidden = 512, .seq_len = 128};
+  setup.replicas = flags.size("replicas", 4);
+  setup.requests = flags.size("requests", 128);
+  setup.overload = flags.num("overload", 2.0);
+  setup.max_queued_tokens = flags.size("queue-tokens", 512);
+  setup.workers = flags.size("workers", 1);
+  setup.seed = flags.size("seed", 0);
+
+  std::printf("route-bench: %zu replicas, %zu requests of %zu-%zu tokens, "
+              "%.1fx overload, %zu-token admission bound\n",
+              setup.replicas, setup.requests, setup.min_tokens,
+              setup.max_tokens, setup.overload, setup.max_queued_tokens);
+
+  // The measurement is shared with bench_serving_load (the CI-gated
+  // bench) so the two surfaces report comparable numbers by construction.
+  const serving::LoadReport r = serving::run_serving_load(setup);
+  if (!r.bit_identical) {
+    std::fprintf(stderr, "FAIL: a routed output differs from the direct "
+                         "forward\n");
+    return 1;
+  }
+  if (r.failed != 0) {
+    std::fprintf(stderr, "FAIL: %zu admitted requests failed\n", r.failed);
+    return 1;
+  }
+
+  std::printf("  capacity   : %8.1f req/s (closed-loop calibration)\n",
+              r.capacity_rps);
+  std::printf("  offered    : %8.1f req/s (Poisson)\n", r.offered_rps);
+  std::printf("  goodput    : %8.1f req/s  (%zu/%zu admitted)\n",
+              r.goodput_rps, r.admitted, r.offered);
+  std::printf("  shed       : %zu queue-full, %zu rate-limited "
+              "(AdmissionError at submit)\n",
+              r.rejected_queue, r.rejected_rate);
+  std::printf("  latency    : p50 %.3f ms  p99 %.3f ms (admitted only)\n",
+              r.p50_ms, r.p99_ms);
+  std::printf("  replica batches:");
+  for (const auto& s : r.stats.replicas) std::printf(" %zu", s.batches);
+  std::printf("\n");
+  std::printf("  admitted outputs bit-identical to direct forward: yes\n");
   return 0;
 }
 
@@ -593,6 +705,7 @@ int main(int argc, char** argv) {
     if (cmd == "model") return cmd_model(args);
     if (cmd == "backends") return cmd_backends(args);
     if (cmd == "serve-bench") return cmd_serve_bench(args);
+    if (cmd == "route-bench") return cmd_route_bench(args);
     if (cmd == "finetune-bench") return cmd_finetune_bench(args);
   } catch (const venom::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
