@@ -18,18 +18,35 @@ bool DynamicBatcher::submit(PendingRequest& req) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return false;  // req stays intact with its promise
-    // Priority insertion: ahead of strictly lower priorities, behind
-    // equal ones (FIFO within a band). The common all-zero case is a
-    // plain push_back.
-    auto pos = queue_.end();
-    while (pos != queue_.begin() &&
-           std::prev(pos)->request.priority < req.request.priority)
-      --pos;
-    queued_tokens_ += req.tokens();
-    queue_.insert(pos, std::move(req));
+    insert_locked(req);
   }
   cv_.notify_one();
   return true;
+}
+
+void DynamicBatcher::resubmit(PendingRequest& req) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Deliberately no closed_ check: a generation step continues work the
+    // batcher already admitted, and next_batch() keeps draining a closed
+    // queue until it is empty — so shutdown finishes live sessions.
+    insert_locked(req);
+  }
+  cv_.notify_one();
+}
+
+void DynamicBatcher::insert_locked(PendingRequest& req) {
+  // Rank = (priority, urgent): ahead of strictly lower priorities, and
+  // within a band ahead of non-urgent work when urgent; FIFO within each
+  // class. The common all-zero case is a plain push_back.
+  auto pos = queue_.end();
+  while (pos != queue_.begin() &&
+         (std::prev(pos)->request.priority < req.request.priority ||
+          (std::prev(pos)->request.priority == req.request.priority &&
+           req.urgent() && !std::prev(pos)->urgent())))
+    --pos;
+  queued_tokens_ += req.tokens();
+  queue_.insert(pos, std::move(req));
 }
 
 void DynamicBatcher::close() {
@@ -75,6 +92,7 @@ bool DynamicBatcher::next_batch(std::vector<PendingRequest>& out) {
   }
   PendingRequest first = pop_front_locked();
   std::size_t tokens = first.tokens();
+  bool has_urgent = first.urgent();
   out.push_back(std::move(first));
 
   // Continuous top-up: keep admitting queued AND newly arriving requests
@@ -87,6 +105,7 @@ bool DynamicBatcher::next_batch(std::vector<PendingRequest>& out) {
     shed_expired_locked(Clock::now());
     if (queue_.empty()) {
       if (closed_) break;  // no more arrivals, ever
+      if (has_urgent) break;  // decode steps don't wait out the timer
       if (cv_.wait_until(lock, flush_at) == std::cv_status::timeout)
         break;  // flush: the timer expired
       continue;  // woken by a submit or close — re-examine the queue
@@ -95,6 +114,7 @@ bool DynamicBatcher::next_batch(std::vector<PendingRequest>& out) {
       break;  // never split a request; it stays at the head
     PendingRequest next = pop_front_locked();
     tokens += next.tokens();
+    has_urgent = has_urgent || next.urgent();
     out.push_back(std::move(next));
   }
   return true;

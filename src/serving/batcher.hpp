@@ -48,9 +48,18 @@ class DynamicBatcher {
 
   /// Enqueues a request; false once close()d (the request is returned to
   /// the caller untouched so its promise can be failed). Higher-priority
-  /// requests are inserted ahead of lower-priority ones (FIFO within a
-  /// priority band).
+  /// requests are inserted ahead of lower-priority ones; within a
+  /// priority band, urgent() requests (single-token decode steps) rank
+  /// ahead of throughput work, FIFO within each (priority, urgency)
+  /// class — prefill traffic can never starve a live decode session.
   bool submit(PendingRequest& req);
+
+  /// Re-enqueues the next step of an already-admitted generation request
+  /// (prefill chunk N+1, or a decode step). Unlike submit(), this works
+  /// after close(): shutdown() drains in-flight sessions to completion
+  /// (bounded by max_new_tokens) instead of abandoning their caches
+  /// mid-generation.
+  void resubmit(PendingRequest& req);
 
   /// Refuses further submissions and wakes every worker blocked in
   /// next_batch(); next_batch() keeps returning batches until the queue
@@ -64,8 +73,11 @@ class DynamicBatcher {
   /// submitted requests join the forming batch (continuous batching).
   /// Requests whose deadline lapsed while queued are shed here: failed
   /// with AdmissionError(kDeadlineExceeded), never executed, never
-  /// silently dropped. Returns false only after close() with everything
-  /// drained — the worker-loop exit.
+  /// silently dropped. A forming batch that contains an urgent request
+  /// flushes as soon as the queue is empty instead of waiting out the
+  /// flush timer (decode steps never pay max_wait on an idle queue).
+  /// Returns false only after close() with everything drained — the
+  /// worker-loop exit.
   bool next_batch(std::vector<PendingRequest>& out);
 
   std::size_t queued() const;
@@ -76,6 +88,8 @@ class DynamicBatcher {
   const BatchPolicy& policy() const { return policy_; }
 
  private:
+  /// Priority/urgency-ranked insertion. Caller holds mutex_.
+  void insert_locked(PendingRequest& req);
   /// Fails every expired request at the queue head. Caller holds mutex_.
   void shed_expired_locked(Clock::time_point now);
   /// Pops the queue head into `out`. Caller holds mutex_.

@@ -258,4 +258,132 @@ LoadReport run_serving_load(const LoadSetup& setup) {
   return report;
 }
 
+namespace {
+
+/// The engine's generation contract replayed directly on the encoder:
+/// prefill, seed decode with the last prompt output, identity feedback.
+HalfMatrix direct_generate(const transformer::Encoder& enc,
+                           const HalfMatrix& prompt, std::size_t steps,
+                           std::size_t capacity) {
+  transformer::KvCache cache = enc.make_cache(capacity);
+  const HalfMatrix pre = enc.prefill(prompt, cache);
+  const std::size_t hidden = prompt.rows();
+  HalfMatrix gen(hidden, steps);
+  HalfMatrix x(hidden, 1);
+  for (std::size_t r = 0; r < hidden; ++r)
+    x(r, 0) = pre(r, prompt.cols() - 1);
+  for (std::size_t t = 0; t < steps; ++t) {
+    const HalfMatrix y = enc.decode_step(x, cache);
+    for (std::size_t r = 0; r < hidden; ++r) {
+      gen(r, t) = y(r, 0);
+      x(r, 0) = y(r, 0);
+    }
+  }
+  return gen;
+}
+
+}  // namespace
+
+DecodeBenchReport run_decode_bench(const DecodeBenchSetup& setup) {
+  transformer::ModelConfig model = setup.model;
+  model.causal = true;
+  model.attn_window = setup.window;
+
+  std::vector<HalfMatrix> prompts;
+  prompts.reserve(setup.sessions);
+  for (std::size_t i = 0; i < setup.sessions; ++i) {
+    Rng rng = Rng::seeded("decode-trace", i);
+    prompts.push_back(
+        random_half_matrix(model.hidden, setup.prompt_tokens, rng, 0.5f));
+  }
+
+  transformer::Encoder ref_enc = pruned_encoder(model, setup.format);
+  Options opts;
+  opts.batching.max_batch_tokens = setup.max_batch_tokens;
+  opts.batching.max_batch_requests = setup.sessions + 1;
+  opts.batching.max_wait = setup.max_wait;
+  opts.kv_capacity = setup.window != 0
+                         ? setup.window
+                         : setup.prompt_tokens + setup.new_tokens;
+  opts.max_new_tokens = setup.new_tokens;
+  opts.prefill_chunk_tokens = setup.prefill_chunk_tokens;
+  InferenceEngine engine(pruned_encoder(model, setup.format), opts);
+
+  const auto submit_generation = [&](std::size_t i) {
+    Request req;
+    req.input = prompts[i];  // prompts are reused across phases — copy
+    req.max_new_tokens = setup.new_tokens;
+    return engine.submit(std::move(req));
+  };
+
+  DecodeBenchReport report;
+  report.sessions = setup.sessions;
+  report.prompt_tokens = setup.prompt_tokens;
+  report.new_tokens = setup.new_tokens;
+
+  // Correctness pass (doubles as warmup): every session's generated
+  // columns must bit-match the direct prefill + decode_step loop on the
+  // independently built reference encoder — whatever batches its prefill
+  // chunks and decode steps rode in.
+  {
+    std::vector<std::future<Response>> futs;
+    futs.reserve(setup.sessions);
+    for (std::size_t i = 0; i < setup.sessions; ++i)
+      futs.push_back(submit_generation(i));
+    report.bit_identical = true;
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      const Response resp = futs[i].get();
+      report.bit_identical =
+          report.bit_identical &&
+          same_bits(resp.output, direct_generate(ref_enc, prompts[i],
+                                                 setup.new_tokens,
+                                                 opts.kv_capacity));
+    }
+  }
+
+  // Prefill-only phase: the prompts as plain encode traffic. This is the
+  // bulk-throughput workload a decode step contends with; the per-batch
+  // forward time (exec_ms, shared by every request in the batch) is the
+  // latency bar the mixed run's decode p99 is judged against.
+  engine.reset_stats();
+  {
+    const auto t0 = Clock::now();
+    std::vector<std::future<Response>> futs;
+    futs.reserve(setup.sessions);
+    for (std::size_t i = 0; i < setup.sessions; ++i) {
+      Request req;
+      req.input = prompts[i];
+      futs.push_back(engine.submit(std::move(req)));
+    }
+    std::vector<double> batch_ms;
+    batch_ms.reserve(futs.size());
+    for (auto& f : futs) batch_ms.push_back(f.get().exec_ms);
+    report.solo_prefill_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    report.solo_prefill_tok_s =
+        double(setup.sessions * setup.prompt_tokens) / report.solo_prefill_s;
+    std::sort(batch_ms.begin(), batch_ms.end());
+    report.solo_prefill_batch_p50_ms = percentile_sorted(batch_ms, 0.50);
+  }
+
+  // Mixed phase: every session generating concurrently — prefill chunks
+  // and 1-token decode steps sharing one batch queue, decode ranked
+  // urgent. decode_p50/p99 (queue + exec per step) land in stats.
+  engine.reset_stats();
+  {
+    const auto t0 = Clock::now();
+    std::vector<std::future<Response>> futs;
+    futs.reserve(setup.sessions);
+    for (std::size_t i = 0; i < setup.sessions; ++i)
+      futs.push_back(submit_generation(i));
+    for (auto& f : futs) f.get();
+    report.mixed_wall_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    report.decode_tok_s =
+        double(setup.sessions * setup.new_tokens) / report.mixed_wall_s;
+  }
+  report.stats = engine.stats();
+  return report;
+}
+
 }  // namespace venom::serving

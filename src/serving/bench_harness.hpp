@@ -121,4 +121,50 @@ struct LoadReport {
 /// counters (exact) from rates (measured).
 LoadReport run_serving_load(const LoadSetup& setup);
 
+/// The autoregressive-decode experiment's knobs. The harness forces the
+/// model causal with attention window == `window` (the KV ring capacity);
+/// each session is a prompt of prompt_tokens and new_tokens decode steps
+/// with identity feedback (each step's input is the previous output).
+struct DecodeBenchSetup {
+  transformer::ModelConfig model;
+  VnmConfig format{64, 2, 8};
+  std::size_t sessions = 16;
+  std::size_t prompt_tokens = 32;
+  std::size_t new_tokens = 32;
+  /// Attention window == KV ring capacity. prompt + new_tokens beyond it
+  /// exercises ring wraparound under the benchmark clock.
+  std::size_t window = 48;
+  std::size_t max_batch_tokens = 256;
+  /// Prompt tokens per prefill pass — smaller chunks give decode steps
+  /// of live sessions more seams to slot into.
+  std::size_t prefill_chunk_tokens = 32;
+  std::chrono::microseconds max_wait{500};
+};
+
+/// Measured outcome of one decode run.
+struct DecodeBenchReport {
+  std::size_t sessions = 0;
+  std::size_t prompt_tokens = 0;
+  std::size_t new_tokens = 0;
+  /// Prefill-only phase: the same prompts as plain encode traffic.
+  double solo_prefill_s = 0.0;        ///< wall seconds, all prompts
+  double solo_prefill_tok_s = 0.0;    ///< prompt tokens / wall
+  /// p50 forward time of one token-budget prefill batch — the latency a
+  /// decode step would pay if it had to wait out bulk prefill work. The
+  /// mixed run's decode p99 must come in under this.
+  double solo_prefill_batch_p50_ms = 0.0;
+  /// Mixed phase: every session generating concurrently, prefill chunks
+  /// and decode steps sharing the batch queue.
+  double mixed_wall_s = 0.0;
+  double decode_tok_s = 0.0;  ///< generated tokens / mixed wall
+  bool bit_identical = false;  ///< every session vs the direct decode loop
+  ServingStats stats;  ///< mixed phase (decode_p50_ms / decode_p99_ms)
+};
+
+/// Runs the decode benchmark: a correctness pass checking every session's
+/// generated columns bit-match a direct prefill + decode_step loop on an
+/// independently built reference encoder (doubles as warmup), then a
+/// timed prefill-only phase and a timed mixed generation phase.
+DecodeBenchReport run_decode_bench(const DecodeBenchSetup& setup);
+
 }  // namespace venom::serving

@@ -21,12 +21,23 @@
 // tables) and a reusable staging matrix whose buffers settle at their
 // high-water size, so after warmup the batching layer performs no
 // allocation beyond the per-request output matrices it hands back.
+//
+// Generation (Request::max_new_tokens > 0): the engine owns a GenSession
+// per live request — a KV ring (kv_cache.hpp) plus the feedback buffer —
+// and cycles the request through the shared queue one phase step at a
+// time: prompt chunks (throughput work), then 1-token decode steps that
+// the batcher ranks ahead of prefill and flushes without waiting on the
+// timer (latency work). Both phases run Encoder::forward_cached, so a
+// generation batch mixes prefill chunks and decode steps of different
+// sessions in one pass, and the outputs stay bit-identical to a full
+// causal forward over each accumulated sequence.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -53,6 +64,30 @@ struct ServingStats {
   std::size_t plan_cache_misses = 0;
   std::size_t peak_arena_bytes = 0;  ///< largest per-batch arena cycle
   transformer::TimingBreakdown timing;  ///< aggregated over all batches
+  // Generation traffic (zero on encode-only workloads).
+  std::size_t prefill_tokens = 0;  ///< prompt tokens run through prefill
+  std::size_t decode_steps = 0;    ///< single-token decode passes
+  double decode_p50_ms = 0.0;  ///< per-step queue+exec, over the window
+  double decode_p99_ms = 0.0;
+};
+
+/// Engine-owned per-sequence generation state. Lives on the replica that
+/// admitted the request (sessions are sticky — the KV ring is here), and
+/// travels through the queue inside the request's PendingRequest.
+struct GenSession {
+  transformer::KvCache cache;
+  /// (hidden x 1) feedback buffer: the newest output column, which the
+  /// on_token hook may rewrite into the next decode input.
+  HalfMatrix next_input;
+  /// (hidden x max_new_tokens) decode outputs, filled left to right.
+  HalfMatrix generated;
+  std::size_t tokens_generated = 0;
+  std::size_t prompt_tokens = 0;
+  double prefill_ms = 0.0;  ///< forward time over the prompt chunks
+  double decode_ms = 0.0;   ///< forward time over the decode steps
+  Clock::time_point submitted{};
+  double queue_ms = 0.0;  ///< submit -> first forward (set once)
+  bool started = false;
 };
 
 /// Thread-safe batched inference front end over one pruned encoder.
@@ -82,14 +117,10 @@ class InferenceEngine {
   std::future<Response> submit(Request req,
                                std::function<void()> on_done = {});
 
-  /// Pre-PR-7 surface: bare matrix in, bare matrix out. One-line shim
-  /// over the Request/Response API (default tenant, no deadline; the
-  /// returned future is deferred — its get() unwraps Response::output).
-  [[deprecated("use submit(serving::Request) -> future<serving::Response>")]]
-  std::future<HalfMatrix> submit(HalfMatrix input);
-
   /// Stops accepting requests, lets the workers drain everything already
-  /// queued, and joins them. Idempotent; the destructor calls it.
+  /// queued — including in-flight generation sessions, which run to
+  /// completion (bounded by max_new_tokens) — and joins them.
+  /// Idempotent; the destructor calls it.
   void shutdown();
 
   ServingStats stats() const;
@@ -120,12 +151,19 @@ class InferenceEngine {
   /// Per-worker reusable buffers (never shared, so unsynchronized).
   struct WorkerState {
     ScratchArena arena;
-    HalfMatrix staging;  ///< packed batch input, capacity retained
+    HalfMatrix staging;      ///< packed encode batch, capacity retained
+    HalfMatrix gen_staging;  ///< packed prefill/decode batch
   };
 
   void worker_loop();
   void process_batch(std::vector<PendingRequest>& batch, WorkerState& ws);
-  void record_batch(const std::vector<PendingRequest>& batch,
+  /// The classic single-shot path: one forward_batched over the span.
+  void process_encode(std::span<PendingRequest> batch, WorkerState& ws);
+  /// The generation path: one forward_cached over the span's prefill
+  /// chunks and decode steps, then per-item advance (requeue the next
+  /// step, or deliver the finished session).
+  void process_generation(std::span<PendingRequest> batch, WorkerState& ws);
+  void record_batch(std::span<const PendingRequest> batch,
                     std::size_t batch_tokens,
                     const transformer::TimingBreakdown& timing,
                     Clock::time_point done, const WorkerState& ws);
@@ -144,11 +182,16 @@ class InferenceEngine {
   std::size_t requests_ = 0;
   std::size_t batches_ = 0;
   std::size_t tokens_ = 0;
+  std::size_t prefill_tokens_ = 0;
+  std::size_t decode_steps_ = 0;
   std::size_t peak_arena_bytes_ = 0;
   transformer::TimingBreakdown timing_;
   std::vector<double> latency_ms_;  ///< ring buffer of latency_window
   std::size_t latency_next_ = 0;
   std::size_t latency_count_ = 0;
+  std::vector<double> decode_ms_;  ///< per-decode-step latency ring
+  std::size_t decode_next_ = 0;
+  std::size_t decode_count_ = 0;
 };
 
 }  // namespace venom::serving

@@ -36,6 +36,19 @@ struct Options {
   /// Per-tenant rate limits and the global in-flight bound. Ignored by a
   /// bare InferenceEngine (admission is the router's job).
   AdmissionPolicy admission{};
+  /// KV ring capacity per generation session (columns of fp16 K and V
+  /// per layer — kv_cache.hpp has the memory math). When the encoder has
+  /// an attention window this must equal it; otherwise each session's
+  /// prompt + max_new_tokens must fit within it (checked at submit).
+  std::size_t kv_capacity = 512;
+  /// Upper bound on Request::max_new_tokens (rejected at submit) — also
+  /// what bounds the work a generation session can hold across shutdown
+  /// (in-flight sessions drain to completion).
+  std::size_t max_new_tokens = 256;
+  /// Prompt tokens per prefill pass of a generation request. 0 sizes
+  /// chunks to batching.max_batch_tokens. Smaller chunks interleave
+  /// decode steps of live sessions between prompt chunks of new ones.
+  std::size_t prefill_chunk_tokens = 0;
 
   /// Throws venom::Error on configurations that could never serve a
   /// request or would hang instead of failing fast.
@@ -60,10 +73,10 @@ struct Options {
     check_limit(admission.default_limit, "the default tenant");
     for (const auto& [tenant, limit] : admission.tenants)
       check_limit(limit, tenant.c_str());
+    VENOM_CHECK_MSG(kv_capacity >= 1,
+                    "Options: kv_capacity must be positive (a generation "
+                    "session needs at least one KV slot)");
   }
 };
-
-/// Pre-PR-7 name for the engine's construction knobs.
-using ServingConfig [[deprecated("use serving::Options")]] = Options;
 
 }  // namespace venom::serving

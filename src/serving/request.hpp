@@ -1,19 +1,29 @@
-// The serving request/response surface (PR 7's API redesign).
+// The serving request/response surface (PR 7's API redesign; PR 8 grows
+// it a generation mode).
 //
 // The original engine exposed a bare submit(HalfMatrix) -> future<HalfMatrix>
 // — fine for one worker loop, but unable to express who is asking
 // (tenants with rate limits), how urgently (priorities, deadlines), or
 // what happened (which replica served it, how long it queued vs ran).
 // serving::Request / serving::Response carry exactly that, and every
-// serving surface (InferenceEngine, EngineGroup) speaks them; the legacy
-// bare-matrix overload survives only as a deprecated shim.
+// serving surface (InferenceEngine, EngineGroup) speaks them.
+//
+// A Request with max_new_tokens > 0 is a *generation* request: the
+// engine prefills a per-sequence KV cache from the prompt, then decodes
+// autoregressively — one token per step, each step a 1-token entry in
+// the shared batch queue so decode latency rides ahead of bulk prefill
+// work (see PendingRequest::urgent). The per-sequence session state (the
+// KV ring, the feedback buffer) is owned by the engine and never crosses
+// replicas: a session is sticky to the replica that admitted it.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "tensor/matrix.hpp"
@@ -36,17 +46,45 @@ struct Request {
   /// with AdmissionError(kDeadlineExceeded) instead of executed. A batch
   /// already running is never cancelled.
   std::optional<Clock::time_point> deadline{};
+
+  // ---------------------------------------------------------- generation
+  /// 0 = classic single-shot encode (Response::output mirrors the input
+  /// shape). > 0 = generation: `input` is the prompt, the engine prefills
+  /// a KV cache from it and then decodes up to this many steps.
+  std::size_t max_new_tokens = 0;
+  /// Per-step feedback hook for generation. After prefill and after
+  /// every decode step the engine copies the newest token's encoder
+  /// output column into the session's (hidden x 1) feedback buffer and
+  /// calls this with a span over it; the hook may transform it in place
+  /// into the next step's input (e.g. logits -> argmax -> embedding) and
+  /// returns false to stop early (eos). Absent, the output feeds back
+  /// unchanged and generation runs to max_new_tokens. Called from a
+  /// worker thread; a throwing hook fails the request's future.
+  std::function<bool(std::span<half_t>)> on_token;
+
+  /// Admission/routing weight: the prompt plus every token the request
+  /// may generate.
+  std::size_t total_tokens() const { return input.cols() + max_new_tokens; }
 };
 
 /// The delivered result and its serving telemetry.
 struct Response {
-  HalfMatrix output;  ///< encoder output, same shape as the input
+  /// Encode: the encoder output, same shape as the input. Generation:
+  /// one column per decode step (hidden x tokens_generated), i.e. the
+  /// newest token's output at each step, pre-hook.
+  HalfMatrix output;
   std::uint64_t id = 0;       ///< engine-assigned, unique per engine
   std::uint32_t replica = 0;  ///< which EngineGroup replica executed it
-  double queue_ms = 0.0;      ///< submit -> batch execution start
-  double exec_ms = 0.0;       ///< the batch's forward wall time
+  double queue_ms = 0.0;      ///< submit -> first batch execution start
+  double exec_ms = 0.0;       ///< forward wall time (all phases summed)
   std::size_t batch_tokens = 0;  ///< tokens co-batched with this request
+  // Generation telemetry (zero for plain encode requests).
+  double prefill_ms = 0.0;  ///< forward time spent on prompt chunks
+  double decode_ms = 0.0;   ///< forward time spent on decode steps
+  std::size_t tokens_generated = 0;  ///< decode steps executed
 };
+
+struct GenSession;  // engine-owned per-sequence state (engine.hpp)
 
 /// A queued request inside the serving machinery: the Request, the
 /// promise its Response travels through, and the bookkeeping hooks.
@@ -63,7 +101,33 @@ struct PendingRequest {
   /// engine its in-flight load gauge. Chained, never copied.
   std::function<void()> on_done;
 
-  std::size_t tokens() const { return request.input.cols(); }
+  /// A generation request cycles through the queue once per phase step:
+  /// kPrefill entries carry a prompt chunk, kDecode entries exactly one
+  /// token. kEncode is the classic single-shot path.
+  enum class Phase { kEncode, kPrefill, kDecode };
+  Phase phase = Phase::kEncode;
+  /// The engine-owned session (KV cache, feedback buffer, phase timing);
+  /// null for kEncode.
+  std::shared_ptr<GenSession> session;
+  /// The prompt columns [chunk_begin, chunk_end) this kPrefill pass runs.
+  std::size_t chunk_begin = 0;
+  std::size_t chunk_end = 0;
+
+  /// Tokens this queue entry contributes to a batch's budget (NOT the
+  /// request's total: a generation request re-enters the queue per step).
+  std::size_t tokens() const {
+    switch (phase) {
+      case Phase::kPrefill: return chunk_end - chunk_begin;
+      case Phase::kDecode: return 1;
+      case Phase::kEncode: break;
+    }
+    return request.input.cols();
+  }
+
+  /// Latency-critical single-token work: the batcher ranks these ahead
+  /// of same-priority throughput work and flushes a forming batch
+  /// immediately instead of holding them on the flush timer.
+  bool urgent() const { return phase == Phase::kDecode; }
 };
 
 /// Delivers the response and fires the completion hook (exactly once).

@@ -30,7 +30,9 @@ std::future<Response> EngineGroup::submit(Request req) {
   if (shut_down_.load(std::memory_order_acquire))
     throw AdmissionError(AdmissionReason::kShutdown,
                          "engine group is shut down");
-  const std::size_t toks = req.input.cols();
+  // A generation request is admitted for its whole budget: the prompt
+  // plus every token it may decode on whichever replica it sticks to.
+  const std::size_t toks = req.total_tokens();
   // Admission first: a shed request must never touch a replica queue.
   // Throws AdmissionError (kRateLimited / kQueueFull) — nothing to
   // unwind yet.
@@ -75,6 +77,8 @@ GroupStats EngineGroup::stats() const {
     g.batches += s.batches;
     g.tokens += s.tokens;
     g.shed += s.shed;
+    g.prefill_tokens += s.prefill_tokens;
+    g.decode_steps += s.decode_steps;
     g.replicas.push_back(std::move(s));
   }
   return g;

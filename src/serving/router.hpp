@@ -28,6 +28,15 @@
 // The correctness invariant is inherited from the batcher: per-request
 // outputs are bit-identical whatever replica count, routing order, or
 // batch composition served them.
+//
+// Generation sessions are *sticky*: routing happens exactly once, at
+// submit, and the whole generation — prefill chunks and every decode
+// step — lives inside the chosen InferenceEngine, which owns the
+// session's KV ring. Decode steps re-enter that engine's own queue, so
+// the cache never migrates and no cross-replica state exists. Admission
+// and the load gauge charge a generation request's full budget (prompt +
+// max_new_tokens) up front, so least-loaded routing already accounts for
+// the decode work a session will pin to its replica.
 #pragma once
 
 #include <atomic>
@@ -50,6 +59,8 @@ struct GroupStats {
   std::size_t batches = 0;
   std::size_t tokens = 0;
   std::size_t shed = 0;  ///< deadline sheds, summed over replicas
+  std::size_t prefill_tokens = 0;  ///< generation prompt tokens, summed
+  std::size_t decode_steps = 0;    ///< decode passes, summed
   AdmissionStats admission;
   std::vector<ServingStats> replicas;
 };

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "ops/ops.hpp"
+#include "transformer/kv_cache.hpp"
 #include "transformer/ops.hpp"
 
 namespace venom::transformer {
@@ -154,10 +155,16 @@ HalfMatrix MultiHeadAttention::forward_batched(
       t0 = std::chrono::steady_clock::now();
       if (causal_) {
         // Decoder mask: query i must not see keys j > i (positions are
-        // relative to the sequence's own start).
-        for (std::size_t i = 0; i < scores.rows(); ++i)
+        // relative to the sequence's own start). A nonzero window also
+        // hides keys that fell out of the sliding window, j + w <= i —
+        // the exact set a capacity-w KV ring no longer holds.
+        for (std::size_t i = 0; i < scores.rows(); ++i) {
           for (std::size_t j = i + 1; j < scores.cols(); ++j)
             scores(i, j) = -1e30f;
+          if (attn_window_ != 0)
+            for (std::size_t j = 0; j + attn_window_ <= i; ++j)
+              scores(i, j) = -1e30f;
+        }
       }
       softmax_rows(scores);
       if (timing != nullptr) timing->softmax_s += seconds_since(t0);
@@ -186,6 +193,96 @@ HalfMatrix MultiHeadAttention::forward_batched(
           context(h * dh + d, t) = ctx(d, t - s0);
       s0 = s1;
     }
+  }
+  return wo_.forward(context, timing, call_ctx);
+}
+
+HalfMatrix MultiHeadAttention::forward_cached(
+    const HalfMatrix& x, std::span<const std::size_t> seq_ends,
+    std::span<KvCache* const> caches, std::size_t layer,
+    TimingBreakdown* timing, ops::ExecContext* call_ctx) const {
+  VENOM_CHECK_MSG(causal_, "forward_cached requires a causal attention "
+                           "block (a KV cache is a decode structure)");
+  VENOM_CHECK_MSG(!score_pattern_.has_value(),
+                  "dynamic N:M attention is incompatible with a KV cache "
+                  "(pruning depends on the whole probability row)");
+  VENOM_CHECK(x.rows() == hidden_);
+  VENOM_CHECK_MSG(!seq_ends.empty() && seq_ends.back() == x.cols(),
+                  "sequence ends must cover all " << x.cols() << " tokens");
+  VENOM_CHECK_MSG(caches.size() == seq_ends.size(),
+                  "one KvCache per sequence: got " << caches.size()
+                                                   << " caches for "
+                                                   << seq_ends.size()
+                                                   << " sequences");
+  for (std::size_t i = 0; i + 1 < seq_ends.size(); ++i)
+    VENOM_CHECK_MSG(seq_ends[i] < seq_ends[i + 1],
+                    "sequence ends must be strictly increasing");
+  VENOM_CHECK_MSG(seq_ends.front() > 0, "empty leading sequence");
+  const std::size_t dh = hidden_ / heads_;
+  const float scale = 1.0f / std::sqrt(float(dh));
+
+  // Projections over the whole packed batch — the same single SpMM per
+  // weight as forward_batched, and the columns land bit-identically
+  // because Linear's outputs are column-independent.
+  const HalfMatrix q = wq_.forward(x, timing, call_ctx);
+  const HalfMatrix k = wk_.forward(x, timing, call_ctx);
+  const HalfMatrix v = wv_.forward(x, timing, call_ctx);
+
+  auto scratch = ops::resolve(call_ctx, ctx_).kv_scratch().acquire();
+  HalfMatrix context(hidden_, x.cols());
+  std::size_t s0 = 0;
+  for (std::size_t s = 0; s < seq_ends.size(); ++s) {
+    const std::size_t s1 = seq_ends[s];
+    VENOM_CHECK_MSG(caches[s] != nullptr, "null KvCache for sequence " << s);
+    KvCache& cache = *caches[s];
+    VENOM_CHECK_MSG(cache.hidden() == hidden_ && layer < cache.layers(),
+                    "KvCache shape (" << cache.layers() << " layers, hidden "
+                                      << cache.hidden()
+                                      << ") does not fit layer " << layer
+                                      << " of hidden " << hidden_);
+    VENOM_CHECK_MSG(attn_window_ == 0 || cache.capacity() == attn_window_,
+                    "attention window " << attn_window_
+                                        << " != KvCache capacity "
+                                        << cache.capacity()
+                                        << " (the ring must hold exactly "
+                                           "the window)");
+    for (std::size_t t = s0; t < s1; ++t) {
+      // Append before attending: position p's query sees the cached
+      // window [max(0, p + 1 - w), p], itself included — exactly the
+      // sliding-window causal mask of the full forward.
+      const std::size_t p = cache.append(layer, k, v, t);
+      VENOM_CHECK_MSG(attn_window_ != 0 || p < cache.capacity(),
+                      "KV cache overflow at position "
+                          << p << " (capacity " << cache.capacity()
+                          << "): set an attention window to serve "
+                             "sequences longer than the ring");
+      const std::size_t win = attn_window_ != 0 ? attn_window_
+                                                : cache.capacity();
+      const std::size_t lo = p + 1 > win ? p + 1 - win : 0;
+      const std::size_t w = p + 1 - lo;
+      for (std::size_t h = 0; h < heads_; ++h) {
+        auto t0 = std::chrono::steady_clock::now();
+        cache.gather_k(layer, h * dh, dh, lo, w, scratch->kh);
+        cache.gather_v(layer, h * dh, dh, lo, w, scratch->vh);
+        scratch->qh.resize(dh, 1);
+        for (std::size_t d = 0; d < dh; ++d)
+          scratch->qh(d, 0) = q(h * dh + d, t);
+        attention_scores_into(scratch->qh, scratch->kh, scale,
+                              scratch->scores);
+        if (timing != nullptr) timing->attn_matmul_s += seconds_since(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        softmax_rows(scratch->scores);
+        if (timing != nullptr) timing->softmax_s += seconds_since(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        attention_context_into(scratch->scores, scratch->vh, scratch->ctx);
+        for (std::size_t d = 0; d < dh; ++d)
+          context(h * dh + d, t) = scratch->ctx(d, 0);
+        if (timing != nullptr) timing->attn_matmul_s += seconds_since(t0);
+      }
+    }
+    s0 = s1;
   }
   return wo_.forward(context, timing, call_ctx);
 }
@@ -231,9 +328,13 @@ FloatMatrix MultiHeadAttention::backward_batched(
       const HalfMatrix vh = slice_head(v, h, dh, s0, s1);
       FloatMatrix scores = attention_scores(qh, kh, scale);
       if (causal_)
-        for (std::size_t i = 0; i < scores.rows(); ++i)
+        for (std::size_t i = 0; i < scores.rows(); ++i) {
           for (std::size_t j = i + 1; j < scores.cols(); ++j)
             scores(i, j) = -1e30f;
+          if (attn_window_ != 0)
+            for (std::size_t j = 0; j + attn_window_ <= i; ++j)
+              scores(i, j) = -1e30f;
+        }
       softmax_rows(scores);
       const HalfMatrix ctx = attention_context(scores, vh);
       for (std::size_t d = 0; d < dh; ++d)

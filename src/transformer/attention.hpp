@@ -27,6 +27,8 @@
 
 namespace venom::transformer {
 
+class KvCache;
+
 /// Parameter gradients of one attention block (the four projections).
 struct MhaGrads {
   Linear::Grads wq, wk, wv, wo;
@@ -74,8 +76,35 @@ class MultiHeadAttention {
     return score_pattern_;
   }
 
+  /// Bounds the causal mask to a sliding window: query i attends to keys
+  /// [max(0, i + 1 - w), i]. 0 (the default) is the unbounded causal
+  /// mask. Only meaningful with `causal`; this is the full-forward twin
+  /// of the KV ring's capacity — forward_cached over a ring of capacity
+  /// w computes exactly this mask, bit for bit.
+  void set_attention_window(std::size_t w) { attn_window_ = w; }
+  std::size_t attention_window() const { return attn_window_; }
+
   HalfMatrix forward(const HalfMatrix& x, TimingBreakdown* timing = nullptr,
                      ops::ExecContext* ctx = nullptr) const;
+
+  /// Incremental forward against per-sequence KV rings: projects the
+  /// packed new tokens (one token per sequence when decoding, a prompt
+  /// chunk when prefilling), appends each token's K/V to its cache at
+  /// `layer`, and attends every query against the cached window only.
+  /// Because the ring holds exactly the sliding window the causal mask
+  /// admits, the output is bit-identical to forward_batched over the
+  /// full accumulated sequence (masked terms contribute exact zeros and
+  /// the live terms accumulate in the same order). Requires `causal`;
+  /// incompatible with dynamic score sparsity. When an attention window
+  /// is set each cache's capacity must equal it; with window 0 the
+  /// sequence must fit the capacity (overflow throws rather than
+  /// silently truncating history).
+  HalfMatrix forward_cached(const HalfMatrix& x,
+                            std::span<const std::size_t> seq_ends,
+                            std::span<KvCache* const> caches,
+                            std::size_t layer,
+                            TimingBreakdown* timing = nullptr,
+                            ops::ExecContext* ctx = nullptr) const;
 
   /// Batched forward over independent sequences packed along the token
   /// axis. `seq_ends` holds the exclusive end column of each sequence in
@@ -117,6 +146,7 @@ class MultiHeadAttention {
   std::size_t hidden_ = 0;
   std::size_t heads_ = 0;
   bool causal_ = false;
+  std::size_t attn_window_ = 0;  // 0 = unbounded causal mask
   std::optional<NmPattern> score_pattern_;
   ops::ExecContext* ctx_ = nullptr;  // not owned; nullptr = global()
   Linear wq_, wk_, wv_, wo_;

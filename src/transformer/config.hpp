@@ -15,6 +15,9 @@ struct ModelConfig {
   std::size_t ffn_hidden;
   std::size_t seq_len;
   bool causal = false;  ///< decoder-style (GPT) masked self-attention
+  /// Causal sliding-window size (0 = unbounded). A KV ring of this
+  /// capacity reproduces the windowed mask bit-exactly (kv_cache.hpp).
+  std::size_t attn_window = 0;
 
   std::size_t head_dim() const { return hidden / heads; }
   /// Encoder parameter count (4 attention + 2 FFN weight matrices per

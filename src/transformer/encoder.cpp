@@ -24,7 +24,9 @@ EncoderLayer::EncoderLayer(const ModelConfig& cfg, Rng& rng)
       ffn_in_(Linear::random(cfg.ffn_hidden, cfg.hidden, rng)),
       ffn_out_(Linear::random(cfg.hidden, cfg.ffn_hidden, rng)),
       ln1_gamma_(ones(cfg.hidden)), ln1_beta_(zeros(cfg.hidden)),
-      ln2_gamma_(ones(cfg.hidden)), ln2_beta_(zeros(cfg.hidden)) {}
+      ln2_gamma_(ones(cfg.hidden)), ln2_beta_(zeros(cfg.hidden)) {
+  mha_.set_attention_window(cfg.attn_window);
+}
 
 void EncoderLayer::sparsify(VnmConfig cfg) {
   mha_.sparsify(cfg);
@@ -45,6 +47,33 @@ HalfMatrix EncoderLayer::forward_batched(const HalfMatrix& x,
                                          TimingBreakdown* timing,
                                          ops::ExecContext* ctx) const {
   const HalfMatrix attn = mha_.forward_batched(x, seq_ends, timing, ctx);
+
+  auto t0 = std::chrono::steady_clock::now();
+  HalfMatrix h = layer_norm(add(x, attn), ln1_gamma_, ln1_beta_);
+  if (timing != nullptr) timing->other_s += seconds_since(t0);
+
+  const HalfMatrix ff1 = ffn_in_.forward(h, timing, ctx);
+
+  t0 = std::chrono::steady_clock::now();
+  const HalfMatrix act = gelu(ff1);
+  if (timing != nullptr) timing->other_s += seconds_since(t0);
+
+  const HalfMatrix ff2 = ffn_out_.forward(act, timing, ctx);
+
+  t0 = std::chrono::steady_clock::now();
+  HalfMatrix out = layer_norm(add(h, ff2), ln2_gamma_, ln2_beta_);
+  if (timing != nullptr) timing->other_s += seconds_since(t0);
+  return out;
+}
+
+HalfMatrix EncoderLayer::forward_cached(const HalfMatrix& x,
+                                        std::span<const std::size_t> seq_ends,
+                                        std::span<KvCache* const> caches,
+                                        std::size_t layer,
+                                        TimingBreakdown* timing,
+                                        ops::ExecContext* ctx) const {
+  const HalfMatrix attn =
+      mha_.forward_cached(x, seq_ends, caches, layer, timing, ctx);
 
   auto t0 = std::chrono::steady_clock::now();
   HalfMatrix h = layer_norm(add(x, attn), ln1_gamma_, ln1_beta_);
@@ -148,6 +177,42 @@ HalfMatrix Encoder::forward_batched(const HalfMatrix& x,
   for (const auto& layer : layers_)
     h = layer.forward_batched(h, seq_ends, timing, ctx);
   return h;
+}
+
+HalfMatrix Encoder::forward_cached(const HalfMatrix& x,
+                                   std::span<const std::size_t> seq_ends,
+                                   std::span<KvCache* const> caches,
+                                   TimingBreakdown* timing,
+                                   ops::ExecContext* ctx) const {
+  for (const KvCache* cache : caches) {
+    VENOM_CHECK_MSG(cache != nullptr && cache->layers() == layer_count(),
+                    "each KvCache must hold one ring pair per encoder "
+                    "layer (" << layer_count() << ")");
+    VENOM_CHECK_MSG(cache->synchronized(),
+                    "KvCache layers out of sync (a previous forward_cached "
+                    "failed mid-stack; reset() the cache)");
+  }
+  HalfMatrix h = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l)
+    h = layers_[l].forward_cached(h, seq_ends, caches, l, timing, ctx);
+  return h;
+}
+
+HalfMatrix Encoder::prefill(const HalfMatrix& prompt, KvCache& cache,
+                            TimingBreakdown* timing,
+                            ops::ExecContext* ctx) const {
+  const std::size_t end = prompt.cols();
+  KvCache* caches[] = {&cache};
+  return forward_cached(prompt, std::span<const std::size_t>(&end, 1),
+                        std::span<KvCache* const>(caches, 1), timing, ctx);
+}
+
+HalfMatrix Encoder::decode_step(const HalfMatrix& x, KvCache& cache,
+                                TimingBreakdown* timing,
+                                ops::ExecContext* ctx) const {
+  VENOM_CHECK_MSG(x.cols() == 1,
+                  "decode_step takes one token, got " << x.cols());
+  return prefill(x, cache, timing, ctx);
 }
 
 FloatMatrix Encoder::backward(const HalfMatrix& x, const FloatMatrix& grad_out,

@@ -9,6 +9,7 @@
 
 #include "transformer/attention.hpp"
 #include "transformer/config.hpp"
+#include "transformer/kv_cache.hpp"
 
 namespace venom::transformer {
 
@@ -49,6 +50,11 @@ class EncoderLayer {
     ffn_out_.set_weight_dtype(dtype);
   }
 
+  /// Sliding-window size for the causal mask (see
+  /// MultiHeadAttention::set_attention_window).
+  void set_attention_window(std::size_t w) { mha_.set_attention_window(w); }
+  std::size_t attention_window() const { return mha_.attention_window(); }
+
   HalfMatrix forward(const HalfMatrix& x, TimingBreakdown* timing = nullptr,
                      ops::ExecContext* ctx = nullptr) const;
 
@@ -60,6 +66,17 @@ class EncoderLayer {
                              std::span<const std::size_t> seq_ends,
                              TimingBreakdown* timing = nullptr,
                              ops::ExecContext* ctx = nullptr) const;
+
+  /// Incremental forward against per-sequence KV rings at stack index
+  /// `layer` (see MultiHeadAttention::forward_cached). Only attention
+  /// touches the cache; LN/FFN/residuals are token-wise, so the new
+  /// tokens' outputs are bit-identical to the full forward's columns.
+  HalfMatrix forward_cached(const HalfMatrix& x,
+                            std::span<const std::size_t> seq_ends,
+                            std::span<KvCache* const> caches,
+                            std::size_t layer,
+                            TimingBreakdown* timing = nullptr,
+                            ops::ExecContext* ctx = nullptr) const;
 
   /// Backward pass given the layer's forward input and upstream dL/dout.
   /// Recomputes the forward intermediates, differentiates both LayerNorm
@@ -125,6 +142,47 @@ class Encoder {
                              std::span<const std::size_t> seq_ends,
                              TimingBreakdown* timing = nullptr,
                              ops::ExecContext* ctx = nullptr) const;
+
+  /// A cache sized for this stack: layer_count() layers of
+  /// (hidden x capacity) K/V rings.
+  KvCache make_cache(std::size_t capacity) const {
+    return KvCache(layer_count(), cfg_.hidden, capacity);
+  }
+
+  /// Sliding-window size for every layer's causal mask; pair with
+  /// make_cache(w) for bounded-memory decode of unbounded sequences.
+  void set_attention_window(std::size_t w) {
+    for (auto& layer : layers_) layer.set_attention_window(w);
+  }
+  std::size_t attention_window() const {
+    return layers_.empty() ? 0 : layers_.front().attention_window();
+  }
+
+  /// Incremental batched forward: runs the packed new tokens through the
+  /// stack, each layer appending to and attending against its slice of
+  /// the per-sequence caches. Each sequence's output columns are
+  /// bit-identical to forward() over its full accumulated sequence.
+  /// Caches must be synchronized (all layers equally long) and sized for
+  /// this stack.
+  HalfMatrix forward_cached(const HalfMatrix& x,
+                            std::span<const std::size_t> seq_ends,
+                            std::span<KvCache* const> caches,
+                            TimingBreakdown* timing = nullptr,
+                            ops::ExecContext* ctx = nullptr) const;
+
+  /// Fills `cache` from a prompt and returns the stack's output for
+  /// every prompt position (single-sequence convenience over
+  /// forward_cached).
+  HalfMatrix prefill(const HalfMatrix& prompt, KvCache& cache,
+                     TimingBreakdown* timing = nullptr,
+                     ops::ExecContext* ctx = nullptr) const;
+
+  /// One autoregressive step: x is the newest token's (hidden x 1)
+  /// activation; returns its (hidden x 1) output, attending against the
+  /// cached history.
+  HalfMatrix decode_step(const HalfMatrix& x, KvCache& cache,
+                         TimingBreakdown* timing = nullptr,
+                         ops::ExecContext* ctx = nullptr) const;
 
   /// Backward through the whole stack: re-runs the forward to recover
   /// each layer's input, then chains EncoderLayer::backward in reverse.

@@ -70,8 +70,15 @@ void add_bias(FloatMatrix& x, std::span<const float> bias) {
 
 FloatMatrix attention_scores(const HalfMatrix& qh, const HalfMatrix& kh,
                              float scale) {
+  FloatMatrix scores;
+  attention_scores_into(qh, kh, scale, scores);
+  return scores;
+}
+
+void attention_scores_into(const HalfMatrix& qh, const HalfMatrix& kh,
+                           float scale, FloatMatrix& scores) {
   VENOM_CHECK(qh.rows() == kh.rows());
-  FloatMatrix scores(qh.cols(), kh.cols());
+  scores.resize(qh.cols(), kh.cols());
   for (std::size_t i = 0; i < qh.cols(); ++i)
     for (std::size_t j = 0; j < kh.cols(); ++j) {
       float acc = 0.0f;
@@ -79,7 +86,6 @@ FloatMatrix attention_scores(const HalfMatrix& qh, const HalfMatrix& kh,
         acc += qh(d, i).to_float() * kh(d, j).to_float();
       scores(i, j) = acc * scale;
     }
-  return scores;
 }
 
 FloatMatrix add(const FloatMatrix& x, const FloatMatrix& y) {
@@ -152,8 +158,15 @@ FloatMatrix gelu_backward(const HalfMatrix& x, const FloatMatrix& grad_y) {
 }
 
 HalfMatrix attention_context(const FloatMatrix& p, const HalfMatrix& vh) {
+  HalfMatrix ctx;
+  attention_context_into(p, vh, ctx);
+  return ctx;
+}
+
+void attention_context_into(const FloatMatrix& p, const HalfMatrix& vh,
+                            HalfMatrix& ctx) {
   VENOM_CHECK(p.cols() == vh.cols());
-  HalfMatrix ctx(vh.rows(), p.rows());
+  ctx.resize(vh.rows(), p.rows());
   for (std::size_t d = 0; d < vh.rows(); ++d)
     for (std::size_t i = 0; i < p.rows(); ++i) {
       float acc = 0.0f;
@@ -161,7 +174,6 @@ HalfMatrix attention_context(const FloatMatrix& p, const HalfMatrix& vh) {
         acc += p(i, j) * vh(d, j).to_float();
       ctx(d, i) = half_t(acc);
     }
-  return ctx;
 }
 
 }  // namespace venom::transformer

@@ -33,6 +33,16 @@ FloatMatrix attention_scores(const HalfMatrix& qh, const HalfMatrix& kh,
 /// context(dh x Tq) = Vh * P^T, with P(Tq x Tk) probabilities, Vh(dh x Tk).
 HalfMatrix attention_context(const FloatMatrix& p, const HalfMatrix& vh);
 
+/// Allocation-free variants for the decode hot path: same loops (so the
+/// results are bit-identical to the value-returning forms above), but
+/// the output is resized into a caller-retained buffer — a reused
+/// scratch matrix settles at its high-water size and the steady-state
+/// single-token decode step performs no heap allocation here.
+void attention_scores_into(const HalfMatrix& qh, const HalfMatrix& kh,
+                           float scale, FloatMatrix& out);
+void attention_context_into(const FloatMatrix& p, const HalfMatrix& vh,
+                            HalfMatrix& out);
+
 // ------------------------------------------------------------- backward
 //
 // Gradients of the elementwise / normalization operators above, for the

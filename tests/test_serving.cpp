@@ -2,8 +2,8 @@
 // dynamic token-budgeted batcher (continuous top-up, priority bands,
 // deadline sheds, close-under-load wakeups), and the InferenceEngine —
 // including the bit-identity guarantee (batched output == unbatched
-// output per request), the Request/Response surface, and the deprecated
-// bare-matrix shim.
+// output per request) and the Request/Response surface. Generation
+// (KV-cache decode) is covered by test_decode.cpp.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -518,25 +518,6 @@ TEST(InferenceEngine, ResponseCarriesServingTelemetry) {
   EXPECT_GE(r.queue_ms, 0.0);
   EXPECT_GT(r.exec_ms, 0.0);
   EXPECT_GE(r.batch_tokens, 4u);
-}
-
-TEST(InferenceEngine, DeprecatedBareMatrixShimStillServes) {
-  // The pre-PR-7 surface must keep working for out-of-tree callers until
-  // it is removed: same results, one deprecation warning at their build.
-  transformer::Encoder enc = tiny_encoder(41);
-  Rng rng(900);
-  const HalfMatrix x = random_half_matrix(32, 4, rng);
-  const HalfMatrix ref = enc.forward(x);
-  InferenceEngine engine(std::move(enc), {});
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  std::future<HalfMatrix> fut = engine.submit(x);
-#pragma GCC diagnostic pop
-  const HalfMatrix y = fut.get();
-  ASSERT_EQ(y.rows(), ref.rows());
-  ASSERT_EQ(y.cols(), ref.cols());
-  for (std::size_t e = 0; e < y.size(); ++e)
-    ASSERT_EQ(y.flat()[e].bits(), ref.flat()[e].bits());
 }
 
 }  // namespace
