@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the repo's translation units, in parallel.
+
+The check set lives in .clang-tidy at the repo root; this runner only
+decides *what* to analyze (src/, tools/, bench/ sources present in
+compile_commands.json), fans the files out over CPUs, and folds the
+diagnostics into one report.
+
+Usage:
+    cmake -B build -S .              # exports build/compile_commands.json
+    python3 scripts/run_clang_tidy.py [--build-dir build] [--jobs N]
+                                      [--report FILE] [paths...]
+
+Exit status: 0 when clang-tidy is clean, 1 when any file has findings
+(the report file then holds every diagnostic — CI uploads it as an
+artifact), 2 on usage/environment errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+ANALYZED_DIRS = ("src", "tools", "bench")
+
+
+def find_clang_tidy() -> str | None:
+    """The newest clang-tidy on PATH (plain name first, then versioned)."""
+    candidates = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(25, 13, -1)]
+    for name in candidates:
+        path = shutil.which(name)
+        if path is not None:
+            return path
+    return None
+
+
+def compile_db_files(build_dir: Path, repo: Path, wanted: list[str]) -> list[Path]:
+    """Translation units from compile_commands.json under the wanted dirs."""
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        sys.exit(
+            f"error: {db_path} not found — configure first "
+            "(cmake -B build -S . exports it)"
+        )
+    entries = json.loads(db_path.read_text())
+    files: set[Path] = set()
+    for entry in entries:
+        src = Path(entry["file"])
+        if not src.is_absolute():
+            src = (Path(entry["directory"]) / src).resolve()
+        try:
+            rel = src.relative_to(repo)
+        except ValueError:
+            continue  # outside the repo (system or generated sources)
+        if rel.parts and rel.parts[0] in wanted:
+            files.add(src)
+    return sorted(files)
+
+
+def run_one(clang_tidy: str, build_dir: Path, src: Path) -> tuple[Path, int, str]:
+    proc = subprocess.run(
+        [clang_tidy, "-p", str(build_dir), "--quiet", str(src)],
+        capture_output=True,
+        text=True,
+    )
+    # --quiet still prints a suppression summary on stderr; diagnostics go
+    # to stdout. Keep stderr only for hard failures (bad flags, crashes).
+    output = proc.stdout.strip()
+    if proc.returncode != 0 and not output:
+        output = proc.stderr.strip()
+    return src, proc.returncode, output
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build", type=Path)
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=multiprocessing.cpu_count()
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=Path("clang-tidy-report.txt"),
+        help="diagnostics are collected here (CI failure artifact)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(ANALYZED_DIRS),
+        help=f"top-level dirs to analyze (default: {' '.join(ANALYZED_DIRS)})",
+    )
+    args = parser.parse_args()
+
+    clang_tidy = find_clang_tidy()
+    if clang_tidy is None:
+        print("error: no clang-tidy on PATH", file=sys.stderr)
+        return 2
+
+    repo = Path(__file__).resolve().parent.parent
+    build_dir = args.build_dir.resolve()
+    files = compile_db_files(build_dir, repo, args.paths)
+    if not files:
+        print("error: no translation units matched", file=sys.stderr)
+        return 2
+
+    print(f"{clang_tidy}: {len(files)} files, {args.jobs} jobs")
+    failures: list[tuple[Path, str]] = []
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for src, code, output in pool.map(
+            lambda f: run_one(clang_tidy, build_dir, f), files
+        ):
+            rel = src.relative_to(repo)
+            if code != 0:
+                failures.append((rel, output))
+                print(f"FAIL {rel}")
+            else:
+                print(f"  ok {rel}")
+
+    if failures:
+        report = [f"clang-tidy: {len(failures)} of {len(files)} files failed\n"]
+        for rel, output in failures:
+            report.append(f"==== {rel} ====\n{output}\n")
+        args.report.write_text("\n".join(report))
+        print(f"\n{len(failures)} files with findings — see {args.report}")
+        return 1
+
+    print("clang-tidy clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

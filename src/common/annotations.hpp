@@ -1,0 +1,84 @@
+// Clang Thread Safety Analysis annotations.
+//
+// These macros attach lock contracts to types, fields, and functions so
+// clang's -Wthread-safety analysis can prove, at compile time and for
+// every schedule, that guarded state is only touched with the right
+// mutex held. The repo's concurrency layer (venom::Mutex / MutexLock /
+// CondVar in common/mutex.hpp and every class that owns one) is fully
+// annotated, and CI builds src/ with
+//
+//   clang++ -Wthread-safety -Wthread-safety-beta -Werror
+//
+// so a "caller holds mutex_" contract that used to live in a comment is
+// now a build break when violated. On GCC (and any compiler without the
+// attributes) every macro expands to nothing — the annotations are
+// zero-cost documentation there and zero-cost at runtime everywhere.
+//
+// Vocabulary (mirrors the Clang TSA docs):
+//   VENOM_CAPABILITY(name)   this type is a lockable resource
+//   VENOM_SCOPED_CAPABILITY  RAII type that acquires in its constructor
+//                            and releases in its destructor
+//   VENOM_GUARDED_BY(mu)     field may only be touched holding mu
+//   VENOM_PT_GUARDED_BY(mu)  pointee may only be touched holding mu
+//   VENOM_REQUIRES(mu...)    function may only be called holding mu
+//   VENOM_REQUIRES_SHARED(mu...)
+//                            ... holding at least a reader lock on mu
+//   VENOM_ACQUIRE(mu...)     function acquires mu and does not release
+//   VENOM_ACQUIRE_SHARED / VENOM_RELEASE_SHARED
+//                            reader-lock variants (SharedMutex)
+//   VENOM_RELEASE(mu...)     function releases mu
+//   VENOM_TRY_ACQUIRE(b,mu)  acquires mu iff the function returns b
+//   VENOM_EXCLUDES(mu...)    caller must NOT hold mu (the anti-deadlock
+//                            contract: the function acquires it itself)
+//   VENOM_ACQUIRED_BEFORE / VENOM_ACQUIRED_AFTER
+//                            global lock-ordering declarations
+//   VENOM_RETURN_CAPABILITY(mu)
+//                            function returns a reference to mu (lets
+//                            other classes name a private mutex in
+//                            their own EXCLUDES contracts)
+//   VENOM_NO_THREAD_SAFETY_ANALYSIS
+//                            escape hatch; forbidden in src/serving/
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define VENOM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef VENOM_THREAD_ANNOTATION
+#define VENOM_THREAD_ANNOTATION(x)  // not clang: expands to nothing
+#endif
+
+#define VENOM_CAPABILITY(x) VENOM_THREAD_ANNOTATION(capability(x))
+#define VENOM_SCOPED_CAPABILITY VENOM_THREAD_ANNOTATION(scoped_lockable)
+
+#define VENOM_GUARDED_BY(x) VENOM_THREAD_ANNOTATION(guarded_by(x))
+#define VENOM_PT_GUARDED_BY(x) VENOM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define VENOM_REQUIRES(...) \
+  VENOM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define VENOM_REQUIRES_SHARED(...) \
+  VENOM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define VENOM_ACQUIRE(...) \
+  VENOM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define VENOM_ACQUIRE_SHARED(...) \
+  VENOM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define VENOM_RELEASE(...) \
+  VENOM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define VENOM_RELEASE_SHARED(...) \
+  VENOM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define VENOM_RELEASE_GENERIC(...) \
+  VENOM_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define VENOM_TRY_ACQUIRE(...) \
+  VENOM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define VENOM_EXCLUDES(...) VENOM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define VENOM_ACQUIRED_BEFORE(...) \
+  VENOM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define VENOM_ACQUIRED_AFTER(...) \
+  VENOM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define VENOM_RETURN_CAPABILITY(x) VENOM_THREAD_ANNOTATION(lock_returned(x))
+
+#define VENOM_NO_THREAD_SAFETY_ANALYSIS \
+  VENOM_THREAD_ANNOTATION(no_thread_safety_analysis)

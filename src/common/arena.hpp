@@ -23,11 +23,11 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 
 namespace venom {
 
@@ -168,9 +168,9 @@ class ObjectPool {
   };
 
   /// A warm object off the freelist, or a fresh one when empty.
-  Lease acquire() {
+  Lease acquire() VENOM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!free_.empty()) {
         std::unique_ptr<T> obj = std::move(free_.back());
         free_.pop_back();
@@ -183,24 +183,24 @@ class ObjectPool {
 
   /// Objects constructed over the pool's lifetime (== peak concurrent
   /// users; steady-state serving should see this settle, not grow).
-  std::size_t created() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t created() const VENOM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return created_;
   }
-  std::size_t idle() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t idle() const VENOM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return free_.size();
   }
 
  private:
-  void release(std::unique_ptr<T> obj) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void release(std::unique_ptr<T> obj) VENOM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     free_.push_back(std::move(obj));
   }
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<T>> free_;
-  std::size_t created_ = 0;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_ VENOM_GUARDED_BY(mutex_);
+  std::size_t created_ VENOM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace venom

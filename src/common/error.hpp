@@ -48,3 +48,18 @@ namespace detail {
                                            venom_check_os_.str());           \
     }                                                                        \
   } while (0)
+
+/// Debug-only internal-invariant check. In Debug builds this is exactly
+/// VENOM_CHECK (throws venom::Error — uniform throw-on-violation
+/// semantics, never abort like a bare assert); in NDEBUG builds the
+/// expression is parsed but not evaluated, so hot-path invariants cost
+/// nothing in Release. Use VENOM_CHECK for caller-facing preconditions
+/// that must hold in every build, VENOM_DCHECK for invariants internal
+/// to a component that are only cheap to state, not to prove in
+/// production.
+#ifndef NDEBUG
+#define VENOM_DCHECK(expr) VENOM_CHECK(expr)
+#else
+#define VENOM_DCHECK(expr) \
+  static_cast<void>(sizeof(static_cast<bool>(expr) ? 1 : 0))
+#endif

@@ -1,0 +1,154 @@
+// Annotated mutex primitives — the only lock vocabulary in the repo.
+//
+// venom::Mutex / MutexLock / CondVar wrap their std counterparts 1:1
+// (zero runtime cost; MutexLock is a std::unique_lock underneath) and
+// carry the Clang Thread Safety annotations from common/annotations.hpp,
+// so every class that declares
+//
+//   Mutex mutex_;
+//   std::deque<T> items_ VENOM_GUARDED_BY(mutex_);
+//
+// gets its lock contract machine-checked on every clang build: touching
+// items_ without a MutexLock on mutex_ is a -Wthread-safety error, as is
+// calling a VENOM_REQUIRES(mutex_) helper without the lock.
+//
+// Condition-variable waits use explicit predicate loops,
+//
+//   MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(lock);
+//
+// not the std::condition_variable wait(lock, predicate) overload: the
+// analysis checks lambda bodies as separate functions, so a predicate
+// lambda reading guarded fields cannot be proven to hold the lock it in
+// fact holds. The explicit loop reads the fields in the annotated scope
+// and needs no escape hatch. (CondVar::wait releases and reacquires the
+// mutex internally; the analysis models the capability as held across
+// the call, which matches both the precondition and the postcondition.)
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.hpp"
+
+namespace venom {
+
+class CondVar;
+
+/// std::mutex with a capability annotation. Prefer MutexLock over
+/// manual lock()/unlock() pairs — the scoped form is what the analysis
+/// reasons about best (and what exception safety wants anyway).
+class VENOM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VENOM_ACQUIRE() { mu_.lock(); }
+  void unlock() VENOM_RELEASE() { mu_.unlock(); }
+  bool try_lock() VENOM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over a venom::Mutex (a scoped capability: the analysis
+/// treats construction as acquire and scope exit as release). CondVar
+/// waits take a MutexLock&, mirroring std::unique_lock.
+class VENOM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) VENOM_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() VENOM_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::shared_mutex with a capability annotation, for read-mostly state
+/// (e.g. the matmul backend registry: every dispatch reads, add() is
+/// rare). Use ReaderMutexLock / WriterMutexLock, never manual pairs.
+class VENOM_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() VENOM_ACQUIRE() { mu_.lock(); }
+  void unlock() VENOM_RELEASE() { mu_.unlock(); }
+  void lock_shared() VENOM_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() VENOM_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReaderMutexLock;
+  friend class WriterMutexLock;
+  std::shared_mutex mu_;
+};
+
+/// RAII shared (reader) lock: guarded fields are readable but not
+/// writable in its scope.
+class VENOM_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) VENOM_ACQUIRE_SHARED(mu)
+      : lock_(mu.mu_) {}
+  // Generic release: the scope holds a shared capability, and clang
+  // matches a destructor's release against whatever mode was acquired.
+  ~ReaderMutexLock() VENOM_RELEASE_GENERIC() = default;
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class VENOM_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) VENOM_ACQUIRE(mu)
+      : lock_(mu.mu_) {}
+  ~WriterMutexLock() VENOM_RELEASE() = default;
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+/// Condition variable bound to MutexLock. Wait calls release the locked
+/// mutex while blocked and reacquire it before returning, exactly like
+/// std::condition_variable::wait(std::unique_lock&).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible — always wait in
+  /// a predicate loop).
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Blocks until notified or `deadline`; std::cv_status::timeout when
+  /// the deadline passed (re-check the predicate either way).
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace venom

@@ -19,11 +19,11 @@ struct ThreadPool::Job {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
 
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  Mutex error_mutex;
+  std::exception_ptr first_error VENOM_GUARDED_BY(error_mutex);
 
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  Mutex done_mutex;
+  CondVar done_cv;
 };
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -39,7 +39,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -50,8 +50,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -69,12 +69,12 @@ void ThreadPool::run_job(Job& job) {
     try {
       job.body(begin, end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.error_mutex);
+      MutexLock lock(job.error_mutex);
       if (!job.first_error) job.first_error = std::current_exception();
     }
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.total_chunks) {
-      std::lock_guard<std::mutex> lock(job.done_mutex);
+      MutexLock lock(job.done_mutex);
       job.done_cv.notify_one();
     }
   }
@@ -104,7 +104,7 @@ void ThreadPool::parallel_for_chunks(
   // the atomic cursor, so queue traffic is O(workers), not O(chunks).
   const std::size_t runners = std::min(workers, job->total_chunks);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (std::size_t i = 0; i < runners; ++i)
       tasks_.emplace([job] { run_job(*job); });
   }
@@ -114,12 +114,18 @@ void ThreadPool::parallel_for_chunks(
   // for stragglers claimed by workers.
   run_job(*job);
   {
-    std::unique_lock<std::mutex> lock(job->done_mutex);
-    job->done_cv.wait(lock, [&] {
-      return job->done.load(std::memory_order_acquire) == job->total_chunks;
-    });
+    MutexLock lock(job->done_mutex);
+    while (job->done.load(std::memory_order_acquire) != job->total_chunks)
+      job->done_cv.wait(lock);
   }
-  if (job->first_error) std::rethrow_exception(job->first_error);
+  // Read under the lock: the draining loop above only proves every chunk
+  // *finished*; the error slot itself is error_mutex state.
+  std::exception_ptr err;
+  {
+    MutexLock lock(job->error_mutex);
+    err = job->first_error;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(std::size_t n,

@@ -10,13 +10,13 @@
 // instead of once per iteration.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace venom {
 
@@ -54,14 +54,16 @@ class ThreadPool {
  private:
   struct Job;
 
-  void worker_loop();
+  void worker_loop() VENOM_EXCLUDES(mutex_);
   static void run_job(Job& job);
 
+  // Immutable after construction (joined in the destructor); size() may
+  // read it concurrently without the lock.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ VENOM_GUARDED_BY(mutex_);
+  bool stop_ VENOM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace venom

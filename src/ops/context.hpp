@@ -123,6 +123,11 @@ class ExecContext {
   mutable QuantCache quant_cache_;
   mutable spatha::SpmmScratchPool scratch_;
   mutable ObjectPool<KvAttnScratch> kv_scratch_;
+  // Lazy one-shot load of the private tuning cache. std::call_once (not a
+  // venom::Mutex) on purpose: the guarded action runs exactly once and
+  // own_tuning_ is immutable afterwards — readers need no lock, which a
+  // GUARDED_BY contract could not express. TuningCache's own mutex covers
+  // the map accesses inside try_load/lookup.
   mutable std::once_flag tuning_once_;
   mutable spatha::TuningCache own_tuning_;
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <shared_mutex>
 #include <utility>
 
 #include "common/cpu_features.hpp"
@@ -229,10 +228,13 @@ namespace {
 
 // Reader-writer locks: dispatch reads these on every matmul (including
 // the multi-worker serving hot path), writes happen only on
-// force_backend / registration — shared_mutex keeps concurrent readers
-// from serializing on each other.
-std::shared_mutex& force_mutex() {
-  static std::shared_mutex m;
+// force_backend / registration — SharedMutex keeps concurrent readers
+// from serializing on each other. (Meyer-singleton statics cannot carry
+// a GUARDED_BY relation the analysis can see across functions; the
+// contract here is the narrow accessor pair below, nothing else touches
+// forced_name().)
+SharedMutex& force_mutex() {
+  static SharedMutex m;
   return m;
 }
 
@@ -250,14 +252,14 @@ std::string& forced_name() {
 void register_builtin_backends(BackendRegistry& registry);
 
 std::string force_backend(std::string name) {
-  std::unique_lock<std::shared_mutex> lock(force_mutex());
+  WriterMutexLock lock(force_mutex());
   std::string previous = std::move(forced_name());
   forced_name() = std::move(name);
   return previous;
 }
 
 std::string forced_backend() {
-  std::shared_lock<std::shared_mutex> lock(force_mutex());
+  ReaderMutexLock lock(force_mutex());
   return forced_name();
 }
 
@@ -272,7 +274,7 @@ BackendRegistry& BackendRegistry::instance() {
 
 void BackendRegistry::add(std::unique_ptr<Matmul> backend) {
   VENOM_CHECK_MSG(backend != nullptr, "null backend");
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   for (const auto& existing : backends_)
     VENOM_CHECK_MSG(existing->name() != backend->name(),
                     "backend '" << backend->name() << "' already registered");
@@ -280,14 +282,14 @@ void BackendRegistry::add(std::unique_ptr<Matmul> backend) {
 }
 
 const Matmul* BackendRegistry::find(std::string_view name) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   for (const auto& backend : backends_)
     if (backend->name() == name) return backend.get();
   return nullptr;
 }
 
 std::vector<const Matmul*> BackendRegistry::backends() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   std::vector<const Matmul*> out;
   out.reserve(backends_.size());
   for (const auto& backend : backends_) out.push_back(backend.get());
@@ -305,7 +307,7 @@ BackendRegistry::Selection BackendRegistry::select_explained(
     if (const char* env = std::getenv("VENOM_BACKEND")) forced = env;
   }
 
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   if (!forced.empty()) {
     const Matmul* match = nullptr;
     for (const auto& backend : backends_)

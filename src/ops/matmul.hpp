@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "format/csr.hpp"
 #include "format/cvse.hpp"
 #include "format/nm.hpp"
@@ -188,13 +188,13 @@ class BackendRegistry {
   static BackendRegistry& instance();
 
   /// Registers a backend. Throws venom::Error on a duplicate name.
-  void add(std::unique_ptr<Matmul> backend);
+  void add(std::unique_ptr<Matmul> backend) VENOM_EXCLUDES(mutex_);
 
   /// The backend named `name`, or nullptr.
-  const Matmul* find(std::string_view name) const;
+  const Matmul* find(std::string_view name) const VENOM_EXCLUDES(mutex_);
 
   /// All registered backends in registration order.
-  std::vector<const Matmul*> backends() const;
+  std::vector<const Matmul*> backends() const VENOM_EXCLUDES(mutex_);
 
   /// The backend dispatch would run for `desc`: the forced backend
   /// (ops::force_backend, else $VENOM_BACKEND) when it exists and
@@ -209,15 +209,16 @@ class BackendRegistry {
     const Matmul* backend = nullptr;
     std::string forced_ignored;
   };
-  Selection select_explained(const MatmulDesc& desc) const;
+  Selection select_explained(const MatmulDesc& desc) const
+      VENOM_EXCLUDES(mutex_);
 
  private:
   BackendRegistry() = default;
 
-  // Read-mostly: every dispatch takes a shared lock; add() (rare,
-  // append-only) takes the exclusive one.
-  mutable std::shared_mutex mutex_;
-  std::vector<std::unique_ptr<Matmul>> backends_;
+  // Read-mostly: every dispatch takes a reader lock; add() (rare,
+  // append-only) takes the writer one.
+  mutable SharedMutex mutex_;
+  std::vector<std::unique_ptr<Matmul>> backends_ VENOM_GUARDED_BY(mutex_);
 };
 
 /// Programmatically forces dispatch to the named backend (subject to

@@ -23,7 +23,7 @@ QuantCache::Entry& QuantCache::insert_locked(Entry entry) {
 std::shared_ptr<const quant::QuantizedVnmMatrix> QuantCache::get_i8(
     const VnmMatrix& a, std::uint64_t fp) {
   const Key key{fp, a.rows(), a.cols(), 0};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Entry* hit = find_locked(key)) {
     ++stats_.hits;
     return hit->i8;
@@ -39,7 +39,7 @@ std::shared_ptr<const quant::Fp8VnmMatrix> QuantCache::get_fp8(
     const VnmMatrix& a, std::uint64_t fp, Fp8Format format) {
   const Key key{fp, a.rows(), a.cols(),
                 std::uint8_t(format == Fp8Format::kE5M2 ? 1 : 2)};
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (Entry* hit = find_locked(key)) {
     ++stats_.hits;
     return hit->f8;
@@ -52,17 +52,17 @@ std::shared_ptr<const quant::Fp8VnmMatrix> QuantCache::get_fp8(
 }
 
 QuantCache::Stats QuantCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t QuantCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void QuantCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
 }
 

@@ -16,9 +16,9 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 
 #include "common/fp8.hpp"
+#include "common/mutex.hpp"
 #include "format/vnm.hpp"
 #include "quant/quantized_vnm.hpp"
 
@@ -33,22 +33,22 @@ class QuantCache {
 
   /// The int8 image of `a` (fingerprint `fp`), quantizing on miss.
   std::shared_ptr<const quant::QuantizedVnmMatrix> get_i8(
-      const VnmMatrix& a, std::uint64_t fp);
+      const VnmMatrix& a, std::uint64_t fp) VENOM_EXCLUDES(mutex_);
 
   /// The fp8 image of `a` in `format`, quantizing on miss.
-  std::shared_ptr<const quant::Fp8VnmMatrix> get_fp8(const VnmMatrix& a,
-                                                     std::uint64_t fp,
-                                                     Fp8Format format);
+  std::shared_ptr<const quant::Fp8VnmMatrix> get_fp8(
+      const VnmMatrix& a, std::uint64_t fp, Fp8Format format)
+      VENOM_EXCLUDES(mutex_);
 
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
   };
-  Stats stats() const;
+  Stats stats() const VENOM_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const VENOM_EXCLUDES(mutex_);
   std::size_t capacity() const { return capacity_; }
-  void clear();
+  void clear() VENOM_EXCLUDES(mutex_);
 
  private:
   struct Key {
@@ -66,16 +66,16 @@ class QuantCache {
   };
 
   /// Returns the entry for `key`, moving it to the LRU front; nullptr on
-  /// miss. Caller holds the lock.
-  Entry* find_locked(const Key& key);
-  /// Inserts at the LRU front, evicting the back past capacity. Caller
-  /// holds the lock.
-  Entry& insert_locked(Entry entry);
+  /// miss.
+  Entry* find_locked(const Key& key) VENOM_REQUIRES(mutex_);
+  /// Inserts at the LRU front, evicting the back past capacity.
+  Entry& insert_locked(Entry entry) VENOM_REQUIRES(mutex_);
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> entries_;  // front = most recently used
-  Stats stats_;
+  mutable Mutex mutex_;
+  // front = most recently used
+  std::list<Entry> entries_ VENOM_GUARDED_BY(mutex_);
+  Stats stats_ VENOM_GUARDED_BY(mutex_);
 };
 
 }  // namespace venom::ops

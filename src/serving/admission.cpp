@@ -22,7 +22,7 @@ void AdmissionController::admit(const std::string& tenant,
                                 std::size_t tokens) {
   const TenantPolicy& limit = policy_.limit_for(tenant);
   const auto now = Clock::now();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
 
   // Global bound first: it protects every tenant's latency, so a full
   // queue rejects even a rate-compliant request.
@@ -67,13 +67,13 @@ void AdmissionController::admit(const std::string& tenant,
 }
 
 void AdmissionController::release(std::size_t tokens) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   inflight_tokens_ -= std::min(inflight_tokens_, tokens);
   if (inflight_requests_ > 0) --inflight_requests_;
 }
 
 AdmissionStats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   AdmissionStats s;
   s.admitted = admitted_;
   s.rejected_rate = rejected_rate_;

@@ -20,10 +20,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "serving/request.hpp"
 
 namespace venom::serving {
@@ -96,13 +96,21 @@ class AdmissionController {
   /// Charges `tokens` against the tenant's bucket and the global bound.
   /// Throws AdmissionError (kRateLimited / kQueueFull) on rejection — in
   /// which case nothing was charged.
-  void admit(const std::string& tenant, std::size_t tokens);
+  void admit(const std::string& tenant, std::size_t tokens)
+      VENOM_EXCLUDES(mutex_);
 
-  /// Returns one admitted request's tokens to the global budget.
-  void release(std::size_t tokens);
+  /// Returns one admitted request's tokens to the global budget. Called
+  /// from request-completion hooks, which may fire under a batcher or
+  /// engine lock — this lock is a leaf: release() touches nothing but
+  /// its own state, so the ordering can never cycle.
+  void release(std::size_t tokens) VENOM_EXCLUDES(mutex_);
 
-  AdmissionStats stats() const;
+  AdmissionStats stats() const VENOM_EXCLUDES(mutex_);
   const AdmissionPolicy& policy() const { return policy_; }
+
+  /// The controller's lock, exposed for annotation only (EngineGroup
+  /// names it in EXCLUDES contracts). Never lock it directly.
+  Mutex& mu() const VENOM_RETURN_CAPABILITY(mutex_) { return mutex_; }
 
  private:
   struct Bucket {
@@ -110,14 +118,15 @@ class AdmissionController {
     Clock::time_point last{};
   };
 
+  /// Immutable after construction — readable without the lock.
   AdmissionPolicy policy_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Bucket> buckets_;
-  std::size_t inflight_tokens_ = 0;
-  std::size_t inflight_requests_ = 0;
-  std::size_t admitted_ = 0;
-  std::size_t rejected_rate_ = 0;
-  std::size_t rejected_queue_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::string, Bucket> buckets_ VENOM_GUARDED_BY(mutex_);
+  std::size_t inflight_tokens_ VENOM_GUARDED_BY(mutex_) = 0;
+  std::size_t inflight_requests_ VENOM_GUARDED_BY(mutex_) = 0;
+  std::size_t admitted_ VENOM_GUARDED_BY(mutex_) = 0;
+  std::size_t rejected_rate_ VENOM_GUARDED_BY(mutex_) = 0;
+  std::size_t rejected_queue_ VENOM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace venom::serving

@@ -16,7 +16,7 @@ DynamicBatcher::DynamicBatcher(BatchPolicy policy) : policy_(policy) {
 
 bool DynamicBatcher::submit(PendingRequest& req) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) return false;  // req stays intact with its promise
     insert_locked(req);
   }
@@ -26,7 +26,7 @@ bool DynamicBatcher::submit(PendingRequest& req) {
 
 void DynamicBatcher::resubmit(PendingRequest& req) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Deliberately no closed_ check: a generation step continues work the
     // batcher already admitted, and next_batch() keeps draining a closed
     // queue until it is empty — so shutdown finishes live sessions.
@@ -51,7 +51,7 @@ void DynamicBatcher::insert_locked(PendingRequest& req) {
 
 void DynamicBatcher::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
@@ -73,6 +73,7 @@ void DynamicBatcher::shed_expired_locked(Clock::time_point now) {
 }
 
 PendingRequest DynamicBatcher::pop_front_locked() {
+  VENOM_DCHECK(!queue_.empty());
   PendingRequest req = std::move(queue_.front());
   queue_.pop_front();
   queued_tokens_ -= std::min(queued_tokens_, req.tokens());
@@ -81,11 +82,11 @@ PendingRequest DynamicBatcher::pop_front_locked() {
 
 bool DynamicBatcher::next_batch(std::vector<PendingRequest>& out) {
   out.clear();
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
 
   // Seed the batch: wait (on the cv, mutex released) for work or close.
   for (;;) {
-    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    while (!closed_ && queue_.empty()) cv_.wait(lock);
     shed_expired_locked(Clock::now());
     if (!queue_.empty()) break;
     if (closed_) return false;  // closed and drained
@@ -121,17 +122,17 @@ bool DynamicBatcher::next_batch(std::vector<PendingRequest>& out) {
 }
 
 std::size_t DynamicBatcher::queued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::size_t DynamicBatcher::queued_tokens() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queued_tokens_;
 }
 
 std::size_t DynamicBatcher::shed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return shed_;
 }
 

@@ -20,16 +20,19 @@
 // mutex released, so close() wakes all of them promptly. (The previous
 // design serialized collectors behind a second mutex held across a
 // blocking pop; a worker stuck on that mutex could not be woken by
-// close() — the bug this rewrite removes.)
+// close() — the bug this rewrite removes.) The whole contract is now
+// compile-time checked: queue state is GUARDED_BY(mutex_), the *_locked
+// helpers are REQUIRES(mutex_), and the public surface EXCLUDES(mutex_)
+// — re-entering the batcher under its own lock (the wedge class of bug)
+// is a clang -Wthread-safety build error.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "serving/request.hpp"
 
 namespace venom::serving {
@@ -52,19 +55,19 @@ class DynamicBatcher {
   /// priority band, urgent() requests (single-token decode steps) rank
   /// ahead of throughput work, FIFO within each (priority, urgency)
   /// class — prefill traffic can never starve a live decode session.
-  bool submit(PendingRequest& req);
+  bool submit(PendingRequest& req) VENOM_EXCLUDES(mutex_);
 
   /// Re-enqueues the next step of an already-admitted generation request
   /// (prefill chunk N+1, or a decode step). Unlike submit(), this works
   /// after close(): shutdown() drains in-flight sessions to completion
   /// (bounded by max_new_tokens) instead of abandoning their caches
   /// mid-generation.
-  void resubmit(PendingRequest& req);
+  void resubmit(PendingRequest& req) VENOM_EXCLUDES(mutex_);
 
   /// Refuses further submissions and wakes every worker blocked in
   /// next_batch(); next_batch() keeps returning batches until the queue
   /// is drained, then false.
-  void close();
+  void close() VENOM_EXCLUDES(mutex_);
 
   /// Blocks for the next batch. `out` is cleared and filled with 1..max
   /// requests whose token counts sum within the policy budget (except a
@@ -78,30 +81,36 @@ class DynamicBatcher {
   /// flush timer (decode steps never pay max_wait on an idle queue).
   /// Returns false only after close() with everything drained — the
   /// worker-loop exit.
-  bool next_batch(std::vector<PendingRequest>& out);
+  bool next_batch(std::vector<PendingRequest>& out) VENOM_EXCLUDES(mutex_);
 
-  std::size_t queued() const;
+  std::size_t queued() const VENOM_EXCLUDES(mutex_);
   /// Token sum of the queued (not yet batched) requests.
-  std::size_t queued_tokens() const;
+  std::size_t queued_tokens() const VENOM_EXCLUDES(mutex_);
   /// Requests shed for a lapsed deadline (monotonic).
-  std::size_t shed() const;
+  std::size_t shed() const VENOM_EXCLUDES(mutex_);
   const BatchPolicy& policy() const { return policy_; }
 
+  /// The batcher's lock, exposed for annotation only: other components
+  /// (the engine's worker paths) name it in their own EXCLUDES
+  /// contracts, e.g. "delivery hooks run with the batcher unlocked".
+  /// Never lock it directly.
+  Mutex& mu() const VENOM_RETURN_CAPABILITY(mutex_) { return mutex_; }
+
  private:
-  /// Priority/urgency-ranked insertion. Caller holds mutex_.
-  void insert_locked(PendingRequest& req);
-  /// Fails every expired request at the queue head. Caller holds mutex_.
-  void shed_expired_locked(Clock::time_point now);
-  /// Pops the queue head into `out`. Caller holds mutex_.
-  PendingRequest pop_front_locked();
+  /// Priority/urgency-ranked insertion.
+  void insert_locked(PendingRequest& req) VENOM_REQUIRES(mutex_);
+  /// Fails every expired request at the queue head.
+  void shed_expired_locked(Clock::time_point now) VENOM_REQUIRES(mutex_);
+  /// Pops the queue head into the returned request.
+  PendingRequest pop_front_locked() VENOM_REQUIRES(mutex_);
 
   BatchPolicy policy_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<PendingRequest> queue_;
-  std::size_t queued_tokens_ = 0;
-  std::size_t shed_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<PendingRequest> queue_ VENOM_GUARDED_BY(mutex_);
+  std::size_t queued_tokens_ VENOM_GUARDED_BY(mutex_) = 0;
+  std::size_t shed_ VENOM_GUARDED_BY(mutex_) = 0;
+  bool closed_ VENOM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace venom::serving

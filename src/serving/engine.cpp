@@ -391,7 +391,7 @@ void InferenceEngine::process_generation(std::span<PendingRequest> batch,
 
     // Stats before delivery/requeue, in one locked update.
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       batches_ += 1;
       tokens_ += total;
       timing_ += timing;
@@ -448,7 +448,7 @@ void InferenceEngine::record_batch(
     std::span<const PendingRequest> batch, std::size_t batch_tokens,
     const transformer::TimingBreakdown& timing, Clock::time_point done,
     const WorkerState& ws) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   requests_ += batch.size();
   batches_ += 1;
   tokens_ += batch_tokens;
@@ -465,7 +465,7 @@ void InferenceEngine::record_batch(
 }
 
 void InferenceEngine::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   requests_ = 0;
   batches_ = 0;
   tokens_ = 0;
@@ -484,7 +484,7 @@ ServingStats InferenceEngine::stats() const {
   std::vector<double> window;
   std::vector<double> decode_window;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     s.requests = requests_;
     s.batches = batches_;
     s.tokens = tokens_;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/arena.hpp"
+#include "common/mutex.hpp"
 #include "ops/context.hpp"
 #include "serving/batcher.hpp"
 #include "serving/options.hpp"
@@ -123,13 +124,13 @@ class InferenceEngine {
   /// Idempotent; the destructor calls it.
   void shutdown();
 
-  ServingStats stats() const;
+  ServingStats stats() const VENOM_EXCLUDES(stats_mutex_);
 
   /// Zeroes the serving counters, latency window, and timing aggregate —
   /// e.g. after a warmup phase, so percentiles reflect steady state. The
   /// plan cache (and its cumulative hit/miss counters) is deliberately
   /// kept: discarding it would un-warm exactly what warmup warmed.
-  void reset_stats();
+  void reset_stats() VENOM_EXCLUDES(stats_mutex_);
 
   /// Tokens admitted but not yet completed — the router's routing key
   /// (least-queued-tokens). Lock-free.
@@ -155,18 +156,26 @@ class InferenceEngine {
     HalfMatrix gen_staging;  ///< packed prefill/decode batch
   };
 
-  void worker_loop();
-  void process_batch(std::vector<PendingRequest>& batch, WorkerState& ws);
+  // The worker paths run with no engine lock held: they take
+  // stats_mutex_ only for the bounded stats update, and touch the
+  // batcher only through its own-locked public surface — so "forward
+  // passes never run under a lock" is a checked contract, not a comment.
+  void worker_loop() VENOM_EXCLUDES(stats_mutex_);
+  void process_batch(std::vector<PendingRequest>& batch, WorkerState& ws)
+      VENOM_EXCLUDES(stats_mutex_);
   /// The classic single-shot path: one forward_batched over the span.
-  void process_encode(std::span<PendingRequest> batch, WorkerState& ws);
+  void process_encode(std::span<PendingRequest> batch, WorkerState& ws)
+      VENOM_EXCLUDES(stats_mutex_);
   /// The generation path: one forward_cached over the span's prefill
   /// chunks and decode steps, then per-item advance (requeue the next
   /// step, or deliver the finished session).
-  void process_generation(std::span<PendingRequest> batch, WorkerState& ws);
+  void process_generation(std::span<PendingRequest> batch, WorkerState& ws)
+      VENOM_EXCLUDES(stats_mutex_);
   void record_batch(std::span<const PendingRequest> batch,
                     std::size_t batch_tokens,
                     const transformer::TimingBreakdown& timing,
-                    Clock::time_point done, const WorkerState& ws);
+                    Clock::time_point done, const WorkerState& ws)
+      VENOM_EXCLUDES(stats_mutex_);
 
   std::shared_ptr<const transformer::Encoder> encoder_;
   Options opts_;
@@ -178,20 +187,26 @@ class InferenceEngine {
   std::atomic<std::size_t> load_tokens_{0};
   std::atomic<bool> shut_down_{false};
 
-  mutable std::mutex stats_mutex_;
-  std::size_t requests_ = 0;
-  std::size_t batches_ = 0;
-  std::size_t tokens_ = 0;
-  std::size_t prefill_tokens_ = 0;
-  std::size_t decode_steps_ = 0;
-  std::size_t peak_arena_bytes_ = 0;
-  transformer::TimingBreakdown timing_;
-  std::vector<double> latency_ms_;  ///< ring buffer of latency_window
-  std::size_t latency_next_ = 0;
-  std::size_t latency_count_ = 0;
-  std::vector<double> decode_ms_;  ///< per-decode-step latency ring
-  std::size_t decode_next_ = 0;
-  std::size_t decode_count_ = 0;
+  // stats_mutex_ orders AFTER the batcher's lock is released: stats
+  // updates never touch the batcher and the batcher never calls back
+  // into the engine, so the two locks are never held together (each
+  // surface EXCLUDES the other's lock by construction).
+  mutable Mutex stats_mutex_;
+  std::size_t requests_ VENOM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t batches_ VENOM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t tokens_ VENOM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t prefill_tokens_ VENOM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t decode_steps_ VENOM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t peak_arena_bytes_ VENOM_GUARDED_BY(stats_mutex_) = 0;
+  transformer::TimingBreakdown timing_ VENOM_GUARDED_BY(stats_mutex_);
+  /// Ring buffer of latency_window samples.
+  std::vector<double> latency_ms_ VENOM_GUARDED_BY(stats_mutex_);
+  std::size_t latency_next_ VENOM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t latency_count_ VENOM_GUARDED_BY(stats_mutex_) = 0;
+  /// Per-decode-step latency ring.
+  std::vector<double> decode_ms_ VENOM_GUARDED_BY(stats_mutex_);
+  std::size_t decode_next_ VENOM_GUARDED_BY(stats_mutex_) = 0;
+  std::size_t decode_count_ VENOM_GUARDED_BY(stats_mutex_) = 0;
 };
 
 }  // namespace venom::serving

@@ -5,13 +5,20 @@
 // refused, but consumers keep draining until the queue is empty so no
 // accepted request is dropped — pop() returns false only on
 // closed-and-drained, the worker-loop termination signal.
+//
+// The lock contract is compile-time checked (common/annotations.hpp):
+// items_ and closed_ are GUARDED_BY(mutex_), and every public method
+// EXCLUDES(mutex_) — it takes the lock itself, so calling it while
+// already holding the lock (the self-deadlock shape) is a clang
+// -Wthread-safety error, not a runtime wedge.
 #pragma once
 
-#include <condition_variable>
+#include <chrono>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "common/mutex.hpp"
 
 namespace venom::serving {
 
@@ -26,9 +33,9 @@ class BlockingQueue {
   /// Enqueues one item; false after close(). The item is moved from only
   /// on success — a refused caller still owns it intact (so e.g. a
   /// pending promise can be failed instead of silently dropped).
-  bool push(T&& item) {
+  bool push(T&& item) VENOM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -38,9 +45,9 @@ class BlockingQueue {
 
   /// Blocks until an item arrives (true) or the queue is closed and
   /// drained (false).
-  bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  bool pop(T& out) VENOM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) cv_.wait(lock);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -52,13 +59,19 @@ class BlockingQueue {
   template <typename Clock, typename Duration>
   bool pop_until(T& out,
                  const std::chrono::time_point<Clock, Duration>& deadline,
-                 bool& timed_out) {
+                 bool& timed_out) VENOM_EXCLUDES(mutex_) {
     timed_out = false;
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!cv_.wait_until(lock, deadline,
-                        [this] { return closed_ || !items_.empty(); })) {
-      timed_out = true;
-      return false;
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // A notify can race the timeout: trust the predicate, not the
+        // wait status.
+        if (!closed_ && items_.empty()) {
+          timed_out = true;
+          return false;
+        }
+        break;
+      }
     }
     if (items_.empty()) return false;  // closed and drained
     out = std::move(items_.front());
@@ -67,8 +80,8 @@ class BlockingQueue {
   }
 
   /// Non-blocking pop.
-  bool try_pop(T& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool try_pop(T& out) VENOM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -77,29 +90,29 @@ class BlockingQueue {
 
   /// Refuses further pushes and wakes every blocked consumer. Items
   /// already queued remain poppable (drain-then-stop semantics).
-  void close() {
+  void close() VENOM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const VENOM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const VENOM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<T> items_ VENOM_GUARDED_BY(mutex_);
+  bool closed_ VENOM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace venom::serving

@@ -45,6 +45,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "serving/admission.hpp"
 #include "serving/engine.hpp"
 #include "serving/options.hpp"
@@ -84,13 +85,19 @@ class EngineGroup {
   /// request is shed at the door, venom::Error on a malformed request.
   /// The returned future fails with AdmissionError(kDeadlineExceeded)
   /// if the request's deadline lapses while queued.
-  std::future<Response> submit(Request req);
+  ///
+  /// Lock ordering, stated as a checked contract: the router holds no
+  /// lock while calling into a replica engine, and the admission lock is
+  /// a leaf taken/released inside admit()/release() — so router -> engine
+  /// -> batcher -> (completion hook) -> admission can never cycle back
+  /// into a lock this thread still holds.
+  std::future<Response> submit(Request req) VENOM_EXCLUDES(admission_.mu());
 
   /// Stops accepting requests and drains every replica. Idempotent; the
   /// destructor calls it.
   void shutdown();
 
-  GroupStats stats() const;
+  GroupStats stats() const VENOM_EXCLUDES(admission_.mu());
   void reset_stats();
 
   std::size_t replica_count() const { return replicas_.size(); }

@@ -109,7 +109,7 @@ std::shared_ptr<const SpmmPlan> PlanCache::find_locked(const Key& key) {
 
 std::shared_ptr<const SpmmPlan> PlanCache::find(const SpmmProblem& problem,
                                                 std::uint64_t fingerprint) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto plan = touch_locked({problem, fingerprint});
   if (plan != nullptr) ++hits_;
   return plan;
@@ -147,12 +147,12 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
     const SpmmProblem& problem, const HalfMatrix& weight) {
   const Key key{problem, weight_fingerprint(weight)};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (auto plan = find_locked(key)) return plan;
   }
   auto plan = std::make_shared<const SpmmPlan>(SpmmPlan::build(problem,
                                                                weight));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return insert_locked(key, std::move(plan));
 }
 
@@ -163,18 +163,18 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
   // should use the shared_ptr overload instead.
   const Key key{problem, weight_fingerprint(compressed)};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (auto plan = find_locked(key)) return plan;
   }
   auto plan = std::make_shared<const SpmmPlan>(SpmmPlan::from_compressed(
       problem, std::make_shared<const VnmMatrix>(compressed)));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return insert_locked(key, std::move(plan));
 }
 
 std::shared_ptr<SpmmScratchPool> PlanCache::scratch_pool_for(
     const WeightKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& pool = scratch_pools_[key];
   if (pool == nullptr) pool = std::make_shared<SpmmScratchPool>();
   return pool;
@@ -185,7 +185,7 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
     std::uint64_t fingerprint, const SpmmConfig* config) {
   const Key key{problem, fingerprint};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (auto plan = find_locked(key)) return plan;
   }
   // Plans for this weight share one scratch pool regardless of b_cols:
@@ -195,22 +195,22 @@ std::shared_ptr<const SpmmPlan> PlanCache::get_or_build(
       {fingerprint, {problem.rows, problem.cols}});
   auto plan = std::make_shared<const SpmmPlan>(SpmmPlan::from_compressed(
       problem, std::move(compressed), std::move(scratch), config));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return insert_locked(key, std::move(plan));
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::size_t PlanCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return hits_;
 }
 
 std::size_t PlanCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return misses_;
 }
 

@@ -15,8 +15,8 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "format/vnm.hpp"
 #include "spatha/config.hpp"
@@ -112,13 +112,15 @@ class PlanCache {
   /// one. The weight fingerprint is a cheap content hash, so re-pruning
   /// is skipped only when the weights are byte-identical.
   std::shared_ptr<const SpmmPlan> get_or_build(const SpmmProblem& problem,
-                                               const HalfMatrix& weight);
+                                               const HalfMatrix& weight)
+      VENOM_EXCLUDES(mutex_);
 
   /// Same, for an operand that is already V:N:M-compressed (the serving
   /// path: transformer weights are pruned once at load time, so a cache
   /// hit must not re-prune). Fingerprints the compressed structures.
   std::shared_ptr<const SpmmPlan> get_or_build(const SpmmProblem& problem,
-                                               const VnmMatrix& compressed);
+                                               const VnmMatrix& compressed)
+      VENOM_EXCLUDES(mutex_);
 
   /// As above with a caller-supplied fingerprint and shared ownership:
   /// a holder of an immutable operand (transformer::Linear) hashes it
@@ -133,19 +135,21 @@ class PlanCache {
   std::shared_ptr<const SpmmPlan> get_or_build(
       const SpmmProblem& problem,
       std::shared_ptr<const VnmMatrix> compressed,
-      std::uint64_t fingerprint, const SpmmConfig* config = nullptr);
+      std::uint64_t fingerprint, const SpmmConfig* config = nullptr)
+      VENOM_EXCLUDES(mutex_);
 
   /// Probe without building: LRU-touches and counts a hit when the plan
   /// is cached; nullptr (and no miss counted — the get_or_build that
   /// typically follows counts it) otherwise. Lets the serving hot path
   /// defer config selection to actual plan builds.
   std::shared_ptr<const SpmmPlan> find(const SpmmProblem& problem,
-                                       std::uint64_t fingerprint);
+                                       std::uint64_t fingerprint)
+      VENOM_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const VENOM_EXCLUDES(mutex_);
   std::size_t capacity() const { return capacity_; }
-  std::size_t hits() const;
-  std::size_t misses() const;
+  std::size_t hits() const VENOM_EXCLUDES(mutex_);
+  std::size_t misses() const VENOM_EXCLUDES(mutex_);
 
  private:
   using Key = std::pair<SpmmProblem, std::uint64_t>;
@@ -156,28 +160,34 @@ class PlanCache {
   using WeightKey = std::pair<std::uint64_t, std::pair<std::size_t,
                                                        std::size_t>>;
 
-  /// Lookup + LRU touch under the lock, no counter updates.
-  std::shared_ptr<const SpmmPlan> touch_locked(const Key& key);
+  /// Lookup + LRU touch, no counter updates.
+  std::shared_ptr<const SpmmPlan> touch_locked(const Key& key)
+      VENOM_REQUIRES(mutex_);
   /// touch_locked plus hit/miss accounting; nullptr on miss.
-  std::shared_ptr<const SpmmPlan> find_locked(const Key& key);
+  std::shared_ptr<const SpmmPlan> find_locked(const Key& key)
+      VENOM_REQUIRES(mutex_);
   /// Inserts `plan` (first insert wins on a racing key) and evicts LRU.
   std::shared_ptr<const SpmmPlan> insert_locked(
-      const Key& key, std::shared_ptr<const SpmmPlan> plan);
-  /// The shared scratch pool for a weight, created on first use.
-  std::shared_ptr<SpmmScratchPool> scratch_pool_for(const WeightKey& key);
+      const Key& key, std::shared_ptr<const SpmmPlan> plan)
+      VENOM_REQUIRES(mutex_);
+  /// The shared scratch pool for a weight, created on first use. Takes
+  /// the lock itself — call it between locked scopes, never inside one.
+  std::shared_ptr<SpmmScratchPool> scratch_pool_for(const WeightKey& key)
+      VENOM_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::size_t capacity_;
-  std::list<Key> lru_;  // front = most recent
+  std::list<Key> lru_ VENOM_GUARDED_BY(mutex_);  // front = most recent
   std::map<Key, std::pair<std::shared_ptr<const SpmmPlan>,
                           std::list<Key>::iterator>>
-      entries_;
+      entries_ VENOM_GUARDED_BY(mutex_);
   // One pool per distinct weight (bounded by the model's layer count in
   // serving use, not by batch-width diversity); entries outlive plan
   // evictions so a re-built plan comes back warm.
-  std::map<WeightKey, std::shared_ptr<SpmmScratchPool>> scratch_pools_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  std::map<WeightKey, std::shared_ptr<SpmmScratchPool>> scratch_pools_
+      VENOM_GUARDED_BY(mutex_);
+  std::size_t hits_ VENOM_GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ VENOM_GUARDED_BY(mutex_) = 0;
 };
 
 /// FNV-1a content hash of a half matrix (the cache fingerprint).

@@ -29,20 +29,28 @@ TuningKey make_tuning_key_i8(const VnmConfig& fmt, std::size_t rows,
 }
 
 TuningCache::TuningCache(TuningCache&& other) noexcept {
-  std::lock_guard<std::mutex> lock(other.mutex_);
+  MutexLock lock(other.mutex_);
   map_ = std::move(other.map_);
 }
 
 TuningCache& TuningCache::operator=(TuningCache&& other) noexcept {
   if (this != &other) {
-    std::scoped_lock lock(mutex_, other.mutex_);
-    map_ = std::move(other.map_);
+    // Sequential locking instead of a two-lock scope: the maps hand off
+    // through a local, so no thread ever holds both mutexes — there is
+    // no ordering to get wrong (and nothing the analysis cannot model).
+    std::map<TuningKey, TuningEntry> moved;
+    {
+      MutexLock lock(other.mutex_);
+      moved = std::move(other.map_);
+    }
+    MutexLock lock(mutex_);
+    map_ = std::move(moved);
   }
   return *this;
 }
 
 std::optional<TuningEntry> TuningCache::find(const TuningKey& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
   return it->second;
@@ -71,27 +79,27 @@ std::optional<SpmmConfig> TuningCache::lookup_i8(const VnmConfig& fmt,
 }
 
 void TuningCache::put(const TuningKey& key, const TuningEntry& entry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   map_[key] = entry;
 }
 
 void TuningCache::erase(const TuningKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   map_.erase(key);
 }
 
 void TuningCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   map_.clear();
 }
 
 std::size_t TuningCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return map_.size();
 }
 
 std::vector<std::pair<TuningKey, TuningEntry>> TuningCache::entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return {map_.begin(), map_.end()};
 }
 

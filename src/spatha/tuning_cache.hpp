@@ -16,12 +16,12 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "format/vnm.hpp"
 #include "spatha/config.hpp"
 
@@ -74,7 +74,8 @@ class TuningCache {
   TuningCache& operator=(TuningCache&& other) noexcept;
 
   /// The entry for `key`, if present.
-  std::optional<TuningEntry> find(const TuningKey& key) const;
+  std::optional<TuningEntry> find(const TuningKey& key) const
+      VENOM_EXCLUDES(mutex_);
 
   /// The tuned config for a problem under this build's feature set.
   std::optional<SpmmConfig> lookup(const VnmConfig& fmt, std::size_t rows,
@@ -87,17 +88,19 @@ class TuningCache {
                                       std::size_t b_cols) const;
 
   /// Inserts or replaces the entry for `key`.
-  void put(const TuningKey& key, const TuningEntry& entry);
+  void put(const TuningKey& key, const TuningEntry& entry)
+      VENOM_EXCLUDES(mutex_);
 
   /// Removes the entry for `key`, if present.
-  void erase(const TuningKey& key);
+  void erase(const TuningKey& key) VENOM_EXCLUDES(mutex_);
 
-  void clear();
-  std::size_t size() const;
+  void clear() VENOM_EXCLUDES(mutex_);
+  std::size_t size() const VENOM_EXCLUDES(mutex_);
   bool empty() const { return size() == 0; }
 
   /// Snapshot of all entries in key order (serialization, reporting).
-  std::vector<std::pair<TuningKey, TuningEntry>> entries() const;
+  std::vector<std::pair<TuningKey, TuningEntry>> entries() const
+      VENOM_EXCLUDES(mutex_);
 
   /// Merges the entries of the JSON cache at `path` into this cache.
   /// Returns false — leaving the cache unchanged — on a missing,
@@ -109,8 +112,8 @@ class TuningCache {
   static TuningCache& global();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<TuningKey, TuningEntry> map_;
+  mutable Mutex mutex_;
+  std::map<TuningKey, TuningEntry> map_ VENOM_GUARDED_BY(mutex_);
 };
 
 }  // namespace venom::spatha

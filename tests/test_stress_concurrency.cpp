@@ -1,0 +1,269 @@
+// Adversarial shutdown/contention schedules for the serving concurrency
+// layer (ctest label: stress; CI runs this suite under ThreadSanitizer).
+//
+// The annotations of PR 9 prove lock *discipline* at compile time; these
+// tests attack the schedules the analysis cannot see — close() racing
+// submit(), shutdown() racing a full submission storm — and assert the
+// liveness/accounting contracts: no wedge, and every accepted request's
+// future settles exactly once (a value or a typed error, never a broken
+// promise). The EngineGroup case is a regression test for the PR-7 wedge
+// class: a worker blocked in next_batch() that close() failed to wake.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serving/batcher.hpp"
+#include "tensor/matrix.hpp"
+#include "serving/options.hpp"
+#include "serving/queue.hpp"
+#include "serving/request.hpp"
+#include "serving/router.hpp"
+#include "transformer/config.hpp"
+#include "transformer/encoder.hpp"
+
+namespace venom::serving {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---- BlockingQueue: close() racing producers and consumers ---------------
+
+TEST(StressBlockingQueue, CloseWhileSubmittingNeverLosesAcceptedItems) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+
+  BlockingQueue<int> queue;
+  std::atomic<int> accepted{0};
+  std::atomic<int> refused{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = i;
+        if (queue.push(std::move(item)))
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        else
+          refused.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int item = 0;
+      while (queue.pop(item)) popped.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Close mid-storm: producers keep hammering, consumers keep draining.
+  std::this_thread::sleep_for(2ms);
+  queue.close();
+  for (auto& t : threads) t.join();
+
+  // Drain-then-stop: everything accepted before close() must come out.
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(accepted.load() + refused.load(), kProducers * kPerProducer);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(StressBlockingQueue, ConsumersBlockedInPopAllWakeOnClose) {
+  BlockingQueue<int> queue;
+  constexpr int kConsumers = 8;
+  std::vector<std::future<bool>> done;
+  done.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    done.push_back(std::async(std::launch::async, [&] {
+      int item = 0;
+      return queue.pop(item);  // blocks on the empty queue
+    }));
+  }
+  std::this_thread::sleep_for(2ms);
+  queue.close();
+  // The wedge failure mode is a consumer that never wakes: bound the
+  // wait so a regression fails fast instead of hanging the suite.
+  for (auto& f : done) {
+    ASSERT_EQ(f.wait_for(5s), std::future_status::ready) << "consumer wedged";
+    EXPECT_FALSE(f.get());  // closed-and-drained, not an item
+  }
+}
+
+// ---- DynamicBatcher: close() under a submission storm --------------------
+
+PendingRequest make_pending(std::uint64_t id, Rng& rng) {
+  PendingRequest req;
+  req.id = id;
+  req.request.input = random_half_matrix(8, 1 + id % 4, rng);
+  req.enqueued = Clock::now();
+  return req;
+}
+
+TEST(StressDynamicBatcher, CloseUnderLoadSettlesEveryFuture) {
+  constexpr int kSubmitters = 4;
+  constexpr int kWorkers = 2;
+  constexpr int kPerSubmitter = 500;
+
+  BatchPolicy policy;
+  policy.max_batch_tokens = 16;
+  policy.max_wait = 200us;
+  DynamicBatcher batcher(policy);
+
+  std::atomic<int> delivered{0};
+  std::atomic<int> refused{0};
+  std::vector<std::future<Response>> futures(
+      static_cast<std::size_t>(kSubmitters) * kPerSubmitter);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kSubmitters + kWorkers);
+  for (int s = 0; s < kSubmitters; ++s) {
+    threads.emplace_back([&, s] {
+      Rng rng(static_cast<std::uint64_t>(s) + 1);
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const std::size_t slot =
+            static_cast<std::size_t>(s) * kPerSubmitter + i;
+        PendingRequest req = make_pending(slot, rng);
+        futures[slot] = req.result.get_future();
+        if (!batcher.submit(req)) {
+          // Refused at the door: the batcher returned the request
+          // intact, so the caller settles its promise (the engine does
+          // exactly this with AdmissionError(kShutdown)).
+          fail(req, std::make_exception_ptr(
+                        std::runtime_error("refused: batcher closed")));
+          refused.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&] {
+      std::vector<PendingRequest> batch;
+      while (batcher.next_batch(batch)) {
+        for (PendingRequest& req : batch) {
+          deliver(req, Response{});
+          delivered.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(2ms);
+  batcher.close();  // races the submitters AND the draining workers
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(delivered.load() + refused.load(),
+            kSubmitters * kPerSubmitter);
+  EXPECT_EQ(batcher.queued(), 0u);  // close() drains, never abandons
+  // Every future settles: a value (batched before close) or the
+  // caller-side failure (refused at the door). A future that throws
+  // std::future_error here means a promise was dropped unsettled.
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.valid());
+    ASSERT_EQ(f.wait_for(5s), std::future_status::ready) << "future wedged";
+    try {
+      f.get();
+    } catch (const std::runtime_error&) {
+      // refused-at-close is a legal outcome
+    }
+  }
+}
+
+// ---- EngineGroup: shutdown() racing a submission storm (PR-7 wedge) ------
+
+transformer::Encoder tiny_encoder() {
+  Rng rng(7);
+  transformer::Encoder enc(
+      transformer::ModelConfig{.name = "tiny", .layers = 2, .hidden = 32,
+                               .heads = 4, .ffn_hidden = 64, .seq_len = 16},
+      rng);
+  enc.sparsify({8, 2, 4});
+  return enc;
+}
+
+TEST(StressEngineGroup, ConcurrentSubmitAndShutdownSettlesEverything) {
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 60;
+
+  Options opts;
+  opts.replicas = 2;
+  opts.workers = 2;
+  auto group = std::make_unique<EngineGroup>(tiny_encoder(), opts);
+
+  std::atomic<int> submitted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::future<Response>> futures;
+  futures.reserve(static_cast<std::size_t>(kSubmitters) * kPerSubmitter);
+  Mutex futures_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    threads.emplace_back([&, s] {
+      Rng rng(static_cast<std::uint64_t>(s) + 11);
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        Request req;
+        req.input = random_half_matrix(32, 2 + i % 3, rng);
+        req.tenant = "stress-" + std::to_string(s);
+        try {
+          auto fut = group->submit(std::move(req));
+          submitted.fetch_add(1, std::memory_order_relaxed);
+          MutexLock lock(futures_mutex);
+          futures.push_back(std::move(fut));
+        } catch (const AdmissionError&) {
+          // kShutdown (the race we are provoking) or load shedding —
+          // rejected at the door is a settled outcome by definition.
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Shut down while every submitter is mid-storm. The PR-7 wedge was a
+  // batcher worker close() could not wake: shutdown() would then block
+  // forever and this test would time out rather than fail an assert.
+  std::this_thread::sleep_for(3ms);
+  group->shutdown();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(submitted.load() + rejected.load(),
+            kSubmitters * kPerSubmitter);
+  // Accepted-before-shutdown requests drain to completion: every future
+  // holds a response (shutdown drains, it does not abandon).
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(10s), std::future_status::ready) << "future wedged";
+    EXPECT_NO_THROW(f.get());
+  }
+  // Destroying the group after an explicit shutdown must be idempotent.
+  EXPECT_NO_THROW(group.reset());
+}
+
+TEST(StressEngineGroup, RepeatedShutdownIsIdempotentUnderConcurrency) {
+  Options opts;
+  opts.replicas = 2;
+  EngineGroup group(tiny_encoder(), opts);
+  Rng rng(3);
+  Request first;
+  first.input = random_half_matrix(32, 4, rng);
+  auto fut = group.submit(std::move(first));
+  std::vector<std::thread> closers;
+  closers.reserve(4);
+  for (int i = 0; i < 4; ++i)
+    closers.emplace_back([&] { group.shutdown(); });
+  for (auto& t : closers) t.join();
+  EXPECT_NO_THROW(fut.get());  // admitted before shutdown → drained
+  Request late;
+  late.input = random_half_matrix(32, 4, rng);
+  EXPECT_THROW(group.submit(std::move(late)), AdmissionError);
+}
+
+}  // namespace
+}  // namespace venom::serving
