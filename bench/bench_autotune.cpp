@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "gpumodel/autotune.hpp"
 #include "ops/ops.hpp"
+#include "quant/quantized_vnm.hpp"
 #include "spatha/spmm.hpp"
 
 namespace {
@@ -100,6 +101,66 @@ int main() {
     records.push_back({"spmm_vnm_tuned", shape, tuned.best.gflops,
                        seed_s / tuned.best.seconds});
     records.push_back({"spmm_vnm_heuristic", shape, tuned.heuristic.gflops,
+                       seed_s / tuned.heuristic.seconds});
+  }
+
+  // The int8 datapath, tuned the same way: autotune_measured on
+  // Dtype::kI8 measures quant::spmm_vnm_i8, seeds from the int8
+  // heuristic, and bit-compares the winner against spmm_vnm_i8_scalar
+  // (integer accumulation — the fp16 reference would be the wrong
+  // oracle). The explicit heuristic-config parity check mirrors the fp16
+  // rows, through the vnm-int8 dispatch path.
+  {
+    const VnmConfig fmt{64, 2, 8};
+    const VnmMatrix a = VnmMatrix::from_dense_magnitude(w, fmt);
+    const quant::QuantizedVnmMatrix qa = quant::QuantizedVnmMatrix::quantize(a);
+    gpumodel::MeasureOptions opts;
+    opts.verify = true;
+    opts.dtype = ops::Dtype::kI8;
+    gpumodel::MeasuredResult tuned;
+    try {
+      tuned = gpumodel::autotune_measured(a, b, {}, opts);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "int8 autotune parity failure: %s\n", e.what());
+      return 1;
+    }
+
+    ops::MatmulArgs margs = ops::MatmulArgs::make(qa, b);
+    margs.config = &tuned.heuristic.config;
+    const bool parity = bit_identical(
+        ops::matmul(margs),
+        quant::spmm_vnm_i8_scalar(qa, b, tuned.heuristic.config.column_loc));
+    if (!parity) ++failures;
+
+    bench::cell("64:2:8 i8");
+    bench::cell(tuned.heuristic.gflops);
+    bench::cell(tuned.best.gflops);
+    bench::cell((tuned.best.gflops / tuned.heuristic.gflops - 1.0) * 100.0,
+                "%.1f");
+    bench::cell(parity ? "ok" : "FAIL");
+    bench::endrow();
+    std::printf("    tuned:     %s\n", tuned.best.config.describe().c_str());
+    std::printf("    heuristic: %s\n",
+                tuned.heuristic.config.describe().c_str());
+
+    // The retained seed path for the int8 rows is the int8 scalar oracle
+    // itself — the datapath's own slow-but-sure baseline.
+    const double seed_s = bench::seconds_per_call(
+        [&] {
+          volatile float sink =
+              quant::spmm_vnm_i8_scalar(qa, b,
+                                        tuned.best.config.column_loc)
+                  .flat()[0];
+          (void)sink;
+        },
+        0.05);
+    const std::string shape = "R" + std::to_string(kR) + "xK" +
+                              std::to_string(kK) + "xC" + std::to_string(kC) +
+                              " 64:2:8";
+    records.push_back({"spmm_vnm_i8_tuned", shape, tuned.best.gflops,
+                       seed_s / tuned.best.seconds});
+    records.push_back({"spmm_vnm_i8_heuristic", shape,
+                       tuned.heuristic.gflops,
                        seed_s / tuned.heuristic.seconds});
   }
 

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/timing.hpp"
+#include "quant/quantized_vnm.hpp"
 #include "spatha/spmm.hpp"
 
 namespace venom::gpumodel {
@@ -54,22 +55,6 @@ TunedConfig autotune(const DeviceSpec& dev, GemmShape shape, VnmConfig fmt,
   return enumerate_configs(dev, shape, fmt, space).front();
 }
 
-namespace {
-
-double measure_config(const VnmMatrix& a, const HalfMatrix& b,
-                      const spatha::SpmmConfig& cfg, ThreadPool* pool,
-                      const MeasureOptions& opts) {
-  volatile float sink = 0.0f;  // keep the product from being elided
-  return seconds_per_call(
-      [&] {
-        const FloatMatrix c = spatha::spmm_vnm(a, b, cfg, pool);
-        sink = sink + c.flat()[0];
-      },
-      opts.warmup, opts.min_sample_s);
-}
-
-}  // namespace
-
 MeasuredResult autotune_measured(const VnmMatrix& a, const HalfMatrix& b,
                                  const TuneSpace& space,
                                  const MeasureOptions& opts) {
@@ -78,18 +63,62 @@ MeasuredResult autotune_measured(const VnmMatrix& a, const HalfMatrix& b,
   const GemmShape shape{a.rows(), a.cols(), b.cols()};
   ThreadPool* pool = opts.pool != nullptr ? opts.pool : &ThreadPool::global();
   const DeviceSpec& dev = opts.dev != nullptr ? *opts.dev : rtx3090();
+  const ops::Dtype dtype = opts.dtype;
 
-  // Tile candidates: the fixed heuristic first, then the analytically
-  // best distinct (block_k, block_c) tiles — the model prunes the search
+  // Reduced-precision images of A, built once up front: every candidate
+  // then measures exactly the operand bytes dispatch-time execution of
+  // that datapath would consume (the quantization cost is a per-weight
+  // one-off at serving time, so it does not belong inside the timer).
+  quant::QuantizedVnmMatrix qa;
+  quant::Fp8VnmMatrix fa;
+  if (dtype == ops::Dtype::kI8) {
+    qa = quant::QuantizedVnmMatrix::quantize(a);
+  } else if (dtype == ops::Dtype::kF8E5M2 || dtype == ops::Dtype::kF8E4M3) {
+    fa = quant::Fp8VnmMatrix::quantize(a, dtype == ops::Dtype::kF8E5M2
+                                              ? Fp8Format::kE5M2
+                                              : Fp8Format::kE4M3);
+  }
+
+  // One call on the datapath under tune. Used for timing and for the
+  // winner's verification, so what is verified is what was measured.
+  const auto run_once = [&](const spatha::SpmmConfig& cfg,
+                            ThreadPool* p) -> FloatMatrix {
+    switch (dtype) {
+      case ops::Dtype::kI8:
+        return quant::spmm_vnm_i8(qa, b, cfg, p);
+      case ops::Dtype::kF8E5M2:
+      case ops::Dtype::kF8E4M3:
+        return quant::spmm_vnm_fp8(fa, b, cfg, p);
+      case ops::Dtype::kF16:
+        break;
+    }
+    return spatha::spmm_vnm(a, b, cfg, p);
+  };
+  const auto measure = [&](const spatha::SpmmConfig& cfg, ThreadPool* p) {
+    volatile float sink = 0.0f;  // keep the product from being elided
+    return seconds_per_call(
+        [&] {
+          const FloatMatrix c = run_once(cfg, p);
+          sink = sink + c.flat()[0];
+        },
+        opts.warmup, opts.min_sample_s);
+  };
+
+  // Tile candidates: the datapath's fixed heuristic occupies the first
+  // of the max_tiles slots, then the analytically best distinct
+  // (block_k, block_c) tiles fill the rest — the model prunes the search
   // so only configurations it considers competitive are ever timed.
   const spatha::SpmmConfig heuristic_cfg =
-      spatha::select_config_heuristic(fmt, shape.r, shape.k, shape.c);
+      dtype == ops::Dtype::kI8
+          ? spatha::select_config_heuristic_i8(fmt, shape.r, shape.k,
+                                               shape.c)
+          : spatha::select_config_heuristic(fmt, shape.r, shape.k, shape.c);
   std::vector<spatha::SpmmConfig> tiles = {heuristic_cfg};
   std::set<std::pair<std::size_t, std::size_t>> seen = {
       {heuristic_cfg.block_k, heuristic_cfg.block_c}};
   try {
     for (const TunedConfig& tc : enumerate_configs(dev, shape, fmt, space)) {
-      if (tiles.size() > opts.max_tiles) break;
+      if (tiles.size() >= opts.max_tiles) break;
       if (!seen.insert({tc.config.block_k, tc.config.block_c}).second)
         continue;
       tiles.push_back(tc.config);
@@ -105,11 +134,11 @@ MeasuredResult autotune_measured(const VnmMatrix& a, const HalfMatrix& b,
   const double flops = spatha::spmm_flops(a, shape.c);
 
   MeasuredResult result;
-  // The heuristic baseline — the untouched select_config_heuristic choice
-  // — is always measured, so best.gflops >= heuristic.gflops holds by
-  // construction.
+  // The heuristic baseline — the untouched heuristic choice for this
+  // datapath — is always measured, so best.gflops >= heuristic.gflops
+  // holds by construction.
   result.heuristic.config = heuristic_cfg;
-  result.heuristic.seconds = measure_config(a, b, heuristic_cfg, pool, opts);
+  result.heuristic.seconds = measure(heuristic_cfg, pool);
   result.heuristic.gflops = flops / result.heuristic.seconds * 1e-9;
   result.ranked.push_back(result.heuristic);
 
@@ -117,10 +146,13 @@ MeasuredResult autotune_measured(const VnmMatrix& a, const HalfMatrix& b,
     for (const std::size_t grain : grains) {
       spatha::SpmmConfig cfg = tiles[t];
       cfg.chunk_grain = grain;
-      if (cfg == heuristic_cfg) continue;  // already measured
+      // The heuristic's exact config was already timed as the baseline;
+      // its other grain variants are distinct candidates and stay in the
+      // search (the grain axis is part of what the measured pass tunes).
+      if (cfg == heuristic_cfg) continue;
       MeasuredConfig mc;
       mc.config = cfg;
-      mc.seconds = measure_config(a, b, cfg, pool, opts);
+      mc.seconds = measure(cfg, pool);
       mc.gflops = flops / mc.seconds * 1e-9;
       result.ranked.push_back(std::move(mc));
     }
@@ -140,7 +172,7 @@ MeasuredResult autotune_measured(const VnmMatrix& a, const HalfMatrix& b,
   for (const std::size_t t : space.thread_counts) {
     if (t == 0 || t == pool->size()) continue;
     ThreadPool scoped(t);
-    const double s = measure_config(a, b, result.best.config, &scoped, opts);
+    const double s = measure(result.best.config, &scoped);
     if (s < best_refined_s) {
       best_refined_s = s;
       best_threads = t;
@@ -148,17 +180,48 @@ MeasuredResult autotune_measured(const VnmMatrix& a, const HalfMatrix& b,
   }
 
   if (opts.verify) {
-    const FloatMatrix got = spatha::spmm_vnm(a, b, result.best.config, pool);
-    const FloatMatrix want = spatha::spmm_vnm_reference(a, b);
+    // Each datapath checks against its own scalar oracle: the int8 and
+    // fp8 kernels are bit-contracted to their scalar traversals, not to
+    // the fp16 reference (whose arithmetic they do not perform).
+    const FloatMatrix got = run_once(result.best.config, pool);
+    FloatMatrix want;
+    switch (dtype) {
+      case ops::Dtype::kI8:
+        want = quant::spmm_vnm_i8_scalar(qa, b, result.best.config.column_loc);
+        break;
+      case ops::Dtype::kF8E5M2:
+      case ops::Dtype::kF8E4M3:
+        want =
+            quant::spmm_vnm_fp8_scalar(fa, b, result.best.config.column_loc);
+        break;
+      case ops::Dtype::kF16:
+        want = spatha::spmm_vnm_reference(a, b);
+        break;
+    }
     VENOM_CHECK_MSG(
         got.size() == want.size() &&
             std::memcmp(got.data(), want.data(),
                         got.size() * sizeof(float)) == 0,
         "tuned config " << result.best.config.describe()
-                        << " is not bit-identical to the reference");
+                        << " is not bit-identical to the "
+                        << ops::to_string(dtype) << " oracle");
   }
 
-  result.key = spatha::make_tuning_key(fmt, shape.r, shape.k, shape.c);
+  // The key carries the datapath's feature tag, so the entry lands where
+  // the matching select_config_* lookup will find it.
+  switch (dtype) {
+    case ops::Dtype::kI8:
+      result.key = spatha::make_tuning_key_i8(fmt, shape.r, shape.k, shape.c);
+      break;
+    case ops::Dtype::kF8E5M2:
+    case ops::Dtype::kF8E4M3:
+      result.key =
+          spatha::make_tuning_key_fp8(fmt, shape.r, shape.k, shape.c);
+      break;
+    case ops::Dtype::kF16:
+      result.key = spatha::make_tuning_key(fmt, shape.r, shape.k, shape.c);
+      break;
+  }
   result.entry.config = result.best.config;
   result.entry.gflops = result.best.gflops;
   result.entry.heuristic_gflops = result.heuristic.gflops;

@@ -22,6 +22,7 @@
 #include "common/thread_pool.hpp"
 #include "format/vnm.hpp"
 #include "gpumodel/kernel_models.hpp"
+#include "ops/matmul.hpp"
 #include "spatha/config.hpp"
 #include "spatha/tuning_cache.hpp"
 #include "tensor/matrix.hpp"
@@ -69,12 +70,22 @@ TunedConfig autotune(const DeviceSpec& dev, GemmShape shape, VnmConfig fmt,
 
 /// Knobs of the measured search.
 struct MeasureOptions {
-  std::size_t max_tiles = 8;    ///< analytically-ranked tiles to measure
+  /// Distinct (block_k, block_c) tiles measured in total, INCLUDING the
+  /// heuristic baseline tile that always occupies the first slot.
+  std::size_t max_tiles = 8;
   double min_sample_s = 0.02;   ///< per-candidate timing budget (seconds)
   std::size_t warmup = 1;       ///< untimed calls per candidate
-  bool verify = true;           ///< bit-compare the winner vs reference
+  /// Bit-compare the winner against the dtype's own scalar oracle
+  /// (spmm_vnm_reference / spmm_vnm_i8_scalar / spmm_vnm_fp8_scalar).
+  bool verify = true;
   ThreadPool* pool = nullptr;   ///< measuring pool; nullptr = global()
   const DeviceSpec* dev = nullptr;  ///< seeding model; nullptr = rtx3090()
+  /// Datapath to tune: measurement runs the matching kernel (spmm_vnm /
+  /// spmm_vnm_i8 / spmm_vnm_fp8 over a one-time quantized image of `a`),
+  /// the baseline comes from the matching heuristic, and the result key
+  /// carries the matching feature tag ("+i8" / "+fp8") so the entry is
+  /// exactly what select_config_i8 / select_config_fp8 look up.
+  ops::Dtype dtype = ops::Dtype::kF16;
 };
 
 /// One empirically timed candidate.
@@ -97,11 +108,13 @@ struct MeasuredResult {
   spatha::TuningEntry entry;
 };
 
-/// Benchmarks real spmm_vnm executions of `a * b` over the analytically
-/// best `opts.max_tiles` tiles of `space` (plus the fixed heuristic),
-/// crossed with `space.chunk_grains`, and returns the measured ranking.
-/// With `opts.verify`, the winner's output is checked bit-identical to
-/// spmm_vnm_reference (throws venom::Error otherwise).
+/// Benchmarks real kernel executions of `a * b` — on the datapath
+/// `opts.dtype` selects — over at most `opts.max_tiles` distinct tiles
+/// (the fixed heuristic first, then the analytically best tiles of
+/// `space`), crossed with `space.chunk_grains`, and returns the measured
+/// ranking. With `opts.verify`, the winner's output is checked
+/// bit-identical to the dtype's scalar oracle (throws venom::Error
+/// otherwise).
 MeasuredResult autotune_measured(const VnmMatrix& a, const HalfMatrix& b,
                                  const TuneSpace& space = {},
                                  const MeasureOptions& opts = {});

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "io/json.hpp"
 
 namespace venom::io {
 
@@ -336,221 +337,9 @@ NmMatrix load_nm_matrix(const std::string& path) {
                               std::move(indices));
 }
 
-// ------------------------------------------------------------------ JSON
-// Minimal JSON reader for the tuning cache: objects, arrays, strings,
-// numbers, booleans, null. Enough for the documents save_tuning_cache
-// writes plus hand-edited variants; anything malformed throws with the
-// byte offset so a corrupt cache is diagnosable.
-
-namespace {
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* get(const std::string& key) const {
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  JsonParser(const std::string& text, const std::string& path)
-      : text_(text), path_(path) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    check(pos_ == text_.size(), "trailing garbage");
-    return v;
-  }
-
- private:
-  void check(bool ok, const char* what) const {
-    VENOM_CHECK_MSG(ok, "'" << path_ << "' is not a valid JSON cache ("
-                            << what << " at byte " << pos_ << ")");
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r'))
-      ++pos_;
-  }
-  char peek() {
-    check(pos_ < text_.size(), "unexpected end of input");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    check(peek() == c, "unexpected character");
-    ++pos_;
-  }
-  bool consume_literal(const char* lit) {
-    const std::size_t len = std::strlen(lit);
-    if (text_.compare(pos_, len, lit) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string();
-    if (c == 't' || c == 'f') return boolean();
-    if (c == 'n') {
-      check(consume_literal("null"), "bad literal");
-      return {};
-    }
-    return number();
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      JsonValue key = string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key.str), value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue string() {
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    expect('"');
-    for (;;) {
-      const char c = peek();
-      ++pos_;
-      if (c == '"') return v;
-      if (c == '\\') {
-        const char e = peek();
-        ++pos_;
-        switch (e) {
-          case '"': v.str += '"'; break;
-          case '\\': v.str += '\\'; break;
-          case '/': v.str += '/'; break;
-          case 'n': v.str += '\n'; break;
-          case 't': v.str += '\t'; break;
-          case 'r': v.str += '\r'; break;
-          default: check(false, "unsupported escape");
-        }
-        continue;
-      }
-      check(static_cast<unsigned char>(c) >= 0x20, "control character");
-      v.str += c;
-    }
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.type = JsonValue::Type::kBool;
-    if (consume_literal("true")) {
-      v.boolean = true;
-      return v;
-    }
-    check(consume_literal("false"), "bad literal");
-    return v;
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E'))
-      ++pos_;
-    check(pos_ > start, "expected a value");
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    char* end = nullptr;
-    const std::string tok = text_.substr(start, pos_ - start);
-    v.number = std::strtod(tok.c_str(), &end);
-    check(end != nullptr && *end == '\0', "bad number");
-    return v;
-  }
-
-  const std::string& text_;
-  const std::string& path_;
-  std::size_t pos_ = 0;
-};
-
-/// Required numeric field of a JSON object, as a size (rejects negatives
-/// and non-integers) — the shape/config fields of a cache entry.
-std::size_t json_size_field(const JsonValue& obj, const char* key,
-                            const std::string& path) {
-  const JsonValue* v = obj.get(key);
-  // The 2^53 cap both bounds the value before the float-to-integer
-  // conversion (UB for >= 2^64) and guarantees the double held it
-  // exactly.
-  VENOM_CHECK_MSG(v != nullptr && v->type == JsonValue::Type::kNumber &&
-                      v->number >= 0.0 && v->number < 9007199254740992.0 &&
-                      v->number == double(std::uint64_t(v->number)),
-                  "'" << path << "' cache entry missing numeric \"" << key
-                      << "\"");
-  return static_cast<std::size_t>(v->number);
-}
-
-double json_double_field(const JsonValue& obj, const char* key,
-                         const std::string& path) {
-  const JsonValue* v = obj.get(key);
-  VENOM_CHECK_MSG(v != nullptr && v->type == JsonValue::Type::kNumber,
-                  "'" << path << "' cache entry missing numeric \"" << key
-                      << "\"");
-  return v->number;
-}
-
-void json_escape_to(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-}
-
-}  // namespace
+// ---------------------------------------------------------------- JSON
+// The tuning cache is the human-readable artefact: parsing goes through
+// the shared io/json reader (also used by the serving engine plan).
 
 void save_tuning_cache(const spatha::TuningCache& cache,
                        const std::string& path) {
@@ -572,12 +361,16 @@ void save_tuning_cache(const spatha::TuningCache& cache,
         buf, sizeof(buf),
         "\",\n     \"config\": {\"block_k\": %zu, \"block_c\": %zu, "
         "\"warp_r\": %zu, \"warp_k\": %zu, \"warp_c\": %zu, "
-        "\"batch_size\": %zu, \"chunk_grain\": %zu},\n"
+        "\"batch_size\": %zu, \"chunk_grain\": %zu, "
+        "\"store_bits\": %d, \"column_loc_fixed\": %d},\n"
         "     \"gflops\": %.6g, \"heuristic_gflops\": %.6g, "
         "\"threads\": %zu}",
         e.config.block_k, e.config.block_c, e.config.warp_r,
         e.config.warp_k, e.config.warp_c, e.config.batch_size,
-        e.config.chunk_grain, e.gflops, e.heuristic_gflops, e.threads);
+        e.config.chunk_grain,
+        e.config.store_width == spatha::StoreWidth::k32bit ? 32 : 128,
+        e.config.column_loc == spatha::ColumnLocMode::kFixed ? 1 : 0,
+        e.gflops, e.heuristic_gflops, e.threads);
     out += buf;
   }
   out += entries.empty() ? "]\n}\n" : "\n  ]\n}\n";
@@ -593,7 +386,7 @@ spatha::TuningCache load_tuning_cache(const std::string& path) {
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
 
-  const JsonValue doc = JsonParser(text, path).parse();
+  const JsonValue doc = parse_json(text, path);
   VENOM_CHECK_MSG(doc.type == JsonValue::Type::kObject,
                   "'" << path << "' is not a JSON object");
   const JsonValue* format = doc.get("format");
@@ -636,6 +429,18 @@ spatha::TuningCache load_tuning_cache(const std::string& path) {
     e.config.warp_c = json_size_field(*cfg, "warp_c", path);
     e.config.batch_size = json_size_field(*cfg, "batch_size", path);
     e.config.chunk_grain = json_size_field(*cfg, "chunk_grain", path);
+    // Optional since they were added after version 1 shipped: caches
+    // written before carry neither, and their configs used the defaults
+    // the fields also default to here.
+    if (cfg->get("store_bits") != nullptr)
+      e.config.store_width = json_size_field(*cfg, "store_bits", path) == 32
+                                 ? spatha::StoreWidth::k32bit
+                                 : spatha::StoreWidth::k128bit;
+    if (cfg->get("column_loc_fixed") != nullptr)
+      e.config.column_loc =
+          json_size_field(*cfg, "column_loc_fixed", path) != 0
+              ? spatha::ColumnLocMode::kFixed
+              : spatha::ColumnLocMode::kEnabled;
     VENOM_CHECK_MSG(e.config.block_k >= 1 && e.config.block_c >= 1,
                     "'" << path << "' cache entry has a degenerate tile");
     e.gflops = json_double_field(item, "gflops", path);

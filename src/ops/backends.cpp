@@ -347,8 +347,8 @@ class VnmFp8Backend final : public Matmul {
     const spatha::SpmmConfig cfg =
         args.config != nullptr
             ? *args.config
-            : ctx.select_config(a.config(), a.rows(), a.cols(),
-                                args.b->cols());
+            : ctx.select_config_fp8(a.config(), a.rows(), a.cols(),
+                                    args.b->cols());
     return quant::spmm_vnm_fp8(a, *args.b, cfg, &ctx.pool(), &ctx.scratch());
   }
 };

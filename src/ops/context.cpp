@@ -14,7 +14,7 @@ ExecContext::ExecContext(ExecContextOptions opts)
   }
 }
 
-const spatha::TuningCache& ExecContext::tuning() const {
+const spatha::TuningCache& ExecContext::tuning_cache() const {
   if (opts_.tuning_cache_path.empty()) return spatha::TuningCache::global();
   std::call_once(tuning_once_,
                  [this] { own_tuning_.try_load(opts_.tuning_cache_path); });
@@ -27,20 +27,27 @@ spatha::SpmmConfig ExecContext::select_config(const VnmConfig& fmt,
                                               std::size_t b_cols) const {
   // One shared policy with spatha::select_config (lookup -> validate ->
   // degrade to heuristic), differing only in which cache is consulted.
-  return spatha::select_config(tuning(), fmt, rows, cols, b_cols);
+  return spatha::select_config(tuning_cache(), fmt, rows, cols, b_cols);
 }
 
 spatha::SpmmConfig ExecContext::select_config_i8(const VnmConfig& fmt,
                                                  std::size_t rows,
                                                  std::size_t cols,
                                                  std::size_t b_cols) const {
-  return spatha::select_config_i8(tuning(), fmt, rows, cols, b_cols);
+  return spatha::select_config_i8(tuning_cache(), fmt, rows, cols, b_cols);
+}
+
+spatha::SpmmConfig ExecContext::select_config_fp8(const VnmConfig& fmt,
+                                                  std::size_t rows,
+                                                  std::size_t cols,
+                                                  std::size_t b_cols) const {
+  return spatha::select_config_fp8(tuning_cache(), fmt, rows, cols, b_cols);
 }
 
 std::optional<spatha::SpmmConfig> ExecContext::tuned_config(
     const VnmConfig& fmt, std::size_t rows, std::size_t cols,
     std::size_t b_cols) const {
-  return tuning().lookup(fmt, rows, cols, b_cols);
+  return tuning_cache().lookup(fmt, rows, cols, b_cols);
 }
 
 ExecContext& ExecContext::global() {

@@ -101,6 +101,14 @@ class ExecContext {
                                       std::size_t cols,
                                       std::size_t b_cols) const;
 
+  /// Kernel configuration for the fp8 datapath: the context's
+  /// "+fp8"-tagged tuning entry when one exists, else the fp16 heuristic
+  /// (spatha::select_config_fp8 — the fp8 kernel shares the float-panel
+  /// pipeline).
+  spatha::SpmmConfig select_config_fp8(const VnmConfig& fmt, std::size_t rows,
+                                       std::size_t cols,
+                                       std::size_t b_cols) const;
+
   /// The tuned entry alone (no heuristic fallback) — lets tooling report
   /// what the tuning cache contributes vs the heuristic.
   std::optional<spatha::SpmmConfig> tuned_config(const VnmConfig& fmt,
@@ -108,14 +116,17 @@ class ExecContext {
                                                  std::size_t cols,
                                                  std::size_t b_cols) const;
 
+  /// The context's tuning cache: the private one when a path was given
+  /// (loaded on first use), else TuningCache::global(). Exposed so
+  /// callers that bypass the registry but honour a context's tuning —
+  /// e.g. the quant::spmm_vnm_* convenience overloads — consult the same
+  /// entries dispatch would.
+  const spatha::TuningCache& tuning_cache() const;
+
   /// Process-wide default context (lazily constructed; default options).
   static ExecContext& global();
 
  private:
-  /// The context's tuning cache: the private one when a path was given
-  /// (loaded on first use), else TuningCache::global().
-  const spatha::TuningCache& tuning() const;
-
   ExecContextOptions opts_;
   std::unique_ptr<ThreadPool> owned_pool_;  // only when opts_.threads > 0
   ThreadPool* pool_ = nullptr;

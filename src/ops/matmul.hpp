@@ -61,6 +61,12 @@ enum class Dtype : std::uint8_t { kF16, kI8, kF8E5M2, kF8E4M3 };
 
 const char* to_string(Dtype d);
 
+/// Inverse of to_string(Dtype), also accepting the short fp8 aliases the
+/// CLI uses ("e5m2" / "e4m3"). Returns false on an unknown name. Shared
+/// by the engine-plan loader and the venomtool dtype flags so every
+/// artefact and flag spells dtypes the same way.
+bool dtype_from_string(std::string_view name, Dtype& out);
+
 /// Shape + format summary of a product — what supports() and backend
 /// selection look at (no operand data access).
 struct MatmulDesc {

@@ -19,6 +19,7 @@
 #include "common/error.hpp"
 #include "common/half.hpp"
 #include "spatha/microkernel.hpp"
+#include "spatha/tuning_cache.hpp"
 
 namespace venom::quant {
 
@@ -802,10 +803,14 @@ FloatMatrix spmm_vnm_i8(const QuantizedVnmMatrix& a, const HalfMatrix& b,
 }
 
 FloatMatrix spmm_vnm_i8(const QuantizedVnmMatrix& a, const HalfMatrix& b,
-                        ThreadPool* pool) {
+                        ThreadPool* pool,
+                        const spatha::TuningCache* tuning) {
+  const spatha::TuningCache& cache =
+      tuning != nullptr ? *tuning : spatha::TuningCache::global();
   return spmm_vnm_i8(
       a, b,
-      spatha::select_config_i8(a.config(), a.rows(), a.cols(), b.cols()),
+      spatha::select_config_i8(cache, a.config(), a.rows(), a.cols(),
+                               b.cols()),
       pool);
 }
 
@@ -889,9 +894,14 @@ FloatMatrix spmm_vnm_fp8(const Fp8VnmMatrix& a, const HalfMatrix& b,
 }
 
 FloatMatrix spmm_vnm_fp8(const Fp8VnmMatrix& a, const HalfMatrix& b,
-                         ThreadPool* pool) {
+                         ThreadPool* pool,
+                         const spatha::TuningCache* tuning) {
+  const spatha::TuningCache& cache =
+      tuning != nullptr ? *tuning : spatha::TuningCache::global();
   return spmm_vnm_fp8(
-      a, b, spatha::select_config(a.config(), a.rows(), a.cols(), b.cols()),
+      a, b,
+      spatha::select_config_fp8(cache, a.config(), a.rows(), a.cols(),
+                                b.cols()),
       pool);
 }
 

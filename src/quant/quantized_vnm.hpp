@@ -174,8 +174,14 @@ FloatMatrix spmm_vnm_i8(const QuantizedVnmMatrix& a, const HalfMatrix& b,
                         spatha::SpmmScratchPool* scratch = nullptr);
 
 /// Convenience overload with the tuned/heuristic configuration.
+/// `tuning` is the cache whose "+i8" entry (if any) picks the config —
+/// pass ExecContext::tuning_cache() when dispatch runs under a context
+/// with a private cache, so a scoped tune is honoured here exactly as
+/// it is in the registry backends; nullptr consults the process-wide
+/// TuningCache::global().
 FloatMatrix spmm_vnm_i8(const QuantizedVnmMatrix& a, const HalfMatrix& b,
-                        ThreadPool* pool = nullptr);
+                        ThreadPool* pool = nullptr,
+                        const spatha::TuningCache* tuning = nullptr);
 
 /// Naive oracle: element-at-a-time traversal, same B quantization and
 /// dequantization expression as the fast kernel.
@@ -193,9 +199,12 @@ FloatMatrix spmm_vnm_fp8(const Fp8VnmMatrix& a, const HalfMatrix& b,
                          ThreadPool* pool = nullptr,
                          spatha::SpmmScratchPool* scratch = nullptr);
 
-/// Convenience overload with the tuned/heuristic configuration.
+/// Convenience overload with the tuned/heuristic configuration (same
+/// cache-threading contract as the spmm_vnm_i8 overload, under the
+/// "+fp8" key).
 FloatMatrix spmm_vnm_fp8(const Fp8VnmMatrix& a, const HalfMatrix& b,
-                         ThreadPool* pool = nullptr);
+                         ThreadPool* pool = nullptr,
+                         const spatha::TuningCache* tuning = nullptr);
 
 /// Naive oracle for the fp8 path.
 FloatMatrix spmm_vnm_fp8_scalar(

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/cpu_features.hpp"
 #include "common/rng.hpp"
 #include "common/timing.hpp"
 #include "transformer/encoder.hpp"
@@ -47,6 +49,9 @@ BenchComparison run_serving_comparison(const BenchSetup& setup) {
   opts.batching.max_batch_tokens = setup.max_batch_tokens;
   opts.batching.max_batch_requests = setup.max_batch_requests;
   opts.batching.max_wait = setup.max_wait;
+  opts.plan_path = setup.plan_path;
+  if (!setup.plan_path.empty())
+    load_engine_plan(setup.plan_path).apply(seq_enc);
   InferenceEngine engine(pruned_encoder(setup.model, setup.format), opts);
 
   // Per-request forward durations from the timed pass: the sequential
@@ -107,6 +112,95 @@ BenchComparison run_serving_comparison(const BenchSetup& setup) {
   return result;
 }
 
+namespace {
+
+// The sweep and its replay measure the identical trace the comparison
+// harness uses, so a plan's measured_rps is comparable across both.
+std::vector<HalfMatrix> sweep_trace(const EngineSweepSetup& setup) {
+  std::vector<HalfMatrix> trace;
+  trace.reserve(setup.requests);
+  for (std::size_t i = 0; i < setup.requests; ++i) {
+    Rng rng = Rng::seeded("serving-trace", i);
+    trace.push_back(
+        random_half_matrix(setup.model.hidden, setup.tokens, rng, 0.5f));
+  }
+  return trace;
+}
+
+double timed_batched_rps(InferenceEngine& engine,
+                         const std::vector<HalfMatrix>& trace) {
+  const auto run = [&] {
+    std::vector<std::future<Response>> futs;
+    futs.reserve(trace.size());
+    for (const HalfMatrix& x : trace) {
+      Request req;
+      req.input = x;  // the trace is reused across passes — copy
+      futs.push_back(engine.submit(std::move(req)));
+    }
+    for (auto& fut : futs) fut.get();
+  };
+  run();  // warmup: fills the plan cache and the packed-panel pools
+  return static_cast<double>(trace.size()) /
+         seconds_per_call(run, /*warmup=*/0);
+}
+
+}  // namespace
+
+EngineSweepResult run_engine_sweep(const EngineSweepSetup& setup) {
+  const std::vector<HalfMatrix> trace = sweep_trace(setup);
+
+  EngineSweepResult result;
+  for (const std::size_t budget : setup.token_budgets) {
+    for (const std::size_t workers : setup.worker_counts) {
+      for (const ops::Dtype dtype : setup.dtypes) {
+        transformer::Encoder enc = pruned_encoder(setup.model, setup.format);
+        enc.set_weight_dtype(dtype);
+        Options opts;
+        opts.batching.max_batch_tokens = budget;
+        opts.batching.max_batch_requests = setup.max_batch_requests;
+        opts.batching.max_wait = setup.max_wait;
+        opts.workers = workers;
+        InferenceEngine engine(std::move(enc), opts);
+        result.ranked.push_back(
+            {budget, workers, dtype, timed_batched_rps(engine, trace)});
+      }
+    }
+  }
+  std::sort(result.ranked.begin(), result.ranked.end(),
+            [](const EngineSweepPoint& a, const EngineSweepPoint& b) {
+              return a.rps > b.rps;
+            });
+
+  const EngineSweepPoint& best = result.ranked.front();
+  EnginePlan& plan = result.plan;
+  plan.model = setup.model.name;
+  plan.features = cpu_feature_string();
+  plan.max_batch_tokens = best.max_batch_tokens;
+  plan.workers = best.workers;
+  plan.measured_rps = best.rps;
+  // Layer provenance: the backend dispatch selects for a full-budget
+  // sparse product at the winning dtype (what the batched forward runs).
+  // Recorded for tooling only — applying the plan sets the dtype and
+  // lets dispatch re-select.
+  ops::MatmulDesc desc;
+  desc.rows = setup.model.hidden;
+  desc.cols = setup.model.hidden;
+  desc.b_cols = best.max_batch_tokens;
+  desc.format = ops::OperandFormat::kVnm;
+  desc.dtype = best.dtype;
+  desc.vnm = setup.format;
+  const std::string backend(
+      ops::BackendRegistry::instance().select(desc).name());
+  plan.layers.assign(setup.model.layers, EnginePlanLayer{backend, best.dtype});
+  return result;
+}
+
+double measure_engine_rps(const EngineSweepSetup& setup, const Options& opts) {
+  const std::vector<HalfMatrix> trace = sweep_trace(setup);
+  InferenceEngine engine(pruned_encoder(setup.model, setup.format), opts);
+  return timed_batched_rps(engine, trace);
+}
+
 LoadReport run_serving_load(const LoadSetup& setup) {
   // Zipf-skewed request lengths over [min_tokens, max_tokens]: weight of
   // the k-th shortest length is (k+1)^-skew, so traffic is mostly short
@@ -147,6 +241,9 @@ LoadReport run_serving_load(const LoadSetup& setup) {
   opts.workers = setup.workers;
   opts.replicas = setup.replicas;
   opts.admission.max_queued_tokens = setup.max_queued_tokens;
+  opts.plan_path = setup.plan_path;
+  if (!setup.plan_path.empty())
+    load_engine_plan(setup.plan_path).apply(ref_enc);
   EngineGroup group(pruned_encoder(setup.model, setup.format), opts);
 
   LoadReport report;

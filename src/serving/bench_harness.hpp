@@ -21,9 +21,12 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "format/vnm.hpp"
+#include "ops/matmul.hpp"
 #include "serving/engine.hpp"
+#include "serving/plan.hpp"
 #include "serving/router.hpp"
 #include "transformer/config.hpp"
 
@@ -38,6 +41,11 @@ struct BenchSetup {
   std::size_t max_batch_tokens = 256;
   std::size_t max_batch_requests = 64;
   std::chrono::microseconds max_wait{500};
+  /// Optional EnginePlan path. Applied to BOTH paths — the engine via
+  /// Options::plan_path, the sequential reference encoder directly — so
+  /// the bit-identity check keeps comparing like with like when the plan
+  /// switches layer dtypes.
+  std::string plan_path;
 };
 
 /// Measured outcome of one comparison run.
@@ -70,6 +78,50 @@ struct BenchComparison {
 /// sequential and batched passes over the full trace.
 BenchComparison run_serving_comparison(const BenchSetup& setup);
 
+/// Axes of the `venomtool tune-engine` sweep: the engine-level knobs the
+/// kernel tuning cache cannot see — batcher token budget, worker split,
+/// and the uniform weight dtype the encoder's layers run on.
+struct EngineSweepSetup {
+  transformer::ModelConfig model;
+  VnmConfig format{64, 2, 8};
+  std::size_t requests = 32;
+  std::size_t tokens = 4;  ///< per request
+  std::size_t max_batch_requests = 64;
+  std::chrono::microseconds max_wait{500};
+  std::vector<std::size_t> token_budgets = {128, 256, 512};
+  std::vector<std::size_t> worker_counts = {1, 2};
+  std::vector<ops::Dtype> dtypes = {ops::Dtype::kF16, ops::Dtype::kI8};
+};
+
+/// One measured point of the sweep.
+struct EngineSweepPoint {
+  std::size_t max_batch_tokens = 0;
+  std::size_t workers = 0;
+  ops::Dtype dtype = ops::Dtype::kF16;
+  double rps = 0.0;  ///< batched trace throughput for this combination
+};
+
+/// Every measured point (fastest first) plus the winner packaged as a
+/// ready-to-save EnginePlan (fingerprinted for this build, per-layer
+/// backend provenance recorded from dispatch).
+struct EngineSweepResult {
+  std::vector<EngineSweepPoint> ranked;
+  EnginePlan plan;
+};
+
+/// Measures every combination of the setup's axes over the canonical
+/// deterministic trace (same "serving-trace" stream as
+/// run_serving_comparison): each combination gets a fresh pruned
+/// "serving-model" encoder at the combination's dtype and a fresh engine,
+/// one warmup pass, then one timed pass.
+EngineSweepResult run_engine_sweep(const EngineSweepSetup& setup);
+
+/// Batched throughput of the canonical trace through an engine built
+/// with `opts` as given — `venomtool tune-engine` uses this to confirm a
+/// reloaded plan (opts.plan_path) reproduces the sweep's measured_rps
+/// within tolerance.
+double measure_engine_rps(const EngineSweepSetup& setup, const Options& opts);
+
 /// The overload experiment's knobs.
 struct LoadSetup {
   transformer::ModelConfig model;
@@ -95,6 +147,9 @@ struct LoadSetup {
   std::size_t max_queued_tokens = 512;
   std::size_t calibration_requests = 64;  ///< closed-loop warmup+capacity
   std::uint64_t seed = 0;  ///< trace stream index (same seed, same trace)
+  /// Optional EnginePlan path, applied to the group (Options::plan_path)
+  /// and to the direct-forward reference encoder alike.
+  std::string plan_path;
 };
 
 /// Measured outcome of one overload run.

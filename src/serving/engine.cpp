@@ -6,18 +6,22 @@
 
 #include "common/error.hpp"
 #include "common/timing.hpp"
+#include "serving/plan.hpp"
 
 namespace venom::serving {
 
+// `opts` is deliberately passed on (not moved) to the delegated
+// constructor: encoder_with_plan reads opts.plan_path, and the two
+// argument evaluations are indeterminately sequenced — a move here could
+// hand the delegate an empty path before the encoder-side apply ran.
 InferenceEngine::InferenceEngine(transformer::Encoder encoder, Options opts)
-    : InferenceEngine(std::make_shared<const transformer::Encoder>(
-                          std::move(encoder)),
-                      std::move(opts)) {}
+    : InferenceEngine(encoder_with_plan(std::move(encoder), opts.plan_path),
+                      opts) {}
 
 InferenceEngine::InferenceEngine(
     std::shared_ptr<const transformer::Encoder> encoder, Options opts,
     std::uint32_t replica_id)
-    : encoder_(std::move(encoder)), opts_(std::move(opts)),
+    : encoder_(std::move(encoder)), opts_(options_with_plan(std::move(opts))),
       replica_id_(replica_id),
       ctx_(ops::ExecContextOptions{.threads = 0,
                                    .plan_cache_capacity =

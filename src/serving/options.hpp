@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "common/error.hpp"
 #include "serving/admission.hpp"
@@ -49,6 +50,14 @@ struct Options {
   /// chunks to batching.max_batch_tokens. Smaller chunks interleave
   /// decode steps of live sessions between prompt chunks of new ones.
   std::size_t prefill_chunk_tokens = 0;
+  /// Path of a persisted EnginePlan (serving/plan.hpp) produced by
+  /// `venomtool tune-engine`. When set, the engine / group constructors
+  /// load it and fold the measured knobs (batcher token budget, worker
+  /// split, per-layer weight dtype where the encoder is still mutable)
+  /// into this Options before validation. A missing or corrupt file
+  /// throws venom::Error; a plan measured by a build with a different
+  /// CPU fingerprint is ignored gracefully.
+  std::string plan_path{};
 
   /// Throws venom::Error on configurations that could never serve a
   /// request or would hang instead of failing fast.

@@ -4,12 +4,13 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "serving/plan.hpp"
 
 namespace venom::serving {
 
 EngineGroup::EngineGroup(std::shared_ptr<const transformer::Encoder> encoder,
                          Options opts)
-    : encoder_(std::move(encoder)), opts_(std::move(opts)),
+    : encoder_(std::move(encoder)), opts_(options_with_plan(std::move(opts))),
       admission_(opts_.admission) {
   VENOM_CHECK_MSG(encoder_ != nullptr, "EngineGroup needs an encoder");
   opts_.validate();
@@ -19,10 +20,11 @@ EngineGroup::EngineGroup(std::shared_ptr<const transformer::Encoder> encoder,
         encoder_, opts_, static_cast<std::uint32_t>(i)));
 }
 
+// Same sequencing caution as the owning InferenceEngine constructor:
+// `opts` is read by both arguments, so neither may move from it.
 EngineGroup::EngineGroup(transformer::Encoder encoder, Options opts)
-    : EngineGroup(std::make_shared<const transformer::Encoder>(
-                      std::move(encoder)),
-                  std::move(opts)) {}
+    : EngineGroup(encoder_with_plan(std::move(encoder), opts.plan_path),
+                  opts) {}
 
 EngineGroup::~EngineGroup() { shutdown(); }
 

@@ -104,6 +104,25 @@ SpmmConfig select_config_i8(const TuningCache& cache, const VnmConfig& fmt,
   return select_config_heuristic_i8(fmt, rows, cols, b_cols);
 }
 
+SpmmConfig select_config_fp8(const VnmConfig& fmt, std::size_t rows,
+                             std::size_t cols, std::size_t b_cols) {
+  return select_config_fp8(TuningCache::global(), fmt, rows, cols, b_cols);
+}
+
+SpmmConfig select_config_fp8(const TuningCache& cache, const VnmConfig& fmt,
+                             std::size_t rows, std::size_t cols,
+                             std::size_t b_cols) {
+  const auto tuned = cache.lookup_fp8(fmt, rows, cols, b_cols);
+  if (tuned.has_value()) {
+    try {
+      validate(*tuned, fmt, rows, cols, b_cols);
+      return *tuned;
+    } catch (const Error&) {
+    }
+  }
+  return select_config_heuristic(fmt, rows, cols, b_cols);
+}
+
 SpmmConfig select_config_heuristic_i8(const VnmConfig& fmt, std::size_t rows,
                                       std::size_t cols, std::size_t b_cols) {
   SpmmConfig cfg = select_config_heuristic(fmt, rows, cols, b_cols);

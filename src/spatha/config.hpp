@@ -99,6 +99,17 @@ SpmmConfig select_config_i8(const TuningCache& cache, const VnmConfig& fmt,
                             std::size_t rows, std::size_t cols,
                             std::size_t b_cols);
 
+/// Configuration choice for the fp8 datapath (quant::spmm_vnm_fp8): the
+/// "+fp8"-tagged tuning-cache entry when one exists, else the fp16
+/// heuristic — the fp8 kernel upconverts its operands and runs the same
+/// float-panel pipeline, so it shares the fp16 tiling optimum as a
+/// fallback while still honouring its own measured entries.
+SpmmConfig select_config_fp8(const VnmConfig& fmt, std::size_t rows,
+                             std::size_t cols, std::size_t b_cols);
+SpmmConfig select_config_fp8(const TuningCache& cache, const VnmConfig& fmt,
+                             std::size_t rows, std::size_t cols,
+                             std::size_t b_cols);
+
 /// Shape heuristic for the int8 quad kernel: tiny K panels (a handful of
 /// M-groups — the quad-interleaved panel re-streams once per column
 /// strip, so it must stay L1-resident) and C tiles twice the fp16 width

@@ -28,6 +28,13 @@ TuningKey make_tuning_key_i8(const VnmConfig& fmt, std::size_t rows,
   return key;
 }
 
+TuningKey make_tuning_key_fp8(const VnmConfig& fmt, std::size_t rows,
+                              std::size_t cols, std::size_t b_cols) {
+  TuningKey key = make_tuning_key(fmt, rows, cols, b_cols);
+  key.features += "+fp8";
+  return key;
+}
+
 TuningCache::TuningCache(TuningCache&& other) noexcept {
   MutexLock lock(other.mutex_);
   map_ = std::move(other.map_);
@@ -74,6 +81,16 @@ std::optional<SpmmConfig> TuningCache::lookup_i8(const VnmConfig& fmt,
                                                  std::size_t b_cols) const {
   if (empty()) return std::nullopt;
   const auto entry = find(make_tuning_key_i8(fmt, rows, cols, b_cols));
+  if (!entry.has_value()) return std::nullopt;
+  return entry->config;
+}
+
+std::optional<SpmmConfig> TuningCache::lookup_fp8(const VnmConfig& fmt,
+                                                  std::size_t rows,
+                                                  std::size_t cols,
+                                                  std::size_t b_cols) const {
+  if (empty()) return std::nullopt;
+  const auto entry = find(make_tuning_key_fp8(fmt, rows, cols, b_cols));
   if (!entry.has_value()) return std::nullopt;
   return entry->config;
 }

@@ -55,6 +55,13 @@ TuningKey make_tuning_key(const VnmConfig& fmt, std::size_t rows,
 TuningKey make_tuning_key_i8(const VnmConfig& fmt, std::size_t rows,
                              std::size_t cols, std::size_t b_cols);
 
+/// Key for the fp8 datapath (quant::spmm_vnm_fp8), under a "+fp8" tag.
+/// E5M2 and E4M3 share one entry: the kernel decodes either format to
+/// float while hoisting and then runs the identical float-panel
+/// pipeline, so the tiling optimum does not depend on the fp8 flavour.
+TuningKey make_tuning_key_fp8(const VnmConfig& fmt, std::size_t rows,
+                              std::size_t cols, std::size_t b_cols);
+
 /// One measured result. The heuristic throughput is stored alongside so
 /// tooling can report the tuning gain without re-measuring.
 struct TuningEntry {
@@ -86,6 +93,11 @@ class TuningCache {
   std::optional<SpmmConfig> lookup_i8(const VnmConfig& fmt, std::size_t rows,
                                       std::size_t cols,
                                       std::size_t b_cols) const;
+
+  /// Same lookup under the fp8-datapath key (make_tuning_key_fp8).
+  std::optional<SpmmConfig> lookup_fp8(const VnmConfig& fmt, std::size_t rows,
+                                       std::size_t cols,
+                                       std::size_t b_cols) const;
 
   /// Inserts or replaces the entry for `key`.
   void put(const TuningKey& key, const TuningEntry& entry)

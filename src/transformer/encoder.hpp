@@ -96,7 +96,9 @@ class EncoderLayer {
   MultiHeadAttention& attention() { return mha_; }
   const MultiHeadAttention& attention() const { return mha_; }
   Linear& ffn_in() { return ffn_in_; }
+  const Linear& ffn_in() const { return ffn_in_; }
   Linear& ffn_out() { return ffn_out_; }
+  const Linear& ffn_out() const { return ffn_out_; }
 
  private:
   std::size_t hidden_ = 0;

@@ -13,10 +13,12 @@
 #include "baselines/gemm.hpp"
 #include "common/cpu_features.hpp"
 #include "common/rng.hpp"
+#include "io/serialize.hpp"
 #include "ops/context.hpp"
 #include "ops/ops.hpp"
 #include "spatha/plan.hpp"
 #include "spatha/spmm.hpp"
+#include "spatha/tuning_cache.hpp"
 #include "transformer/encoder.hpp"
 
 namespace venom::quant {
@@ -301,6 +303,49 @@ TEST(QuantDispatch, QuantizedArgsSelectQuantizedBackends) {
     const ops::ScopedBackend forced("vnm-fp8-scalar");
     EXPECT_EQ(ops::matmul(fargs), f8_fast);
   }
+}
+
+TEST(QuantDispatch, TunedI8EntryRoundTripsAndDispatchesBitIdentically) {
+  const VnmConfig fmt{16, 2, 8};
+  const VnmMatrix fp16 = random_vnm(64, 128, fmt, 95);
+  Rng rng(96);
+  const HalfMatrix b = random_half_matrix(128, 32, rng);
+  const QuantizedVnmMatrix q = QuantizedVnmMatrix::quantize(fp16);
+  const ops::MatmulArgs qargs = ops::MatmulArgs::make(q, b);
+
+  const FloatMatrix untuned = ops::matmul(qargs);
+
+  // A tuned winner that differs from the int8 heuristic, persisted and
+  // reloaded the way a $VENOM_TUNE_CACHE process would see it: the entry
+  // must survive the JSON round trip under its "+i8" tag.
+  spatha::SpmmConfig tuned =
+      spatha::select_config_heuristic_i8(fmt, 64, 128, 32);
+  tuned.chunk_grain = 2;
+  spatha::TuningEntry entry;
+  entry.config = tuned;
+  const spatha::TuningKey key = spatha::make_tuning_key_i8(fmt, 64, 128, 32);
+  spatha::TuningCache on_disk;
+  on_disk.put(key, entry);
+  const std::string path = testing::TempDir() + "quant_i8_cache.json";
+  io::save_tuning_cache(on_disk, path);
+  const spatha::TuningCache loaded = io::load_tuning_cache(path);
+  const auto reloaded = loaded.lookup_i8(fmt, 64, 128, 32);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(*reloaded, tuned);
+  // The fp16 lookup must not surface it.
+  EXPECT_FALSE(loaded.lookup(fmt, 64, 128, 32).has_value());
+
+  // Installed globally (what the env-var load does), the vnm-int8
+  // registry backend dispatches the tuned config — and stays
+  // bit-identical to both the untuned dispatch and the scalar oracle
+  // (integer accumulation is exact under any valid tiling).
+  spatha::TuningCache::global().put(key, entry);
+  ASSERT_EQ(spatha::select_config_i8(fmt, 64, 128, 32), tuned);
+  const FloatMatrix tuned_out = ops::matmul(qargs);
+  spatha::TuningCache::global().erase(key);
+
+  EXPECT_EQ(tuned_out, untuned);
+  EXPECT_EQ(tuned_out, spmm_vnm_i8_scalar(q, b, tuned.column_loc));
 }
 
 TEST(QuantDispatch, ForcedBackendQuantizesFp16ArgsOnTheFly) {

@@ -6,12 +6,16 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "common/cpu_features.hpp"
 #include "common/rng.hpp"
 #include "gpumodel/autotune.hpp"
 #include "io/serialize.hpp"
+#include "ops/context.hpp"
+#include "quant/quantized_vnm.hpp"
 #include "spatha/epilogue.hpp"
 #include "spatha/sddmm.hpp"
 #include "spatha/spmm.hpp"
@@ -89,6 +93,11 @@ TEST(TuningCache, JsonRoundTripPreservesEveryField) {
   TuningEntry e2 = sample_entry();
   e2.config.block_k = 64;
   e2.config.chunk_grain = 0;
+  // Non-default store/column-loc choices must survive the round trip
+  // (they were silently dropped before store_bits/column_loc_fixed were
+  // persisted).
+  e2.config.store_width = spatha::StoreWidth::k32bit;
+  e2.config.column_loc = spatha::ColumnLocMode::kFixed;
   e2.gflops = 1.75;
   e2.threads = 1;
   cache.put(key2, e2);
@@ -296,6 +305,145 @@ TEST(AutotuneMeasured, BeatsOrMatchesHeuristicAndVerifies) {
   EXPECT_GT(result.entry.gflops, 0.0);
   EXPECT_GT(result.entry.heuristic_gflops, 0.0);
   EXPECT_GE(result.entry.threads, 1u);
+}
+
+TEST(AutotuneMeasured, TileBudgetCountsTheHeuristicBaseline) {
+  // A shape with plenty of valid analytical tiles, so the budget (not
+  // the candidate pool) is what limits the search.
+  const VnmConfig fmt{16, 2, 8};
+  Rng rng(11);
+  const HalfMatrix w = random_half_matrix(64, 256, rng, 0.1f);
+  const HalfMatrix b = random_half_matrix(256, 64, rng, 0.1f);
+  const VnmMatrix a = VnmMatrix::from_dense_magnitude(w, fmt);
+
+  gpumodel::MeasureOptions opts;
+  opts.max_tiles = 2;
+  opts.min_sample_s = 0.001;
+  opts.verify = false;
+  gpumodel::TuneSpace space;
+  space.chunk_grains = {0, 1};
+  const auto result = gpumodel::autotune_measured(a, b, space, opts);
+
+  // max_tiles bounds the DISTINCT (block_k, block_c) tiles measured,
+  // heuristic baseline included — the old `>` admitted one extra tile.
+  std::set<std::pair<std::size_t, std::size_t>> tiles;
+  for (const auto& mc : result.ranked)
+    tiles.insert({mc.config.block_k, mc.config.block_c});
+  EXPECT_EQ(tiles.size(), 2u);
+
+  // Candidate count is pinned by the dedup semantics: the baseline, plus
+  // 2 tiles x 2 grains, minus the one exact duplicate of the baseline
+  // (the heuristic's grain is 0, which is in the swept grain set — its
+  // OTHER grain variant stays in the search).
+  ASSERT_EQ(result.heuristic.config.chunk_grain, 0u);
+  EXPECT_EQ(result.ranked.size(), 4u);
+}
+
+TEST(AutotuneMeasuredI8, ProducesAnI8EntryReachableBySelectConfigI8) {
+  const VnmConfig fmt{8, 2, 8};
+  Rng rng(13);
+  const HalfMatrix w = random_half_matrix(32, 64, rng, 0.1f);
+  const HalfMatrix b = random_half_matrix(64, 32, rng, 0.1f);
+  const VnmMatrix a = VnmMatrix::from_dense_magnitude(w, fmt);
+
+  gpumodel::MeasureOptions opts;
+  opts.max_tiles = 3;
+  opts.min_sample_s = 0.001;
+  opts.dtype = ops::Dtype::kI8;  // verify stays on: the i8 scalar oracle
+  const auto result = gpumodel::autotune_measured(a, b, {}, opts);
+
+  // Same-run ordering invariant as fp16: the int8 heuristic is in the
+  // measured set, so the winner can never lose to it.
+  EXPECT_GE(result.best.gflops, result.heuristic.gflops);
+  EXPECT_EQ(result.heuristic.config,
+            spatha::select_config_heuristic_i8(fmt, 32, 64, 32));
+
+  // The key carries the "+i8" feature tag — the entry lands where
+  // select_config_i8 looks, not under the fp16 key.
+  EXPECT_EQ(result.key, spatha::make_tuning_key_i8(fmt, 32, 64, 32));
+  EXPECT_EQ(result.key.features, cpu_feature_string() + "+i8");
+
+  spatha::TuningCache cache;
+  cache.put(result.key, result.entry);
+  EXPECT_EQ(spatha::select_config_i8(cache, fmt, 32, 64, 32),
+            result.best.config);
+  // The fp16 lookup must NOT see the int8 entry.
+  EXPECT_FALSE(cache.lookup(fmt, 32, 64, 32).has_value());
+
+  // And the winner's output is the i8 kernel's, bit-identical to the
+  // int8 scalar oracle (autotune already verified; assert independently).
+  const auto qa = quant::QuantizedVnmMatrix::quantize(a);
+  const FloatMatrix got = quant::spmm_vnm_i8(qa, b, result.best.config);
+  const FloatMatrix want =
+      quant::spmm_vnm_i8_scalar(qa, b, result.best.config.column_loc);
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                        got.size() * sizeof(float)),
+            0);
+}
+
+TEST(TuningCacheDispatch, PrivateContextI8EntryHonoredByConvenienceOverload) {
+  const VnmConfig fmt{16, 2, 8};
+  Rng rng(17);
+  const HalfMatrix w = random_half_matrix(64, 128, rng, 0.2f);
+  const HalfMatrix b = random_half_matrix(128, 32, rng, 0.1f);
+  const VnmMatrix a = VnmMatrix::from_dense_magnitude(w, fmt);
+  const auto qa = quant::QuantizedVnmMatrix::quantize(a);
+
+  // A +i8 entry whose column-loc mode is flipped to kFixed: a config
+  // choice that changes which B rows the kernel gathers, so whether the
+  // entry was honored is visible in the output bits.
+  spatha::SpmmConfig tuned = spatha::select_config_heuristic_i8(fmt, 64, 128, 32);
+  tuned.column_loc = spatha::ColumnLocMode::kFixed;
+  spatha::TuningCache on_disk;
+  spatha::TuningEntry entry;
+  entry.config = tuned;
+  on_disk.put(spatha::make_tuning_key_i8(fmt, 64, 128, 32), entry);
+  const std::string path = temp_path("private_i8.json");
+  io::save_tuning_cache(on_disk, path);
+
+  ops::ExecContext ctx(
+      ops::ExecContextOptions{.tuning_cache_path = path});
+  ASSERT_EQ(ctx.select_config_i8(fmt, 64, 128, 32), tuned);
+  // The global cache has no such entry; its dispatch stays heuristic.
+  ASSERT_EQ(spatha::select_config_i8(fmt, 64, 128, 32),
+            spatha::select_config_heuristic_i8(fmt, 64, 128, 32));
+
+  // The convenience overload with the context's cache must dispatch the
+  // private entry (the regression: it used to consult only the global
+  // cache, making a scoped tune unreachable)...
+  const FloatMatrix via_ctx =
+      quant::spmm_vnm_i8(qa, b, nullptr, &ctx.tuning_cache());
+  const FloatMatrix explicit_tuned = quant::spmm_vnm_i8(qa, b, tuned);
+  ASSERT_EQ(via_ctx.size(), explicit_tuned.size());
+  EXPECT_EQ(std::memcmp(via_ctx.data(), explicit_tuned.data(),
+                        via_ctx.size() * sizeof(float)),
+            0);
+
+  // ...and the default overload keeps dispatching the heuristic — the
+  // two disagree on these operands, which is what makes the check above
+  // meaningful rather than vacuous.
+  const FloatMatrix via_global = quant::spmm_vnm_i8(qa, b);
+  ASSERT_EQ(via_global.size(), via_ctx.size());
+  EXPECT_NE(std::memcmp(via_global.data(), via_ctx.data(),
+                        via_global.size() * sizeof(float)),
+            0);
+}
+
+TEST(TuningCacheDispatch, CorruptI8EntryDegradesToI8Heuristic) {
+  const VnmConfig fmt{16, 2, 8};
+  // A +i8 entry that no longer validates for the shape (block_k not a
+  // multiple of M) must degrade to the INT8 heuristic, not throw and not
+  // fall back to the fp16 heuristic.
+  spatha::SpmmConfig bad = spatha::select_config_heuristic_i8(fmt, 64, 128, 32);
+  bad.block_k = 100;
+  spatha::TuningEntry entry;
+  entry.config = bad;
+  const spatha::TuningKey key = spatha::make_tuning_key_i8(fmt, 64, 128, 32);
+  TuningCache::global().put(key, entry);
+  const auto selected = spatha::select_config_i8(fmt, 64, 128, 32);
+  TuningCache::global().erase(key);
+  EXPECT_EQ(selected, spatha::select_config_heuristic_i8(fmt, 64, 128, 32));
 }
 
 }  // namespace
